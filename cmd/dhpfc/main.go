@@ -1,0 +1,133 @@
+// Command dhpfc compiles a mini-HPF source file with the dhpf pipeline
+// and reports the compiler's decisions: computation partitionings per
+// statement, communication events (with §7 eliminations), and selection
+// notes.  With -run it also executes the program on the simulated
+// machine and prints performance counters (and optionally a space–time
+// diagram).
+//
+// Usage:
+//
+//	dhpfc [flags] file.hpf
+//
+//	-run             execute on the simulated machine after compiling
+//	-trace           with -run: print an ASCII space–time diagram
+//	-bins N          diagram width in time bins (default 100)
+//	-param NAME=V    override a program parameter (repeatable)
+//	-no-localize     disable §4.2 LOCALIZE partial replication
+//	-no-loopdist     disable §5 loop distribution
+//	-no-interproc    disable §6 interprocedural CPs
+//	-no-avail        disable §7 data availability analysis
+//	-newprop MODE    translate (default) | owner | replicate  (§4.1)
+//	-grain N         coarse-grain pipelining strip width (default 8)
+//	-emit R          print the generated SPMD node program for rank R
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dhpf/internal/comm"
+	"dhpf/internal/cp"
+	"dhpf/internal/mpsim"
+	"dhpf/internal/spmd"
+	"dhpf/internal/trace"
+)
+
+type paramFlags map[string]int
+
+func (p paramFlags) String() string { return fmt.Sprint(map[string]int(p)) }
+func (p paramFlags) Set(v string) error {
+	name, val, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want NAME=VALUE, got %q", v)
+	}
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return err
+	}
+	p[name] = n
+	return nil
+}
+
+func main() {
+	params := paramFlags{}
+	run := flag.Bool("run", false, "execute on the simulated machine")
+	doTrace := flag.Bool("trace", false, "print a space-time diagram (with -run)")
+	bins := flag.Int("bins", 100, "space-time diagram bins")
+	noLocalize := flag.Bool("no-localize", false, "disable LOCALIZE (§4.2)")
+	noLoopdist := flag.Bool("no-loopdist", false, "disable loop distribution (§5)")
+	noInterproc := flag.Bool("no-interproc", false, "disable interprocedural CPs (§6)")
+	noAvail := flag.Bool("no-avail", false, "disable data availability (§7)")
+	newprop := flag.String("newprop", "translate", "NEW propagation mode: translate|owner|replicate")
+	grain := flag.Int("grain", 8, "pipeline strip width")
+	emit := flag.Int("emit", -1, "emit the SPMD node program for this rank")
+	flag.Var(params, "param", "override a program parameter NAME=VALUE")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dhpfc [flags] file.hpf")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := spmd.DefaultOptions()
+	opt.CP.Localize = !*noLocalize
+	opt.CP.LoopDist = !*noLoopdist
+	opt.CP.Interproc = !*noInterproc
+	opt.Comm.Availability = !*noAvail
+	opt.PipelineGrain = *grain
+	switch *newprop {
+	case "translate":
+		opt.CP.NewProp = cp.NewPropTranslate
+	case "owner":
+		opt.CP.NewProp = cp.NewPropOwner
+	case "replicate":
+		opt.CP.NewProp = cp.NewPropReplicate
+	default:
+		fatal(fmt.Errorf("unknown -newprop mode %q", *newprop))
+	}
+
+	prog, err := spmd.CompileSource(string(src), params, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(prog.Report())
+
+	if *emit >= 0 {
+		fmt.Println()
+		fmt.Print(prog.EmitNodeProgram(*emit))
+	}
+
+	if !*run {
+		return
+	}
+	cfg := mpsim.SP2Config(prog.Grid.Size())
+	cfg.Trace = *doTrace
+	res, err := prog.Execute(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nexecution: %d ranks, %.6fs virtual time, %d messages, %d bytes\n",
+		prog.Grid.Size(), res.Machine.Time, res.Machine.TotalMessages(), res.Machine.TotalBytes())
+	if *doTrace {
+		fmt.Println()
+		fmt.Print(trace.Build(res.Machine, *bins).Render(flag.Arg(0)))
+		s := trace.Summarize(res.Machine)
+		fmt.Printf("mean compute %.0f%%  comm %.0f%%  idle %.0f%%  load imbalance %.1f%%\n",
+			100*s.MeanCompute, 100*s.MeanComm, 100*s.MeanIdle, 100*s.LoadImbalance)
+	}
+}
+
+var _ = comm.ReadComm
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dhpfc:", err)
+	os.Exit(1)
+}

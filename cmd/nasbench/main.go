@@ -1,0 +1,130 @@
+// Command nasbench regenerates the paper's Tables 8.1 and 8.2: execution
+// time, relative speedup and relative efficiency of the hand-written
+// multipartitioning MPI code, the dhpf-compiled HPF code, and the
+// PGI-style transpose code, for NAS SP and BT.
+//
+// Two modes, reflecting the reproduction protocol (DESIGN.md):
+//
+//	-measure   run all three implementations on the virtual machine at a
+//	           reduced size (default N=24, 2 steps) and print measured
+//	           times — this validates the shape of the comparison;
+//	-project   print the analytic LogGP projection of the paper's Class
+//	           A/B sizes across the paper's processor counts (default).
+//
+// Usage:
+//
+//	nasbench [-bench sp|bt|all] [-measure] [-n N] [-steps S] [-procs csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dhpf/internal/mpsim"
+	"dhpf/internal/nas"
+	"dhpf/internal/perfmodel"
+	"dhpf/internal/spmd"
+)
+
+func main() {
+	bench := flag.String("bench", "all", "sp, bt or all")
+	measure := flag.Bool("measure", false, "measure reduced-size runs on the simulator")
+	n := flag.Int("n", 24, "grid size for -measure")
+	steps := flag.Int("steps", 2, "time steps for -measure")
+	procsCSV := flag.String("procs", "", "comma-separated rank counts (default: the paper's)")
+	grain := flag.Int("grain", 8, "dhpf pipeline strip width")
+	flag.Parse()
+
+	benches := []string{"sp", "bt"}
+	if *bench != "all" {
+		benches = []string{*bench}
+	}
+	for _, b := range benches {
+		procs := perfmodel.PaperProcs[b]
+		if *procsCSV != "" {
+			procs = parseCSV(*procsCSV)
+		}
+		if *measure {
+			measureTable(b, *n, *steps, procs, *grain)
+		} else {
+			base := 4
+			for _, class := range []nas.Class{nas.ClassA, nas.ClassB} {
+				if b == "bt" && class.Name == "B" {
+					base = 16 // the paper's convention for BT Class B
+				}
+				tb, err := perfmodel.BuildTable(b, class, procs, base, mpsim.SP2Config(1), *grain)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Println(tb.Render())
+			}
+		}
+	}
+}
+
+// measureTable runs the three implementations at a reduced size.
+func measureTable(bench string, n, steps int, procs []int, grain int) {
+	fmt.Printf("Measured on the virtual machine: %s, N=%d, %d steps\n", strings.ToUpper(bench), n, steps)
+	fmt.Printf("%6s | %12s %12s %12s | %8s %8s\n", "procs", "hand(s)", "dHPF(s)", "PGI(s)", "E.dHPF", "E.PGI")
+	fmt.Println(strings.Repeat("-", 72))
+	opt := spmd.DefaultOptions()
+	opt.PipelineGrain = grain
+	for _, p := range procs {
+		hand, dhpfT, pgi := "-", "-", "-"
+		var handT float64
+		if mp, err := nas.RunMultipart(bench, n, steps, p, mpsim.SP2Config(p)); err == nil {
+			handT = mp.Machine.Time
+			hand = fmt.Sprintf("%.6f", handT)
+		}
+		var dT, gT float64
+		if src := sourceFor(bench, n, steps, p); src != "" {
+			if prog, err := spmd.CompileSource(src, nil, opt); err == nil {
+				if res, err := prog.Execute(mpsim.SP2Config(p)); err == nil {
+					dT = res.Machine.Time
+					dhpfT = fmt.Sprintf("%.6f", dT)
+				}
+			}
+		}
+		if tp, err := nas.RunTranspose(bench, n, steps, p, mpsim.SP2Config(p)); err == nil {
+			gT = tp.Machine.Time
+			pgi = fmt.Sprintf("%.6f", gT)
+		}
+		ed, eg := "-", "-"
+		if handT > 0 && dT > 0 {
+			ed = fmt.Sprintf("%.2f", handT/dT)
+		}
+		if handT > 0 && gT > 0 {
+			eg = fmt.Sprintf("%.2f", handT/gT)
+		}
+		fmt.Printf("%6d | %12s %12s %12s | %8s %8s\n", p, hand, dhpfT, pgi, ed, eg)
+	}
+	fmt.Println()
+}
+
+func sourceFor(bench string, n, steps, p int) string {
+	p1, p2 := nas.GridShape(p)
+	if bench == "sp" {
+		return nas.SPSource(n, steps, p1, p2)
+	}
+	return nas.BTSource(n, steps, p1, p2)
+}
+
+func parseCSV(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fatal(err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nasbench:", err)
+	os.Exit(1)
+}

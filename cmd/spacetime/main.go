@@ -1,0 +1,108 @@
+// Command spacetime regenerates the paper's Figures 8.1–8.4: space–time
+// diagrams of one (or more) time steps of SP and BT on 16 processors,
+// for the hand-written multipartitioning code and the dhpf-compiled
+// code.  The hand-coded diagrams show dense compute with thin message
+// bands (Figures 8.1/8.3); the dhpf diagrams show the pipelined
+// wavefront skew in the y/z solves (Figures 8.2/8.4).
+//
+// Usage:
+//
+//	spacetime [-code sp|bt] [-version mpi|dhpf|pgi] [-procs 16] [-n 24]
+//	          [-steps 1] [-bins 120] [-csv file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dhpf/internal/mpsim"
+	"dhpf/internal/nas"
+	"dhpf/internal/spmd"
+	"dhpf/internal/trace"
+)
+
+func main() {
+	code := flag.String("code", "sp", "sp, bt, or lu (lu -version mpi uses the 2-D pipelined baseline)")
+	version := flag.String("version", "mpi", "mpi (hand multipartitioning), dhpf, or pgi")
+	procs := flag.Int("procs", 16, "rank count (16 in the paper's figures)")
+	n := flag.Int("n", 24, "grid size")
+	steps := flag.Int("steps", 1, "time steps")
+	bins := flag.Int("bins", 120, "diagram width in time bins")
+	csv := flag.String("csv", "", "also write the diagram as CSV to this file")
+	flag.Parse()
+
+	cfg := mpsim.SP2Config(*procs)
+	cfg.Trace = true
+
+	var res *mpsim.Result
+	switch *version {
+	case "mpi":
+		if *code == "lu" {
+			p1, p2 := nas.GridShape(*procs)
+			run, err := nas.RunLU2D(*n, *steps, p1, p2, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			res = run.Machine
+			break
+		}
+		run, err := nas.RunMultipart(*code, *n, *steps, *procs, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		res = run.Machine
+	case "pgi":
+		run, err := nas.RunTranspose(*code, *n, *steps, *procs, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		res = run.Machine
+	case "dhpf":
+		p1, p2 := nas.GridShape(*procs)
+		var src string
+		switch *code {
+		case "sp":
+			src = nas.SPSource(*n, *steps, p1, p2)
+		case "bt":
+			src = nas.BTSource(*n, *steps, p1, p2)
+		case "lu":
+			src = nas.LUSource(*n, *steps, p1, p2)
+		default:
+			fatal(fmt.Errorf("unknown -code %q", *code))
+		}
+		prog, err := spmd.CompileSource(src, nil, spmd.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		er, err := prog.Execute(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		res = er.Machine
+	default:
+		fatal(fmt.Errorf("unknown -version %q", *version))
+	}
+
+	d := trace.Build(res, *bins)
+	title := fmt.Sprintf("%s %s, %d ranks, N=%d, %d step(s)", *code, *version, *procs, *n, *steps)
+	fmt.Print(d.Render(title))
+	s := trace.Summarize(res)
+	fmt.Printf("\nmean compute %.0f%%  comm %.0f%%  idle %.0f%%  load imbalance %.1f%%\n",
+		100*s.MeanCompute, 100*s.MeanComm, 100*s.MeanIdle, 100*s.LoadImbalance)
+	fmt.Println("\nphase breakdown (compute seconds across all ranks):")
+	for _, pt := range trace.PhaseBreakdown(res) {
+		fmt.Printf("  %-14s %.6f\n", pt.Label, pt.Seconds)
+	}
+	if *csv != "" {
+		if err := os.WriteFile(*csv, []byte(d.CSV()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nCSV written to %s\n", *csv)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spacetime:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,142 @@
+// Package dhpf is a Go reproduction of the Rice dHPF compiler described
+// in "High Performance Fortran Compilation Techniques for Parallelizing
+// Scientific Codes" (Adve, Jin, Mellor-Crummey, Yi — SC'98).
+//
+// It compiles a mini-HPF language (Fortran-style loops and affine array
+// references plus the HPF directives PROCESSORS, TEMPLATE, ALIGN,
+// DISTRIBUTE, INDEPENDENT, NEW, and dHPF's LOCALIZE extension) into SPMD
+// message-passing programs, applying the paper's optimizations:
+//
+//   - computation-partition selection over the general ON_HOME model,
+//   - CP propagation for privatizable (NEW) arrays with partial
+//     replication of boundary computation (§4.1),
+//   - LOCALIZE partial replication for distributed arrays (§4.2),
+//   - communication-sensitive selective loop distribution (§5),
+//   - interprocedural CP selection (§6),
+//   - data-availability analysis eliminating redundant communication
+//     (§7),
+//
+// and runs the result on a deterministic virtual-time message-passing
+// machine, so compiled programs produce both verified numerics and
+// realistic parallel-performance behaviour (pipelines, halos, load
+// imbalance).
+//
+// A minimal end-to-end use:
+//
+//	prog, err := dhpf.Compile(src, nil, dhpf.DefaultOptions())
+//	res, err := prog.Run(dhpf.SP2Machine(prog.Ranks()))
+//	data, lo, hi, err := res.Array("a")
+package dhpf
+
+import (
+	"dhpf/internal/mpsim"
+	"dhpf/internal/parser"
+	"dhpf/internal/spmd"
+	"dhpf/internal/trace"
+)
+
+// Options configures the compilation pipeline.  The zero value disables
+// every optimization; use DefaultOptions for the paper's configuration.
+type Options = spmd.Options
+
+// DefaultOptions enables all the paper's optimizations with a pipeline
+// grain of 8.
+func DefaultOptions() Options { return spmd.DefaultOptions() }
+
+// MachineConfig fixes the simulated machine's size and cost model.
+type MachineConfig = mpsim.Config
+
+// SP2Machine returns a cost model approximating the paper's IBM SP2
+// (120 MHz P2SC nodes, user-space MPI) for the given number of ranks.
+func SP2Machine(procs int) MachineConfig { return mpsim.SP2Config(procs) }
+
+// Program is a compiled SPMD program.
+type Program struct {
+	inner *spmd.Program
+}
+
+// Compile parses and compiles mini-HPF source.  params overrides the
+// program's `param` defaults (e.g. problem size or processor counts).
+func Compile(source string, params map[string]int, opt Options) (*Program, error) {
+	p, err := spmd.CompileSource(source, params, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{inner: p}, nil
+}
+
+// Ranks returns the number of processors the program was compiled for.
+func (p *Program) Ranks() int { return p.inner.Grid.Size() }
+
+// Report renders the compiler's decisions: per-statement computation
+// partitionings, communication events (with eliminations), and notes.
+func (p *Program) Report() string { return p.inner.Report() }
+
+// NodeProgram renders the generated SPMD node program for one rank as
+// readable pseudo-Fortran (localized bounds, guards, communication
+// calls) — the analogue of inspecting dHPF's generated F77+MPI output.
+func (p *Program) NodeProgram(rank int) string { return p.inner.EmitNodeProgram(rank) }
+
+// Run executes the program on the simulated machine.
+func (p *Program) Run(cfg MachineConfig) (*Result, error) {
+	res, err := p.inner.Execute(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{exec: res}, nil
+}
+
+// Result is a finished execution: verified numeric state plus the
+// virtual-time performance measurements.
+type Result struct {
+	exec *spmd.ExecResult
+}
+
+// Array gathers the authoritative global contents of an array (each
+// element from its owner) plus its per-dimension inclusive bounds.
+func (r *Result) Array(name string) (data []float64, lo, hi []int, err error) {
+	return r.exec.Global(name)
+}
+
+// Seconds returns the virtual-time makespan of the run.
+func (r *Result) Seconds() float64 { return r.exec.Machine.Time }
+
+// Messages returns the total number of point-to-point messages sent.
+func (r *Result) Messages() int64 { return r.exec.Machine.TotalMessages() }
+
+// Bytes returns the total payload bytes sent.
+func (r *Result) Bytes() int64 { return r.exec.Machine.TotalBytes() }
+
+// RankSeconds returns each rank's final virtual clock.
+func (r *Result) RankSeconds() []float64 { return r.exec.Machine.RankTime }
+
+// SpaceTime renders an ASCII space–time diagram of the run (requires the
+// machine config to have had Trace enabled).
+func (r *Result) SpaceTime(title string, bins int) string {
+	return trace.Build(r.exec.Machine, bins).Render(title)
+}
+
+// Serial runs the program's reference (sequential) semantics, ignoring
+// all directives — what the paper calls the NPB-serial starting point.
+type Serial struct {
+	inner *spmd.SerialResult
+}
+
+// RunSerial executes source sequentially with the given parameter
+// overrides.
+func RunSerial(source string, params map[string]int) (*Serial, error) {
+	prog, err := parser.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	sr, err := spmd.RunSerial(prog, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Serial{inner: sr}, nil
+}
+
+// Array returns a main-procedure array's data and bounds.
+func (s *Serial) Array(name string) (data []float64, lo, hi []int, err error) {
+	return s.inner.Array(name)
+}

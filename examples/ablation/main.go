@@ -1,0 +1,137 @@
+// Ablation: compile the paper's lhsy fragment (Figure 4.1) under the
+// three alternatives §4.1 weighs for privatizable arrays — the paper's
+// CP translation, full replication, and owner-computes — plus data
+// availability on/off on the wavefront fragment (§7), and print the
+// communication each plan induces.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dhpf"
+	"dhpf/internal/cp"
+)
+
+const lhsySrc = `
+program lhsy
+param N = 64
+param P = 4
+!hpf$ processors procs(P)
+!hpf$ template tm(N, N)
+!hpf$ template tline(N)
+!hpf$ align lhs with tm(d0, d1)
+!hpf$ align cv with tline(d0)
+!hpf$ align rhoq with tline(d0)
+!hpf$ distribute tm(*, BLOCK) onto procs
+!hpf$ distribute tline(BLOCK) onto procs
+
+subroutine main()
+  real lhs(0:N-1, 0:N-1)
+  real cv(0:N-1)
+  real rhoq(0:N-1)
+  do j = 0, N-1
+    do i = 0, N-1
+      lhs(i,j) = 0.0
+    enddo
+  enddo
+  !hpf$ independent, new(cv, rhoq)
+  do i = 1, N-2
+    do j = 0, N-1
+      cv(j) = 0.1*j + 0.01*i
+      rhoq(j) = 0.2*j
+    enddo
+    do j = 1, N-2
+      lhs(i,j) = cv(j-1) + rhoq(j) + cv(j+1)
+    enddo
+  enddo
+end
+`
+
+const sweepSrc = `
+program ys
+param N = 64
+param P = 4
+!hpf$ processors procs(P)
+!hpf$ template tm(N, N)
+!hpf$ align w with tm(d0, d1)
+!hpf$ align v with tm(d0, d1)
+!hpf$ align f with tm(d0, d1)
+!hpf$ distribute tm(*, BLOCK) onto procs
+
+subroutine main()
+  real w(0:N-1, 0:N-1)
+  real v(0:N-1, 0:N-1)
+  real f(0:N-1, 0:N-1)
+  do j = 0, N-1
+    do i = 0, N-1
+      v(i,j) = 1.0 + 0.01*i
+      w(i,j) = 0.02*j
+      f(i,j) = 0.0
+    enddo
+  enddo
+  do j = 1, N-4
+    do i = 1, N-2
+      f(i,j) = 0.08 / v(i,j)
+      w(i,j+1) = w(i,j+1) - f(i,j)*w(i,j)
+      w(i,j+2) = w(i,j+2) - 0.5*f(i,j)*w(i,j)
+    enddo
+  enddo
+end
+`
+
+func measure(src string, opt dhpf.Options) (msgs, bytes int64, flops float64) {
+	prog, err := dhpf.Compile(src, nil, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := prog.Run(dhpf.SP2Machine(prog.Ranks()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tot float64
+	for _, s := range res.RankSeconds() {
+		tot += s
+	}
+	return res.Messages(), res.Bytes(), tot
+}
+
+func main() {
+	fmt.Println("§4.1 ablation — privatizable array CPs on the lhsy fragment (4 ranks):")
+	fmt.Printf("%-28s %9s %10s %14s\n", "mode", "messages", "bytes", "Σ rank time(s)")
+	for _, m := range []struct {
+		name string
+		mode cp.NewPropMode
+	}{
+		{"translate (the paper, §4.1)", cp.NewPropTranslate},
+		{"replicate everything", cp.NewPropReplicate},
+		{"owner-computes", cp.NewPropOwner},
+	} {
+		opt := dhpf.DefaultOptions()
+		opt.CP.NewProp = m.mode
+		msgs, bytes, t := measure(lhsySrc, opt)
+		fmt.Printf("%-28s %9d %10d %14.6f\n", m.name, msgs, bytes, t)
+	}
+
+	fmt.Println("\n§7 ablation — data availability on the wavefront fragment:")
+	fmt.Printf("%-28s %9s %10s\n", "mode", "events", "transfers")
+	for _, on := range []bool{true, false} {
+		opt := dhpf.DefaultOptions()
+		opt.Comm.Availability = on
+		prog, err := dhpf.Compile(sweepSrc, nil, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := prog.Report()
+		elim := 0
+		for i := 0; i+10 < len(rep); i++ {
+			if rep[i:i+10] == "ELIMINATED" {
+				elim++
+			}
+		}
+		fmt.Printf("availability=%-15v eliminated events: %d\n", on, elim)
+	}
+	fmt.Println("\nThe translate mode computes exactly the boundary values each")
+	fmt.Println("processor needs (zero messages); replication wastes compute;")
+	fmt.Println("owner-computes forces boundary messages in the inner loop.")
+}

@@ -1,0 +1,3 @@
+module dhpf
+
+go 1.24

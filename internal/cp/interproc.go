@@ -1,0 +1,207 @@
+package cp
+
+import (
+	"dhpf/internal/ir"
+)
+
+// entryCP computes the CP of a procedure's entry point (§6): when every
+// assignment and call in the procedure carries the same *partition* —
+// the same processor assignment for every iteration, compared through
+// the distributed dimensions only, so e.g. ON_HOME r(m,i+1,jj,kk) and
+// ON_HOME r(m,i+2,jj,kk) agree when i is not distributed — the first
+// statement's CP, with subscripts over the procedure's internal loop
+// variables vectorized to their loop ranges, is the entry CP.  Otherwise
+// the procedure has no uniform entry CP (nil) and call sites fall back
+// to replicated execution of the call.
+func entryCP(ctx *Context, proc *ir.Procedure, sel *Selection) *CP {
+	var uniform *CP
+	var uniformKey string
+	found := false
+	bad := false
+	ir.Walk(proc.Body, func(s ir.Stmt, _ []*ir.Loop) bool {
+		if bad {
+			return false
+		}
+		var c *CP
+		switch st := s.(type) {
+		case *ir.Assign:
+			c = sel.CPOf(st.ID)
+		case *ir.CallStmt:
+			c = sel.CPOf(st.ID)
+		default:
+			return true
+		}
+		if !found {
+			uniform = c
+			uniformKey = cpKey(ctx, proc, c)
+			found = true
+			return true
+		}
+		if cpKey(ctx, proc, c) != uniformKey {
+			bad = true
+		}
+		return true
+	})
+	if !found || bad || uniform.Replicated() {
+		if !found {
+			return &CP{}
+		}
+		if bad {
+			return nil
+		}
+		return &CP{}
+	}
+
+	// Vectorize subscripts that use the procedure's internal loop
+	// variables: they do not exist at call sites.
+	loops := map[string]*ir.Loop{}
+	ir.Walk(proc.Body, func(s ir.Stmt, _ []*ir.Loop) bool {
+		if l, ok := s.(*ir.Loop); ok {
+			if _, dup := loops[l.Var]; !dup {
+				loops[l.Var] = l
+			}
+		}
+		return true
+	})
+	out := &CP{}
+	for _, t := range uniform.Terms {
+		nt := Term{Array: t.Array, Subs: make([]HomeSub, len(t.Subs))}
+		for k, s := range t.Subs {
+			if !s.IsRange && s.Var != "" {
+				if l, ok := loops[s.Var]; ok {
+					lo, hi := l.Lo, l.Hi
+					if l.Step < 0 {
+						lo, hi = hi, lo
+					}
+					if s.Coef == 1 {
+						nt.Subs[k] = RangeSub(lo.AddAff(s.Off), hi.AddAff(s.Off))
+					} else {
+						nt.Subs[k] = RangeSub(s.Off.Sub(hi), s.Off.Sub(lo))
+					}
+					continue
+				}
+			}
+			nt.Subs[k] = s
+		}
+		out.AddTerm(nt)
+	}
+	return out
+}
+
+// TranslateEntryCP rewrites a callee's entry CP into the caller's terms
+// at one call site: formal array names become the actual array names and
+// formal scalar names appearing in subscript offsets become the actual
+// expressions (a caller loop index, a parameter, or a constant).  Returns
+// nil when some formal cannot be translated (e.g. an actual that is a
+// general expression), in which case the caller replicates the call.
+//
+// This is the paper's "formal argument to actual name or value"
+// translation.  The paper's companion translation through HPF templates
+// is unnecessary here because directive-named arrays are program-global
+// in the mini language (see Context.Overlay).
+func TranslateEntryCP(ctx *Context, callee *ir.Procedure, entry *CP, call *ir.CallStmt) *CP {
+	if entry == nil {
+		return nil
+	}
+	if entry.Replicated() {
+		return &CP{}
+	}
+	arrayActual := map[string]string{}
+	scalarActual := map[string]ir.Expr{}
+	for k, formal := range callee.Formals {
+		if k >= len(call.Args) {
+			return nil
+		}
+		switch arg := call.Args[k].(type) {
+		case *ir.ArrayRef:
+			if len(arg.Subs) == 0 {
+				arrayActual[formal] = arg.Name
+			}
+		default:
+			scalarActual[formal] = arg
+		}
+	}
+
+	out := &CP{}
+	for _, t := range entry.Terms {
+		nt := Term{Array: t.Array}
+		if actual, ok := arrayActual[t.Array]; ok {
+			nt.Array = actual
+		}
+		for _, s := range t.Subs {
+			ns, ok := translateFormalSub(s, scalarActual)
+			if !ok {
+				return nil
+			}
+			nt.Subs = append(nt.Subs, ns)
+		}
+		out.AddTerm(nt)
+	}
+	return out
+}
+
+// translateFormalSub substitutes formal scalar names inside one subscript.
+func translateFormalSub(s HomeSub, scalarActual map[string]ir.Expr) (HomeSub, bool) {
+	if s.IsRange {
+		lo, ok1 := substAffFormals(s.Lo, scalarActual, nil)
+		hi, ok2 := substAffFormals(s.Hi, scalarActual, nil)
+		if !ok1 || !ok2 {
+			return s, false
+		}
+		return RangeSub(lo, hi), true
+	}
+	// The subscript's Var can itself be a formal scalar? No: Var is a
+	// loop variable by construction; formals appear in Off as symbols.
+	var varOut *varRef
+	off, ok := substAffFormals(s.Off, scalarActual, &varOut)
+	if !ok {
+		return s, false
+	}
+	ns := HomeSub{Var: s.Var, Coef: s.Coef, Off: off}
+	if varOut != nil {
+		if ns.Var != "" {
+			return s, false // two loop variables in one subscript
+		}
+		ns.Var, ns.Coef = varOut.name, varOut.coef
+	}
+	return ns, true
+}
+
+type varRef struct {
+	name string
+	coef int
+}
+
+// substAffFormals replaces formal names in an affine expression with
+// their actual values.  A formal bound to a caller loop index becomes a
+// variable reference returned via varOut (only one allowed, coefficient
+// ±1); formals bound to parameters or numeric constants merge into the
+// expression.  Unmapped names pass through (program parameters).
+func substAffFormals(a ir.AffExpr, scalarActual map[string]ir.Expr, varOut **varRef) (ir.AffExpr, bool) {
+	out := ir.Num(a.Const)
+	for _, t := range a.Terms {
+		actual, ok := scalarActual[t.Name]
+		if !ok {
+			out = out.AddAff(ir.Sym(t.Name).Scale(t.Coef))
+			continue
+		}
+		switch e := actual.(type) {
+		case ir.IndexRef:
+			if varOut == nil || *varOut != nil || (t.Coef != 1 && t.Coef != -1) {
+				return out, false
+			}
+			*varOut = &varRef{name: e.Name, coef: t.Coef}
+		case ir.ParamRef:
+			out = out.AddAff(ir.Sym(e.Name).Scale(t.Coef))
+		case ir.FloatConst:
+			iv := int(e.Val)
+			if float64(iv) != e.Val {
+				return out, false
+			}
+			out = out.AddConst(t.Coef * iv)
+		default:
+			return out, false
+		}
+	}
+	return out, true
+}

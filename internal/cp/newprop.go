@@ -1,0 +1,223 @@
+package cp
+
+import (
+	"fmt"
+
+	"dhpf/internal/ir"
+)
+
+// propagateNew implements §4.1 (NEW privatizable arrays) and §4.2
+// (LOCALIZE partial replication).  For every assignment defining the
+// variable v inside loop l, the definition's CP is recomputed from the
+// CPs of the statements that *use* v inside l:
+//
+//  1. For each use reference, establish a 1-1 linear mapping from the
+//     subscripts of the use to the subscripts of the definition (skipped
+//     per-dimension when impossible).
+//  2. Apply the inverse of this mapping to the subscripts of the use's
+//     ON_HOME terms.
+//  3. Vectorize any remaining untranslated subscripts through the loops
+//     that surround the use but do not surround the definition.
+//
+// The definition receives the union of the CPs translated from every
+// use.  With localize=true the definition's owner-computes term is also
+// kept (LOCALIZE variables are distributed and stay live after the loop,
+// so the owner must still hold the up-to-date value).
+//
+// The effect (the paper's Figure 4.1): each processor computes all and
+// only the elements of the privatizable it will use, partially
+// replicating boundary values onto both neighbours, so the inner loop
+// needs no communication for v at all.
+func propagateNew(ctx *Context, proc *ir.Procedure, l *ir.Loop, v string, sel *Selection, opt Options, localize bool) error {
+	type siteT struct {
+		stmt *ir.Assign
+		ref  *ir.ArrayRef
+		nest []*ir.Loop // nest inside l (l excluded), outermost first
+	}
+	var defs, uses []siteT
+	ir.Walk(l.Body, func(s ir.Stmt, loops []*ir.Loop) bool {
+		a, ok := s.(*ir.Assign)
+		if !ok {
+			return true
+		}
+		nest := make([]*ir.Loop, len(loops))
+		copy(nest, loops)
+		if a.LHS.Name == v {
+			defs = append(defs, siteT{stmt: a, ref: a.LHS, nest: nest})
+		}
+		for _, r := range ir.Refs(a.RHS) {
+			if r.Name == v {
+				uses = append(uses, siteT{stmt: a, ref: r, nest: nest})
+			}
+		}
+		for _, sn := range ir.ScalarReads(a.RHS) {
+			if sn == v {
+				uses = append(uses, siteT{stmt: a, ref: &ir.ArrayRef{Name: v}, nest: nest})
+			}
+		}
+		return true
+	})
+	if len(defs) == 0 {
+		return fmt.Errorf("cp: %s(%s) on loop %s: no definition inside the loop",
+			directiveName(localize), v, l.Var)
+	}
+
+	switch opt.NewProp {
+	case NewPropReplicate:
+		if !localize {
+			for _, d := range defs {
+				sel.CPs[d.stmt.ID] = &CP{} // everyone computes everything
+			}
+			return nil
+		}
+	case NewPropOwner:
+		if !localize {
+			for _, d := range defs {
+				sel.CPs[d.stmt.ID] = OnHome(d.stmt.LHS)
+			}
+			return nil
+		}
+	}
+
+	for _, d := range defs {
+		// Accumulate terms directly: an empty CP literal means
+		// "replicated", which is the union's absorbing element, not its
+		// identity — so we must not start the fold from it.
+		out := &CP{}
+		if localize {
+			// Keep the owner-computes term: the owner's copy must stay
+			// up to date since LOCALIZE values live past the loop.
+			out.AddTerm(TermOf(d.stmt.LHS))
+		}
+		replicated := false
+		for _, u := range uses {
+			useCP := sel.CPOf(u.stmt.ID)
+			if useCP.Replicated() {
+				replicated = true
+				break
+			}
+			tr := TranslateCP(useCP, u.ref, d.ref, u.nest, d.nest)
+			if tr.Replicated() {
+				replicated = true
+				break
+			}
+			for _, tm := range tr.Terms {
+				out.AddTerm(tm)
+			}
+		}
+		if replicated || len(out.Terms) == 0 {
+			sel.CPs[d.stmt.ID] = &CP{}
+			continue
+		}
+		sel.CPs[d.stmt.ID] = out
+		sel.notef("proc %s: %s(%s): def stmt %d gets %s",
+			proc.Name, directiveName(localize), v, d.stmt.ID, out)
+	}
+	return nil
+}
+
+func directiveName(localize bool) string {
+	if localize {
+		return "LOCALIZE"
+	}
+	return "NEW"
+}
+
+// varSubst is the replacement for one use-site loop variable when
+// translating a CP from a use to a definition.
+type varSubst struct {
+	// Affine replacement: Var' = Coef*DefVar + Off (DefVar == "" for a
+	// pure offset).
+	DefVar string
+	Coef   int
+	Off    ir.AffExpr
+}
+
+// TranslateCP translates useCP from the use site (reference uref in loop
+// nest useNest) to the definition site (reference dref, nest defNest).
+// Both nests exclude the loops common to the two sites and outside the
+// NEW loop; they are the nests *inside* the NEW/LOCALIZE loop.
+func TranslateCP(useCP *CP, uref, dref *ir.ArrayRef, useNest, defNest []*ir.Loop) *CP {
+	common := ir.CommonPrefix(useNest, defNest)
+	commonVars := map[string]bool{}
+	for _, cl := range common {
+		commonVars[cl.Var] = true
+	}
+
+	// Step 1: the 1-1 linear mapping from use subscripts to def
+	// subscripts, per dimension.  For def dim k = a·w + c and use dim
+	// k = a'·j + c', matching elements satisfy a·w + c = a'·j + c', so
+	// j = (a·a')·w + a'·(c − c').
+	subst := map[string]varSubst{}
+	nd := min(len(uref.Subs), len(dref.Subs))
+	for k := 0; k < nd; k++ {
+		us, ds := uref.Subs[k], dref.Subs[k]
+		if us.Var == "" || commonVars[us.Var] {
+			continue // nothing to map, or already valid at the def site
+		}
+		if _, dup := subst[us.Var]; dup {
+			continue // first mapping wins; extras are skipped (paper: "simply skipped")
+		}
+		if ds.Var == "" {
+			// j = a'·(c − c')
+			subst[us.Var] = varSubst{Coef: 0, Off: ds.Off.Sub(us.Off).Scale(us.Coef)}
+			continue
+		}
+		subst[us.Var] = varSubst{
+			DefVar: ds.Var,
+			Coef:   ds.Coef * us.Coef,
+			Off:    ds.Off.Sub(us.Off).Scale(us.Coef),
+		}
+	}
+
+	// Loops that surround the use but not the definition: vectorization
+	// ranges for any use variables the mapping did not translate.
+	useOnly := map[string]*ir.Loop{}
+	for _, ul := range useNest[len(common):] {
+		useOnly[ul.Var] = ul
+	}
+
+	out := &CP{}
+	for _, t := range useCP.Terms {
+		nt := Term{Array: t.Array, Subs: make([]HomeSub, len(t.Subs))}
+		for si, s := range t.Subs {
+			nt.Subs[si] = translateSub(s, subst, useOnly)
+		}
+		out.AddTerm(nt)
+	}
+	return out
+}
+
+// translateSub rewrites one ON_HOME subscript under the variable
+// substitution, vectorizing any remaining use-only loop variables.
+func translateSub(s HomeSub, subst map[string]varSubst, useOnly map[string]*ir.Loop) HomeSub {
+	if s.IsRange || s.Var == "" {
+		return s
+	}
+	if rep, ok := subst[s.Var]; ok {
+		// s = Coef·j + Off with j = rep.Coef·w + rep.Off
+		ns := HomeSub{
+			Var:  rep.DefVar,
+			Coef: s.Coef * rep.Coef,
+			Off:  s.Off.AddAff(rep.Off.Scale(s.Coef)),
+		}
+		if rep.DefVar == "" || ns.Coef == 0 {
+			ns.Var, ns.Coef = "", 0
+		}
+		return ns
+	}
+	if ul, ok := useOnly[s.Var]; ok {
+		// Vectorize: j ranges over [lo:hi] (normalized), so Coef·j+Off
+		// ranges over the corresponding interval.
+		lo, hi := ul.Lo, ul.Hi
+		if ul.Step < 0 {
+			lo, hi = hi, lo
+		}
+		if s.Coef == 1 {
+			return RangeSub(lo.AddAff(s.Off), hi.AddAff(s.Off))
+		}
+		return RangeSub(s.Off.Sub(hi), s.Off.Sub(lo))
+	}
+	// Variable valid at the definition site (common loop or parameter).
+	return s
+}

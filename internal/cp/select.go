@@ -1,0 +1,461 @@
+package cp
+
+import (
+	"fmt"
+	"sort"
+
+	"dhpf/internal/hpf"
+	"dhpf/internal/ir"
+)
+
+// NewPropMode selects how statements defining NEW (privatizable) arrays
+// are partitioned — the three alternatives §4.1 weighs.
+type NewPropMode int
+
+const (
+	// NewPropTranslate is the paper's technique: compute exactly the
+	// elements each processor will use, by translating use CPs to defs.
+	NewPropTranslate NewPropMode = iota
+	// NewPropReplicate keeps a complete copy per processor (every
+	// processor computes all elements) — the first rejected alternative.
+	NewPropReplicate
+	// NewPropOwner partitions the privatizable array and owner-computes
+	// it, forcing boundary communication — the second rejected
+	// alternative.
+	NewPropOwner
+)
+
+// Options toggles the individual optimizations (for ablations).
+type Options struct {
+	NewProp   NewPropMode
+	Localize  bool // §4.2 LOCALIZE partial replication
+	LoopDist  bool // §5 grouping + selective distribution
+	Interproc bool // §6 entry-CP translation at call sites
+	MaxCombos int  // cap on exhaustive CP-combination search
+}
+
+// DefaultOptions enables everything the paper describes.
+func DefaultOptions() Options {
+	return Options{
+		NewProp:   NewPropTranslate,
+		Localize:  true,
+		LoopDist:  true,
+		Interproc: true,
+		MaxCombos: 4096,
+	}
+}
+
+// Selection is the result of CP selection for a whole program.
+type Selection struct {
+	// CPs maps statement IDs (assignments and calls) to their chosen CP.
+	CPs map[int]*CP
+	// Marked lists, per procedure, statement pairs that could not share a
+	// CP choice and must be split into different loops (§5).
+	Marked map[*ir.Procedure][][2]*ir.Assign
+	// Entry holds each procedure's entry CP (nil if not uniform).
+	Entry map[string]*CP
+	// Notes records human-readable decisions for cmd/dhpfc -explain.
+	Notes []string
+}
+
+// CPOf returns the CP chosen for a statement (replicated if none).
+func (s *Selection) CPOf(id int) *CP {
+	if cp, ok := s.CPs[id]; ok {
+		return cp
+	}
+	return &CP{}
+}
+
+func (s *Selection) notef(format string, args ...any) {
+	s.Notes = append(s.Notes, fmt.Sprintf(format, args...))
+}
+
+// Select runs CP selection over the whole program, bottom-up on the call
+// graph (§6), with §5 grouping and §4 privatizable/LOCALIZE propagation
+// per loop nest.
+func Select(ctx *Context, opt Options) (*Selection, error) {
+	sel := &Selection{
+		CPs:    map[int]*CP{},
+		Marked: map[*ir.Procedure][][2]*ir.Assign{},
+		Entry:  map[string]*CP{},
+	}
+	order, err := ctx.Callees()
+	if err != nil {
+		return nil, err
+	}
+	for _, proc := range order {
+		if err := selectProc(ctx, proc, sel, opt); err != nil {
+			return nil, err
+		}
+		entry := entryCP(ctx, proc, sel)
+		sel.Entry[proc.Name] = entry
+		ctx.EntryCPs[proc.Name] = entry
+		if entry != nil && !entry.Replicated() {
+			sel.notef("proc %s: entry CP %s", proc.Name, entry)
+		}
+	}
+	return sel, nil
+}
+
+func selectProc(ctx *Context, proc *ir.Procedure, sel *Selection, opt Options) error {
+	for _, s := range proc.Body {
+		switch st := s.(type) {
+		case *ir.Assign:
+			sel.CPs[st.ID] = defaultCP(ctx, proc, st)
+		case *ir.CallStmt:
+			sel.CPs[st.ID] = callCP(ctx, proc, st, nil, sel, opt)
+		case *ir.Loop:
+			if err := selectLoop(ctx, proc, st, sel, opt); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// defaultCP is owner-computes of the LHS when distributed, else the
+// first distributed RHS ref, else replicated.
+func defaultCP(ctx *Context, proc *ir.Procedure, a *ir.Assign) *CP {
+	for _, c := range candidates(ctx, proc, a) {
+		return c
+	}
+	return &CP{}
+}
+
+// candidates enumerates the CP choices for an assignment: one ON_HOME
+// term per *distinct data partition* among the statement's distributed
+// references (references with identical partitions count once — §5).
+// The LHS reference comes first so owner-computes is the tie-break.
+//
+// A statement writing an *undistributed array* gets no candidates
+// (replicated execution): every processor holds a copy of such an array
+// and the copies must stay consistent.  The exception — privatizable
+// arrays whose values are consumed only where they were computed — is
+// handled afterwards by NEW/LOCALIZE propagation (§4), which overrides
+// the replicated CP with the translated partial one.
+func candidates(ctx *Context, proc *ir.Procedure, a *ir.Assign) []*CP {
+	if len(a.LHS.Subs) > 0 && ctx.Layout(proc, a.LHS.Name) == nil {
+		return nil
+	}
+	var out []*CP
+	seen := map[string]bool{}
+	consider := func(r *ir.ArrayRef) {
+		l := ctx.Layout(proc, r.Name)
+		if l == nil || len(r.Subs) == 0 {
+			return
+		}
+		key := partitionKey(ctx, l, r)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, OnHome(r))
+	}
+	consider(a.LHS)
+	for _, r := range ir.Refs(a.RHS) {
+		consider(r)
+	}
+	return out
+}
+
+// partitionKey renders the partition-relevant part of a reference: which
+// grid dimension each distributed array dimension maps to and the
+// subscript used there.  Two references with equal keys assign every
+// iteration to the same processor.
+func partitionKey(ctx *Context, l *hpf.Layout, r *ir.ArrayRef) string {
+	key := ""
+	for d, dl := range l.Dims {
+		if dl.Kind != hpf.Block {
+			continue
+		}
+		s := r.Subs[d]
+		off := s.Off.EvalOr(ctx.Bind.Params, 0)
+		key += fmt.Sprintf("g%d:b%d:t%d:%s*%d+%d;", dl.GridDim, dl.BlockSz, dl.TplOff, s.Var, s.Coef, off)
+	}
+	return key
+}
+
+// termPartitionKey is partitionKey for an ON_HOME term (used when
+// intersecting group choice sets).
+func termPartitionKey(ctx *Context, proc *ir.Procedure, t Term) string {
+	l := ctx.Layout(proc, t.Array)
+	if l == nil {
+		return "<replicated>"
+	}
+	key := ""
+	for d, dl := range l.Dims {
+		if dl.Kind != hpf.Block {
+			continue
+		}
+		s := t.Subs[d]
+		if s.IsRange {
+			key += fmt.Sprintf("g%d:b%d:t%d:[%d:%d];", dl.GridDim, dl.BlockSz, dl.TplOff,
+				s.Lo.EvalOr(ctx.Bind.Params, 0), s.Hi.EvalOr(ctx.Bind.Params, 0))
+			continue
+		}
+		off := s.Off.EvalOr(ctx.Bind.Params, 0)
+		key += fmt.Sprintf("g%d:b%d:t%d:%s*%d+%d;", dl.GridDim, dl.BlockSz, dl.TplOff, s.Var, s.Coef, off)
+	}
+	return key
+}
+
+// PartitionKey renders the partition-relevant content of a CP: two CPs
+// with equal keys assign every iteration to the same processor.  The
+// replicated CP yields "<replicated>".
+func PartitionKey(ctx *Context, proc *ir.Procedure, c *CP) string {
+	return cpKey(ctx, proc, c)
+}
+
+func cpKey(ctx *Context, proc *ir.Procedure, c *CP) string {
+	if c.Replicated() {
+		return "<replicated>"
+	}
+	key := ""
+	for _, t := range c.Terms {
+		key += termPartitionKey(ctx, proc, t) + "|"
+	}
+	return key
+}
+
+// selectLoop runs §5 grouping then least-cost combination search for one
+// outermost loop nest, then applies §4 propagation overrides.
+func selectLoop(ctx *Context, proc *ir.Procedure, loop *ir.Loop, sel *Selection, opt Options) error {
+	asn := ir.Assignments([]ir.Stmt{loop})
+
+	// Candidate choice sets.
+	idx := map[int]int{} // stmt ID → index in asn
+	choices := make([][]*CP, len(asn))
+	for i, a := range asn {
+		idx[a.Assign.ID] = i
+		choices[i] = candidates(ctx, proc, a.Assign)
+	}
+
+	// §5: union-find grouping over loop-independent dependences.
+	parent := make([]int, len(asn))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	groupChoices := make([][]*CP, len(asn))
+	copy(groupChoices, choices)
+
+	if opt.LoopDist {
+		for _, d := range ctx.Deps[proc] {
+			if !d.LoopIndependent() || !nestHasLoop(d.CommonNest, loop) {
+				continue
+			}
+			si, oki := idx[d.Src.ID]
+			di, okj := idx[d.Dst.ID]
+			if !oki || !okj {
+				continue
+			}
+			ri, rj := find(si), find(di)
+			if ri == rj {
+				continue
+			}
+			// Statements with no distributed refs are CP-neutral: they
+			// can join any group.
+			common := intersectChoiceSets(ctx, proc, groupChoices[ri], groupChoices[rj])
+			switch {
+			case len(groupChoices[ri]) == 0:
+				parent[ri] = rj
+			case len(groupChoices[rj]) == 0:
+				parent[rj] = ri
+			case len(common) > 0:
+				parent[rj] = ri
+				groupChoices[ri] = common
+			default:
+				sel.Marked[proc] = append(sel.Marked[proc], [2]*ir.Assign{d.Src, d.Dst})
+				sel.notef("proc %s loop %s: cannot localize dep %v -> %v; marked for distribution",
+					proc.Name, loop.Var, d.SrcRef, d.DstRef)
+			}
+		}
+	}
+
+	// Collect final groups.
+	groupOf := map[int][]int{} // root → member indices
+	for i := range asn {
+		r := find(i)
+		groupOf[r] = append(groupOf[r], i)
+	}
+	var groups []cpGroup
+	for r, members := range groupOf {
+		groups = append(groups, cpGroup{members: members, choices: groupChoices[r]})
+	}
+	// Deterministic order (map iteration is random).
+	sort.Slice(groups, func(i, j int) bool { return groups[i].members[0] < groups[j].members[0] })
+
+	// Combination search over group choices, minimizing estimated comm.
+	assign := func(pick []int) map[int]*CP {
+		cps := map[int]*CP{}
+		for gi, g := range groups {
+			var c *CP
+			if len(g.choices) == 0 {
+				c = &CP{}
+			} else {
+				c = g.choices[pick[gi]]
+			}
+			for _, mi := range g.members {
+				cps[asn[mi].Assign.ID] = c
+			}
+		}
+		return cps
+	}
+
+	nCombos := 1
+	capped := false
+	for _, g := range groups {
+		n := max(len(g.choices), 1)
+		if nCombos > opt.MaxCombos/n {
+			capped = true
+			break
+		}
+		nCombos *= n
+	}
+
+	pick := make([]int, len(groups))
+	var best map[int]*CP
+	if !capped && nCombos > 1 {
+		bestCost := int64(-1)
+		bestPick := make([]int, len(groups))
+		for {
+			cps := assign(pick)
+			cost := ctx.CommCost(proc, loop, cps)
+			if bestCost < 0 || cost < bestCost {
+				bestCost = cost
+				copy(bestPick, pick)
+			}
+			// Advance odometer.
+			k := len(groups) - 1
+			for k >= 0 {
+				pick[k]++
+				if pick[k] < max(len(groups[k].choices), 1) {
+					break
+				}
+				pick[k] = 0
+				k--
+			}
+			if k < 0 {
+				break
+			}
+		}
+		best = assign(bestPick)
+	} else if capped {
+		// Greedy: settle one group at a time against the current plan.
+		for gi := range groups {
+			bestCost := int64(-1)
+			bestCi := 0
+			for ci := 0; ci < max(len(groups[gi].choices), 1); ci++ {
+				pick[gi] = ci
+				cost := ctx.CommCost(proc, loop, assign(pick))
+				if bestCost < 0 || cost < bestCost {
+					bestCost = cost
+					bestCi = ci
+				}
+			}
+			pick[gi] = bestCi
+		}
+		best = assign(pick)
+	} else {
+		best = assign(pick)
+	}
+	for id, c := range best {
+		sel.CPs[id] = c
+	}
+
+	// Calls inside the loop (§6).
+	ir.Walk(loop.Body, func(s ir.Stmt, loops []*ir.Loop) bool {
+		if call, ok := s.(*ir.CallStmt); ok {
+			nest := append([]*ir.Loop{loop}, loops...)
+			sel.CPs[call.ID] = callCP(ctx, proc, call, nest, sel, opt)
+		}
+		return true
+	})
+
+	// §4.1 / §4.2 propagation overrides, innermost loops first so that a
+	// privatizable feeding another privatizable settles in one pass.
+	var loopsWithDirs []*ir.Loop
+	collectLoops([]ir.Stmt{loop}, &loopsWithDirs)
+	for i := len(loopsWithDirs) - 1; i >= 0; i-- {
+		l := loopsWithDirs[i]
+		for _, v := range l.New {
+			if err := propagateNew(ctx, proc, l, v, sel, opt, false); err != nil {
+				return err
+			}
+		}
+		if opt.Localize {
+			for _, v := range l.Localize {
+				if err := propagateNew(ctx, proc, l, v, sel, opt, true); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// callCP computes a call statement's CP from the callee's entry CP (§6),
+// translated through the formal→actual binding; replicated when the
+// callee has no uniform entry CP or translation fails.
+func callCP(ctx *Context, proc *ir.Procedure, call *ir.CallStmt, nest []*ir.Loop, sel *Selection, opt Options) *CP {
+	if !opt.Interproc {
+		return &CP{}
+	}
+	entry := ctx.EntryCPs[call.Callee]
+	if entry == nil || entry.Replicated() {
+		return &CP{}
+	}
+	callee := ctx.Prog.Proc(call.Callee)
+	translated := TranslateEntryCP(ctx, callee, entry, call)
+	if translated == nil {
+		sel.notef("proc %s: call %s: entry CP %s not translatable; replicating", proc.Name, call.Callee, entry)
+		return &CP{}
+	}
+	return translated
+}
+
+func collectLoops(body []ir.Stmt, out *[]*ir.Loop) {
+	ir.Walk(body, func(s ir.Stmt, _ []*ir.Loop) bool {
+		if l, ok := s.(*ir.Loop); ok {
+			*out = append(*out, l)
+		}
+		return true
+	})
+}
+
+func nestHasLoop(nest []*ir.Loop, l *ir.Loop) bool {
+	for _, x := range nest {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// intersectChoiceSets intersects two CP choice sets by partition key.
+func intersectChoiceSets(ctx *Context, proc *ir.Procedure, a, b []*CP) []*CP {
+	var out []*CP
+	for _, ca := range a {
+		ka := cpKey(ctx, proc, ca)
+		for _, cb := range b {
+			if ka == cpKey(ctx, proc, cb) {
+				out = append(out, ca)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// cpGroup is a set of statements constrained to share one CP choice.
+type cpGroup struct {
+	members []int
+	choices []*CP
+}

@@ -1,0 +1,192 @@
+package cp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dhpf/internal/hpf"
+	"dhpf/internal/ir"
+	"dhpf/internal/parser"
+)
+
+// TestQuickTranslateCPSemantics checks the §4.1 translation's defining
+// property on randomized use/def subscript pairs: if the use statement's
+// CP assigns its iteration j to processor set S, and the definition at
+// iteration w produces the element the use at j consumes, then the
+// translated CP must assign iteration w to (at least) S.
+//
+// Concretely, for 1-D subscripts with a shared template:
+// use cv(a'·j + c') under ON_HOME lhs(s·j + f); def cv(a·w + c).
+// Element equality a·w + c = a'·j + c' links w and j; the translated
+// term must evaluate at w to the same owner lhs position as the original
+// at j.
+func TestQuickTranslateCPSemantics(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pm := func() (int, int) { // random ±1 coef and small offset
+			c := 1
+			if r.Intn(2) == 0 {
+				c = -1
+			}
+			return c, r.Intn(7) - 3
+		}
+		ua, uc := pm() // use subscript a'·j + c'
+		da, dc := pm() // def subscript a·w + c
+		sa, sc := pm() // use CP term subscript s·j + f
+
+		useLoop := &ir.Loop{ID: 1, Var: "j", Lo: ir.Num(0), Hi: ir.Num(19), Step: 1}
+		defLoop := &ir.Loop{ID: 2, Var: "w", Lo: ir.Num(0), Hi: ir.Num(19), Step: 1}
+
+		uref := ir.NewRef("cv", ir.Subscript{Var: "j", Coef: ua, Off: ir.Num(uc)})
+		dref := ir.NewRef("cv", ir.Subscript{Var: "w", Coef: da, Off: ir.Num(dc)})
+		useCP := &CP{}
+		useCP.AddTerm(Term{Array: "lhs", Subs: []HomeSub{{Var: "j", Coef: sa, Off: ir.Num(sc)}}})
+
+		tr := TranslateCP(useCP, uref, dref, []*ir.Loop{useLoop}, []*ir.Loop{defLoop})
+		if len(tr.Terms) != 1 {
+			return false
+		}
+		ts := tr.Terms[0].Subs[0]
+
+		// For every def iteration w, find the matching use iteration j
+		// (element equality) and compare owner positions.
+		for w := -5; w <= 5; w++ {
+			elem := da*w + dc
+			// j with ua*j + uc == elem  ⇒  j = ua*(elem-uc)
+			j := ua * (elem - uc)
+			wantPos := sa*j + sc
+			var gotPos int
+			if ts.IsRange {
+				return false // no vectorization expected here (mapped var)
+			}
+			if ts.Var == "" {
+				gotPos = ts.Off.EvalOr(nil, 0)
+			} else if ts.Var == "w" {
+				gotPos = ts.Coef*w + ts.Off.EvalOr(nil, 0)
+			} else {
+				return false
+			}
+			if gotPos != wantPos {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTranslateVectorizesUnmapped: a use CP term whose subscript
+// uses a use-local loop variable not linked by any dimension must be
+// vectorized through that loop's range.
+func TestQuickTranslateVectorizesUnmapped(t *testing.T) {
+	prop := func(lo8, width8 uint8, off8 int8) bool {
+		lo := int(lo8 % 16)
+		hi := lo + int(width8%16)
+		off := int(off8 % 8)
+		kLoop := &ir.Loop{ID: 1, Var: "kk", Lo: ir.Num(lo), Hi: ir.Num(hi), Step: 1}
+		defLoop := &ir.Loop{ID: 2, Var: "w", Lo: ir.Num(0), Hi: ir.Num(9), Step: 1}
+
+		// Use cv(kk) (a scalar-style pairing that cannot map: def is a
+		// scalar ref with no dims).
+		uref := ir.NewRef("cv")
+		dref := ir.NewRef("cv")
+		useCP := &CP{}
+		useCP.AddTerm(Term{Array: "lhs", Subs: []HomeSub{{Var: "kk", Coef: 1, Off: ir.Num(off)}}})
+
+		tr := TranslateCP(useCP, uref, dref, []*ir.Loop{kLoop}, []*ir.Loop{defLoop})
+		ts := tr.Terms[0].Subs[0]
+		if !ts.IsRange {
+			return false
+		}
+		gotLo := ts.Lo.EvalOr(nil, 0)
+		gotHi := ts.Hi.EvalOr(nil, 0)
+		return gotLo == lo+off && gotHi == hi+off
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIterSetsPartitionOwnerComputes: for a random BLOCK layout and
+// owner-computes CP, the per-rank iteration sets must exactly partition
+// the loop's iteration space.
+func TestQuickIterSetsPartitionOwnerComputes(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		np := 1 + r.Intn(6)
+		n := np * (1 + r.Intn(10))
+		src := `
+program t
+param N = ` + itoa(n) + `
+param P = ` + itoa(np) + `
+!hpf$ processors procs(P)
+!hpf$ distribute a(BLOCK) onto procs
+subroutine main()
+  real a(0:N-1)
+  do i = 1, N-2
+    a(i) = 1.0
+  enddo
+end
+`
+		ctx := mustCtxQuick(src)
+		if ctx == nil {
+			return false
+		}
+		proc := ctx.Prog.Main()
+		loop := proc.Body[0].(*ir.Loop)
+		a := loop.Body[0].(*ir.Assign)
+		c := OnHome(a.LHS)
+		var total int64
+		for rank := 0; rank < np; rank++ {
+			s := c.IterSet([]*ir.Loop{loop}, ctx.Bind.Params, ctx.LocalOf(proc, rank))
+			total += s.Card()
+			// Every member iteration's element must be owned by rank.
+			okAll := true
+			s.Each(func(p []int) bool {
+				if ctx.Bind.LayoutOf("a").OwnerOf([]int{p[0]}) != rank {
+					okAll = false
+					return false
+				}
+				return true
+			})
+			if !okAll {
+				return false
+			}
+		}
+		return total == int64(max(0, n-2))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	digits := ""
+	for v > 0 {
+		digits = string(rune('0'+v%10)) + digits
+		v /= 10
+	}
+	return digits
+}
+
+func mustCtxQuick(src string) *Context {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil
+	}
+	b, err := hpf.Bind(prog, nil)
+	if err != nil {
+		return nil
+	}
+	ctx, err := NewContext(prog, b)
+	if err != nil {
+		return nil
+	}
+	return ctx
+}

@@ -1,0 +1,351 @@
+// Package dep implements data-dependence analysis for the mini-HPF IR:
+// ZIV and strong-SIV subscript tests over the restricted affine subscript
+// forms, distance/direction vectors over common loop nests, and the
+// loop-independent vs loop-carried classification that drives the
+// communication-sensitive loop distribution of SC'98 §5 and the data
+// availability analysis of §7.  It also validates NEW (privatizable)
+// directives and recognizes reductions.
+package dep
+
+import (
+	"fmt"
+
+	"dhpf/internal/ir"
+)
+
+// Kind classifies a dependence by the access types of its endpoints.
+type Kind int
+
+const (
+	Flow   Kind = iota // write → read (true dependence)
+	Anti               // read → write
+	Output             // write → write
+	Input              // read → read (only reported when requested)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Flow:
+		return "flow"
+	case Anti:
+		return "anti"
+	case Output:
+		return "output"
+	case Input:
+		return "input"
+	}
+	return "?"
+}
+
+// Dist is one component of a distance vector.
+type Dist struct {
+	Known bool
+	D     int // valid when Known
+}
+
+func (d Dist) String() string {
+	if !d.Known {
+		return "*"
+	}
+	return fmt.Sprintf("%d", d.D)
+}
+
+// Dependence records that DstRef in Dst depends on SrcRef in Src: some
+// iteration of Dst accesses a location that an earlier-or-equal iteration
+// of Src accessed, with at least one access a write.
+type Dependence struct {
+	Kind     Kind
+	Src, Dst *ir.Assign
+	SrcRef   *ir.ArrayRef
+	DstRef   *ir.ArrayRef
+	// CommonNest is the loop nest shared by Src and Dst, outermost first.
+	CommonNest []*ir.Loop
+	// Distance has one entry per common loop: iteration distance from the
+	// source iteration to the destination iteration.
+	Distance []Dist
+	// Level is 1-based index of the carrying loop in CommonNest, or 0 for
+	// a loop-independent dependence.
+	Level int
+}
+
+// LoopIndependent reports whether the dependence holds within a single
+// iteration of every common loop.
+func (d *Dependence) LoopIndependent() bool { return d.Level == 0 }
+
+// CarriedBy reports whether the dependence is carried by the given loop.
+func (d *Dependence) CarriedBy(l *ir.Loop) bool {
+	return d.Level >= 1 && d.Level <= len(d.CommonNest) && d.CommonNest[d.Level-1] == l
+}
+
+func (d *Dependence) String() string {
+	return fmt.Sprintf("%s dep %v -> %v dist %v level %d",
+		d.Kind, d.SrcRef, d.DstRef, d.Distance, d.Level)
+}
+
+// access pairs a reference with its statement, nest and whether it writes.
+type access struct {
+	ref   *ir.ArrayRef
+	stmt  *ir.Assign
+	nest  []*ir.Loop
+	write bool
+	order int // textual order of the statement
+}
+
+// Analyze computes the dependences among the assignments of a body.
+// Input (read-read) dependences are omitted.  Scalar accesses (rank-0
+// refs) participate: every pair of same-iteration or cross-iteration
+// scalar write/read conflicts is reported with the appropriate distances
+// (a scalar behaves like an array reference with zero dimensions, always
+// overlapping).
+func Analyze(body []ir.Stmt) []*Dependence {
+	var accs []access
+	order := 0
+	ir.Walk(body, func(s ir.Stmt, loops []*ir.Loop) bool {
+		a, ok := s.(*ir.Assign)
+		if !ok {
+			return true
+		}
+		order++
+		nest := make([]*ir.Loop, len(loops))
+		copy(nest, loops)
+		accs = append(accs, access{ref: a.LHS, stmt: a, nest: nest, write: true, order: order})
+		for _, r := range ir.Refs(a.RHS) {
+			accs = append(accs, access{ref: r, stmt: a, nest: nest, write: false, order: order})
+		}
+		// Scalar reads on the RHS.
+		for _, name := range ir.ScalarReads(a.RHS) {
+			accs = append(accs, access{ref: &ir.ArrayRef{Name: name}, stmt: a, nest: nest, write: false, order: order})
+		}
+		return true
+	})
+
+	var deps []*Dependence
+	for i := range accs {
+		for j := range accs {
+			a, b := &accs[i], &accs[j]
+			if a.ref.Name != b.ref.Name {
+				continue
+			}
+			if !a.write && !b.write {
+				continue
+			}
+			deps = append(deps, testPair(a, b)...)
+		}
+	}
+	return deps
+}
+
+// testPair tests for a dependence with source a and destination b: does
+// some iteration of a conflict with a not-earlier iteration of b?  A pair
+// whose distance vector admits both the all-zero vector and a
+// lexicographically positive vector (e.g. scalar accesses, distances
+// unconstrained by any subscript) yields two dependences: one
+// loop-independent and one carried at the outermost carriable level —
+// the standard level-wise decomposition of a direction vector.
+func testPair(a, b *access) []*Dependence {
+	common := ir.CommonPrefix(a.nest, b.nest)
+	if len(a.ref.Subs) != len(b.ref.Subs) {
+		// Whole-array vs element reference: conservative dependence with
+		// unknown distances.
+		return emit(a, b, common, unknownDists(len(common)))
+	}
+
+	// For each common loop, derive the distance constraint implied by the
+	// subscript pair(s) that use its index variable.
+	dist := make([]Dist, len(common))
+	constrained := make([]bool, len(common))
+	for k := range a.ref.Subs {
+		sa, sb := a.ref.Subs[k], b.ref.Subs[k]
+		switch {
+		case sa.Var == "" && sb.Var == "":
+			// ZIV: both loop-invariant.  Distinct constant offsets can
+			// never overlap; symbolic differences are conservatively
+			// assumed to overlap.
+			diff := sa.Off.Sub(sb.Off)
+			if c, ok := diff.IsConst(); ok && c != 0 {
+				return nil
+			}
+		case sa.Var != "" && sa.Var == sb.Var && sa.Coef == sb.Coef:
+			// Strong SIV on a shared variable: a at iteration i and b at
+			// iteration i' touch the same element iff
+			// coef*i + ca = coef*i' + cb  ⇒  i' - i = (ca-cb)/coef.
+			li := indexOfVar(common, sa.Var)
+			if li < 0 {
+				// Variable not in the common nest (sibling loops with the
+				// same name): the ranges may overlap; treat as
+				// unconstrained.
+				continue
+			}
+			diff := sa.Off.Sub(sb.Off)
+			c, ok := diff.IsConst()
+			if !ok {
+				// Symbolic distance: unknown.
+				constrained[li] = true
+				dist[li] = Dist{Known: false}
+				continue
+			}
+			d := c * sa.Coef // (ca-cb)/coef with coef ∈ {1,-1}
+			if constrained[li] && dist[li].Known && dist[li].D != d {
+				// Two subscript pairs demand inconsistent distances.
+				return nil
+			}
+			if !constrained[li] || dist[li].Known {
+				dist[li] = Dist{Known: true, D: d}
+			}
+			constrained[li] = true
+		default:
+			// Weak SIV / MIV / mixed: conservative, leave the loop (if
+			// any) unconstrained ⇒ unknown distance.
+			if sa.Var != "" {
+				if li := indexOfVar(common, sa.Var); li >= 0 {
+					if !constrained[li] || !dist[li].Known || dist[li].D != 0 {
+						constrained[li] = true
+						dist[li] = Dist{Known: false}
+					}
+				}
+			}
+			if sb.Var != "" && sb.Var != sa.Var {
+				if li := indexOfVar(common, sb.Var); li >= 0 {
+					if !constrained[li] || !dist[li].Known || dist[li].D != 0 {
+						constrained[li] = true
+						dist[li] = Dist{Known: false}
+					}
+				}
+			}
+		}
+	}
+	// Loops never constrained by any subscript: both statements access
+	// the same element on every iteration ⇒ distance can be anything.
+	for li := range dist {
+		if !constrained[li] {
+			dist[li] = Dist{Known: false}
+		}
+	}
+
+	return emit(a, b, common, dist)
+}
+
+// emit decomposes a distance vector into its dependence instances,
+// level-wise (the standard direction-vector decomposition):
+//
+//   - a carried dependence at *every* level k where all outer components
+//     admit zero and component k admits a positive trip count (distance ×
+//     step > 0) — e.g. (∗, +1) inside a time-step loop is carried both by
+//     the step loop and by the inner loop;
+//   - a loop-independent dependence when every component admits zero and
+//     the source textually precedes the destination.
+//
+// A known component with a non-zero value stops the scan after its own
+// level (deeper levels would need it to be zero); a known strictly
+// negative trip count means the direction at that level is backward.
+func emit(a, b *access, common []*ir.Loop, dist []Dist) []*Dependence {
+	admitsZero := func(d Dist) bool { return !d.Known || d.D == 0 }
+	admitsPos := func(li int, d Dist) bool {
+		if !d.Known {
+			return true
+		}
+		return d.D*common[li].Step > 0
+	}
+
+	var out []*Dependence
+
+	// Carried dependences at every carriable level.
+	for li, d := range dist {
+		if admitsPos(li, d) {
+			out = append(out, makeDep(a, b, common, dist, li+1))
+		}
+		if !admitsZero(d) {
+			break // deeper levels need this component to be zero
+		}
+	}
+
+	// Loop-independent instance.
+	zeroOK := true
+	for _, d := range dist {
+		if !admitsZero(d) {
+			zeroOK = false
+			break
+		}
+	}
+	if zeroOK && a.stmt != b.stmt && a.order < b.order {
+		zero := make([]Dist, len(dist))
+		for i := range zero {
+			zero[i] = Dist{Known: true, D: 0}
+		}
+		out = append(out, makeDep(a, b, common, zero, 0))
+	}
+	return out
+}
+
+func makeDep(a, b *access, common []*ir.Loop, dist []Dist, level int) *Dependence {
+	d := &Dependence{
+		Src: a.stmt, Dst: b.stmt,
+		SrcRef: a.ref, DstRef: b.ref,
+		CommonNest: common,
+		Distance:   dist,
+	}
+	switch {
+	case a.write && b.write:
+		d.Kind = Output
+	case a.write:
+		d.Kind = Flow
+	case b.write:
+		d.Kind = Anti
+	default:
+		d.Kind = Input
+	}
+	d.Level = level
+	return d
+}
+
+func indexOfVar(nest []*ir.Loop, v string) int {
+	for i, l := range nest {
+		if l.Var == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func unknownDists(n int) []Dist {
+	out := make([]Dist, n)
+	for i := range out {
+		out[i] = Dist{Known: false}
+	}
+	return out
+}
+
+// LoopIndependentDeps filters to the loop-independent dependences whose
+// endpoints both sit (possibly nested) inside the given loop.
+func LoopIndependentDeps(deps []*Dependence, l *ir.Loop) []*Dependence {
+	var out []*Dependence
+	for _, d := range deps {
+		if !d.LoopIndependent() {
+			continue
+		}
+		if nestContains(d.CommonNest, l) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// CarriedDeps filters to dependences carried by the given loop.
+func CarriedDeps(deps []*Dependence, l *ir.Loop) []*Dependence {
+	var out []*Dependence
+	for _, d := range deps {
+		if d.CarriedBy(l) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func nestContains(nest []*ir.Loop, l *ir.Loop) bool {
+	for _, x := range nest {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,410 @@
+package dep
+
+import (
+	"testing"
+
+	"dhpf/internal/ir"
+	"dhpf/internal/parser"
+)
+
+func mustBody(t *testing.T, src string) []ir.Stmt {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.Main().Body
+}
+
+func findDeps(deps []*Dependence, kind Kind) []*Dependence {
+	var out []*Dependence
+	for _, d := range deps {
+		if d.Kind == kind {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestLoopCarriedFlow(t *testing.T) {
+	body := mustBody(t, `
+program t
+param N = 16
+subroutine main()
+  real a(0:N-1)
+  do i = 1, N-1
+    a(i) = a(i-1)
+  enddo
+end
+`)
+	deps := Analyze(body)
+	flows := findDeps(deps, Flow)
+	if len(flows) != 1 {
+		t.Fatalf("flow deps = %d, want 1 (%v)", len(flows), deps)
+	}
+	d := flows[0]
+	if d.Level != 1 {
+		t.Errorf("level = %d, want 1", d.Level)
+	}
+	if !d.Distance[0].Known || d.Distance[0].D != 1 {
+		t.Errorf("distance = %v, want 1", d.Distance[0])
+	}
+	if d.LoopIndependent() {
+		t.Error("carried dep reported loop-independent")
+	}
+}
+
+func TestAntiDependence(t *testing.T) {
+	body := mustBody(t, `
+program t
+param N = 16
+subroutine main()
+  real a(0:N-1)
+  do i = 0, N-2
+    a(i) = a(i+1)
+  enddo
+end
+`)
+	deps := Analyze(body)
+	antis := findDeps(deps, Anti)
+	if len(antis) != 1 {
+		t.Fatalf("anti deps = %d (%v)", len(antis), deps)
+	}
+	if antis[0].Distance[0].D != 1 || antis[0].Level != 1 {
+		t.Errorf("anti dep = %v", antis[0])
+	}
+	// No flow dependence in this direction (a(i+1) read before write).
+	if len(findDeps(deps, Flow)) != 0 {
+		t.Errorf("unexpected flow deps: %v", findDeps(deps, Flow))
+	}
+}
+
+func TestLoopIndependentDep(t *testing.T) {
+	body := mustBody(t, `
+program t
+param N = 16
+subroutine main()
+  real a(0:N-1)
+  real b(0:N-1)
+  do i = 0, N-1
+    a(i) = 2.0
+    b(i) = a(i)
+  enddo
+end
+`)
+	deps := Analyze(body)
+	flows := findDeps(deps, Flow)
+	if len(flows) != 1 {
+		t.Fatalf("flow deps = %d (%v)", len(flows), deps)
+	}
+	d := flows[0]
+	if !d.LoopIndependent() {
+		t.Errorf("level = %d, want 0", d.Level)
+	}
+	l := body[0].(*ir.Loop)
+	lis := LoopIndependentDeps(deps, l)
+	if len(lis) != 1 {
+		t.Errorf("LoopIndependentDeps = %d", len(lis))
+	}
+}
+
+func TestNoDependenceDisjointConstants(t *testing.T) {
+	body := mustBody(t, `
+program t
+param N = 16
+subroutine main()
+  real a(0:N-1, 0:N-1)
+  do i = 0, N-1
+    a(i, 3) = 1.0
+    a(i, 5) = a(i, 4)
+  enddo
+end
+`)
+	deps := Analyze(body)
+	for _, d := range deps {
+		if d.SrcRef.Name == "a" && d.Kind != Output {
+			t.Errorf("unexpected dep: %v", d)
+		}
+	}
+	// The two writes hit different columns: no output dep either.
+	if n := len(findDeps(deps, Output)); n != 0 {
+		t.Errorf("output deps = %d", n)
+	}
+}
+
+func TestTwoDimensionalDistance(t *testing.T) {
+	body := mustBody(t, `
+program t
+param N = 16
+subroutine main()
+  real a(0:N-1, 0:N-1)
+  do j = 1, N-2
+    do i = 1, N-2
+      a(i, j) = a(i-1, j-1)
+    enddo
+  enddo
+end
+`)
+	deps := Analyze(body)
+	flows := findDeps(deps, Flow)
+	if len(flows) != 1 {
+		t.Fatalf("flow deps = %d", len(flows))
+	}
+	d := flows[0]
+	// Distance (j,i) = (1,1), carried by the outer (j) loop.
+	if d.Distance[0].D != 1 || d.Distance[1].D != 1 || d.Level != 1 {
+		t.Errorf("dep = %v", d)
+	}
+}
+
+func TestBackwardDirectionFiltered(t *testing.T) {
+	body := mustBody(t, `
+program t
+param N = 16
+subroutine main()
+  real a(0:N-1)
+  real b(0:N-1)
+  do i = 0, N-2
+    b(i) = a(i+1)
+    a(i) = 1.0
+  enddo
+end
+`)
+	// The write a(i) and read a(i+1): read at iter i reads the element
+	// the write produces at iter i+1.  So the dependence is anti
+	// (read → later write), distance +1; there is no flow dep.
+	deps := Analyze(body)
+	if n := len(findDeps(deps, Flow)); n != 0 {
+		t.Errorf("flow deps = %d, want 0", n)
+	}
+	antis := findDeps(deps, Anti)
+	if len(antis) != 1 || antis[0].Distance[0].D != 1 {
+		t.Errorf("anti = %v", antis)
+	}
+}
+
+func TestScalarDependences(t *testing.T) {
+	body := mustBody(t, `
+program t
+param N = 16
+subroutine main()
+  real a(0:N-1)
+  real s
+  do i = 0, N-1
+    s = a(i) * 2.0
+    a(i) = s
+  enddo
+end
+`)
+	deps := Analyze(body)
+	// s: loop-independent flow (s= → =s), carried anti (=s in iter i,
+	// s= in iter i+1), and carried output (s= each iteration).
+	var liFlow, output bool
+	for _, d := range deps {
+		if d.SrcRef.Name != "s" {
+			continue
+		}
+		if d.Kind == Flow && d.LoopIndependent() {
+			liFlow = true
+		}
+		if d.Kind == Output {
+			output = true
+		}
+	}
+	if !liFlow {
+		t.Error("missing loop-independent scalar flow dep")
+	}
+	if !output {
+		t.Error("missing scalar output dep")
+	}
+}
+
+func TestSymbolicZIVConservative(t *testing.T) {
+	body := mustBody(t, `
+program t
+param N = 16
+param M = 3
+subroutine main()
+  real a(0:N-1)
+  do i = 0, N-1
+    a(M) = 1.0
+    a(4) = a(M)
+  enddo
+end
+`)
+	// M vs 4: unknown at analysis time (M is symbolic) ⇒ conservative
+	// output dependence between the writes must be reported.
+	deps := Analyze(body)
+	if n := len(findDeps(deps, Output)); n == 0 {
+		t.Error("expected conservative output dep for symbolic ZIV pair")
+	}
+}
+
+func TestBackwardLoopCarried(t *testing.T) {
+	body := mustBody(t, `
+program t
+param N = 16
+subroutine main()
+  real a(0:N-1)
+  do i = N-2, 0, -1
+    a(i) = a(i+1)
+  enddo
+end
+`)
+	deps := Analyze(body)
+	flows := findDeps(deps, Flow)
+	if len(flows) != 1 {
+		t.Fatalf("flow deps = %d (%v)", len(flows), deps)
+	}
+	// With step -1, the element distance +1 means the *earlier* iteration
+	// (larger i) wrote it: flow dep carried by the loop.
+	if flows[0].Level != 1 {
+		t.Errorf("level = %d", flows[0].Level)
+	}
+}
+
+func TestCarriedDepsFilter(t *testing.T) {
+	body := mustBody(t, `
+program t
+param N = 16
+subroutine main()
+  real a(0:N-1, 0:N-1)
+  do j = 1, N-2
+    do i = 1, N-2
+      a(i, j) = a(i, j-1)
+    enddo
+  enddo
+end
+`)
+	deps := Analyze(body)
+	outer := body[0].(*ir.Loop)
+	inner := outer.Body[0].(*ir.Loop)
+	if n := len(CarriedDeps(deps, outer)); n != 1 {
+		t.Errorf("outer carried = %d", n)
+	}
+	if n := len(CarriedDeps(deps, inner)); n != 0 {
+		t.Errorf("inner carried = %d", n)
+	}
+}
+
+// --- NEW validation --------------------------------------------------------
+
+func TestValidateNewAccepts(t *testing.T) {
+	// The paper's lhsy pattern: cv defined then used in the same i
+	// iteration.
+	body := mustBody(t, `
+program t
+param N = 16
+subroutine main()
+  real lhs(0:N-1, 0:N-1)
+  real cv(0:N-1)
+  !hpf$ independent, new(cv)
+  do i = 1, N-2
+    do j = 0, N-1
+      cv(j) = 1.0
+    enddo
+    do j = 1, N-2
+      lhs(i, j) = cv(j-1) + cv(j+1)
+    enddo
+  enddo
+end
+`)
+	l := body[0].(*ir.Loop)
+	if err := ValidateNew(l, "cv", map[string]int{"N": 16}); err != nil {
+		t.Fatalf("ValidateNew rejected valid NEW: %v", err)
+	}
+}
+
+func TestValidateNewRejectsUpwardExposedRead(t *testing.T) {
+	body := mustBody(t, `
+program t
+param N = 16
+subroutine main()
+  real lhs(0:N-1, 0:N-1)
+  real cv(0:N-1)
+  !hpf$ independent, new(cv)
+  do i = 1, N-2
+    do j = 1, N-2
+      lhs(i, j) = cv(j)
+    enddo
+    do j = 0, N-1
+      cv(j) = 1.0
+    enddo
+  enddo
+end
+`)
+	l := body[0].(*ir.Loop)
+	if err := ValidateNew(l, "cv", map[string]int{"N": 16}); err == nil {
+		t.Fatal("ValidateNew accepted an upward-exposed read")
+	}
+}
+
+func TestValidateNewRejectsCrossIteration(t *testing.T) {
+	body := mustBody(t, `
+program t
+param N = 16
+subroutine main()
+  real lhs(0:N-1, 0:N-1)
+  real cv(0:N-1, 0:N-1)
+  !hpf$ independent, new(cv)
+  do i = 1, N-2
+    do j = 0, N-1
+      cv(j, i) = 1.0
+    enddo
+    do j = 1, N-2
+      lhs(i, j) = cv(j, i-1)
+    enddo
+  enddo
+end
+`)
+	l := body[0].(*ir.Loop)
+	if err := ValidateNew(l, "cv", map[string]int{"N": 16}); err == nil {
+		t.Fatal("ValidateNew accepted a cross-iteration use")
+	}
+}
+
+// --- reductions ------------------------------------------------------------
+
+func TestFindReductions(t *testing.T) {
+	body := mustBody(t, `
+program t
+param N = 16
+subroutine main()
+  real a(0:N-1)
+  real s
+  real m
+  do i = 0, N-1
+    s = s + a(i)
+    m = max(m, a(i))
+  enddo
+end
+`)
+	reds := FindReductions(body)
+	if len(reds) != 2 {
+		t.Fatalf("reductions = %d (%v)", len(reds), reds)
+	}
+	if reds[0].Var != "s" || reds[0].Op != '+' {
+		t.Errorf("red[0] = %+v", reds[0])
+	}
+	if reds[1].Var != "m" || reds[1].Op != '>' {
+		t.Errorf("red[1] = %+v", reds[1])
+	}
+}
+
+func TestNonReductionNotRecognized(t *testing.T) {
+	body := mustBody(t, `
+program t
+param N = 16
+subroutine main()
+  real a(0:N-1)
+  real s
+  do i = 0, N-1
+    s = s + s
+    s = s - a(i)
+  enddo
+end
+`)
+	if reds := FindReductions(body); len(reds) != 0 {
+		t.Fatalf("false reductions: %v", reds)
+	}
+}

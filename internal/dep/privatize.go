@@ -1,0 +1,196 @@
+package dep
+
+import (
+	"fmt"
+
+	"dhpf/internal/ir"
+	"dhpf/internal/iset"
+)
+
+// ValidateNew checks the definition-before-use requirement of the HPF NEW
+// directive for variable name on loop l (SC'98 §4.1): every element of
+// the variable read within one iteration of l must have been written
+// earlier within that same iteration.  (The directive's second condition
+// — values not live after the loop — needs whole-program liveness and
+// remains a user assertion, exactly as in HPF.)
+//
+// The check is set-based: the loop index of l is sampled at its first,
+// middle and last values (subscripts are affine in it, so violations show
+// up at the extremes); for each sample, every read's element set must be
+// covered by the union of element sets of textually earlier writes.
+// Loop variables of loops inside l expand to their full ranges; loop
+// variables of loops outside l are sampled at their lower bounds.  The
+// check is a linter: it is conservative about order within a shared
+// innermost loop (a read of an element the same inner loop writes only
+// in a later inner iteration can slip through), matching dHPF's
+// treatment of NEW as a user-supplied assertion.
+func ValidateNew(l *ir.Loop, name string, bind map[string]int) error {
+	type site struct {
+		ref   *ir.ArrayRef
+		nest  []*ir.Loop
+		order int
+		write bool
+		id    int
+	}
+	var sites []site
+	order := 0
+	ir.Walk(l.Body, func(s ir.Stmt, loops []*ir.Loop) bool {
+		a, ok := s.(*ir.Assign)
+		if !ok {
+			return true
+		}
+		order++
+		nest := make([]*ir.Loop, len(loops))
+		copy(nest, loops)
+		if a.LHS.Name == name {
+			sites = append(sites, site{ref: a.LHS, nest: nest, order: order, write: true, id: a.ID})
+		}
+		for _, r := range ir.Refs(a.RHS) {
+			if r.Name == name {
+				sites = append(sites, site{ref: r, nest: nest, order: order, id: a.ID})
+			}
+		}
+		for _, sn := range ir.ScalarReads(a.RHS) {
+			if sn == name {
+				sites = append(sites, site{ref: &ir.ArrayRef{Name: name}, nest: nest, order: order, id: a.ID})
+			}
+		}
+		return true
+	})
+
+	lo, hi := l.Lo.Eval(bind), l.Hi.Eval(bind)
+	if l.Step < 0 {
+		lo, hi = hi, lo
+	}
+	if lo > hi {
+		return nil // zero-trip loop
+	}
+	samples := []int{lo, (lo + hi) / 2, hi}
+
+	for _, ival := range samples {
+		env := map[string]int{l.Var: ival}
+		for _, rd := range sites {
+			if rd.write {
+				continue
+			}
+			readSet := refElemSet(rd.ref, rd.nest, env, bind)
+			if readSet.IsEmpty() {
+				continue
+			}
+			written := iset.EmptySet(readSet.Rank())
+			for _, wr := range sites {
+				if !wr.write || wr.order > rd.order {
+					continue
+				}
+				ws := refElemSet(wr.ref, wr.nest, env, bind)
+				if ws.Rank() == written.Rank() {
+					written = written.Union(ws)
+				}
+			}
+			if !readSet.SubsetOf(written) {
+				return fmt.Errorf("dep: NEW(%s) on loop %s: read %v in statement %d reads %v, only %v written earlier in the iteration",
+					name, l.Var, rd.ref, rd.id, readSet, written)
+			}
+		}
+	}
+	return nil
+}
+
+// refElemSet computes the set of elements a reference touches across the
+// full ranges of its enclosing inner loops, with env fixing specific loop
+// variables (the sampled NEW-loop index) and bind supplying parameters.
+// Loop variables found in neither expand via their loop in nest; unknown
+// variables evaluate at 0.
+func refElemSet(ref *ir.ArrayRef, nest []*ir.Loop, env map[string]int, bind map[string]int) iset.Set {
+	if len(ref.Subs) == 0 {
+		return iset.FromBox(iset.NewBox([]int{}, []int{})) // scalar: the single 0-D point
+	}
+	lo := make([]int, len(ref.Subs))
+	hi := make([]int, len(ref.Subs))
+	for k, s := range ref.Subs {
+		off := s.Off.Eval(bind)
+		if s.Var == "" {
+			lo[k], hi[k] = off, off
+			continue
+		}
+		if v, ok := env[s.Var]; ok {
+			val := s.Coef*v + off
+			lo[k], hi[k] = val, val
+			continue
+		}
+		if loop := ir.LoopByVar(nest, s.Var); loop != nil {
+			a := loop.Lo.Eval(bind)
+			b := loop.Hi.Eval(bind)
+			if a > b {
+				a, b = b, a
+			}
+			va := s.Coef*a + off
+			vb := s.Coef*b + off
+			lo[k], hi[k] = min(va, vb), max(va, vb)
+			continue
+		}
+		lo[k], hi[k] = off, off
+	}
+	return iset.FromBox(iset.NewBox(lo, hi))
+}
+
+// Reduction describes a recognized reduction statement s = s op expr.
+type Reduction struct {
+	Stmt *ir.Assign
+	Var  string
+	Op   byte
+}
+
+// FindReductions recognizes scalar reduction statements of the shapes
+// s = s + e, s = e + s, s = s * e, s = e * s, s = min(s,e), s = max(s,e)
+// inside the body.
+func FindReductions(body []ir.Stmt) []Reduction {
+	var out []Reduction
+	ir.Walk(body, func(st ir.Stmt, _ []*ir.Loop) bool {
+		a, ok := st.(*ir.Assign)
+		if !ok || len(a.LHS.Subs) != 0 {
+			return true
+		}
+		name := a.LHS.Name
+		switch rhs := a.RHS.(type) {
+		case *ir.Bin:
+			if rhs.Op != '+' && rhs.Op != '*' {
+				return true
+			}
+			if isScalar(rhs.L, name) && !usesScalar(rhs.R, name) {
+				out = append(out, Reduction{Stmt: a, Var: name, Op: rhs.Op})
+			} else if isScalar(rhs.R, name) && !usesScalar(rhs.L, name) {
+				out = append(out, Reduction{Stmt: a, Var: name, Op: rhs.Op})
+			}
+		case *ir.Intrinsic:
+			if (rhs.Name == "min" || rhs.Name == "max") && len(rhs.Args) == 2 {
+				op := byte('<')
+				if rhs.Name == "max" {
+					op = '>'
+				}
+				if isScalar(rhs.Args[0], name) && !usesScalar(rhs.Args[1], name) {
+					out = append(out, Reduction{Stmt: a, Var: name, Op: op})
+				} else if isScalar(rhs.Args[1], name) && !usesScalar(rhs.Args[0], name) {
+					out = append(out, Reduction{Stmt: a, Var: name, Op: op})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isScalar(e ir.Expr, name string) bool {
+	s, ok := e.(ir.ScalarRef)
+	return ok && s.Name == name
+}
+
+func usesScalar(e ir.Expr, name string) bool {
+	found := false
+	ir.WalkExpr(e, func(x ir.Expr) {
+		if s, ok := x.(ir.ScalarRef); ok && s.Name == name {
+			found = true
+		}
+	})
+	return found
+}

@@ -1,0 +1,143 @@
+package hpf
+
+import (
+	"fmt"
+
+	"dhpf/internal/iset"
+)
+
+// Multipartition is the diagonal (skewed-block) 3-D multipartitioning of
+// the hand-written NAS SP and BT codes (SC'98 §3, [Naik 95]).  The domain
+// is cut into Q slabs along each of the three dimensions, yielding Q³
+// cells; cell (c1,c2,c3) is owned by the processor with 2-D coordinates
+//
+//	( (c1 - c3) mod Q , (c2 - c3) mod Q )
+//
+// on a Q×Q logical grid of P = Q² processors.  Two properties make this
+// the right layout for bi-directional line sweeps:
+//
+//  1. Each processor owns exactly Q cells — one in every slab of every
+//     dimension — so work is balanced.
+//  2. During a sweep along any dimension, at every step each processor
+//     has exactly one cell to compute, so no processor idles waiting for
+//     the pipeline to reach it.
+//
+// This layout is not expressible in HPF; it is implemented here for the
+// hand-MPI baseline the paper compares against.
+type Multipartition struct {
+	Q    int    // cells per dimension; P = Q*Q processors
+	N    [3]int // domain extents (0-based indices 0..N[d]-1)
+	offs [3][]int
+}
+
+// NewMultipartition builds the layout for a domain of n1×n2×n3 points on
+// q² processors.
+func NewMultipartition(q int, n1, n2, n3 int) (*Multipartition, error) {
+	if q <= 0 {
+		return nil, fmt.Errorf("hpf: multipartition q=%d", q)
+	}
+	m := &Multipartition{Q: q, N: [3]int{n1, n2, n3}}
+	for d := 0; d < 3; d++ {
+		if m.N[d] < q {
+			return nil, fmt.Errorf("hpf: multipartition extent %d < q=%d", m.N[d], q)
+		}
+		m.offs[d] = slabOffsets(m.N[d], q)
+	}
+	return m, nil
+}
+
+// slabOffsets cuts extent n into q near-equal slabs, returning q+1 cut
+// offsets (slab s covers [off[s], off[s+1]-1]).
+func slabOffsets(n, q int) []int {
+	offs := make([]int, q+1)
+	base, rem := n/q, n%q
+	pos := 0
+	for s := 0; s < q; s++ {
+		offs[s] = pos
+		pos += base
+		if s < rem {
+			pos++
+		}
+	}
+	offs[q] = n
+	return offs
+}
+
+// Procs returns the number of processors, Q².
+func (m *Multipartition) Procs() int { return m.Q * m.Q }
+
+// OwnerOfCell returns the linear rank owning cell (c1,c2,c3).
+func (m *Multipartition) OwnerOfCell(c1, c2, c3 int) int {
+	q := m.Q
+	p0 := ((c1-c3)%q + q) % q
+	p1 := ((c2-c3)%q + q) % q
+	return p0*q + p1
+}
+
+// CellBox returns the index box of cell (c1,c2,c3).
+func (m *Multipartition) CellBox(c1, c2, c3 int) iset.Box {
+	return iset.NewBox(
+		[]int{m.offs[0][c1], m.offs[1][c2], m.offs[2][c3]},
+		[]int{m.offs[0][c1+1] - 1, m.offs[1][c2+1] - 1, m.offs[2][c3+1] - 1},
+	)
+}
+
+// CellsOf returns the cell coordinates owned by a linear rank, ordered by
+// the third coordinate (the order sweeps visit them).
+func (m *Multipartition) CellsOf(rank int) [][3]int {
+	q := m.Q
+	p0, p1 := rank/q, rank%q
+	cells := make([][3]int, 0, q)
+	for c3 := 0; c3 < q; c3++ {
+		c1 := (p0 + c3) % q
+		c2 := (p1 + c3) % q
+		cells = append(cells, [3]int{c1, c2, c3})
+	}
+	return cells
+}
+
+// LocalSet returns the union of index boxes owned by a rank.
+func (m *Multipartition) LocalSet(rank int) iset.Set {
+	s := iset.EmptySet(3)
+	for _, c := range m.CellsOf(rank) {
+		s = s.UnionBox(m.CellBox(c[0], c[1], c[2]))
+	}
+	return s
+}
+
+// SweepStage returns, for a sweep along dimension dim at stage s
+// (s-th slab), the cell owned by each rank in that slab.  Every rank has
+// exactly one — the load-balance property of multipartitioning.
+func (m *Multipartition) SweepStage(dim, s int) map[int][3]int {
+	out := make(map[int][3]int, m.Procs())
+	q := m.Q
+	for a := 0; a < q; a++ {
+		for b := 0; b < q; b++ {
+			var c [3]int
+			switch dim {
+			case 0:
+				c = [3]int{s, a, b}
+			case 1:
+				c = [3]int{a, s, b}
+			case 2:
+				c = [3]int{a, b, s}
+			default:
+				panic("hpf: SweepStage dim out of range")
+			}
+			out[m.OwnerOfCell(c[0], c[1], c[2])] = c
+		}
+	}
+	return out
+}
+
+// SuccessorInSweep returns the rank owning the next cell along dim after
+// cell c (the rank a sweeping solver sends its partial results to), or -1
+// at the domain boundary.
+func (m *Multipartition) SuccessorInSweep(dim int, c [3]int) int {
+	n := c
+	n[dim]++
+	if n[dim] >= m.Q {
+		return -1
+	}
+	return m.OwnerOfCell(n[0], n[1], n[2])
+}

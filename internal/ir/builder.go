@@ -1,0 +1,188 @@
+package ir
+
+// Builder provides a fluent API for constructing programs in tests and
+// embedded workloads without going through the parser.
+type Builder struct {
+	prog *Program
+	proc *Procedure
+	// stack of open loop bodies; the innermost receives new statements
+	stack []*[]Stmt
+}
+
+// NewBuilder starts a new program.
+func NewBuilder(name string) *Builder {
+	return &Builder{prog: NewProgram(name)}
+}
+
+// Param declares a symbolic parameter with a default value.
+func (b *Builder) Param(name string, val int) *Builder {
+	b.prog.Params[name] = val
+	return b
+}
+
+// Processors declares a processor arrangement.
+func (b *Builder) Processors(name string, extents ...AffExpr) *Builder {
+	b.prog.Processors = append(b.prog.Processors, &ProcessorsDecl{Name: name, Extents: extents})
+	return b
+}
+
+// Template declares an HPF template.
+func (b *Builder) Template(name string, extents ...AffExpr) *Builder {
+	b.prog.Templates = append(b.prog.Templates, &TemplateDecl{Name: name, Extents: extents})
+	return b
+}
+
+// Align aligns an array with a template identically (offset 0 per dim).
+func (b *Builder) Align(array, template string, dims ...AlignDim) *Builder {
+	b.prog.Aligns = append(b.prog.Aligns, &AlignDecl{Array: array, Template: template, Dims: dims})
+	return b
+}
+
+// Distribute attaches a DISTRIBUTE directive.
+func (b *Builder) Distribute(target, onto string, specs ...DistSpec) *Builder {
+	b.prog.Distributes = append(b.prog.Distributes, &DistributeDecl{Target: target, Onto: onto, Specs: specs})
+	return b
+}
+
+// Proc opens a new procedure; subsequent statements go into it.
+func (b *Builder) Proc(name string, formals ...string) *Builder {
+	b.proc = &Procedure{Name: name, Formals: formals}
+	b.prog.Procs = append(b.prog.Procs, b.proc)
+	b.stack = []*[]Stmt{&b.proc.Body}
+	return b
+}
+
+// Real declares a float64 array in the current procedure.  Bounds come in
+// (lb,ub) pairs; none ⇒ scalar.
+func (b *Builder) Real(name string, bounds ...AffExpr) *Builder {
+	if len(bounds)%2 != 0 {
+		panic("ir: Real needs (lb,ub) pairs")
+	}
+	d := &Decl{Name: name}
+	for i := 0; i < len(bounds); i += 2 {
+		d.LB = append(d.LB, bounds[i])
+		d.UB = append(d.UB, bounds[i+1])
+	}
+	for _, f := range b.proc.Formals {
+		if f == name {
+			d.Dummy = true
+		}
+	}
+	b.proc.Decls = append(b.proc.Decls, d)
+	return b
+}
+
+// Dims is shorthand producing (lb,ub) pairs (0, n-1) for each extent, for
+// use as Real("a", Dims(N, M)...).
+func Dims(extents ...AffExpr) []AffExpr {
+	out := make([]AffExpr, 0, 2*len(extents))
+	for _, n := range extents {
+		out = append(out, Num(0), n.AddConst(-1))
+	}
+	return out
+}
+
+// Do opens a DO loop var = lo, hi (step 1).
+func (b *Builder) Do(v string, lo, hi AffExpr) *Builder { return b.DoStep(v, lo, hi, 1) }
+
+// DoStep opens a DO loop with the given step (must be ±1).
+func (b *Builder) DoStep(v string, lo, hi AffExpr, step int) *Builder {
+	if step != 1 && step != -1 {
+		panic("ir: loop step must be ±1")
+	}
+	l := &Loop{ID: b.prog.NewStmtID(), Var: v, Lo: lo, Hi: hi, Step: step}
+	b.append(l)
+	b.stack = append(b.stack, &l.Body)
+	return b
+}
+
+// Independent marks the innermost open loop INDEPENDENT with optional NEW
+// variables.
+func (b *Builder) Independent(newVars ...string) *Builder {
+	l := b.innermostLoop()
+	l.Independent = true
+	l.New = append(l.New, newVars...)
+	return b
+}
+
+// LocalizeVars marks variables LOCALIZE on the innermost open loop.
+func (b *Builder) LocalizeVars(vars ...string) *Builder {
+	l := b.innermostLoop()
+	l.Independent = true
+	l.Localize = append(l.Localize, vars...)
+	return b
+}
+
+func (b *Builder) innermostLoop() *Loop {
+	if len(b.stack) < 2 {
+		panic("ir: no open loop")
+	}
+	// The loop owning the innermost body is the last Loop appended to the
+	// next-outer body.
+	outer := *b.stack[len(b.stack)-2]
+	l, ok := outer[len(outer)-1].(*Loop)
+	if !ok {
+		panic("ir: innermost scope is not a loop")
+	}
+	return l
+}
+
+// End closes the innermost open loop.
+func (b *Builder) End() *Builder {
+	if len(b.stack) <= 1 {
+		panic("ir: End without open loop")
+	}
+	b.stack = b.stack[:len(b.stack)-1]
+	return b
+}
+
+// Assign appends LHS = RHS.
+func (b *Builder) Assign(lhs *ArrayRef, rhs Expr) *Builder {
+	b.append(&Assign{ID: b.prog.NewStmtID(), LHS: lhs, RHS: rhs})
+	return b
+}
+
+// Call appends a procedure call.
+func (b *Builder) Call(callee string, args ...Expr) *Builder {
+	b.append(&CallStmt{ID: b.prog.NewStmtID(), Callee: callee, Args: args})
+	return b
+}
+
+func (b *Builder) append(s Stmt) {
+	if b.proc == nil {
+		panic("ir: statement outside procedure")
+	}
+	body := b.stack[len(b.stack)-1]
+	*body = append(*body, s)
+}
+
+// Build returns the completed program.
+func (b *Builder) Build() *Program {
+	if len(b.stack) > 1 {
+		panic("ir: Build with unclosed loops")
+	}
+	return b.prog
+}
+
+// --- Expression helpers ----------------------------------------------------
+
+// F returns a float constant expression.
+func F(v float64) Expr { return FloatConst{Val: v} }
+
+// Ix returns a loop-index value expression.
+func Ix(name string) Expr { return IndexRef{Name: name} }
+
+// P returns a parameter value expression.
+func P(name string) Expr { return ParamRef{Name: name} }
+
+// S returns a scalar variable read.
+func S(name string) Expr { return ScalarRef{Name: name} }
+
+// Add, SubE, Mul, Div build binary expressions.
+func Add(l, r Expr) Expr  { return &Bin{Op: '+', L: l, R: r} }
+func SubE(l, r Expr) Expr { return &Bin{Op: '-', L: l, R: r} }
+func Mul(l, r Expr) Expr  { return &Bin{Op: '*', L: l, R: r} }
+func Div(l, r Expr) Expr  { return &Bin{Op: '/', L: l, R: r} }
+
+// Fn builds an intrinsic call.
+func Fn(name string, args ...Expr) Expr { return &Intrinsic{Name: name, Args: args} }

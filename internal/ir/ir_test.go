@@ -1,0 +1,216 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAffExprArith(t *testing.T) {
+	a := Sym("N").AddConst(-2)         // N-2
+	b := Sym("N").Scale(2).AddConst(1) // 2N+1
+	sum := a.AddAff(b)
+	if got := sum.Eval(map[string]int{"N": 10}); got != 8+21 {
+		t.Fatalf("sum eval = %d, want 29", got)
+	}
+	diff := b.Sub(a)
+	if got := diff.Eval(map[string]int{"N": 10}); got != 21-8 {
+		t.Fatalf("diff eval = %d, want 13", got)
+	}
+	if got := a.Neg().Eval(map[string]int{"N": 3}); got != -1 {
+		t.Fatalf("neg eval = %d, want -1", got)
+	}
+	if _, ok := a.IsConst(); ok {
+		t.Error("N-2 reported constant")
+	}
+	if c, ok := Num(7).IsConst(); !ok || c != 7 {
+		t.Error("Num(7) not constant 7")
+	}
+	// Cancellation must drop the term entirely.
+	z := a.Sub(Sym("N"))
+	if len(z.Terms) != 0 {
+		t.Errorf("N-2-N kept terms: %v", z.Terms)
+	}
+}
+
+func TestAffExprString(t *testing.T) {
+	cases := []struct {
+		e    AffExpr
+		want string
+	}{
+		{Num(5), "5"},
+		{Num(-3), "-3"},
+		{Sym("N"), "N"},
+		{Sym("N").AddConst(-2), "N-2"},
+		{Sym("N").Scale(-1).AddConst(4), "-N+4"},
+		{Sym("N").Scale(2).AddAff(Sym("M")).AddConst(1), "2*N+M+1"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.e, got, c.want)
+		}
+	}
+}
+
+func TestQuickAffEvalHomomorphism(t *testing.T) {
+	prop := func(c1, c2, k int8, n int8) bool {
+		a := Sym("N").Scale(int(c1)).AddConst(int(c2))
+		b := Sym("N").Scale(int(k)).AddConst(3)
+		bind := map[string]int{"N": int(n)}
+		if a.AddAff(b).Eval(bind) != a.Eval(bind)+b.Eval(bind) {
+			return false
+		}
+		if a.Sub(b).Eval(bind) != a.Eval(bind)-b.Eval(bind) {
+			return false
+		}
+		if a.Scale(int(k)).Eval(bind) != int(k)*a.Eval(bind) {
+			return false
+		}
+		return a.Eq(a) && a.AddAff(b).Eq(b.AddAff(a))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubscriptString(t *testing.T) {
+	cases := []struct {
+		s    Subscript
+		want string
+	}{
+		{SubVar("i", 0), "i"},
+		{SubVar("j", 1), "j+1"},
+		{SubVar("j", -2), "j-2"},
+		{Subscript{Var: "i", Coef: -1, Off: Sym("N")}, "-i+N"},
+		{SubConst(Num(5)), "5"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("Subscript.String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestBuilderAndWalk(t *testing.T) {
+	N := Sym("N")
+	b := NewBuilder("t").Param("N", 8).
+		Processors("procs", Num(4)).
+		Distribute("a", "procs", DistSpec{Kind: DistBlock}).
+		Proc("main").
+		Real("a", Dims(N)...).
+		Real("b", Dims(N)...).
+		Do("i", Num(1), N.AddConst(-2)).
+		Assign(NewRef("a", SubVar("i", 0)),
+			Add(NewRef("b", SubVar("i", -1)), NewRef("b", SubVar("i", 1)))).
+		End()
+	prog := b.Build()
+
+	if prog.Main() == nil {
+		t.Fatal("Main() nil")
+	}
+	asn := Assignments(prog.Main().Body)
+	if len(asn) != 1 {
+		t.Fatalf("found %d assignments, want 1", len(asn))
+	}
+	if got := len(asn[0].Nest); got != 1 {
+		t.Fatalf("nest depth = %d, want 1", got)
+	}
+	refs := Refs(asn[0].Assign.RHS)
+	if len(refs) != 2 {
+		t.Fatalf("RHS refs = %d, want 2", len(refs))
+	}
+	if refs[0].Name != "b" || refs[1].Name != "b" {
+		t.Errorf("refs = %v", refs)
+	}
+	// Statement ids must be unique and positive.
+	seen := map[int]bool{}
+	Walk(prog.Main().Body, func(s Stmt, _ []*Loop) bool {
+		id := s.StmtID()
+		if id <= 0 || seen[id] {
+			t.Errorf("bad/duplicate stmt id %d", id)
+		}
+		seen[id] = true
+		return true
+	})
+}
+
+func TestBuilderDirectivesOnLoops(t *testing.T) {
+	N := Sym("N")
+	prog := NewBuilder("t").Param("N", 8).
+		Proc("main").
+		Real("a", Dims(N)...).
+		Real("cv", Dims(N)...).
+		Do("j", Num(1), N.AddConst(-2)).Independent("cv").
+		Assign(NewRef("cv", SubVar("j", 0)), F(1)).
+		End().
+		Build()
+	l := prog.Main().Body[0].(*Loop)
+	if !l.Independent || len(l.New) != 1 || l.New[0] != "cv" {
+		t.Fatalf("directives not attached: %+v", l)
+	}
+}
+
+func TestPrintContainsStructure(t *testing.T) {
+	N := Sym("N")
+	prog := NewBuilder("stencil").Param("N", 16).
+		Processors("procs", Num(4)).
+		Template("tmpl", N).
+		Align("a", "tmpl", AlignDim{TDim: 0, Off: Num(0)}).
+		Distribute("tmpl", "procs", DistSpec{Kind: DistBlock}).
+		Proc("main").
+		Real("a", Dims(N)...).
+		Do("i", Num(1), N.AddConst(-2)).
+		Assign(NewRef("a", SubVar("i", 0)), Mul(F(0.5), NewRef("a", SubVar("i", 1)))).
+		End().
+		Build()
+	out := Print(prog)
+	for _, want := range []string{
+		"program stencil",
+		"param N = 16",
+		"!hpf$ processors procs(4)",
+		"!hpf$ template tmpl(N)",
+		"!hpf$ align a with tmpl(d0)",
+		"!hpf$ distribute tmpl(BLOCK) onto procs",
+		"subroutine main()",
+		"real a(0:N-1)",
+		"do i = 1, N-2",
+		"a(i) = (0.5 * a(i+1))",
+		"enddo",
+		"end",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Print output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCommonPrefix(t *testing.T) {
+	l1 := &Loop{ID: 1, Var: "k"}
+	l2 := &Loop{ID: 2, Var: "j"}
+	l3 := &Loop{ID: 3, Var: "i"}
+	a := []*Loop{l1, l2, l3}
+	b := []*Loop{l1, l2}
+	cp := CommonPrefix(a, b)
+	if len(cp) != 2 || cp[0] != l1 || cp[1] != l2 {
+		t.Fatalf("CommonPrefix = %v", cp)
+	}
+	c := []*Loop{l2}
+	if got := CommonPrefix(a, c); len(got) != 0 {
+		t.Fatalf("CommonPrefix mismatch = %v", got)
+	}
+}
+
+func TestRefEq(t *testing.T) {
+	r1 := NewRef("lhs", SubVar("i", 0), SubVar("j", 1))
+	r2 := NewRef("lhs", SubVar("i", 0), SubVar("j", 1))
+	r3 := NewRef("lhs", SubVar("i", 0), SubVar("j", 2))
+	if !r1.Eq(r2) {
+		t.Error("identical refs not Eq")
+	}
+	if r1.Eq(r3) {
+		t.Error("different refs Eq")
+	}
+	if r1.Eq(NewRef("rhs", SubVar("i", 0), SubVar("j", 1))) {
+		t.Error("different arrays Eq")
+	}
+}

@@ -1,0 +1,123 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Print renders the program in mini-HPF surface syntax.  The output is
+// re-parseable by internal/parser, which the round-trip tests exercise.
+func Print(p *Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s\n", p.Name)
+	names := make([]string, 0, len(p.Params))
+	for n := range p.Params {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&sb, "param %s = %d\n", n, p.Params[n])
+	}
+	for _, d := range p.Processors {
+		fmt.Fprintf(&sb, "!hpf$ processors %s(%s)\n", d.Name, affList(d.Extents))
+	}
+	for _, d := range p.Templates {
+		fmt.Fprintf(&sb, "!hpf$ template %s(%s)\n", d.Name, affList(d.Extents))
+	}
+	for _, d := range p.Aligns {
+		dims := make([]string, len(d.Dims))
+		for i, ad := range d.Dims {
+			if ad.TDim < 0 {
+				dims[i] = "*"
+			} else if c, ok := ad.Off.IsConst(); ok && c == 0 {
+				dims[i] = fmt.Sprintf("d%d", ad.TDim)
+			} else {
+				dims[i] = fmt.Sprintf("d%d+%s", ad.TDim, ad.Off)
+			}
+		}
+		fmt.Fprintf(&sb, "!hpf$ align %s with %s(%s)\n", d.Array, d.Template, strings.Join(dims, ","))
+	}
+	for _, d := range p.Distributes {
+		specs := make([]string, len(d.Specs))
+		for i, s := range d.Specs {
+			specs[i] = s.Kind.String()
+			if s.Kind == DistBlock && s.Has {
+				specs[i] += "(" + s.Size.String() + ")"
+			}
+		}
+		fmt.Fprintf(&sb, "!hpf$ distribute %s(%s) onto %s\n", d.Target, strings.Join(specs, ","), d.Onto)
+	}
+	for _, pr := range p.Procs {
+		sb.WriteByte('\n')
+		printProc(&sb, pr)
+	}
+	return sb.String()
+}
+
+func printProc(sb *strings.Builder, pr *Procedure) {
+	fmt.Fprintf(sb, "subroutine %s(%s)\n", pr.Name, strings.Join(pr.Formals, ", "))
+	for _, d := range pr.Decls {
+		if d.Rank() == 0 {
+			fmt.Fprintf(sb, "  real %s\n", d.Name)
+			continue
+		}
+		dims := make([]string, d.Rank())
+		for k := range d.LB {
+			dims[k] = fmt.Sprintf("%s:%s", d.LB[k], d.UB[k])
+		}
+		fmt.Fprintf(sb, "  real %s(%s)\n", d.Name, strings.Join(dims, ", "))
+	}
+	printBody(sb, pr.Body, 1)
+	fmt.Fprintf(sb, "end\n")
+}
+
+func printBody(sb *strings.Builder, body []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range body {
+		switch st := s.(type) {
+		case *Assign:
+			fmt.Fprintf(sb, "%s%s = %s\n", ind, st.LHS, st.RHS)
+		case *CallStmt:
+			args := make([]string, len(st.Args))
+			for i, a := range st.Args {
+				args[i] = a.String()
+			}
+			fmt.Fprintf(sb, "%scall %s(%s)\n", ind, st.Callee, strings.Join(args, ", "))
+		case *IfStmt:
+			fmt.Fprintf(sb, "%sif (%s) then\n", ind, st.Cond)
+			printBody(sb, st.Then, depth+1)
+			if len(st.Else) > 0 {
+				fmt.Fprintf(sb, "%selse\n", ind)
+				printBody(sb, st.Else, depth+1)
+			}
+			fmt.Fprintf(sb, "%sendif\n", ind)
+		case *Loop:
+			if st.Independent {
+				dir := "!hpf$ independent"
+				if len(st.New) > 0 {
+					dir += ", new(" + strings.Join(st.New, ",") + ")"
+				}
+				if len(st.Localize) > 0 {
+					dir += ", localize(" + strings.Join(st.Localize, ",") + ")"
+				}
+				fmt.Fprintf(sb, "%s%s\n", ind, dir)
+			}
+			if st.Step == 1 {
+				fmt.Fprintf(sb, "%sdo %s = %s, %s\n", ind, st.Var, st.Lo, st.Hi)
+			} else {
+				fmt.Fprintf(sb, "%sdo %s = %s, %s, %d\n", ind, st.Var, st.Lo, st.Hi, st.Step)
+			}
+			printBody(sb, st.Body, depth+1)
+			fmt.Fprintf(sb, "%senddo\n", ind)
+		}
+	}
+}
+
+func affList(xs []AffExpr) string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = x.String()
+	}
+	return strings.Join(out, ", ")
+}

@@ -1,0 +1,248 @@
+package iset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAffineApply(t *testing.T) {
+	// (i,j) -> (j-1, 5, -i+2)
+	m := AffineMap{InRank: 2, Out: []DimMap{
+		{Src: 1, Scale: 1, Offset: -1},
+		{Src: -1, Offset: 5},
+		{Src: 0, Scale: -1, Offset: 2},
+	}}
+	got := m.Apply([]int{3, 7})
+	want := []int{6, 5, -1}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("Apply = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAffineIdentityTranslation(t *testing.T) {
+	id := Identity(3)
+	p := []int{4, 5, 6}
+	q := id.Apply(p)
+	for k := range p {
+		if q[k] != p[k] {
+			t.Fatalf("Identity.Apply = %v", q)
+		}
+	}
+	tr := Translation([]int{1, -2, 0})
+	q = tr.Apply(p)
+	want := []int{5, 3, 6}
+	for k := range want {
+		if q[k] != want[k] {
+			t.Fatalf("Translation.Apply = %v, want %v", q, want)
+		}
+	}
+}
+
+func TestAffineInverse(t *testing.T) {
+	// (i,j) -> (j+3, -i)
+	m := AffineMap{InRank: 2, Out: []DimMap{
+		{Src: 1, Scale: 1, Offset: 3},
+		{Src: 0, Scale: -1, Offset: 0},
+	}}
+	if !m.Invertible() {
+		t.Fatal("map should be invertible")
+	}
+	inv := m.Inverse()
+	for x := -3; x <= 3; x++ {
+		for y := -3; y <= 3; y++ {
+			p := []int{x, y}
+			q := inv.Apply(m.Apply(p))
+			if q[0] != x || q[1] != y {
+				t.Fatalf("inverse round trip failed at %v: got %v", p, q)
+			}
+		}
+	}
+}
+
+func TestAffineNonInvertible(t *testing.T) {
+	// Both outputs read input 0; input 1 unread.
+	m := AffineMap{InRank: 2, Out: []DimMap{
+		{Src: 0, Scale: 1},
+		{Src: 0, Scale: 1, Offset: 1},
+	}}
+	if m.Invertible() {
+		t.Fatal("map should not be invertible")
+	}
+}
+
+func TestAffineImagePreimage(t *testing.T) {
+	// Stencil shift: (i,j) -> (i+1, j)
+	m := Translation([]int{1, 0})
+	b := NewBox([]int{1, 1}, []int{8, 8})
+	img := m.ImageBox(b)
+	if !img.Eq(NewBox([]int{2, 1}, []int{9, 8})) {
+		t.Fatalf("ImageBox = %v", img)
+	}
+	u := NewBox([]int{-100, -100}, []int{100, 100})
+	pre := m.PreimageBox(img, u)
+	if !pre.Eq(b) {
+		t.Fatalf("PreimageBox = %v, want %v", pre, b)
+	}
+}
+
+func TestAffinePreimageConstantDim(t *testing.T) {
+	// (i) -> (i, 7): preimage of a box not containing 7 in dim 1 is empty.
+	m := AffineMap{InRank: 1, Out: []DimMap{
+		{Src: 0, Scale: 1},
+		{Src: -1, Offset: 7},
+	}}
+	u := Interval(-50, 50)
+	hit := m.PreimageBox(NewBox([]int{0, 7}, []int{9, 7}), u)
+	if !hit.Eq(Interval(0, 9)) {
+		t.Fatalf("hit preimage = %v", hit)
+	}
+	miss := m.PreimageBox(NewBox([]int{0, 8}, []int{9, 9}), u)
+	if !miss.Empty() {
+		t.Fatalf("miss preimage = %v, want empty", miss)
+	}
+}
+
+func TestAffineCompose(t *testing.T) {
+	f := Translation([]int{1, 2})            // p -> p + (1,2)
+	g := AffineMap{InRank: 2, Out: []DimMap{ // (i,j) -> (j, -i)
+		{Src: 1, Scale: 1},
+		{Src: 0, Scale: -1},
+	}}
+	fg := f.Compose(g) // p -> g(p) + (1,2)
+	p := []int{3, 4}
+	want := f.Apply(g.Apply(p))
+	got := fg.Apply(p)
+	if got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Compose = %v, want %v", got, want)
+	}
+}
+
+func TestAffineEmptyBoxImage(t *testing.T) {
+	m := Translation([]int{5})
+	e := Interval(3, 1)
+	if !m.ImageBox(e).Empty() {
+		t.Fatal("image of empty box should be empty")
+	}
+}
+
+func randUnitMap(r *rand.Rand, inRank, outRank int) AffineMap {
+	m := AffineMap{InRank: inRank, Out: make([]DimMap, outRank)}
+	for k := range m.Out {
+		if r.Intn(5) == 0 {
+			m.Out[k] = DimMap{Src: -1, Offset: r.Intn(9) - 4}
+			continue
+		}
+		sc := 1
+		if r.Intn(2) == 0 {
+			sc = -1
+		}
+		m.Out[k] = DimMap{Src: r.Intn(inRank), Scale: sc, Offset: r.Intn(9) - 4}
+	}
+	return m
+}
+
+func TestQuickImageMatchesPointwise(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randUnitMap(r, 2, 2)
+		b := randBox2(r)
+		img := m.ImageBox(b)
+		ok := true
+		b.Each(func(p []int) bool {
+			if !img.Contains(m.Apply(p)) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			return false
+		}
+		// Tightness holds only when no input dim feeds two outputs
+		// (otherwise ImageBox is a documented over-approximation).
+		srcCount := map[int]int{}
+		for _, d := range m.Out {
+			if d.Src >= 0 {
+				srcCount[d.Src]++
+			}
+		}
+		for _, c := range srcCount {
+			if c > 1 {
+				return true
+			}
+		}
+		seen := map[[2]int]bool{}
+		b.Each(func(p []int) bool {
+			q := m.Apply(p)
+			seen[[2]int{q[0], q[1]}] = true
+			return true
+		})
+		return img.Card() == int64(len(seen))
+	}
+	cfg := quickCfg()
+	cfg.MaxCount = 200
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPreimageMatchesPointwise(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randUnitMap(r, 2, 2)
+		target := randBox2(r)
+		u := NewBox([]int{-6, -6}, []int{16, 16})
+		pre := m.PreimageBox(target, u)
+		ok := true
+		u.Each(func(p []int) bool {
+			inPre := pre.Contains(p)
+			hits := target.Contains(m.Apply(p))
+			if inPre != hits {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	cfg := quickCfg()
+	cfg.MaxCount = 80
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInverseRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Build a random invertible map: a permutation with signs/offsets.
+		perm := r.Perm(3)
+		m := AffineMap{InRank: 3, Out: make([]DimMap, 3)}
+		for k := range m.Out {
+			sc := 1
+			if r.Intn(2) == 0 {
+				sc = -1
+			}
+			m.Out[k] = DimMap{Src: perm[k], Scale: sc, Offset: r.Intn(9) - 4}
+		}
+		if !m.Invertible() {
+			return false
+		}
+		inv := m.Inverse()
+		p := []int{r.Intn(21) - 10, r.Intn(21) - 10, r.Intn(21) - 10}
+		q := inv.Apply(m.Apply(p))
+		q2 := m.Apply(inv.Apply(p))
+		for k := range p {
+			if q[k] != p[k] || q2[k] != p[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}

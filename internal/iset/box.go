@@ -1,0 +1,290 @@
+// Package iset implements the symbolic integer-set framework that underlies
+// every data-parallel analysis in the dhpf compiler, following the approach
+// of the Rice dHPF compiler (Adve & Mellor-Crummey, PLDI'98; SC'98 §2).
+//
+// The key quantities the compiler manipulates — iteration sets of loops,
+// data sets of array references, processor sets of distributions, and
+// communication sets — are all represented as finite unions of integer
+// boxes (axis-aligned products of inclusive intervals).  For the programs
+// the compiler accepts (affine subscripts with unit coefficients, BLOCK
+// and BLOCK(n) distributions), every set that arises during analysis is
+// exactly a union of boxes, so the algebra here is exact, not an
+// approximation.  Symbolic parameters (processor ids, block sizes, grid
+// extents) are bound to concrete values before sets are constructed; the
+// compiler evaluates its set equations per representative processor.
+package iset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Box is an axis-aligned product of inclusive integer intervals
+// [Lo[0]:Hi[0]] x ... x [Lo[d-1]:Hi[d-1]].  A Box with any Lo[k] > Hi[k]
+// is empty.  Boxes are immutable by convention: operations return fresh
+// boxes and never alias their operands' slices.
+type Box struct {
+	Lo, Hi []int
+}
+
+// NewBox returns the box with the given inclusive bounds.
+// It panics if the slices have different lengths.
+func NewBox(lo, hi []int) Box {
+	if len(lo) != len(hi) {
+		panic(fmt.Sprintf("iset: NewBox rank mismatch %d vs %d", len(lo), len(hi)))
+	}
+	b := Box{Lo: make([]int, len(lo)), Hi: make([]int, len(hi))}
+	copy(b.Lo, lo)
+	copy(b.Hi, hi)
+	return b
+}
+
+// Interval returns a 1-D box [lo:hi].
+func Interval(lo, hi int) Box { return NewBox([]int{lo}, []int{hi}) }
+
+// Point returns the degenerate box holding exactly the given tuple.
+func Point(coords ...int) Box { return NewBox(coords, coords) }
+
+// Rank returns the dimensionality of the box.
+func (b Box) Rank() int { return len(b.Lo) }
+
+// Empty reports whether the box contains no integer points.
+func (b Box) Empty() bool {
+	for k := range b.Lo {
+		if b.Lo[k] > b.Hi[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// Card returns the number of integer points in the box.
+func (b Box) Card() int64 {
+	n := int64(1)
+	for k := range b.Lo {
+		w := int64(b.Hi[k]) - int64(b.Lo[k]) + 1
+		if w <= 0 {
+			return 0
+		}
+		n *= w
+	}
+	return n
+}
+
+// Contains reports whether the tuple p lies inside the box.
+func (b Box) Contains(p []int) bool {
+	if len(p) != b.Rank() {
+		return false
+	}
+	for k := range p {
+		if p[k] < b.Lo[k] || p[k] > b.Hi[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Eq reports whether two boxes denote the same point set.
+func (b Box) Eq(c Box) bool {
+	if b.Rank() != c.Rank() {
+		return false
+	}
+	if b.Empty() && c.Empty() {
+		return true
+	}
+	if b.Empty() != c.Empty() {
+		return false
+	}
+	for k := range b.Lo {
+		if b.Lo[k] != c.Lo[k] || b.Hi[k] != c.Hi[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the intersection of two boxes of equal rank.
+func (b Box) Intersect(c Box) Box {
+	if b.Rank() != c.Rank() {
+		panic("iset: Intersect rank mismatch")
+	}
+	out := Box{Lo: make([]int, b.Rank()), Hi: make([]int, b.Rank())}
+	for k := range b.Lo {
+		out.Lo[k] = max(b.Lo[k], c.Lo[k])
+		out.Hi[k] = min(b.Hi[k], c.Hi[k])
+	}
+	return out
+}
+
+// Intersects reports whether the two boxes share at least one point.
+func (b Box) Intersects(c Box) bool { return !b.Intersect(c).Empty() }
+
+// ContainsBox reports whether c ⊆ b.
+func (b Box) ContainsBox(c Box) bool {
+	if c.Empty() {
+		return true
+	}
+	if b.Empty() {
+		return false
+	}
+	for k := range b.Lo {
+		if c.Lo[k] < b.Lo[k] || c.Hi[k] > b.Hi[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Subtract returns b − c as a slice of disjoint boxes.  The result has at
+// most 2·rank boxes (the classic axis-sweep decomposition).
+func (b Box) Subtract(c Box) []Box {
+	if b.Empty() {
+		return nil
+	}
+	inter := b.Intersect(c)
+	if inter.Empty() {
+		return []Box{b.clone()}
+	}
+	if inter.Eq(b) {
+		return nil
+	}
+	var out []Box
+	rem := b.clone()
+	for k := range b.Lo {
+		if rem.Lo[k] < inter.Lo[k] {
+			low := rem.clone()
+			low.Hi[k] = inter.Lo[k] - 1
+			out = append(out, low)
+			rem.Lo[k] = inter.Lo[k]
+		}
+		if rem.Hi[k] > inter.Hi[k] {
+			high := rem.clone()
+			high.Lo[k] = inter.Hi[k] + 1
+			out = append(out, high)
+			rem.Hi[k] = inter.Hi[k]
+		}
+	}
+	return out
+}
+
+// Translate returns the box shifted by the offset vector.
+func (b Box) Translate(off []int) Box {
+	if len(off) != b.Rank() {
+		panic("iset: Translate rank mismatch")
+	}
+	out := b.clone()
+	for k := range off {
+		out.Lo[k] += off[k]
+		out.Hi[k] += off[k]
+	}
+	return out
+}
+
+// Grow returns the box widened by lo points downward and hi points upward
+// in dimension dim (overlap-area construction).
+func (b Box) Grow(dim, lo, hi int) Box {
+	out := b.clone()
+	out.Lo[dim] -= lo
+	out.Hi[dim] += hi
+	return out
+}
+
+// WithDim returns a copy of the box with dimension dim replaced by [lo:hi].
+func (b Box) WithDim(dim, lo, hi int) Box {
+	out := b.clone()
+	out.Lo[dim] = lo
+	out.Hi[dim] = hi
+	return out
+}
+
+// Project returns the 1-D interval of dimension dim.
+func (b Box) Project(dim int) (lo, hi int) { return b.Lo[dim], b.Hi[dim] }
+
+// Drop returns the box with dimension dim removed (projection away).
+func (b Box) Drop(dim int) Box {
+	lo := make([]int, 0, b.Rank()-1)
+	hi := make([]int, 0, b.Rank()-1)
+	for k := range b.Lo {
+		if k == dim {
+			continue
+		}
+		lo = append(lo, b.Lo[k])
+		hi = append(hi, b.Hi[k])
+	}
+	return Box{Lo: lo, Hi: hi}
+}
+
+// Insert returns the box with a new dimension [lo:hi] inserted at index dim.
+func (b Box) Insert(dim, lo, hi int) Box {
+	nlo := make([]int, 0, b.Rank()+1)
+	nhi := make([]int, 0, b.Rank()+1)
+	nlo = append(nlo, b.Lo[:dim]...)
+	nlo = append(nlo, lo)
+	nlo = append(nlo, b.Lo[dim:]...)
+	nhi = append(nhi, b.Hi[:dim]...)
+	nhi = append(nhi, hi)
+	nhi = append(nhi, b.Hi[dim:]...)
+	return Box{Lo: nlo, Hi: nhi}
+}
+
+func (b Box) clone() Box {
+	return NewBox(b.Lo, b.Hi)
+}
+
+// String renders the box in the paper's bracket notation, e.g.
+// "[1:62, 17, 1:62]".
+func (b Box) String() string {
+	if b.Empty() {
+		return "[]"
+	}
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for k := range b.Lo {
+		if k > 0 {
+			sb.WriteString(", ")
+		}
+		if b.Lo[k] == b.Hi[k] {
+			fmt.Fprintf(&sb, "%d", b.Lo[k])
+		} else {
+			fmt.Fprintf(&sb, "%d:%d", b.Lo[k], b.Hi[k])
+		}
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// Each calls fn for every tuple in the box in lexicographic order.  The
+// tuple slice is reused between calls; fn must copy it to retain it.
+// Each stops early (returning false) if fn returns false.
+func (b Box) Each(fn func(p []int) bool) bool {
+	if b.Empty() {
+		return true
+	}
+	p := make([]int, b.Rank())
+	copy(p, b.Lo)
+	for {
+		if !fn(p) {
+			return false
+		}
+		k := b.Rank() - 1
+		for k >= 0 {
+			p[k]++
+			if p[k] <= b.Hi[k] {
+				break
+			}
+			p[k] = b.Lo[k]
+			k--
+		}
+		if k < 0 {
+			return true
+		}
+	}
+}
+
+// canonKey orders boxes deterministically for normalization.
+func (b Box) canonKey() string { return b.String() }
+
+func sortBoxes(bs []Box) {
+	sort.Slice(bs, func(i, j int) bool { return bs[i].canonKey() < bs[j].canonKey() })
+}

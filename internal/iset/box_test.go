@@ -1,0 +1,188 @@
+package iset
+
+import (
+	"testing"
+)
+
+func TestBoxBasics(t *testing.T) {
+	b := NewBox([]int{1, 2}, []int{3, 5})
+	if b.Rank() != 2 {
+		t.Fatalf("rank = %d, want 2", b.Rank())
+	}
+	if b.Empty() {
+		t.Fatal("box should not be empty")
+	}
+	if got := b.Card(); got != 12 {
+		t.Fatalf("Card = %d, want 12", got)
+	}
+	if !b.Contains([]int{2, 3}) {
+		t.Error("Contains(2,3) = false")
+	}
+	if b.Contains([]int{0, 3}) {
+		t.Error("Contains(0,3) = true")
+	}
+	if b.Contains([]int{2}) {
+		t.Error("Contains wrong-rank tuple = true")
+	}
+}
+
+func TestBoxEmpty(t *testing.T) {
+	e := NewBox([]int{3}, []int{1})
+	if !e.Empty() {
+		t.Fatal("inverted interval should be empty")
+	}
+	if e.Card() != 0 {
+		t.Fatalf("empty Card = %d", e.Card())
+	}
+	if e.Contains([]int{2}) {
+		t.Error("empty box contains a point")
+	}
+	full := Interval(0, 4)
+	if !full.ContainsBox(e) {
+		t.Error("every box should contain the empty box")
+	}
+	if e.ContainsBox(full) {
+		t.Error("empty box contains a non-empty box")
+	}
+	if !e.Eq(NewBox([]int{10, 1}, []int{0, 5})) {
+		// Ranks differ so these are not equal.
+		t.Log("different-rank empties are unequal (expected)")
+	}
+	e2 := NewBox([]int{7}, []int{2})
+	if !e.Eq(e2) {
+		t.Error("two empty same-rank boxes should be Eq")
+	}
+}
+
+func TestBoxIntersect(t *testing.T) {
+	a := NewBox([]int{0, 0}, []int{5, 5})
+	b := NewBox([]int{3, 4}, []int{9, 9})
+	got := a.Intersect(b)
+	want := NewBox([]int{3, 4}, []int{5, 5})
+	if !got.Eq(want) {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+	c := NewBox([]int{6, 0}, []int{9, 9})
+	if !a.Intersect(c).Empty() {
+		t.Error("disjoint boxes should intersect to empty")
+	}
+	if a.Intersects(c) {
+		t.Error("Intersects reported true for disjoint boxes")
+	}
+}
+
+func TestBoxSubtract(t *testing.T) {
+	a := NewBox([]int{0, 0}, []int{9, 9})
+	b := NewBox([]int{3, 3}, []int{6, 6})
+	parts := a.Subtract(b)
+	// Pieces must be disjoint, cover a−b, and miss b entirely.
+	var total int64
+	for i, p := range parts {
+		if p.Empty() {
+			t.Fatalf("piece %d empty", i)
+		}
+		if p.Intersects(b) {
+			t.Fatalf("piece %v overlaps subtrahend", p)
+		}
+		for j := i + 1; j < len(parts); j++ {
+			if p.Intersects(parts[j]) {
+				t.Fatalf("pieces %v and %v overlap", p, parts[j])
+			}
+		}
+		total += p.Card()
+	}
+	if want := a.Card() - b.Card(); total != want {
+		t.Fatalf("pieces cover %d points, want %d", total, want)
+	}
+
+	if got := a.Subtract(a); got != nil {
+		t.Fatalf("a-a = %v, want nil", got)
+	}
+	far := NewBox([]int{100, 100}, []int{101, 101})
+	got := a.Subtract(far)
+	if len(got) != 1 || !got[0].Eq(a) {
+		t.Fatalf("a-far = %v, want [a]", got)
+	}
+}
+
+func TestBoxTranslateGrow(t *testing.T) {
+	a := NewBox([]int{1, 1}, []int{4, 4})
+	tr := a.Translate([]int{2, -1})
+	if !tr.Eq(NewBox([]int{3, 0}, []int{6, 3})) {
+		t.Fatalf("Translate = %v", tr)
+	}
+	g := a.Grow(0, 1, 2)
+	if !g.Eq(NewBox([]int{0, 1}, []int{6, 4})) {
+		t.Fatalf("Grow = %v", g)
+	}
+	w := a.WithDim(1, 7, 9)
+	if !w.Eq(NewBox([]int{1, 7}, []int{4, 9})) {
+		t.Fatalf("WithDim = %v", w)
+	}
+}
+
+func TestBoxDropInsert(t *testing.T) {
+	a := NewBox([]int{1, 2, 3}, []int{4, 5, 6})
+	d := a.Drop(1)
+	if !d.Eq(NewBox([]int{1, 3}, []int{4, 6})) {
+		t.Fatalf("Drop = %v", d)
+	}
+	ins := d.Insert(1, 2, 5)
+	if !ins.Eq(a) {
+		t.Fatalf("Insert(Drop) = %v, want %v", ins, a)
+	}
+	front := d.Insert(0, 0, 0)
+	if !front.Eq(NewBox([]int{0, 1, 3}, []int{0, 4, 6})) {
+		t.Fatalf("Insert front = %v", front)
+	}
+}
+
+func TestBoxEach(t *testing.T) {
+	b := NewBox([]int{0, 0}, []int{2, 1})
+	var pts [][]int
+	b.Each(func(p []int) bool {
+		cp := make([]int, len(p))
+		copy(cp, p)
+		pts = append(pts, cp)
+		return true
+	})
+	if len(pts) != 6 {
+		t.Fatalf("enumerated %d points, want 6", len(pts))
+	}
+	if pts[0][0] != 0 || pts[0][1] != 0 {
+		t.Errorf("first point %v", pts[0])
+	}
+	if pts[5][0] != 2 || pts[5][1] != 1 {
+		t.Errorf("last point %v", pts[5])
+	}
+	// Early stop.
+	n := 0
+	b.Each(func(p []int) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("early stop visited %d, want 3", n)
+	}
+}
+
+func TestBoxString(t *testing.T) {
+	b := NewBox([]int{1, 7, 1}, []int{62, 7, 62})
+	if got, want := b.String(), "[1:62, 7, 1:62]"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if got := (NewBox([]int{2}, []int{1})).String(); got != "[]" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestBoxImmutability(t *testing.T) {
+	lo := []int{1, 1}
+	hi := []int{5, 5}
+	b := NewBox(lo, hi)
+	lo[0] = 99
+	if b.Lo[0] != 1 {
+		t.Fatal("NewBox aliased its argument")
+	}
+	c := b.Translate([]int{1, 1})
+	if b.Lo[0] != 1 || c.Lo[0] != 2 {
+		t.Fatal("Translate mutated receiver")
+	}
+}

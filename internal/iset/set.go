@@ -1,0 +1,331 @@
+package iset
+
+import (
+	"strings"
+)
+
+// Set is a finite union of integer boxes of a common rank.  The zero value
+// is the empty set of rank -1 (rank adapts to the first box added).
+// Sets are immutable by convention: all methods return new sets.
+//
+// Internal invariant: boxes are non-empty and pairwise disjoint.  This
+// makes Card a simple sum and Subset/Eq exact.
+type Set struct {
+	rank  int
+	boxes []Box
+}
+
+// Empty returns the empty set of the given rank.
+func EmptySet(rank int) Set { return Set{rank: rank} }
+
+// FromBox returns the set holding exactly the given box.
+func FromBox(b Box) Set {
+	s := Set{rank: b.Rank()}
+	if !b.Empty() {
+		s.boxes = []Box{b.clone()}
+	}
+	return s
+}
+
+// FromBoxes returns the union of the given boxes.
+func FromBoxes(bs ...Box) Set {
+	if len(bs) == 0 {
+		return Set{rank: -1}
+	}
+	s := EmptySet(bs[0].Rank())
+	for _, b := range bs {
+		s = s.UnionBox(b)
+	}
+	return s
+}
+
+// Rank returns the dimensionality of the set's tuples (-1 if indeterminate).
+func (s Set) Rank() int { return s.rank }
+
+// Boxes returns the disjoint boxes comprising the set, in canonical order.
+func (s Set) Boxes() []Box {
+	out := make([]Box, len(s.boxes))
+	for i, b := range s.boxes {
+		out[i] = b.clone()
+	}
+	sortBoxes(out)
+	return out
+}
+
+// IsEmpty reports whether the set contains no points.
+func (s Set) IsEmpty() bool { return len(s.boxes) == 0 }
+
+// Card returns the number of points in the set.
+func (s Set) Card() int64 {
+	var n int64
+	for _, b := range s.boxes {
+		n += b.Card()
+	}
+	return n
+}
+
+// Contains reports whether tuple p is in the set.
+func (s Set) Contains(p []int) bool {
+	for _, b := range s.boxes {
+		if b.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s Set) checkRank(t Set) {
+	if len(s.boxes) > 0 && len(t.boxes) > 0 && s.rank != t.rank {
+		panic("iset: set rank mismatch")
+	}
+}
+
+// rankOr returns the set's rank, or the other set's rank when this set
+// is empty (the zero value Set adapts to its first operand).
+func (s Set) rankOr(t Set) int {
+	if len(s.boxes) > 0 {
+		return s.rank
+	}
+	return t.rank
+}
+
+// UnionBox returns s ∪ {b}, preserving disjointness by inserting only the
+// parts of b not already covered.
+func (s Set) UnionBox(b Box) Set {
+	if b.Empty() {
+		return s
+	}
+	if s.rank < 0 {
+		s.rank = b.Rank()
+	}
+	frags := []Box{b.clone()}
+	for _, have := range s.boxes {
+		var next []Box
+		for _, f := range frags {
+			next = append(next, f.Subtract(have)...)
+		}
+		frags = next
+		if len(frags) == 0 {
+			return s
+		}
+	}
+	out := Set{rank: s.rank, boxes: make([]Box, 0, len(s.boxes)+len(frags))}
+	out.boxes = append(out.boxes, s.boxes...)
+	out.boxes = append(out.boxes, frags...)
+	return out.coalesce()
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set {
+	s.checkRank(t)
+	out := s
+	out.rank = s.rankOr(t)
+	for _, b := range t.boxes {
+		out = out.UnionBox(b)
+	}
+	return out
+}
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set {
+	s.checkRank(t)
+	out := Set{rank: s.rankOr(t)}
+	for _, a := range s.boxes {
+		for _, b := range t.boxes {
+			c := a.Intersect(b)
+			if !c.Empty() {
+				// Disjointness of s's boxes ensures the pieces
+				// a∩b are disjoint across a; across b they are
+				// disjoint because t's boxes are disjoint.
+				out.boxes = append(out.boxes, c)
+			}
+		}
+	}
+	return out.coalesce()
+}
+
+// IntersectBox returns s ∩ {b}.
+func (s Set) IntersectBox(b Box) Set { return s.Intersect(FromBox(b)) }
+
+// Subtract returns s − t.
+func (s Set) Subtract(t Set) Set {
+	s.checkRank(t)
+	out := Set{rank: s.rank}
+	for _, a := range s.boxes {
+		frags := []Box{a.clone()}
+		for _, b := range t.boxes {
+			var next []Box
+			for _, f := range frags {
+				next = append(next, f.Subtract(b)...)
+			}
+			frags = next
+			if len(frags) == 0 {
+				break
+			}
+		}
+		out.boxes = append(out.boxes, frags...)
+	}
+	return out.coalesce()
+}
+
+// SubtractBox returns s − {b}.
+func (s Set) SubtractBox(b Box) Set { return s.Subtract(FromBox(b)) }
+
+// SubsetOf reports whether s ⊆ t.
+func (s Set) SubsetOf(t Set) bool { return s.Subtract(t).IsEmpty() }
+
+// Eq reports whether the two sets contain exactly the same points.
+func (s Set) Eq(t Set) bool { return s.SubsetOf(t) && t.SubsetOf(s) }
+
+// Translate returns the set shifted by the offset vector.
+func (s Set) Translate(off []int) Set {
+	out := Set{rank: s.rank, boxes: make([]Box, len(s.boxes))}
+	for i, b := range s.boxes {
+		out.boxes[i] = b.Translate(off)
+	}
+	return out
+}
+
+// BoundingBox returns the smallest box containing the set.  The second
+// result is false if the set is empty.
+func (s Set) BoundingBox() (Box, bool) {
+	if s.IsEmpty() {
+		return Box{}, false
+	}
+	bb := s.boxes[0].clone()
+	for _, b := range s.boxes[1:] {
+		for k := range bb.Lo {
+			bb.Lo[k] = min(bb.Lo[k], b.Lo[k])
+			bb.Hi[k] = max(bb.Hi[k], b.Hi[k])
+		}
+	}
+	return bb, true
+}
+
+// Each calls fn for every tuple in the set.  The tuple slice is reused; fn
+// must copy it to retain it.  Iteration order is canonical box order, then
+// lexicographic within each box.
+func (s Set) Each(fn func(p []int) bool) bool {
+	bs := s.Boxes()
+	for _, b := range bs {
+		if !b.Each(fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Drop projects away dimension dim (existential quantification).  Note
+// that projection of a union of boxes is again a union of boxes.
+func (s Set) Drop(dim int) Set {
+	out := EmptySet(s.rank - 1)
+	for _, b := range s.boxes {
+		out = out.UnionBox(b.Drop(dim))
+	}
+	return out
+}
+
+// Insert adds a new dimension [lo:hi] at index dim to every box
+// (the "vectorization" step of CP translation: an untranslated subscript
+// is expanded through the loop range).
+func (s Set) Insert(dim, lo, hi int) Set {
+	out := EmptySet(s.rank + 1)
+	for _, b := range s.boxes {
+		out = out.UnionBox(b.Insert(dim, lo, hi))
+	}
+	return out
+}
+
+// ClampDim intersects dimension dim of every box with [lo:hi].
+func (s Set) ClampDim(dim, lo, hi int) Set {
+	out := EmptySet(s.rank)
+	for _, b := range s.boxes {
+		nb := b.clone()
+		nb.Lo[dim] = max(nb.Lo[dim], lo)
+		nb.Hi[dim] = min(nb.Hi[dim], hi)
+		out = out.UnionBox(nb)
+	}
+	return out
+}
+
+// WithDim replaces dimension dim of every box with [lo:hi].
+func (s Set) WithDim(dim, lo, hi int) Set {
+	out := EmptySet(s.rank)
+	for _, b := range s.boxes {
+		out = out.UnionBox(b.WithDim(dim, lo, hi))
+	}
+	return out
+}
+
+// coalesce merges boxes that are adjacent along one dimension and equal in
+// all others, keeping the representation small.  It preserves disjointness.
+func (s Set) coalesce() Set {
+	if len(s.boxes) <= 1 {
+		return s
+	}
+	boxes := make([]Box, len(s.boxes))
+	copy(boxes, s.boxes)
+	changed := true
+	for changed {
+		changed = false
+	outer:
+		for i := 0; i < len(boxes); i++ {
+			for j := i + 1; j < len(boxes); j++ {
+				if m, ok := tryMerge(boxes[i], boxes[j]); ok {
+					boxes[i] = m
+					boxes = append(boxes[:j], boxes[j+1:]...)
+					changed = true
+					break outer
+				}
+			}
+		}
+	}
+	return Set{rank: s.rank, boxes: boxes}
+}
+
+// tryMerge merges two boxes iff they agree in all dimensions except one,
+// where they are adjacent or would union to a contiguous interval.
+func tryMerge(a, b Box) (Box, bool) {
+	if a.Rank() != b.Rank() {
+		return Box{}, false
+	}
+	diff := -1
+	for k := range a.Lo {
+		if a.Lo[k] != b.Lo[k] || a.Hi[k] != b.Hi[k] {
+			if diff >= 0 {
+				return Box{}, false
+			}
+			diff = k
+		}
+	}
+	if diff < 0 {
+		// Identical boxes (should not happen under disjointness).
+		return a.clone(), true
+	}
+	// Contiguity check along diff: [aLo:aHi] ∪ [bLo:bHi] must be an interval.
+	lo1, hi1 := a.Lo[diff], a.Hi[diff]
+	lo2, hi2 := b.Lo[diff], b.Hi[diff]
+	if lo2 < lo1 {
+		lo1, hi1, lo2, hi2 = lo2, hi2, lo1, hi1
+	}
+	if lo2 > hi1+1 {
+		return Box{}, false
+	}
+	m := a.clone()
+	m.Lo[diff] = lo1
+	m.Hi[diff] = max(hi1, hi2)
+	return m, true
+}
+
+// String renders the set as a union of boxes in canonical order.
+func (s Set) String() string {
+	if s.IsEmpty() {
+		return "{}"
+	}
+	bs := s.Boxes()
+	parts := make([]string, len(bs))
+	for i, b := range bs {
+		parts[i] = b.String()
+	}
+	return strings.Join(parts, " u ")
+}

@@ -1,0 +1,274 @@
+package iset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetUnionDisjointness(t *testing.T) {
+	s := FromBoxes(
+		NewBox([]int{0, 0}, []int{5, 5}),
+		NewBox([]int{3, 3}, []int{8, 8}),
+	)
+	// Internal boxes must be disjoint.
+	bs := s.Boxes()
+	for i := range bs {
+		for j := i + 1; j < len(bs); j++ {
+			if bs[i].Intersects(bs[j]) {
+				t.Fatalf("boxes %v and %v overlap", bs[i], bs[j])
+			}
+		}
+	}
+	if got := s.Card(); got != 36+36-9 {
+		t.Fatalf("Card = %d, want 63", got)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := FromBox(NewBox([]int{0, 0}, []int{9, 9}))
+	b := FromBox(NewBox([]int{5, 5}, []int{14, 14}))
+
+	inter := a.Intersect(b)
+	if got := inter.Card(); got != 25 {
+		t.Fatalf("intersection Card = %d, want 25", got)
+	}
+	uni := a.Union(b)
+	if got := uni.Card(); got != 100+100-25 {
+		t.Fatalf("union Card = %d, want 175", got)
+	}
+	diff := a.Subtract(b)
+	if got := diff.Card(); got != 75 {
+		t.Fatalf("difference Card = %d, want 75", got)
+	}
+	if !inter.SubsetOf(a) || !inter.SubsetOf(b) {
+		t.Error("intersection not a subset of operands")
+	}
+	if !a.SubsetOf(uni) || !b.SubsetOf(uni) {
+		t.Error("operands not subsets of union")
+	}
+	if diff.Intersect(b).Card() != 0 {
+		t.Error("difference intersects subtrahend")
+	}
+	if !diff.Union(inter).Eq(a) {
+		t.Error("(a−b) ∪ (a∩b) ≠ a")
+	}
+}
+
+func TestSetEmptyBehaviour(t *testing.T) {
+	e := EmptySet(2)
+	a := FromBox(NewBox([]int{0, 0}, []int{3, 3}))
+	if !e.IsEmpty() || e.Card() != 0 {
+		t.Fatal("EmptySet not empty")
+	}
+	if !e.SubsetOf(a) {
+		t.Error("empty not subset of a")
+	}
+	if a.SubsetOf(e) {
+		t.Error("a subset of empty")
+	}
+	if !a.Union(e).Eq(a) || !e.Union(a).Eq(a) {
+		t.Error("union with empty changed set")
+	}
+	if !a.Intersect(e).IsEmpty() {
+		t.Error("intersection with empty not empty")
+	}
+	if !a.Subtract(e).Eq(a) {
+		t.Error("a − ∅ ≠ a")
+	}
+	if !e.Subtract(a).IsEmpty() {
+		t.Error("∅ − a not empty")
+	}
+}
+
+func TestSetCoalesce(t *testing.T) {
+	// Two adjacent boxes along dim 0 must merge into one.
+	s := FromBoxes(
+		NewBox([]int{0, 0}, []int{4, 9}),
+		NewBox([]int{5, 0}, []int{9, 9}),
+	)
+	if n := len(s.Boxes()); n != 1 {
+		t.Fatalf("coalesce kept %d boxes, want 1", n)
+	}
+	if !s.Eq(FromBox(NewBox([]int{0, 0}, []int{9, 9}))) {
+		t.Fatal("coalesced set has wrong contents")
+	}
+}
+
+func TestSetDropInsert(t *testing.T) {
+	s := FromBoxes(
+		NewBox([]int{0, 0, 0}, []int{3, 3, 3}),
+		NewBox([]int{0, 9, 0}, []int{3, 9, 3}),
+	)
+	d := s.Drop(1)
+	if d.Rank() != 2 {
+		t.Fatalf("Drop rank = %d", d.Rank())
+	}
+	// Both boxes project to the same 2-D box.
+	if got := d.Card(); got != 16 {
+		t.Fatalf("Drop Card = %d, want 16", got)
+	}
+	ins := d.Insert(1, 5, 7)
+	if ins.Rank() != 3 || ins.Card() != 48 {
+		t.Fatalf("Insert rank=%d card=%d", ins.Rank(), ins.Card())
+	}
+}
+
+func TestSetContainsAndEach(t *testing.T) {
+	s := FromBoxes(Point(1, 1), Point(3, 3))
+	if !s.Contains([]int{1, 1}) || !s.Contains([]int{3, 3}) {
+		t.Error("Contains missed member")
+	}
+	if s.Contains([]int{2, 2}) {
+		t.Error("Contains reported non-member")
+	}
+	n := 0
+	s.Each(func(p []int) bool { n++; return true })
+	if n != 2 {
+		t.Errorf("Each visited %d, want 2", n)
+	}
+}
+
+func TestSetBoundingBox(t *testing.T) {
+	s := FromBoxes(Point(1, 8), Point(5, 2))
+	bb, ok := s.BoundingBox()
+	if !ok {
+		t.Fatal("BoundingBox reported empty")
+	}
+	if !bb.Eq(NewBox([]int{1, 2}, []int{5, 8})) {
+		t.Fatalf("BoundingBox = %v", bb)
+	}
+	if _, ok := EmptySet(2).BoundingBox(); ok {
+		t.Error("empty set has a bounding box")
+	}
+}
+
+// --- Property-based tests ------------------------------------------------
+
+// randBox2 makes a small random 2-D box (possibly empty).
+func randBox2(r *rand.Rand) Box {
+	lo0, lo1 := r.Intn(12)-2, r.Intn(12)-2
+	return NewBox(
+		[]int{lo0, lo1},
+		[]int{lo0 + r.Intn(8) - 1, lo1 + r.Intn(8) - 1},
+	)
+}
+
+func randSet2(r *rand.Rand) Set {
+	s := EmptySet(2)
+	for i, n := 0, 1+r.Intn(3); i < n; i++ {
+		s = s.UnionBox(randBox2(r))
+	}
+	return s
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{
+		MaxCount: 300,
+		Values:   nil,
+	}
+}
+
+func TestQuickSetAlgebra(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randSet2(r), randSet2(r)
+
+		inter := a.Intersect(b)
+		diff := a.Subtract(b)
+		uni := a.Union(b)
+
+		// Partition law: a = (a−b) ⊎ (a∩b), disjointly.
+		if !diff.Union(inter).Eq(a) {
+			return false
+		}
+		if !diff.Intersect(inter).IsEmpty() {
+			return false
+		}
+		// Cardinality laws.
+		if diff.Card()+inter.Card() != a.Card() {
+			return false
+		}
+		if uni.Card() != a.Card()+b.Card()-inter.Card() {
+			return false
+		}
+		// Subset laws.
+		if !inter.SubsetOf(a) || !inter.SubsetOf(b) || !a.SubsetOf(uni) {
+			return false
+		}
+		// Commutativity of union and intersection (as point sets).
+		if !uni.Eq(b.Union(a)) || !inter.Eq(b.Intersect(a)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSetMembershipAgreesWithOps(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randSet2(r), randSet2(r)
+		inter := a.Intersect(b)
+		diff := a.Subtract(b)
+		uni := a.Union(b)
+		// Check pointwise semantics over a window.
+		for x := -4; x <= 20; x++ {
+			for y := -4; y <= 20; y++ {
+				p := []int{x, y}
+				ia, ib := a.Contains(p), b.Contains(p)
+				if inter.Contains(p) != (ia && ib) {
+					return false
+				}
+				if uni.Contains(p) != (ia || ib) {
+					return false
+				}
+				if diff.Contains(p) != (ia && !ib) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := quickCfg()
+	cfg.MaxCount = 60
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCoalescePreservesSemantics(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Build a set from many random boxes; card must equal the count
+		// of distinct points (coalesce/disjointness must not lose points).
+		boxes := make([]Box, 1+r.Intn(5))
+		for i := range boxes {
+			boxes[i] = randBox2(r)
+		}
+		s := FromBoxes(boxes...)
+		distinct := map[[2]int]bool{}
+		for _, b := range boxes {
+			b.Each(func(p []int) bool {
+				distinct[[2]int{p[0], p[1]}] = true
+				return true
+			})
+		}
+		if s.Card() != int64(len(distinct)) {
+			return false
+		}
+		for pt := range distinct {
+			if !s.Contains([]int{pt[0], pt[1]}) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := quickCfg()
+	cfg.MaxCount = 150
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,448 @@
+// Package mpsim is a deterministic virtual-time message-passing machine:
+// the experimental substrate standing in for the paper's 32-node IBM SP2.
+//
+// Each rank runs as a goroutine with its own virtual clock.  Computation
+// advances the local clock by an analytic cost (seconds per flop);
+// messages carry their sender's virtual timestamp plus a LogGP-style
+// latency/bandwidth cost, and a receive advances the receiver's clock to
+// at least the message's arrival time — so pipeline serialization, load
+// imbalance and communication overhead all show up in the final clocks
+// exactly as they would in a space–time diagram of a real run.
+//
+// Matching is deterministic (per (src,dst,tag) FIFO mailboxes), so both
+// numeric results and virtual times are reproducible run to run,
+// regardless of goroutine scheduling.
+package mpsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Config fixes the machine size and cost model.
+type Config struct {
+	Procs int
+	// SendOverhead is the sender-side CPU cost per message (seconds).
+	SendOverhead float64
+	// RecvOverhead is the receiver-side CPU cost per message (seconds).
+	RecvOverhead float64
+	// Latency is the network wire latency per message (seconds).
+	Latency float64
+	// GapPerByte is the inverse bandwidth (seconds per byte).
+	GapPerByte float64
+	// FlopTime is the cost of one floating-point operation (seconds).
+	FlopTime float64
+	// Trace enables space–time event capture.
+	Trace bool
+}
+
+// SP2Config approximates a 1998 IBM SP2 with 120 MHz P2SC nodes and the
+// user-space MPI library: ~29 µs one-way latency, ~90 MB/s bandwidth,
+// ~80 Mflop/s sustained per node on these codes.
+func SP2Config(procs int) Config {
+	return Config{
+		Procs:        procs,
+		SendOverhead: 8e-6,
+		RecvOverhead: 8e-6,
+		Latency:      29e-6,
+		GapPerByte:   1.0 / 90e6,
+		FlopTime:     1.0 / 80e6,
+	}
+}
+
+// EventKind classifies space–time trace events.
+type EventKind int
+
+const (
+	EvCompute EventKind = iota
+	EvSend
+	EvRecvWait // time blocked waiting for a message (idle)
+	EvRecvCopy // receive overhead after arrival
+	EvBarrier
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvCompute:
+		return "compute"
+	case EvSend:
+		return "send"
+	case EvRecvWait:
+		return "wait"
+	case EvRecvCopy:
+		return "recv"
+	case EvBarrier:
+		return "barrier"
+	}
+	return "?"
+}
+
+// Event is one interval in a rank's space–time row.
+type Event struct {
+	Rank       int
+	Kind       EventKind
+	Start, End float64
+	Peer       int // message peer, -1 otherwise
+	Bytes      int
+	Tag        int
+	Label      string
+}
+
+// message is an in-flight message.
+type message struct {
+	data    []float64
+	arrival float64 // virtual time the last byte reaches the receiver
+	bytes   int
+}
+
+type mailboxKey struct {
+	src, dst, tag int
+}
+
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+}
+
+func (mb *mailbox) push(m message) {
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, m)
+	mb.cond.Signal()
+	mb.mu.Unlock()
+}
+
+func (mb *mailbox) pop() message {
+	mb.mu.Lock()
+	for len(mb.queue) == 0 {
+		mb.cond.Wait()
+	}
+	m := mb.queue[0]
+	mb.queue = mb.queue[1:]
+	mb.mu.Unlock()
+	return m
+}
+
+// Machine is the running virtual machine.
+type Machine struct {
+	cfg   Config
+	mu    sync.Mutex
+	boxes map[mailboxKey]*mailbox
+
+	barrierMu     sync.Mutex
+	barrierCond   *sync.Cond
+	barrierCount  int
+	barrierGen    int
+	barrierMax    float64
+	barrierTarget float64 // completion time of the last finished barrier
+
+	reduceMu     sync.Mutex
+	reduceCond   *sync.Cond
+	reduceCnt    int
+	reduceGen    int
+	reduceMax    float64
+	reduceVals   []float64
+	reduceSum    float64 // result of the last finished reduction
+	reduceTarget float64
+}
+
+// Rank is one simulated processor, owned by its goroutine.
+type Rank struct {
+	ID     int
+	m      *Machine
+	clock  float64
+	flops  float64
+	sent   int64
+	sentB  int64
+	recvd  int64
+	idle   float64
+	events []Event
+}
+
+// Result aggregates a finished run.
+type Result struct {
+	Procs int
+	// Time is the makespan: the maximum final virtual clock.
+	Time float64
+	// RankTime, RankIdle, RankFlops, Sent*, Recvd index by rank.
+	RankTime  []float64
+	RankIdle  []float64
+	RankFlops []float64
+	SentMsgs  []int64
+	SentBytes []int64
+	RecvMsgs  []int64
+	Events    []Event
+}
+
+// TotalMessages sums messages sent by all ranks.
+func (r *Result) TotalMessages() int64 {
+	var n int64
+	for _, s := range r.SentMsgs {
+		n += s
+	}
+	return n
+}
+
+// TotalBytes sums bytes sent by all ranks.
+func (r *Result) TotalBytes() int64 {
+	var n int64
+	for _, s := range r.SentBytes {
+		n += s
+	}
+	return n
+}
+
+// Run executes body on every rank concurrently and collects the result.
+func Run(cfg Config, body func(r *Rank)) *Result {
+	if cfg.Procs <= 0 {
+		panic("mpsim: Procs must be positive")
+	}
+	m := &Machine{cfg: cfg, boxes: map[mailboxKey]*mailbox{}}
+	m.barrierCond = sync.NewCond(&m.barrierMu)
+	m.reduceCond = sync.NewCond(&m.reduceMu)
+
+	ranks := make([]*Rank, cfg.Procs)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Procs; i++ {
+		ranks[i] = &Rank{ID: i, m: m}
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			body(r)
+		}(ranks[i])
+	}
+	wg.Wait()
+
+	res := &Result{
+		Procs:     cfg.Procs,
+		RankTime:  make([]float64, cfg.Procs),
+		RankIdle:  make([]float64, cfg.Procs),
+		RankFlops: make([]float64, cfg.Procs),
+		SentMsgs:  make([]int64, cfg.Procs),
+		SentBytes: make([]int64, cfg.Procs),
+		RecvMsgs:  make([]int64, cfg.Procs),
+	}
+	for i, r := range ranks {
+		res.RankTime[i] = r.clock
+		res.RankIdle[i] = r.idle
+		res.RankFlops[i] = r.flops
+		res.SentMsgs[i] = r.sent
+		res.SentBytes[i] = r.sentB
+		res.RecvMsgs[i] = r.recvd
+		res.Time = math.Max(res.Time, r.clock)
+		res.Events = append(res.Events, r.events...)
+	}
+	sort.Slice(res.Events, func(i, j int) bool {
+		if res.Events[i].Rank != res.Events[j].Rank {
+			return res.Events[i].Rank < res.Events[j].Rank
+		}
+		return res.Events[i].Start < res.Events[j].Start
+	})
+	return res
+}
+
+func (m *Machine) box(k mailboxKey) *mailbox {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mb, ok := m.boxes[k]
+	if !ok {
+		mb = &mailbox{}
+		mb.cond = sync.NewCond(&mb.mu)
+		m.boxes[k] = mb
+	}
+	return mb
+}
+
+// Procs returns the machine size.
+func (r *Rank) Procs() int { return r.m.cfg.Procs }
+
+// Time returns the rank's current virtual clock (seconds).
+func (r *Rank) Time() float64 { return r.clock }
+
+// Compute advances the clock by flops floating-point operations.
+func (r *Rank) Compute(flops float64) {
+	if flops <= 0 {
+		return
+	}
+	dt := flops * r.m.cfg.FlopTime
+	r.emit(Event{Kind: EvCompute, Start: r.clock, End: r.clock + dt, Peer: -1})
+	r.clock += dt
+	r.flops += flops
+}
+
+// ComputeLabeled is Compute with a phase label recorded in the trace.
+func (r *Rank) ComputeLabeled(flops float64, label string) {
+	if flops <= 0 {
+		return
+	}
+	dt := flops * r.m.cfg.FlopTime
+	r.emit(Event{Kind: EvCompute, Start: r.clock, End: r.clock + dt, Peer: -1, Label: label})
+	r.clock += dt
+	r.flops += flops
+}
+
+// Send transmits data to rank dst with a tag.  The model is a buffered
+// (non-blocking) send: the sender pays its overhead and continues; the
+// message arrives at sender_clock + overhead + latency + bytes/bandwidth.
+func (r *Rank) Send(dst, tag int, data []float64) {
+	if dst < 0 || dst >= r.m.cfg.Procs {
+		panic(fmt.Sprintf("mpsim: Send to invalid rank %d", dst))
+	}
+	bytes := 8 * len(data)
+	cost := r.m.cfg.SendOverhead + float64(bytes)*r.m.cfg.GapPerByte
+	r.emit(Event{Kind: EvSend, Start: r.clock, End: r.clock + cost, Peer: dst, Bytes: bytes, Tag: tag})
+	r.clock += cost
+	arrival := r.clock + r.m.cfg.Latency
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	r.m.box(mailboxKey{src: r.ID, dst: dst, tag: tag}).push(message{data: cp, arrival: arrival, bytes: bytes})
+	r.sent++
+	r.sentB += int64(bytes)
+}
+
+// Recv blocks until a message from src with the tag arrives, advancing
+// the virtual clock to the arrival time (idle time is recorded).
+func (r *Rank) Recv(src, tag int) []float64 {
+	if src < 0 || src >= r.m.cfg.Procs {
+		panic(fmt.Sprintf("mpsim: Recv from invalid rank %d", src))
+	}
+	msg := r.m.box(mailboxKey{src: src, dst: r.ID, tag: tag}).pop()
+	if msg.arrival > r.clock {
+		r.emit(Event{Kind: EvRecvWait, Start: r.clock, End: msg.arrival, Peer: src, Bytes: msg.bytes, Tag: tag})
+		r.idle += msg.arrival - r.clock
+		r.clock = msg.arrival
+	}
+	cost := r.m.cfg.RecvOverhead
+	r.emit(Event{Kind: EvRecvCopy, Start: r.clock, End: r.clock + cost, Peer: src, Bytes: msg.bytes, Tag: tag})
+	r.clock += cost
+	r.recvd++
+	return msg.data
+}
+
+// Request is a pending non-blocking receive.
+type Request struct {
+	rank *Rank
+	src  int
+	tag  int
+	done bool
+	data []float64
+}
+
+// Irecv posts a non-blocking receive; Wait completes it.
+func (r *Rank) Irecv(src, tag int) *Request {
+	return &Request{rank: r, src: src, tag: tag}
+}
+
+// Wait completes a pending receive.
+func (q *Request) Wait() []float64 {
+	if !q.done {
+		q.data = q.rank.Recv(q.src, q.tag)
+		q.done = true
+	}
+	return q.data
+}
+
+// Barrier synchronizes all ranks; every clock advances to the global max
+// plus a log-tree latency term.  The completing rank computes the target
+// time; waiters read it after wake-up.  A subsequent barrier cannot start
+// overwriting state until every rank of this one has re-entered, so the
+// published target is stable for all readers.
+func (r *Rank) Barrier() {
+	m := r.m
+	m.barrierMu.Lock()
+	gen := m.barrierGen
+	if m.barrierCount == 0 {
+		m.barrierMax = 0
+	}
+	if r.clock > m.barrierMax {
+		m.barrierMax = r.clock
+	}
+	m.barrierCount++
+	if m.barrierCount == m.cfg.Procs {
+		m.barrierCount = 0
+		m.barrierTarget = m.barrierMax + m.cfg.Latency*math.Ceil(math.Log2(float64(m.cfg.Procs)))
+		m.barrierGen++
+		m.barrierCond.Broadcast()
+	} else {
+		for gen == m.barrierGen {
+			m.barrierCond.Wait()
+		}
+	}
+	target := m.barrierTarget
+	m.barrierMu.Unlock()
+
+	if target > r.clock {
+		r.emit(Event{Kind: EvBarrier, Start: r.clock, End: target, Peer: -1})
+		r.idle += target - r.clock
+		r.clock = target
+	}
+}
+
+// AllReduceSum combines one value from every rank; all ranks receive the
+// global sum and advance to the combined completion time.
+func (r *Rank) AllReduceSum(v float64) float64 { return r.AllReduce('+', v) }
+
+// AllReduce combines one value from every rank under op: '+' sum,
+// '*' product, '<' min, '>' max.  All ranks receive the result and
+// advance to the combined completion time (log-tree latency).
+func (r *Rank) AllReduce(op byte, v float64) float64 {
+	m := r.m
+	m.reduceMu.Lock()
+	gen := m.reduceGen
+	if m.reduceCnt == 0 {
+		m.reduceVals = m.reduceVals[:0]
+		m.reduceMax = 0
+	}
+	m.reduceVals = append(m.reduceVals, v)
+	if r.clock > m.reduceMax {
+		m.reduceMax = r.clock
+	}
+	m.reduceCnt++
+	if m.reduceCnt == m.cfg.Procs {
+		m.reduceCnt = 0
+		sum := m.reduceVals[0]
+		for _, x := range m.reduceVals[1:] {
+			switch op {
+			case '+':
+				sum += x
+			case '*':
+				sum *= x
+			case '<':
+				sum = math.Min(sum, x)
+			case '>':
+				sum = math.Max(sum, x)
+			default:
+				panic(fmt.Sprintf("mpsim: unknown reduction op %q", op))
+			}
+		}
+		steps := math.Ceil(math.Log2(float64(m.cfg.Procs)))
+		m.reduceSum = sum
+		m.reduceTarget = m.reduceMax + steps*(m.cfg.Latency+8*m.cfg.GapPerByte)
+		m.reduceGen++
+		m.reduceCond.Broadcast()
+	} else {
+		for gen == m.reduceGen {
+			m.reduceCond.Wait()
+		}
+	}
+	sum := m.reduceSum
+	target := m.reduceTarget
+	m.reduceMu.Unlock()
+
+	if target > r.clock {
+		r.emit(Event{Kind: EvBarrier, Start: r.clock, End: target, Peer: -1, Label: "allreduce"})
+		r.idle += target - r.clock
+		r.clock = target
+	}
+	return sum
+}
+
+func (r *Rank) emit(e Event) {
+	if !r.m.cfg.Trace {
+		return
+	}
+	e.Rank = r.ID
+	r.events = append(r.events, e)
+}

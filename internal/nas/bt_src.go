@@ -1,0 +1,204 @@
+package nas
+
+import "fmt"
+
+// BTSource returns the mini-HPF source of the simplified BT benchmark:
+// the same ADI phase structure as SP but with NCOMP coupled components
+// per grid point (block systems instead of scalar ones), and with the
+// x-direction solve performed by a pointwise *leaf subroutine* called
+// inside the parallel (j,k) loops — the paper's Figure 6.1 pattern that
+// exercises interprocedural CP selection.
+func BTSource(n, steps, p1, p2 int) string {
+	return fmt.Sprintf(`
+program bt
+param N = %d
+param STEPS = %d
+param P1 = %d
+param P2 = %d
+
+!hpf$ processors procs(P1, P2)
+!hpf$ template tm(N, N, N)
+!hpf$ align u with tm(d0, d1, d2)
+!hpf$ align rho with tm(d0, d1, d2)
+!hpf$ align r with tm(*, d0, d1, d2)
+!hpf$ distribute tm(*, BLOCK, BLOCK) onto procs
+
+subroutine solve_cell(r, v, jj, kk)
+  real r(1:5, 0:N-1, 0:N-1, 0:N-1)
+  real v(0:N-1, 0:N-1, 0:N-1)
+  do i = 1, N-4
+    do m = 1, 5
+      r(m,i+1,jj,kk) = r(m,i+1,jj,kk) - (%g/v(i,jj,kk))*r(m,i,jj,kk)
+      r(m,i+2,jj,kk) = r(m,i+2,jj,kk) - %g*r(m,i,jj,kk)
+      do mm = 1, 5
+        r(m,i+1,jj,kk) = r(m,i+1,jj,kk) - %g*r(mm,i,jj,kk)
+      enddo
+    enddo
+  enddo
+  do i = N-4, 1, -1
+    do m = 1, 5
+      r(m,i,jj,kk) = r(m,i,jj,kk) - %g*r(m,i+1,jj,kk) - %g*r(m,i+2,jj,kk)
+      do mm = 1, 5
+        r(m,i,jj,kk) = r(m,i,jj,kk) - %g*r(mm,i+1,jj,kk)
+      enddo
+    enddo
+  enddo
+end
+
+subroutine main()
+  real u(0:N-1, 0:N-1, 0:N-1)
+  real rho(0:N-1, 0:N-1, 0:N-1)
+  real r(1:5, 0:N-1, 0:N-1, 0:N-1)
+
+  do k = 0, N-1
+    do j = 0, N-1
+      do i = 0, N-1
+        u(i,j,k) = 1.0 + 0.001*i + 0.002*j + 0.003*k
+        rho(i,j,k) = 0.0
+        do m = 1, 5
+          r(m,i,j,k) = 0.0
+        enddo
+      enddo
+    enddo
+  enddo
+
+  do step = 1, STEPS
+
+    ! --- compute_rhs with LOCALIZE'd reciprocals, per component ---
+    !hpf$ independent, localize(rho)
+    do onetrip = 1, 1
+      do k = 0, N-1
+        do j = 0, N-1
+          do i = 0, N-1
+            rho(i,j,k) = 1.0 / u(i,j,k)
+          enddo
+        enddo
+      enddo
+      do k = 2, N-3
+        do j = 2, N-3
+          do i = 2, N-3
+            do m = 1, 5
+              r(m,i,j,k) = %g*(rho(i+1,j,k) + rho(i-1,j,k) + rho(i,j+1,k) + rho(i,j-1,k) + rho(i,j,k+1) + rho(i,j,k-1) - 6.0*rho(i,j,k)) + %g*m*(u(i+2,j,k) + u(i-2,j,k) + u(i,j+2,k) + u(i,j-2,k) + u(i,j,k+2) + u(i,j,k-2))
+            enddo
+          enddo
+        enddo
+      enddo
+
+    ! --- lhs setup: the 5x5 block Jacobians (fjac/njac) per direction,
+    ! folded into r.  This is BT's dominant fully-parallel work; it sits
+    ! inside the LOCALIZE scope so the replicated rho boundary values
+    ! cover its ±1 reads.
+    do k = 1, N-2
+      do j = 1, N-2
+        do i = 1, N-2
+          do m = 1, 5
+            do mm = 1, 5
+              r(m,i,j,k) = r(m,i,j,k) + %g*mm*(rho(i+1,j,k) - rho(i-1,j,k))*u(i,j,k)
+            enddo
+          enddo
+        enddo
+      enddo
+    enddo
+    do k = 1, N-2
+      do j = 1, N-2
+        do i = 1, N-2
+          do m = 1, 5
+            do mm = 1, 5
+              r(m,i,j,k) = r(m,i,j,k) + %g*mm*(rho(i,j+1,k) - rho(i,j-1,k))*u(i,j,k)
+            enddo
+          enddo
+        enddo
+      enddo
+    enddo
+    do k = 1, N-2
+      do j = 1, N-2
+        do i = 1, N-2
+          do m = 1, 5
+            do mm = 1, 5
+              r(m,i,j,k) = r(m,i,j,k) + %g*mm*(rho(i,j,k+1) - rho(i,j,k-1))*u(i,j,k)
+            enddo
+          enddo
+        enddo
+      enddo
+    enddo
+    enddo
+
+    ! --- x_solve: leaf routine per (j,k) line (interprocedural CPs) ---
+    do k = 1, N-2
+      do j = 1, N-2
+        call solve_cell(r, u, j, k)
+      enddo
+    enddo
+
+    ! --- y_solve: block wavefront along j ---
+    do j = 1, N-4
+      do k = 1, N-2
+        do i = 1, N-2
+          do m = 1, 5
+            r(m,i,j+1,k) = r(m,i,j+1,k) - (%g/u(i,j,k))*r(m,i,j,k)
+            r(m,i,j+2,k) = r(m,i,j+2,k) - %g*r(m,i,j,k)
+            do mm = 1, 5
+              r(m,i,j+1,k) = r(m,i,j+1,k) - %g*r(mm,i,j,k)
+            enddo
+          enddo
+        enddo
+      enddo
+    enddo
+    do j = N-4, 1, -1
+      do k = 1, N-2
+        do i = 1, N-2
+          do m = 1, 5
+            r(m,i,j,k) = r(m,i,j,k) - %g*r(m,i,j+1,k) - %g*r(m,i,j+2,k)
+            do mm = 1, 5
+              r(m,i,j,k) = r(m,i,j,k) - %g*r(mm,i,j+1,k)
+            enddo
+          enddo
+        enddo
+      enddo
+    enddo
+
+    ! --- z_solve: block wavefront along k ---
+    do k = 1, N-4
+      do j = 1, N-2
+        do i = 1, N-2
+          do m = 1, 5
+            r(m,i,j,k+1) = r(m,i,j,k+1) - (%g/u(i,j,k))*r(m,i,j,k)
+            r(m,i,j,k+2) = r(m,i,j,k+2) - %g*r(m,i,j,k)
+            do mm = 1, 5
+              r(m,i,j,k+1) = r(m,i,j,k+1) - %g*r(mm,i,j,k)
+            enddo
+          enddo
+        enddo
+      enddo
+    enddo
+    do k = N-4, 1, -1
+      do j = 1, N-2
+        do i = 1, N-2
+          do m = 1, 5
+            r(m,i,j,k) = r(m,i,j,k) - %g*r(m,i,j,k+1) - %g*r(m,i,j,k+2)
+            do mm = 1, 5
+              r(m,i,j,k) = r(m,i,j,k) - %g*r(mm,i,j,k+1)
+            enddo
+          enddo
+        enddo
+      enddo
+    enddo
+
+    ! --- add: fold the mean component update back into u ---
+    do k = 2, N-3
+      do j = 2, N-3
+        do i = 2, N-3
+          u(i,j,k) = u(i,j,k) + %g*(r(1,i,j,k) + r(2,i,j,k) + r(3,i,j,k) + r(4,i,j,k) + r(5,i,j,k))
+        enddo
+      enddo
+    enddo
+  enddo
+end
+`, n, steps, p1, p2,
+		CoefFac, CoefFw2, CoefMix, CoefBk1, CoefBk2, CoefMix,
+		CoefDT, CoefDX,
+		CoefJac, CoefJac, CoefJac,
+		CoefFac, CoefFw2, CoefMix, CoefBk1, CoefBk2, CoefMix,
+		CoefFac, CoefFw2, CoefMix, CoefBk1, CoefBk2, CoefMix,
+		CoefAdd)
+}

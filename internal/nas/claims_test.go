@@ -1,0 +1,77 @@
+package nas
+
+import (
+	"testing"
+
+	"dhpf/internal/comm"
+	"dhpf/internal/spmd"
+)
+
+// TestSPAvailabilityEliminatesHalfTheSweepReads checks §7's quantitative
+// claim: "This algorithm directly eliminates about half the
+// communication that would otherwise arise in the main pipelined
+// computations of SP."  In each forward sweep, per system, the read of
+// the first updated row is covered by the previous iteration's write
+// (eliminated) while the second row's read survives as a hoisted
+// prefetch — exactly half of the forward-sweep rhs reads.
+func TestSPAvailabilityEliminatesHalfTheSweepReads(t *testing.T) {
+	prog, err := spmd.CompileSource(SPSource(16, 1, 2, 2), nil, spmd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eliminated, live int
+	for _, an := range prog.Comm {
+		for _, e := range an.Events {
+			if e.Kind != comm.ReadComm || e.Ref.Name != "rhs" {
+				continue
+			}
+			// Only the forward-sweep reads (offset +1/+2 rows on a
+			// distributed dimension).
+			if e.Eliminated {
+				eliminated++
+			} else if !e.Pipelined {
+				live++
+			}
+		}
+	}
+	if eliminated == 0 || live == 0 {
+		t.Fatalf("expected both eliminated and surviving rhs reads, got %d/%d", eliminated, live)
+	}
+	if eliminated != live {
+		t.Errorf("§7 claim: eliminated %d vs surviving %d forward-sweep reads (want equal halves)",
+			eliminated, live)
+	}
+}
+
+// TestSPNoCommunicationForPrivatizables: the §4.1 headline on the full
+// SP program — the cv line temporary generates no communication events
+// at all.
+func TestSPNoCommunicationForPrivatizables(t *testing.T) {
+	prog, err := spmd.CompileSource(SPSource(16, 1, 2, 2), nil, spmd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, an := range prog.Comm {
+		for _, e := range an.Events {
+			if e.Ref.Name == "cv" {
+				t.Errorf("privatizable cv produced a communication event: %v", e)
+			}
+		}
+	}
+}
+
+// TestSPLocalizeNoRhoCommunication: §4.2 on the full SP program — the
+// LOCALIZE'd reciprocal array's boundary values move no messages.
+func TestSPLocalizeNoRhoCommunication(t *testing.T) {
+	prog, err := spmd.CompileSource(SPSource(16, 1, 2, 2), nil, spmd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, an := range prog.Comm {
+		for _, e := range an.Events {
+			if e.Ref.Name == "rho" && !e.Eliminated {
+				t.Errorf("LOCALIZE'd rho produced live communication: %v", e)
+			}
+		}
+	}
+}

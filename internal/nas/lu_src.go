@@ -1,0 +1,104 @@
+package nas
+
+import "fmt"
+
+// LUSource returns a mini-HPF source with the communication structure of
+// NAS LU: an SSOR-style iteration whose lower- and upper-triangular
+// sweeps carry dependences along *two* distributed dimensions at once —
+// the 2-D diagonal wavefront the paper's conclusion singles out
+// ("the class of codes that make line-sweeps in multiple physical
+// dimensions").  The paper evaluates SP and BT only; LU here is the
+// extension exercising nested pipelined wavefronts in the compiler and
+// executor.
+//
+// Per time step:
+//
+//	rhs   — reciprocal field under LOCALIZE plus a ±1 stencil
+//	blts  — lower-triangular sweep: v(i,j,k) += f(v(i,j-1,k), v(i,j,k-1))
+//	buts  — upper-triangular sweep: v(i,j,k) += f(v(i,j+1,k), v(i,j,k+1))
+//	add   — u += CoefAdd·v
+func LUSource(n, steps, p1, p2 int) string {
+	return fmt.Sprintf(`
+program lu
+param N = %d
+param STEPS = %d
+param P1 = %d
+param P2 = %d
+
+!hpf$ processors procs(P1, P2)
+!hpf$ template tm(N, N, N)
+!hpf$ align u with tm(d0, d1, d2)
+!hpf$ align v with tm(d0, d1, d2)
+!hpf$ align rho with tm(d0, d1, d2)
+!hpf$ distribute tm(*, BLOCK, BLOCK) onto procs
+
+subroutine main()
+  real u(0:N-1, 0:N-1, 0:N-1)
+  real v(0:N-1, 0:N-1, 0:N-1)
+  real rho(0:N-1, 0:N-1, 0:N-1)
+
+  do k = 0, N-1
+    do j = 0, N-1
+      do i = 0, N-1
+        u(i,j,k) = 1.0 + 0.001*i + 0.002*j + 0.003*k
+        v(i,j,k) = 0.0
+        rho(i,j,k) = 0.0
+      enddo
+    enddo
+  enddo
+
+  do step = 1, STEPS
+
+    ! --- rhs: reciprocals (LOCALIZE) + stencil ---
+    !hpf$ independent, localize(rho)
+    do onetrip = 1, 1
+      do k = 0, N-1
+        do j = 0, N-1
+          do i = 0, N-1
+            rho(i,j,k) = 1.0 / u(i,j,k)
+          enddo
+        enddo
+      enddo
+      do k = 1, N-2
+        do j = 1, N-2
+          do i = 1, N-2
+            v(i,j,k) = %g*(rho(i+1,j,k) + rho(i-1,j,k) + rho(i,j+1,k) + rho(i,j-1,k) + rho(i,j,k+1) + rho(i,j,k-1) - 6.0*rho(i,j,k))
+          enddo
+        enddo
+      enddo
+    enddo
+
+    ! --- blts: lower-triangular 2-D diagonal wavefront ---
+    do j = 1, N-2
+      do k = 1, N-2
+        do i = 1, N-2
+          v(i,j,k) = v(i,j,k) + (%g/u(i,j,k))*v(i,j-1,k) + %g*v(i,j,k-1)
+        enddo
+      enddo
+    enddo
+
+    ! --- buts: upper-triangular 2-D diagonal wavefront ---
+    do j = N-2, 1, -1
+      do k = N-2, 1, -1
+        do i = 1, N-2
+          v(i,j,k) = v(i,j,k) + %g*v(i,j+1,k) + %g*v(i,j,k+1)
+        enddo
+      enddo
+    enddo
+
+    ! --- add ---
+    do k = 1, N-2
+      do j = 1, N-2
+        do i = 1, N-2
+          u(i,j,k) = u(i,j,k) + %g*v(i,j,k)
+        enddo
+      enddo
+    enddo
+  enddo
+end
+`, n, steps, p1, p2,
+		CoefDT,
+		CoefFac, CoefFw2,
+		CoefBk1, CoefBk2,
+		CoefAdd)
+}

@@ -1,0 +1,479 @@
+package nas
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"dhpf/internal/hpf"
+	"dhpf/internal/iset"
+	"dhpf/internal/mpsim"
+)
+
+// MultipartRun is the result of a hand-coded multipartitioning run.
+type MultipartRun struct {
+	Machine *mpsim.Result
+	N       int
+	U, R    []float64 // gathered global arrays (R concatenates components)
+}
+
+// RunMultipart executes the hand-written message-passing version of SP
+// or BT using diagonal multipartitioning on q² ranks — the paper's
+// hand-MPI baseline (§3, §8).  Per time step it performs:
+//
+//	copy_faces    one coalesced message per face direction (6 per rank)
+//	              carrying the 2-deep u halos of every owned cell;
+//	compute_rhs   local (reciprocals recomputed on a 1-grown region);
+//	x/y/z solves  bi-directional sweeps: at each of the Q stages every
+//	              rank owns exactly one cell of the active slab, receives
+//	              its predecessor's last two pivot rows (values + factor),
+//	              eliminates its own rows, and forwards its own last two
+//	              pivot rows — the NPB2.3b2 x_send_solve_info protocol;
+//	add           local.
+func RunMultipart(bench string, n, steps, procs int, cfg mpsim.Config) (*MultipartRun, error) {
+	bt, comp, err := fmtBench(bench)
+	if err != nil {
+		return nil, err
+	}
+	q := int(math.Round(math.Sqrt(float64(procs))))
+	if q*q != procs {
+		return nil, fmt.Errorf("nas: multipartitioning needs a square rank count, got %d", procs)
+	}
+	mp, err := hpf.NewMultipartition(q, n, n, n)
+	if err != nil {
+		return nil, err
+	}
+	var w FlopWeights
+	if bt {
+		w = weightsFrom(BTSource(8, 1, 1, 1), true)
+	} else {
+		w = weightsFrom(SPSource(8, 1, 1, 1), false)
+	}
+
+	states := make([]*handState, procs)
+	var mu sync.Mutex
+	var runErr error
+	cfg.Procs = procs
+	res := mpsim.Run(cfg, func(rk *mpsim.Rank) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				mu.Lock()
+				if runErr == nil {
+					runErr = fmt.Errorf("nas: multipart rank %d: %v", rk.ID, rec)
+				}
+				mu.Unlock()
+			}
+		}()
+		st := newHandState(n, comp, !bt)
+		mu.Lock()
+		states[rk.ID] = st
+		mu.Unlock()
+		d := &mpDriver{rk: rk, mp: mp, st: st, bt: bt, systems: SweepSystems(bench), w: w}
+		d.run(steps)
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	out := &MultipartRun{Machine: res, N: n}
+	out.U = make([]float64, n*n*n)
+	out.R = make([]float64, comp*n*n*n)
+	for rank := 0; rank < procs; rank++ {
+		st := states[rank]
+		mp.LocalSet(rank).Each(func(p []int) bool {
+			i, j, k := p[0], p[1], p[2]
+			out.U[st.idx(i, j, k)] = st.u[st.idx(i, j, k)]
+			for m := 0; m < comp; m++ {
+				out.R[st.ridx(m, i, j, k)] = st.r[st.ridx(m, i, j, k)]
+			}
+			return true
+		})
+	}
+	return out, nil
+}
+
+type mpDriver struct {
+	rk      *mpsim.Rank
+	mp      *hpf.Multipartition
+	st      *handState
+	bt      bool
+	systems []SweepSystem
+	w       FlopWeights
+	tag     int
+}
+
+func (d *mpDriver) nextTag() int {
+	d.tag++
+	return d.tag
+}
+
+func (d *mpDriver) cells() [][3]int { return d.mp.CellsOf(d.rk.ID) }
+
+func (d *mpDriver) run(steps int) {
+	st, n := d.st, d.st.n
+	// Init: everything local (each rank initializes the union of its
+	// cells grown by the halo depth, so copy_faces has valid sources).
+	var ownPts float64
+	for _, c := range d.cells() {
+		box := d.mp.CellBox(c[0], c[1], c[2]).Grow(0, 2, 2).Grow(1, 2, 2).Grow(2, 2, 2)
+		box = box.Intersect(iset.NewBox([]int{0, 0, 0}, []int{n - 1, n - 1, n - 1}))
+		box.Each(func(p []int) bool {
+			st.initPoint(p[0], p[1], p[2])
+			return true
+		})
+		ownPts += float64(d.mp.CellBox(c[0], c[1], c[2]).Card())
+	}
+	d.rk.ComputeLabeled(d.w.Init*ownPts, "init")
+
+	for s := 0; s < steps; s++ {
+		d.copyFaces()
+		d.computeRHS()
+		if d.bt {
+			d.jacPhase()
+		} else {
+			d.spdPhase()
+		}
+		for dim := 0; dim < 3; dim++ {
+			label := [3]string{"x_solve", "y_solve", "z_solve"}[dim]
+			for _, sys := range d.systems {
+				d.forwardSweep(dim, sys, label, d.tagBlock())
+			}
+			for _, sys := range d.systems {
+				d.backwardSweep(dim, sys, label, d.tagBlock())
+			}
+		}
+		d.addPhase()
+	}
+}
+
+// copyFaces exchanges the 2-deep u faces of every owned cell, one
+// coalesced message per face direction (all cells' faces for a direction
+// go to the same peer — the multipartitioning neighbour property).
+func (d *mpDriver) copyFaces() {
+	n := d.st.n
+	for dim := 0; dim < 3; dim++ {
+		for _, dir := range []int{+1, -1} {
+			// Outgoing: my boundary planes toward dir.
+			var payload []float64
+			var sendPeer = -1
+			for _, c := range d.cells() {
+				nc := c
+				nc[dim] += dir
+				if nc[dim] < 0 || nc[dim] >= d.mp.Q {
+					continue
+				}
+				sendPeer = d.mp.OwnerOfCell(nc[0], nc[1], nc[2])
+				box := d.mp.CellBox(c[0], c[1], c[2])
+				var rows [2]int
+				if dir > 0 {
+					rows = [2]int{box.Hi[dim] - 1, box.Hi[dim]}
+				} else {
+					rows = [2]int{box.Lo[dim], box.Lo[dim] + 1}
+				}
+				for _, row := range rows {
+					if row < 0 || row >= n {
+						continue
+					}
+					face := box.WithDim(dim, row, row)
+					face.Each(func(p []int) bool {
+						payload = append(payload, d.st.u[d.st.idx(p[0], p[1], p[2])])
+						return true
+					})
+				}
+			}
+			tag := d.nextTag()
+			if sendPeer >= 0 {
+				d.rk.Send(sendPeer, tag, payload)
+			}
+			// Incoming: halos beyond my cells opposite to dir come from
+			// the -dir neighbour, which sent with the same tag sequence.
+			recvPeer := -1
+			var regions []iset.Box
+			for _, c := range d.cells() {
+				nc := c
+				nc[dim] -= dir
+				if nc[dim] < 0 || nc[dim] >= d.mp.Q {
+					continue
+				}
+				recvPeer = d.mp.OwnerOfCell(nc[0], nc[1], nc[2])
+				box := d.mp.CellBox(c[0], c[1], c[2])
+				var rows [2]int
+				if dir > 0 {
+					rows = [2]int{box.Lo[dim] - 2, box.Lo[dim] - 1}
+				} else {
+					rows = [2]int{box.Hi[dim] + 1, box.Hi[dim] + 2}
+				}
+				for _, row := range rows {
+					if row < 0 || row >= n {
+						continue
+					}
+					regions = append(regions, box.WithDim(dim, row, row))
+				}
+			}
+			if recvPeer >= 0 {
+				data := d.rk.Recv(recvPeer, tag)
+				at := 0
+				for _, face := range regions {
+					face.Each(func(p []int) bool {
+						d.st.u[d.st.idx(p[0], p[1], p[2])] = data[at]
+						at++
+						return true
+					})
+				}
+			}
+		}
+	}
+}
+
+func (d *mpDriver) computeRHS() {
+	n := d.st.n
+	var rhoPts, stPts float64
+	for _, c := range d.cells() {
+		box := d.mp.CellBox(c[0], c[1], c[2])
+		// Reciprocals on the cell grown by 1 along each axis (the local
+		// replication that stands in for LOCALIZE).
+		grown := box.Grow(0, 1, 1).Grow(1, 1, 1).Grow(2, 1, 1).
+			Intersect(iset.NewBox([]int{0, 0, 0}, []int{n - 1, n - 1, n - 1}))
+		grown.Each(func(p []int) bool {
+			d.st.rhoPoint(p[0], p[1], p[2])
+			rhoPts++
+			return true
+		})
+		inner := box.Intersect(iset.NewBox([]int{2, 2, 2}, []int{n - 3, n - 3, n - 3}))
+		inner.Each(func(p []int) bool {
+			d.st.stencilPoint(p[0], p[1], p[2], d.bt)
+			stPts++
+			return true
+		})
+	}
+	mul := float64(d.st.comp)
+	d.rk.ComputeLabeled(d.w.Rho*rhoPts+d.w.Stencil*stPts*mul, "compute_rhs")
+}
+
+// jacPhase runs BT's fully-parallel block-Jacobian setup on own cells.
+func (d *mpDriver) jacPhase() {
+	n := d.st.n
+	var pts float64
+	for dim := 0; dim < 3; dim++ {
+		for _, c := range d.cells() {
+			box := d.mp.CellBox(c[0], c[1], c[2]).
+				Intersect(iset.NewBox([]int{1, 1, 1}, []int{n - 2, n - 2, n - 2}))
+			box.Each(func(p []int) bool {
+				d.st.jacPoint(dim, p[0], p[1], p[2])
+				pts++
+				return true
+			})
+		}
+	}
+	c := float64(d.st.comp)
+	d.rk.ComputeLabeled(d.w.Jac*pts*c*c, "lhs")
+}
+
+func (d *mpDriver) spdPhase() {
+	n := d.st.n
+	var pts float64
+	for _, c := range d.cells() {
+		box := d.mp.CellBox(c[0], c[1], c[2]).
+			Intersect(iset.NewBox([]int{0, 1, 0}, []int{n - 1, n - 2, n - 1}))
+		box.Each(func(p []int) bool {
+			d.st.spdPoint(p[0], p[1], p[2])
+			pts++
+			return true
+		})
+	}
+	d.rk.ComputeLabeled((d.w.Cv+d.w.Spd)*pts, "lhs")
+}
+
+// pivotRange returns the global forward/backward pivot range.
+func (d *mpDriver) pivotRange() (int, int) { return 1, d.st.n - 4 }
+
+// tagBlock reserves Q tags for one sweep's stage boundaries; boundary b
+// (between stages b and b+1) uses tag base+b on both sides.
+func (d *mpDriver) tagBlock() int {
+	base := d.tag + 1
+	d.tag += d.mp.Q
+	return base
+}
+
+// forwardSweep runs one system's forward elimination along dim over the
+// Q stages.
+func (d *mpDriver) forwardSweep(dim int, sys SweepSystem, label string, tagBase int) {
+	plo, phi := d.pivotRange()
+	for s := 0; s < d.mp.Q; s++ {
+		c := d.cellInSlab(dim, s)
+		box := d.mp.CellBox(c[0], c[1], c[2])
+		lo, hi := box.Lo[dim], box.Hi[dim]
+		foot := footprint(box, dim, d.st.n)
+
+		// Receive the predecessor's last two pivots and apply their
+		// contributions to my rows.
+		if s > 0 {
+			pred := c
+			pred[dim]--
+			peer := d.mp.OwnerOfCell(pred[0], pred[1], pred[2])
+			pivots := clampPivots([]int{lo - 2, lo - 1}, plo, phi)
+			tag := tagBase + s - 1
+			if len(pivots) > 0 {
+				data := d.rk.Recv(peer, tag)
+				at := 0
+				nc := sys.Comps()
+				for _, p := range pivots {
+					foot.Each(func(ab []int) bool {
+						f := data[at]
+						at++
+						rv := data[at : at+nc]
+						at += nc
+						d.st.applyPivot(dim, p, ab[0], ab[1], sys, lo, hi, f, rv)
+						return true
+					})
+				}
+			}
+		}
+
+		// Eliminate my own pivots, writing only into my rows.
+		var pts float64
+		for p := max(lo, plo); p <= min(hi, phi); p++ {
+			foot.Each(func(ab []int) bool {
+				d.st.applyPivot(dim, p, ab[0], ab[1], sys, lo, hi, 0, nil)
+				pts++
+				return true
+			})
+		}
+		d.rk.ComputeLabeled(d.w.Fwd*pts*float64(sys.Comps()), label)
+
+		// Forward my last two pivots to the successor stage.
+		if s < d.mp.Q-1 {
+			succ := c
+			succ[dim]++
+			peer := d.mp.OwnerOfCell(succ[0], succ[1], succ[2])
+			pivots := clampPivots([]int{hi - 1, hi}, plo, phi)
+			tag := tagBase + s
+			if len(pivots) > 0 {
+				var payload []float64
+				for _, p := range pivots {
+					foot.Each(func(ab []int) bool {
+						i, j, k := point(dim, p, ab[0], ab[1])
+						payload = append(payload, d.st.fac(sys, i, j, k))
+						for m := sys.Mlo; m <= sys.Mhi; m++ {
+							payload = append(payload, d.st.r[d.st.ridx(m, i, j, k)])
+						}
+						return true
+					})
+				}
+				d.rk.Send(peer, tag, payload)
+			}
+		}
+	}
+}
+
+// backwardSweep runs one system's back substitution along dim, stages
+// descending.
+func (d *mpDriver) backwardSweep(dim int, sys SweepSystem, label string, tagBase int) {
+	n := d.st.n
+	plo, phi := d.pivotRange()
+	for s := d.mp.Q - 1; s >= 0; s-- {
+		c := d.cellInSlab(dim, s)
+		box := d.mp.CellBox(c[0], c[1], c[2])
+		lo, hi := box.Lo[dim], box.Hi[dim]
+		foot := footprint(box, dim, d.st.n)
+
+		// Receive the two finished rows beyond my cell.
+		if s < d.mp.Q-1 {
+			succ := c
+			succ[dim]++
+			peer := d.mp.OwnerOfCell(succ[0], succ[1], succ[2])
+			rows := clampPivots([]int{hi + 1, hi + 2}, 0, n-1)
+			tag := tagBase + s
+			data := d.rk.Recv(peer, tag)
+			at := 0
+			for _, row := range rows {
+				foot.Each(func(ab []int) bool {
+					i, j, k := point(dim, row, ab[0], ab[1])
+					for m := sys.Mlo; m <= sys.Mhi; m++ {
+						d.st.r[d.st.ridx(m, i, j, k)] = data[at]
+						at++
+					}
+					return true
+				})
+			}
+		}
+
+		// Back-substitute my rows, descending.
+		var pts float64
+		for p := min(hi, phi); p >= max(lo, plo); p-- {
+			foot.Each(func(ab []int) bool {
+				d.st.backSub(dim, p, ab[0], ab[1], sys)
+				pts++
+				return true
+			})
+		}
+		d.rk.ComputeLabeled(d.w.Bwd*pts*float64(sys.Comps()), label)
+
+		// Send my first two rows to the previous stage.
+		if s > 0 {
+			pred := c
+			pred[dim]--
+			peer := d.mp.OwnerOfCell(pred[0], pred[1], pred[2])
+			rows := clampPivots([]int{lo, lo + 1}, 0, n-1)
+			tag := tagBase + s - 1
+			var payload []float64
+			for _, row := range rows {
+				foot.Each(func(ab []int) bool {
+					i, j, k := point(dim, row, ab[0], ab[1])
+					for m := sys.Mlo; m <= sys.Mhi; m++ {
+						payload = append(payload, d.st.r[d.st.ridx(m, i, j, k)])
+					}
+					return true
+				})
+			}
+			d.rk.Send(peer, tag, payload)
+		}
+	}
+}
+
+func (d *mpDriver) addPhase() {
+	n := d.st.n
+	var pts float64
+	for _, c := range d.cells() {
+		box := d.mp.CellBox(c[0], c[1], c[2]).
+			Intersect(iset.NewBox([]int{2, 2, 2}, []int{n - 3, n - 3, n - 3}))
+		box.Each(func(p []int) bool {
+			d.st.addPoint(p[0], p[1], p[2], d.bt)
+			pts++
+			return true
+		})
+	}
+	d.rk.ComputeLabeled(d.w.Add*pts, "add")
+}
+
+// cellInSlab returns this rank's unique cell with coordinate s along dim.
+func (d *mpDriver) cellInSlab(dim, s int) [3]int {
+	for _, c := range d.cells() {
+		if c[dim] == s {
+			return c
+		}
+	}
+	panic("nas: multipartitioning lost the sweep property")
+}
+
+// footprint is the 2-D box of the non-sweep dimensions of a cell box,
+// clamped to the interior line range the solves cover (the sources sweep
+// lines in [1, n-2] only).
+func footprint(box iset.Box, dim, n int) iset.Box {
+	f := box.Drop(dim)
+	for d := 0; d < 2; d++ {
+		f.Lo[d] = max(f.Lo[d], 1)
+		f.Hi[d] = min(f.Hi[d], n-2)
+	}
+	return f
+}
+
+func clampPivots(rows []int, lo, hi int) []int {
+	var out []int
+	for _, r := range rows {
+		if r >= lo && r <= hi {
+			out = append(out, r)
+		}
+	}
+	return out
+}

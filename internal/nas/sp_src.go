@@ -1,0 +1,232 @@
+package nas
+
+import "fmt"
+
+// SPSource returns the mini-HPF source of the simplified SP benchmark
+// for an n³ grid, the given number of time steps, and a p1×p2 processor
+// grid over the (y, z) dimensions — the Rice HPF version of the paper's
+// §8.1: serial code structure plus directives (DISTRIBUTE, NEW on the
+// lhsy-style line temporaries, LOCALIZE on the reciprocal array, and the
+// y/z sweep loops already interchanged to carrier-outermost form).
+//
+// Like NAS SP, the solver carries NCOMP=5 solution components per grid
+// point but the line systems are *scalar* (fully diagonalized): the five
+// pentadiagonal systems per line share one elimination factor and do not
+// couple — that is exactly what separates SP from BT (whose 5×5 block
+// systems do couple, and cost comp× more per transferred byte).
+//
+// Per time step:
+//
+//	compute_rhs — rho = 1/u under LOCALIZE; r(m,·) from a ±1 stencil of
+//	              rho plus a 2-deep dissipation stencil of u
+//	lhs/spd     — privatizable line temporary cv(j) (NEW) feeding spd
+//	x_solve     — bi-directional sweeps along the undistributed dimension
+//	y_solve     — forward elimination writing rows j+1, j+2 (Fig 5.1) and
+//	              backward substitution reading them: the wavefront the
+//	              compiler pipelines; §7 kills the anti-pipeline read
+//	z_solve     — the same along k
+//	add         — u += CoefAdd·Σ_m r(m,·)
+func SPSource(n, steps, p1, p2 int) string {
+	return fmt.Sprintf(`
+program sp
+param N = %d
+param STEPS = %d
+param P1 = %d
+param P2 = %d
+
+!hpf$ processors procs(P1, P2)
+!hpf$ template tm(N, N, N)
+!hpf$ align u with tm(d0, d1, d2)
+!hpf$ align rho with tm(d0, d1, d2)
+!hpf$ align rhs with tm(*, d0, d1, d2)
+!hpf$ align spd with tm(d0, d1, d2)
+!hpf$ distribute tm(*, BLOCK, BLOCK) onto procs
+
+subroutine main()
+  real u(0:N-1, 0:N-1, 0:N-1)
+  real rho(0:N-1, 0:N-1, 0:N-1)
+  real rhs(1:5, 0:N-1, 0:N-1, 0:N-1)
+  real spd(0:N-1, 0:N-1, 0:N-1)
+  real cv(0:N-1)
+
+  ! initialization (owner-computes everywhere, no communication)
+  do k = 0, N-1
+    do j = 0, N-1
+      do i = 0, N-1
+        u(i,j,k) = 1.0 + 0.001*i + 0.002*j + 0.003*k
+        rho(i,j,k) = 0.0
+        spd(i,j,k) = 0.0
+        do m = 1, 5
+          rhs(m,i,j,k) = 0.0
+        enddo
+      enddo
+    enddo
+  enddo
+
+  do step = 1, STEPS
+
+    ! --- compute_rhs: reciprocals partially replicated (LOCALIZE) ---
+    !hpf$ independent, localize(rho)
+    do onetrip = 1, 1
+      do k = 0, N-1
+        do j = 0, N-1
+          do i = 0, N-1
+            rho(i,j,k) = 1.0 / u(i,j,k)
+          enddo
+        enddo
+      enddo
+      do k = 2, N-3
+        do j = 2, N-3
+          do i = 2, N-3
+            do m = 1, 5
+              rhs(m,i,j,k) = %g*(rho(i+1,j,k) + rho(i-1,j,k) + rho(i,j+1,k) + rho(i,j-1,k) + rho(i,j,k+1) + rho(i,j,k-1) - 6.0*rho(i,j,k)) + %g*m*(u(i+2,j,k) + u(i-2,j,k) + u(i,j+2,k) + u(i,j-2,k) + u(i,j,k+2) + u(i,j,k-2))
+            enddo
+          enddo
+        enddo
+      enddo
+    enddo
+
+    ! --- lhs setup: privatizable line temporary (NEW), as in lhsy ---
+    do k = 0, N-1
+      !hpf$ independent, new(cv)
+      do i = 0, N-1
+        do j = 0, N-1
+          cv(j) = %g * u(i,j,k)
+        enddo
+        do j = 1, N-2
+          spd(i,j,k) = cv(j-1) + cv(j+1)
+        enddo
+      enddo
+    enddo
+
+    ! --- x_solve: sweeps along the undistributed dimension (local).
+    ! Like NAS SP, each direction solves two separate scalar systems:
+    ! components 1-3 (the lhs system) and components 4-5 (the ±c
+    ! characteristic systems lhsp/lhsm).
+    do k = 1, N-2
+      do j = 1, N-2
+        do i = 1, N-4
+          do m = 1, 3
+            rhs(m,i+1,j,k) = rhs(m,i+1,j,k) - (%g/u(i,j,k) + %g*spd(i,j,k))*rhs(m,i,j,k)
+            rhs(m,i+2,j,k) = rhs(m,i+2,j,k) - %g*rhs(m,i,j,k)
+          enddo
+        enddo
+        do i = 1, N-4
+          do m = 4, 5
+            rhs(m,i+1,j,k) = rhs(m,i+1,j,k) - (%g/u(i,j,k))*rhs(m,i,j,k)
+            rhs(m,i+2,j,k) = rhs(m,i+2,j,k) - %g*rhs(m,i,j,k)
+          enddo
+        enddo
+        do i = N-4, 1, -1
+          do m = 1, 3
+            rhs(m,i,j,k) = rhs(m,i,j,k) - %g*rhs(m,i+1,j,k) - %g*rhs(m,i+2,j,k)
+          enddo
+        enddo
+        do i = N-4, 1, -1
+          do m = 4, 5
+            rhs(m,i,j,k) = rhs(m,i,j,k) - %g*rhs(m,i+1,j,k) - %g*rhs(m,i+2,j,k)
+          enddo
+        enddo
+      enddo
+    enddo
+
+    ! --- y_solve: wavefronts along the first distributed dimension.
+    ! Two separate systems ⇒ two forward and two reverse pipelines per
+    ! phase, exactly the structure visible in the paper's Figure 8.2.
+    do j = 1, N-4
+      do k = 1, N-2
+        do i = 1, N-2
+          do m = 1, 3
+            rhs(m,i,j+1,k) = rhs(m,i,j+1,k) - (%g/u(i,j,k) + %g*spd(i,j,k))*rhs(m,i,j,k)
+            rhs(m,i,j+2,k) = rhs(m,i,j+2,k) - %g*rhs(m,i,j,k)
+          enddo
+        enddo
+      enddo
+    enddo
+    do j = 1, N-4
+      do k = 1, N-2
+        do i = 1, N-2
+          do m = 4, 5
+            rhs(m,i,j+1,k) = rhs(m,i,j+1,k) - (%g/u(i,j,k))*rhs(m,i,j,k)
+            rhs(m,i,j+2,k) = rhs(m,i,j+2,k) - %g*rhs(m,i,j,k)
+          enddo
+        enddo
+      enddo
+    enddo
+    do j = N-4, 1, -1
+      do k = 1, N-2
+        do i = 1, N-2
+          do m = 1, 3
+            rhs(m,i,j,k) = rhs(m,i,j,k) - %g*rhs(m,i,j+1,k) - %g*rhs(m,i,j+2,k)
+          enddo
+        enddo
+      enddo
+    enddo
+    do j = N-4, 1, -1
+      do k = 1, N-2
+        do i = 1, N-2
+          do m = 4, 5
+            rhs(m,i,j,k) = rhs(m,i,j,k) - %g*rhs(m,i,j+1,k) - %g*rhs(m,i,j+2,k)
+          enddo
+        enddo
+      enddo
+    enddo
+
+    ! --- z_solve: wavefronts along the second distributed dimension ---
+    do k = 1, N-4
+      do j = 1, N-2
+        do i = 1, N-2
+          do m = 1, 3
+            rhs(m,i,j,k+1) = rhs(m,i,j,k+1) - (%g/u(i,j,k) + %g*spd(i,j,k))*rhs(m,i,j,k)
+            rhs(m,i,j,k+2) = rhs(m,i,j,k+2) - %g*rhs(m,i,j,k)
+          enddo
+        enddo
+      enddo
+    enddo
+    do k = 1, N-4
+      do j = 1, N-2
+        do i = 1, N-2
+          do m = 4, 5
+            rhs(m,i,j,k+1) = rhs(m,i,j,k+1) - (%g/u(i,j,k))*rhs(m,i,j,k)
+            rhs(m,i,j,k+2) = rhs(m,i,j,k+2) - %g*rhs(m,i,j,k)
+          enddo
+        enddo
+      enddo
+    enddo
+    do k = N-4, 1, -1
+      do j = 1, N-2
+        do i = 1, N-2
+          do m = 1, 3
+            rhs(m,i,j,k) = rhs(m,i,j,k) - %g*rhs(m,i,j,k+1) - %g*rhs(m,i,j,k+2)
+          enddo
+        enddo
+      enddo
+    enddo
+    do k = N-4, 1, -1
+      do j = 1, N-2
+        do i = 1, N-2
+          do m = 4, 5
+            rhs(m,i,j,k) = rhs(m,i,j,k) - %g*rhs(m,i,j,k+1) - %g*rhs(m,i,j,k+2)
+          enddo
+        enddo
+      enddo
+    enddo
+
+    ! --- add ---
+    do k = 2, N-3
+      do j = 2, N-3
+        do i = 2, N-3
+          u(i,j,k) = u(i,j,k) + %g*(rhs(1,i,j,k) + rhs(2,i,j,k) + rhs(3,i,j,k) + rhs(4,i,j,k) + rhs(5,i,j,k))
+        enddo
+      enddo
+    enddo
+  enddo
+end
+`, n, steps, p1, p2,
+		CoefDT, CoefDX,
+		CoefCV,
+		CoefFac, CoefSPD, CoefFw2, CoefFac2, CoefFw2, CoefBk1, CoefBk2, CoefBk1, CoefBk2,
+		CoefFac, CoefSPD, CoefFw2, CoefFac2, CoefFw2, CoefBk1, CoefBk2, CoefBk1, CoefBk2,
+		CoefFac, CoefSPD, CoefFw2, CoefFac2, CoefFw2, CoefBk1, CoefBk2, CoefBk1, CoefBk2,
+		CoefAdd)
+}

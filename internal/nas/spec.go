@@ -1,0 +1,72 @@
+// Package nas holds the paper's application workloads: structurally
+// faithful reductions of the NAS SP and BT pseudo-applications (ADI
+// schemes with bi-directional line sweeps over a 3-D grid) in four
+// interchangeable forms:
+//
+//   - a mini-HPF source (the "NPB2.3-serial plus directives" the paper's
+//     dHPF experiments start from), compiled by the dhpf pipeline;
+//   - the serial reference semantics of that source (spmd.RunSerial);
+//   - a hand-written message-passing version using diagonal
+//     multipartitioning — the paper's hand-MPI baseline;
+//   - a PGI-style version using a 1-D block distribution with full
+//     transposes around the distributed-dimension line solve — the
+//     strategy of the pghpf codes the paper compares against.
+//
+// The physics is simplified (SP solves one scalar field, BT couples
+// NCOMP fields per point), but every structural property the paper's
+// optimizations react to is preserved: reciprocal temporaries consumed
+// with ±1 stencils (LOCALIZE), privatizable line temporaries (NEW),
+// 2-deep halo reads, forward eliminations writing rows j+1/j+2 and
+// backward substitutions reading them (wavefront pipelines + §7
+// availability), and pointwise leaf routines called inside parallel
+// loops (interprocedural CPs, BT only).
+package nas
+
+// Class identifies a NAS problem size.
+type Class struct {
+	Name  string
+	N     int // grid points per dimension
+	Steps int // time steps the benchmark runs
+}
+
+// The paper's classes plus two reduced sizes for direct simulation.
+var (
+	ClassS = Class{Name: "S", N: 12, Steps: 2}
+	ClassW = Class{Name: "W", N: 24, Steps: 2}
+	ClassA = Class{Name: "A", N: 64, Steps: 400}
+	ClassB = Class{Name: "B", N: 102, Steps: 400}
+)
+
+// NCOMP is the number of coupled components per grid point in BT
+// (block size of the block-tridiagonal systems; 5 in NAS).
+const NCOMP = 5
+
+// Coefficients shared by every implementation of the simplified solver.
+// They are small enough that a few hundred steps stay numerically tame.
+const (
+	CoefDT   = 0.015 // reciprocal-stencil weight in compute_rhs
+	CoefDX   = 0.002 // 2-deep dissipation weight in compute_rhs
+	CoefCV   = 0.5   // privatizable line-temp weight (lhsy phase)
+	CoefSPD  = 0.05  // spd contribution to the sweep pivot
+	CoefFw2  = 0.04  // second-row forward-elimination factor
+	CoefBk1  = 0.06  // first back-substitution factor
+	CoefBk2  = 0.03  // second back-substitution factor
+	CoefAdd  = 0.1   // u += CoefAdd * rhs
+	CoefFac  = 0.08  // system-1 forward factor: CoefFac/u + CoefSPD·spd
+	CoefFac2 = 0.07  // system-2 forward factor: CoefFac2/u (the ±c characteristics)
+	CoefMix  = 0.02  // BT cross-component coupling weight
+	CoefJac  = 0.002 // BT block-Jacobian (lhs setup) weight
+)
+
+// GridShape picks the 2-D processor grid the HPF codes use for P ranks:
+// as square as possible (the paper uses square counts 4, 9, 16, 25 and
+// rectangular 2, 8, 32).
+func GridShape(p int) (p1, p2 int) {
+	best1 := 1
+	for d := 1; d*d <= p; d++ {
+		if p%d == 0 {
+			best1 = d
+		}
+	}
+	return best1, p / best1
+}

@@ -1,0 +1,421 @@
+package nas
+
+import (
+	"fmt"
+	"sync"
+
+	"dhpf/internal/hpf"
+	"dhpf/internal/mpsim"
+)
+
+// TransposeRun is the result of a PGI-style run.
+type TransposeRun struct {
+	Machine *mpsim.Result
+	N       int
+	U, R    []float64
+}
+
+// RunTranspose executes the PGI-style implementation the paper describes
+// for the pghpf codes (§8.1): a 1-D block distribution of the principal
+// arrays along the z dimension for every phase except the z line solve;
+// before that solve the needed arrays are copied (fully transposed) into
+// variables distributed along y, the z sweeps run locally, and the
+// results are transposed back.
+func RunTranspose(bench string, n, steps, procs int, cfg mpsim.Config) (*TransposeRun, error) {
+	bt, comp, err := fmtBench(bench)
+	if err != nil {
+		return nil, err
+	}
+	if procs > n {
+		return nil, fmt.Errorf("nas: transpose version needs procs ≤ n")
+	}
+	var w FlopWeights
+	if bt {
+		w = weightsFrom(BTSource(8, 1, 1, 1), true)
+	} else {
+		w = weightsFrom(SPSource(8, 1, 1, 1), false)
+	}
+
+	blk := hpf.DefaultBlockSize(n, procs)
+	lohi := func(rank int) (int, int) {
+		lo := rank * blk
+		hi := min(lo+blk-1, n-1)
+		return lo, hi
+	}
+
+	states := make([]*handState, procs)
+	var mu sync.Mutex
+	var runErr error
+	cfg.Procs = procs
+	res := mpsim.Run(cfg, func(rk *mpsim.Rank) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				mu.Lock()
+				if runErr == nil {
+					runErr = fmt.Errorf("nas: transpose rank %d: %v", rk.ID, rec)
+				}
+				mu.Unlock()
+			}
+		}()
+		st := newHandState(n, comp, !bt)
+		mu.Lock()
+		states[rk.ID] = st
+		mu.Unlock()
+		d := &tpDriver{rk: rk, st: st, bt: bt, systems: SweepSystems(bench), w: w, procs: procs, lohi: lohi}
+		d.run(steps)
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	out := &TransposeRun{Machine: res, N: n}
+	out.U = make([]float64, n*n*n)
+	out.R = make([]float64, comp*n*n*n)
+	for rank := 0; rank < procs; rank++ {
+		st := states[rank]
+		klo, khi := lohi(rank)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				for k := klo; k <= khi; k++ {
+					out.U[st.idx(i, j, k)] = st.u[st.idx(i, j, k)]
+					for m := 0; m < comp; m++ {
+						out.R[st.ridx(m, i, j, k)] = st.r[st.ridx(m, i, j, k)]
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+type tpDriver struct {
+	rk      *mpsim.Rank
+	st      *handState
+	bt      bool
+	systems []SweepSystem
+	w       FlopWeights
+	procs   int
+	lohi    func(int) (int, int)
+	tag     int
+}
+
+func (d *tpDriver) nextTag() int { d.tag++; return d.tag }
+
+func (d *tpDriver) run(steps int) {
+	st, n := d.st, d.st.n
+	klo, khi := d.lohi(d.rk.ID)
+	// Initialize the slab plus a 2-deep k halo.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := max(0, klo-2); k <= min(n-1, khi+2); k++ {
+				st.initPoint(i, j, k)
+			}
+		}
+	}
+	slabPts := float64(n * n * (khi - klo + 1))
+	d.rk.ComputeLabeled(d.w.Init*slabPts, "init")
+
+	for s := 0; s < steps; s++ {
+		d.haloExchange(klo, khi)
+		d.computeRHS(klo, khi)
+		if d.bt {
+			d.jacPhase(klo, khi)
+		} else {
+			d.spdPhase(klo, khi)
+		}
+		// x and y sweeps: fully local for a z-distributution.
+		d.localSweeps(0, klo, khi, "x_solve")
+		d.localSweeps(1, klo, khi, "y_solve")
+		// z sweeps: transpose to a y-distribution, solve, transpose back.
+		d.zSolveWithTranspose(klo, khi)
+		d.addPhase(klo, khi)
+	}
+}
+
+// haloExchange ships 2 k-planes of u to each z neighbour.
+func (d *tpDriver) haloExchange(klo, khi int) {
+	st, n := d.st, d.st.n
+	me := d.rk.ID
+	for _, dir := range []int{+1, -1} {
+		peer := me + dir
+		tag := d.nextTag()
+		if peer >= 0 && peer < d.procs {
+			var rows [2]int
+			if dir > 0 {
+				rows = [2]int{khi - 1, khi}
+			} else {
+				rows = [2]int{klo, klo + 1}
+			}
+			payload := make([]float64, 0, 2*n*n)
+			for _, k := range rows[:] {
+				if k < 0 || k >= n {
+					continue
+				}
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						payload = append(payload, st.u[st.idx(i, j, k)])
+					}
+				}
+			}
+			d.rk.Send(peer, tag, payload)
+		}
+		// Receive from the opposite neighbour with the same tag position.
+		from := me - dir
+		if from >= 0 && from < d.procs {
+			data := d.rk.Recv(from, tag)
+			flo, fhi := d.lohi(from)
+			var rows [2]int
+			if dir > 0 {
+				rows = [2]int{fhi - 1, fhi}
+			} else {
+				rows = [2]int{flo, flo + 1}
+			}
+			at := 0
+			for _, k := range rows[:] {
+				if k < 0 || k >= n {
+					continue
+				}
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						st.u[st.idx(i, j, k)] = data[at]
+						at++
+					}
+				}
+			}
+		}
+	}
+}
+
+func (d *tpDriver) computeRHS(klo, khi int) {
+	st, n := d.st, d.st.n
+	var rhoPts, stPts float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := max(0, klo-1); k <= min(n-1, khi+1); k++ {
+				st.rhoPoint(i, j, k)
+				rhoPts++
+			}
+		}
+	}
+	for i := 2; i <= n-3; i++ {
+		for j := 2; j <= n-3; j++ {
+			for k := max(2, klo); k <= min(n-3, khi); k++ {
+				st.stencilPoint(i, j, k, d.bt)
+				stPts++
+			}
+		}
+	}
+	mul := float64(st.comp)
+	d.rk.ComputeLabeled(d.w.Rho*rhoPts+d.w.Stencil*stPts*mul, "compute_rhs")
+}
+
+// jacPhase runs BT's block-Jacobian setup on the slab.
+func (d *tpDriver) jacPhase(klo, khi int) {
+	st, n := d.st, d.st.n
+	var pts float64
+	for dim := 0; dim < 3; dim++ {
+		for i := 1; i <= n-2; i++ {
+			for j := 1; j <= n-2; j++ {
+				for k := max(1, klo); k <= min(n-2, khi); k++ {
+					st.jacPoint(dim, i, j, k)
+					pts++
+				}
+			}
+		}
+	}
+	c := float64(st.comp)
+	d.rk.ComputeLabeled(d.w.Jac*pts*c*c, "lhs")
+}
+
+func (d *tpDriver) spdPhase(klo, khi int) {
+	st, n := d.st, d.st.n
+	var pts float64
+	for i := 0; i < n; i++ {
+		for j := 1; j <= n-2; j++ {
+			for k := klo; k <= khi; k++ {
+				st.spdPoint(i, j, k)
+				pts++
+			}
+		}
+	}
+	d.rk.ComputeLabeled((d.w.Cv+d.w.Spd)*pts, "lhs")
+}
+
+// localSweeps performs the forward+backward sweeps along dim (0 or 1),
+// which are fully local under the z distribution.
+func (d *tpDriver) localSweeps(dim int, klo, khi int, label string) {
+	st, n := d.st, d.st.n
+	plo, phi := 1, n-4
+	blo, bhi := max(klo, 1), min(khi, n-2)
+	for _, sys := range d.systems {
+		var pts float64
+		for p := plo; p <= phi; p++ {
+			for a := 1; a <= n-2; a++ {
+				for b := blo; b <= bhi; b++ {
+					st.applyPivot(dim, p, a, b, sys, 0, n-1, 0, nil)
+					pts++
+				}
+			}
+		}
+		d.rk.ComputeLabeled(d.w.Fwd*pts*float64(sys.Comps()), label)
+	}
+	for _, sys := range d.systems {
+		var pts float64
+		for p := phi; p >= plo; p-- {
+			for a := 1; a <= n-2; a++ {
+				for b := blo; b <= bhi; b++ {
+					st.backSub(dim, p, a, b, sys)
+					pts++
+				}
+			}
+		}
+		d.rk.ComputeLabeled(d.w.Bwd*pts*float64(sys.Comps()), label)
+	}
+}
+
+// zSolveWithTranspose redistributes u, spd and r to a y-block layout,
+// runs the z sweeps locally, and transposes r back.
+func (d *tpDriver) zSolveWithTranspose(klo, khi int) {
+	st, n := d.st, d.st.n
+	me := d.rk.ID
+	jlo, jhi := d.lohi(me)
+
+	// Forward transpose: peer p gets my k rows restricted to p's j rows.
+	arrays := []([]float64){st.u, st.r}
+	if st.spd != nil {
+		arrays = []([]float64){st.u, st.spd, st.r}
+	}
+	base := d.tag + 1
+	d.tag += d.procs
+	for peer := 0; peer < d.procs; peer++ {
+		if peer == me {
+			continue
+		}
+		pjlo, pjhi := d.lohi(peer)
+		payload := d.pack(arrays, 0, n-1, pjlo, pjhi, klo, khi)
+		d.rk.Send(peer, base+me, payload)
+	}
+	for peer := 0; peer < d.procs; peer++ {
+		if peer == me {
+			continue
+		}
+		pklo, pkhi := d.lohi(peer)
+		data := d.rk.Recv(peer, base+peer)
+		d.unpack(arrays, data, 0, n-1, jlo, jhi, pklo, pkhi)
+	}
+
+	// Local z sweeps over my j rows (interior lines), all k.
+	plo, phi := 1, n-4
+	zjlo, zjhi := max(jlo, 1), min(jhi, n-2)
+	for _, sys := range d.systems {
+		var pts float64
+		for p := plo; p <= phi; p++ {
+			for i := 1; i <= n-2; i++ {
+				for j := zjlo; j <= zjhi; j++ {
+					st.applyPivot(2, p, i, j, sys, 0, n-1, 0, nil)
+					pts++
+				}
+			}
+		}
+		d.rk.ComputeLabeled(d.w.Fwd*pts*float64(sys.Comps()), "z_solve")
+	}
+	for _, sys := range d.systems {
+		var pts float64
+		for p := phi; p >= plo; p-- {
+			for i := 1; i <= n-2; i++ {
+				for j := zjlo; j <= zjhi; j++ {
+					st.backSub(2, p, i, j, sys)
+					pts++
+				}
+			}
+		}
+		d.rk.ComputeLabeled(d.w.Bwd*pts*float64(sys.Comps()), "z_solve")
+	}
+
+	// Transpose r back: peer p gets my j rows restricted to p's k rows.
+	rOnly := []([]float64){st.r}
+	base = d.tag + 1
+	d.tag += d.procs
+	for peer := 0; peer < d.procs; peer++ {
+		if peer == me {
+			continue
+		}
+		pklo, pkhi := d.lohi(peer)
+		payload := d.pack(rOnly, 0, n-1, jlo, jhi, pklo, pkhi)
+		d.rk.Send(peer, base+me, payload)
+	}
+	for peer := 0; peer < d.procs; peer++ {
+		if peer == me {
+			continue
+		}
+		pjlo, pjhi := d.lohi(peer)
+		data := d.rk.Recv(peer, base+peer)
+		d.unpack(rOnly, data, 0, n-1, pjlo, pjhi, klo, khi)
+	}
+}
+
+// pack serializes the block [ilo:ihi]×[jlo:jhi]×[klo:khi] of each array
+// (r contributes comp components).
+func (d *tpDriver) pack(arrays [][]float64, ilo, ihi, jlo, jhi, klo, khi int) []float64 {
+	st := d.st
+	var payload []float64
+	for _, arr := range arrays {
+		comps := 1
+		if len(arr) == len(st.r) && st.comp > 1 {
+			comps = st.comp
+		}
+		for m := 0; m < comps; m++ {
+			for i := ilo; i <= ihi; i++ {
+				for j := jlo; j <= jhi; j++ {
+					for k := klo; k <= khi; k++ {
+						if comps > 1 || len(arr) == len(st.r) {
+							payload = append(payload, arr[st.ridx(m, i, j, k)])
+						} else {
+							payload = append(payload, arr[st.idx(i, j, k)])
+						}
+					}
+				}
+			}
+		}
+	}
+	return payload
+}
+
+func (d *tpDriver) unpack(arrays [][]float64, data []float64, ilo, ihi, jlo, jhi, klo, khi int) {
+	st := d.st
+	at := 0
+	for _, arr := range arrays {
+		comps := 1
+		if len(arr) == len(st.r) && st.comp > 1 {
+			comps = st.comp
+		}
+		for m := 0; m < comps; m++ {
+			for i := ilo; i <= ihi; i++ {
+				for j := jlo; j <= jhi; j++ {
+					for k := klo; k <= khi; k++ {
+						if comps > 1 || len(arr) == len(st.r) {
+							arr[st.ridx(m, i, j, k)] = data[at]
+						} else {
+							arr[st.idx(i, j, k)] = data[at]
+						}
+						at++
+					}
+				}
+			}
+		}
+	}
+}
+
+func (d *tpDriver) addPhase(klo, khi int) {
+	st, n := d.st, d.st.n
+	var pts float64
+	for i := 2; i <= n-3; i++ {
+		for j := 2; j <= n-3; j++ {
+			for k := max(2, klo); k <= min(n-3, khi); k++ {
+				st.addPoint(i, j, k, d.bt)
+				pts++
+			}
+		}
+	}
+	d.rk.ComputeLabeled(d.w.Add*pts, "add")
+}

@@ -1,0 +1,57 @@
+package nas
+
+import (
+	"testing"
+)
+
+func TestTransposeSPMatchesSerial(t *testing.T) {
+	n, steps := 12, 2
+	for _, procs := range []int{1, 2, 4} {
+		run, err := RunTranspose("sp", n, steps, procs, smallMachine(procs))
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		ref := referenceArrays(t, SPSource(n, steps, 1, 1), "u", "rhs")
+		if e := maxRelErr(run.U, ref["u"]); e > 1e-12 {
+			t.Errorf("procs=%d: u max rel err %g", procs, e)
+		}
+		if e := maxRelErr(run.R, ref["rhs"]); e > 1e-12 {
+			t.Errorf("procs=%d: rhs max rel err %g", procs, e)
+		}
+	}
+}
+
+func TestTransposeBTMatchesSerial(t *testing.T) {
+	n, steps := 12, 1
+	for _, procs := range []int{2, 3} {
+		run, err := RunTranspose("bt", n, steps, procs, smallMachine(procs))
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		ref := referenceArrays(t, BTSource(n, steps, 1, 1), "u", "r")
+		if e := maxRelErr(run.U, ref["u"]); e > 1e-12 {
+			t.Errorf("procs=%d: u max rel err %g", procs, e)
+		}
+		if e := maxRelErr(run.R, ref["r"]); e > 1e-12 {
+			t.Errorf("procs=%d: r max rel err %g", procs, e)
+		}
+	}
+}
+
+func TestTransposeMovesMoreBytesThanMultipart(t *testing.T) {
+	// The transpose strategy ships O(n³/P) per step; multipartitioning
+	// ships only boundary faces.  This is the structural reason the
+	// paper's PGI codes trail at scale.
+	n, steps, procs := 16, 1, 4
+	tp, err := RunTranspose("sp", n, steps, procs, smallMachine(procs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := RunMultipart("sp", n, steps, procs, smallMachine(procs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Machine.TotalBytes() <= mp.Machine.TotalBytes() {
+		t.Errorf("transpose bytes %d ≤ multipart bytes %d", tp.Machine.TotalBytes(), mp.Machine.TotalBytes())
+	}
+}

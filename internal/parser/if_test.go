@@ -1,0 +1,112 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"dhpf/internal/ir"
+)
+
+func TestParseIfThenElse(t *testing.T) {
+	src := `
+program t
+param N = 16
+subroutine main()
+  real a(0:N-1)
+  do i = 0, N-1
+    if (i == 0) then
+      a(i) = 1.0
+    else
+      a(i) = 2.0
+    endif
+  enddo
+end
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := prog.Main().Body[0].(*ir.Loop)
+	st, ok := l.Body[0].(*ir.IfStmt)
+	if !ok {
+		t.Fatalf("expected IfStmt, got %T", l.Body[0])
+	}
+	if st.Cond.Op != "==" {
+		t.Errorf("op = %q", st.Cond.Op)
+	}
+	if len(st.Then) != 1 || len(st.Else) != 1 {
+		t.Errorf("branches: %d/%d", len(st.Then), len(st.Else))
+	}
+}
+
+func TestParseIfOperators(t *testing.T) {
+	for _, op := range []string{"<", ">", "<=", ">=", "==", "/="} {
+		src := `
+program t
+param N = 16
+subroutine main()
+  real a(0:N-1)
+  do i = 1, N-2
+    if (i ` + op + ` N-2) then
+      a(i) = 1.0
+    endif
+  enddo
+end
+`
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("op %s: %v", op, err)
+		}
+		st := prog.Main().Body[0].(*ir.Loop).Body[0].(*ir.IfStmt)
+		if st.Cond.Op != op {
+			t.Errorf("parsed op %q, want %q", st.Cond.Op, op)
+		}
+	}
+}
+
+func TestParseIfRejectsArrayCondition(t *testing.T) {
+	src := `
+program t
+param N = 16
+subroutine main()
+  real a(0:N-1)
+  do i = 0, N-1
+    if (a(i) > 0) then
+      a(i) = 1.0
+    endif
+  enddo
+end
+`
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("expected rejection of array-valued condition")
+	}
+	if !strings.Contains(err.Error(), "processor-uniform") {
+		t.Errorf("error %q", err)
+	}
+}
+
+func TestParseNestedIf(t *testing.T) {
+	src := `
+program t
+param N = 16
+subroutine main()
+  real a(0:N-1)
+  do i = 0, N-1
+    if (i > 0) then
+      if (i < N-1) then
+        a(i) = 1.0
+      endif
+    endif
+  enddo
+end
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := prog.Main().Body[0].(*ir.Loop).Body[0].(*ir.IfStmt)
+	if _, ok := outer.Then[0].(*ir.IfStmt); !ok {
+		t.Fatal("nested if not parsed")
+	}
+}

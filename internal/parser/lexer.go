@@ -1,0 +1,198 @@
+// Package parser implements the front end of the dhpf compiler: a lexer
+// and recursive-descent parser for the mini-HPF surface language into the
+// internal/ir representation.
+//
+// The language is a deliberately small Fortran-like notation:
+//
+//	program stencil
+//	param N = 64
+//	!hpf$ processors procs(2, 2)
+//	!hpf$ template tmpl(N, N)
+//	!hpf$ align a with tmpl(d0, d1)
+//	!hpf$ distribute tmpl(BLOCK, BLOCK) onto procs
+//
+//	subroutine main()
+//	  real a(0:N-1, 0:N-1)
+//	  !hpf$ independent, new(cv)
+//	  do j = 1, N-2
+//	    do i = 1, N-2
+//	      a(i,j) = 0.25 * (a(i-1,j) + a(i+1,j))
+//	    enddo
+//	  enddo
+//	end
+//
+// Statements are line-oriented; `!` begins a comment unless the line is a
+// `!hpf$` directive.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tNewline
+	tIdent
+	tInt
+	tFloat
+	tPunct // single punctuation: ( ) , = + - * / :
+	tDirective
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of input"
+	case tNewline:
+		return "end of line"
+	case tDirective:
+		return "directive " + t.text
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer tokenizes the whole input eagerly; mini-HPF files are small.
+type lexer struct {
+	src   string
+	pos   int
+	line  int
+	col   int
+	items []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		// Collapse consecutive newlines.
+		if tok.kind == tNewline {
+			if n := len(l.items); n > 0 && l.items[n-1].kind == tNewline {
+				continue
+			}
+		}
+		l.items = append(l.items, tok)
+		if tok.kind == tEOF {
+			return l.items, nil
+		}
+	}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) next() (token, error) {
+	// Skip spaces and tabs (not newlines).
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		if c == ' ' || c == '\t' || c == '\r' {
+			l.advance()
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tEOF, line: l.line, col: l.col}, nil
+	}
+	line, col := l.line, l.col
+	c := l.peekByte()
+
+	switch {
+	case c == '\n':
+		l.advance()
+		return token{kind: tNewline, line: line, col: col}, nil
+
+	case c == '!':
+		// Directive or comment: read to end of line.
+		start := l.pos
+		for l.pos < len(l.src) && l.peekByte() != '\n' {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		low := strings.ToLower(text)
+		if strings.HasPrefix(low, "!hpf$") {
+			return token{kind: tDirective, text: strings.TrimSpace(text[5:]), line: line, col: col}, nil
+		}
+		// Plain comment: produce the newline that follows (if any) on the
+		// next call; comments vanish.
+		return l.next()
+
+	case isIdentStart(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(rune(l.peekByte())) {
+			l.advance()
+		}
+		return token{kind: tIdent, text: l.src[start:l.pos], line: line, col: col}, nil
+
+	case unicode.IsDigit(rune(c)):
+		start := l.pos
+		isFloat := false
+		for l.pos < len(l.src) {
+			c := l.peekByte()
+			if unicode.IsDigit(rune(c)) {
+				l.advance()
+				continue
+			}
+			if c == '.' && !isFloat {
+				// Disambiguate "1.5" from "1:" ranges — '.' always means
+				// float here since ranges use ':'.
+				isFloat = true
+				l.advance()
+				continue
+			}
+			if (c == 'e' || c == 'E') && l.pos+1 < len(l.src) {
+				nxt := l.src[l.pos+1]
+				if unicode.IsDigit(rune(nxt)) || nxt == '+' || nxt == '-' {
+					isFloat = true
+					l.advance() // e
+					l.advance() // sign or digit
+					continue
+				}
+			}
+			break
+		}
+		kind := tInt
+		if isFloat {
+			kind = tFloat
+		}
+		return token{kind: kind, text: l.src[start:l.pos], line: line, col: col}, nil
+
+	case strings.IndexByte("(),=+-*/:<>", c) >= 0:
+		l.advance()
+		return token{kind: tPunct, text: string(c), line: line, col: col}, nil
+	}
+	return token{}, fmt.Errorf("parser: line %d:%d: unexpected character %q", line, col, c)
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }

@@ -1,0 +1,185 @@
+package perfmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dhpf/internal/mpsim"
+	"dhpf/internal/nas"
+)
+
+func in(bench string, n, steps, procs int) Input {
+	return Input{Bench: bench, N: n, Steps: steps, Procs: procs,
+		Cfg: mpsim.SP2Config(procs), PipelineGrain: 8}
+}
+
+func TestModelScalesDown(t *testing.T) {
+	// More processors ⇒ less time, for every strategy (in the scaling
+	// regime the paper covers).
+	for _, bench := range []string{"sp", "bt"} {
+		prev := math.Inf(1)
+		for _, p := range []int{4, 16} {
+			v, err := PredictMultipart(in(bench, 64, 10, p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v >= prev {
+				t.Errorf("%s multipart did not scale: %g at %d procs", bench, v, p)
+			}
+			prev = v
+		}
+		prev = math.Inf(1)
+		for _, p := range []int{4, 16} {
+			v, err := PredictDHPF(in(bench, 64, 10, p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v >= prev {
+				t.Errorf("%s dHPF did not scale: %g at %d procs", bench, v, p)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestPaperShapeHolds(t *testing.T) {
+	// The paper's headline shape at 25 processors, Class A:
+	//   hand-written fastest; dHPF within 1.15× (BT) / 1.33× (SP)-ish;
+	//   PGI slower than dHPF.
+	for _, bench := range []string{"sp", "bt"} {
+		h, err := PredictMultipart(in(bench, 64, 400, 25))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := PredictDHPF(in(bench, 64, 400, 25))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := PredictTranspose(in(bench, 64, 400, 25))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(h < d) {
+			t.Errorf("%s: hand %g not fastest (dHPF %g)", bench, h, d)
+		}
+		if !(d < g) {
+			t.Errorf("%s: dHPF %g not faster than PGI %g", bench, d, g)
+		}
+		if d/h > 2.0 {
+			t.Errorf("%s: dHPF/hand ratio %g too large (paper: ≤ ~1.5)", bench, d/h)
+		}
+	}
+}
+
+func TestBTCloserThanSP(t *testing.T) {
+	// BT has ~5× more computation per communicated byte, so the dHPF gap
+	// is smaller for BT than SP — the paper's 15% vs 33%.
+	hs, _ := PredictMultipart(in("sp", 64, 400, 25))
+	ds, _ := PredictDHPF(in("sp", 64, 400, 25))
+	hb, _ := PredictMultipart(in("bt", 64, 400, 25))
+	db, _ := PredictDHPF(in("bt", 64, 400, 25))
+	gapSP := ds/hs - 1
+	gapBT := db/hb - 1
+	if gapBT >= gapSP {
+		t.Errorf("BT gap %.3f not smaller than SP gap %.3f", gapBT, gapSP)
+	}
+}
+
+func TestClassBScalesBetter(t *testing.T) {
+	// Larger problems amortize communication: relative efficiency at 25
+	// processors improves from Class A to Class B (paper §8.1).
+	effAt := func(class nas.Class) float64 {
+		h, _ := PredictMultipart(Input{Bench: "sp", N: class.N, Steps: 1, Procs: 25, Cfg: mpsim.SP2Config(25), PipelineGrain: 8})
+		d, _ := PredictDHPF(Input{Bench: "sp", N: class.N, Steps: 1, Procs: 25, Cfg: mpsim.SP2Config(25), PipelineGrain: 8})
+		return h / d
+	}
+	effA := effAt(nas.ClassA)
+	effB := effAt(nas.ClassB)
+	if effB <= effA {
+		t.Errorf("efficiency did not improve with class size: A=%.3f B=%.3f", effA, effB)
+	}
+}
+
+func TestEfficiencyDeclinesWithScale(t *testing.T) {
+	// Both HPF variants lose efficiency as ranks grow for a fixed size.
+	eff := func(p int) float64 {
+		h, _ := PredictMultipart(in("sp", 64, 1, p))
+		d, _ := PredictDHPF(in("sp", 64, 1, p))
+		return h / d
+	}
+	if !(eff(25) < eff(4)) {
+		t.Errorf("dHPF efficiency did not decline: eff(4)=%.3f eff(25)=%.3f", eff(4), eff(25))
+	}
+}
+
+func TestBuildTableConventions(t *testing.T) {
+	tb, err := BuildTable("sp", nas.ClassA, PaperProcs["sp"], 4, mpsim.SP2Config(1), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(PaperProcs["sp"]) {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		switch r.Procs {
+		case 2, 8, 32:
+			if !math.IsNaN(r.Hand) {
+				t.Errorf("hand time at non-square %d should be NaN", r.Procs)
+			}
+		case 4:
+			// By convention S.hand(4) = 4.
+			if math.Abs(r.SpHand-4) > 1e-9 {
+				t.Errorf("S.hand(4) = %g", r.SpHand)
+			}
+			if r.EffDHPF <= 0 || r.EffDHPF > 1.2 {
+				t.Errorf("E.dHPF(4) = %g", r.EffDHPF)
+			}
+		case 25:
+			if !(r.EffDHPF > r.EffPGI) {
+				t.Errorf("at 25 procs dHPF efficiency %g not above PGI %g", r.EffDHPF, r.EffPGI)
+			}
+		}
+	}
+	out := tb.Render()
+	for _, want := range []string{"Class A", "S.dHPF", "E.PGI"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestPipelineGrainTradeoff(t *testing.T) {
+	// Too-fine grain pays message overheads; too-coarse pays fill time.
+	// An intermediate grain must beat at least one extreme (the paper's
+	// observation that a single global granularity is suboptimal).
+	at := func(g int) float64 {
+		v, _ := PredictDHPF(Input{Bench: "sp", N: 64, Steps: 1, Procs: 16, Cfg: mpsim.SP2Config(16), PipelineGrain: g})
+		return v
+	}
+	mid := at(8)
+	if !(mid < at(1) || mid < at(62)) {
+		t.Errorf("grain 8 (%g) worse than both grain 1 (%g) and grain 62 (%g)", mid, at(1), at(62))
+	}
+}
+
+func TestBuildTableBTClassBConvention(t *testing.T) {
+	// The paper's BT Class B speedups are relative to the 16-processor
+	// hand-written run; BuildTable must honor an arbitrary base.
+	tb, err := BuildTable("bt", nas.ClassB, []int{16, 25}, 16, mpsim.SP2Config(1), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tb.Rows {
+		if r.Procs == 16 && mathAbs(r.SpHand-16) > 1e-9 {
+			t.Errorf("S.hand(16) = %g, want 16 by convention", r.SpHand)
+		}
+	}
+}
+
+func mathAbs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,109 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dhpf/internal/mpsim"
+	"dhpf/internal/nas"
+)
+
+// Row is one processor count of a Table 8.1/8.2-style comparison.
+type Row struct {
+	Procs           int
+	Hand, DHPF, PGI float64 // execution time (s); NaN = not applicable
+	SpHand, SpDHPF  float64 // relative speedups (paper's convention)
+	SpPGI           float64
+	EffDHPF, EffPGI float64 // relative efficiency vs hand-written
+}
+
+// Table is the full comparison for one benchmark and class.
+type Table struct {
+	Bench     string
+	Class     nas.Class
+	BaseProcs int // the hand-written run assumed to have perfect speedup
+	Rows      []Row
+}
+
+// PaperProcs are the processor counts of the paper's tables.
+var PaperProcs = map[string][]int{
+	"sp": {2, 4, 8, 9, 16, 25, 32},
+	"bt": {4, 8, 9, 16, 25, 27, 32},
+}
+
+// BuildTable projects the three implementations across processor counts,
+// following the paper's metric conventions: speedups are relative to the
+// baseProcs hand-written run (assumed perfect), and relative efficiency
+// compares each HPF code's speedup with the hand-written speedup at the
+// same count.
+func BuildTable(bench string, class nas.Class, procs []int, baseProcs int, cfg mpsim.Config, grain int) (*Table, error) {
+	t := &Table{Bench: bench, Class: class, BaseProcs: baseProcs}
+	mk := func(p int) Input {
+		return Input{Bench: bench, N: class.N, Steps: class.Steps, Procs: p, Cfg: cfg, PipelineGrain: grain}
+	}
+	baseHand, err := PredictMultipart(mk(baseProcs))
+	if err != nil {
+		return nil, fmt.Errorf("perfmodel: base count %d: %w", baseProcs, err)
+	}
+	perfect := float64(baseProcs) * baseHand
+
+	for _, p := range procs {
+		r := Row{Procs: p, Hand: math.NaN(), DHPF: math.NaN(), PGI: math.NaN()}
+		if h, err := PredictMultipart(mk(p)); err == nil {
+			r.Hand = h
+			r.SpHand = perfect / (float64(1) * h) / float64(1)
+			r.SpHand = perfect / h / 1 // S(p) = baseProcs*T(base)/T(p)
+		}
+		if d, err := PredictDHPF(mk(p)); err == nil {
+			r.DHPF = d
+			r.SpDHPF = perfect / d
+		}
+		if g, err := PredictTranspose(mk(p)); err == nil {
+			r.PGI = g
+			r.SpPGI = perfect / g
+		}
+		if !math.IsNaN(r.Hand) {
+			if !math.IsNaN(r.DHPF) {
+				r.EffDHPF = r.SpDHPF / r.SpHand
+			}
+			if !math.IsNaN(r.PGI) {
+				r.EffPGI = r.SpPGI / r.SpHand
+			}
+		}
+		t.Rows = append(t.Rows, r)
+	}
+	return t, nil
+}
+
+// Render prints the table in the paper's layout.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table: %s Class %s (N=%d, %d steps) — projected on the simulated SP2 cost model\n",
+		strings.ToUpper(t.Bench), t.Class.Name, t.Class.N, t.Class.Steps)
+	fmt.Fprintf(&sb, "speedups relative to the %d-processor hand-written code (assumed perfect)\n", t.BaseProcs)
+	fmt.Fprintf(&sb, "%6s | %10s %10s %10s | %7s %7s %7s | %7s %7s\n",
+		"procs", "hand(s)", "dHPF(s)", "PGI(s)", "S.hand", "S.dHPF", "S.PGI", "E.dHPF", "E.PGI")
+	fmt.Fprintf(&sb, "%s\n", strings.Repeat("-", 96))
+	f := func(v float64) string {
+		if math.IsNaN(v) || v == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f", v)
+	}
+	e := func(v float64) string {
+		if math.IsNaN(v) || v == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f", v)
+	}
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%6d | %10s %10s %10s | %7s %7s %7s | %7s %7s\n",
+			r.Procs, f(r.Hand), f(r.DHPF), f(r.PGI),
+			e(r.SpHand), e(r.SpDHPF), e(r.SpPGI), e(r.EffDHPF), e(r.EffPGI))
+	}
+	return sb.String()
+}
+
+// DefaultMachine is the SP2-like cost model the projections use.
+func DefaultMachine() mpsim.Config { return mpsim.SP2Config(1) }

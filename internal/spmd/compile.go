@@ -1,0 +1,255 @@
+// Package spmd is dhpf's back end: it lowers an analyzed mini-HPF
+// program into an executable SPMD form and runs it on the mpsim virtual
+// machine — every rank interprets its own partition of the iteration
+// space, exchanging exactly the messages the communication analysis
+// planned, so compiled programs produce real numeric results (checked
+// against serial execution) *and* realistic virtual-time behaviour
+// (pipelines serialize, boundary exchanges cost latency + volume).
+package spmd
+
+import (
+	"fmt"
+
+	"dhpf/internal/comm"
+	"dhpf/internal/cp"
+	"dhpf/internal/dep"
+	"dhpf/internal/hpf"
+	"dhpf/internal/ir"
+	"dhpf/internal/parser"
+)
+
+// Options bundles the optimization switches of the whole pipeline.
+type Options struct {
+	CP   cp.Options
+	Comm comm.Options
+	// PipelineGrain is the strip width of coarse-grain pipelining in
+	// wavefront loops (iterations of the strip-mined inner loop per
+	// message).  The paper notes dHPF applies one global granularity.
+	PipelineGrain int
+}
+
+// DefaultOptions enables every optimization with the paper's defaults.
+func DefaultOptions() Options {
+	return Options{
+		CP:            cp.DefaultOptions(),
+		Comm:          comm.DefaultOptions(),
+		PipelineGrain: 8,
+	}
+}
+
+// Program is a compiled SPMD program.
+type Program struct {
+	IR   *ir.Program
+	Ctx  *cp.Context
+	Sel  *cp.Selection
+	Comm map[string]*comm.Analysis // per procedure
+	// Reductions lists the recognized parallel reductions per procedure:
+	// scalar accumulations whose iterations the CP partitions, finalized
+	// with a collective combine at the loop exit (dHPF's "reduction
+	// recognition", §2).
+	Reductions map[string][]ReductionPlan
+	Grid       *hpf.Grid
+	Opt        Options
+}
+
+// ReductionPlan is one recognized parallel reduction.
+type ReductionPlan struct {
+	Loop *ir.Loop   // finalize at this loop's exit
+	Stmt *ir.Assign // the accumulation statement
+	Var  string
+	Op   byte // '+' sum, '<' min, '>' max
+}
+
+// Compile parses nothing: it takes an already-parsed program, binds its
+// directives under the parameter overrides, selects CPs (§2, §4, §6),
+// applies selective loop distribution (§5), and runs communication
+// analysis with availability elimination (§7).
+func Compile(prog *ir.Program, params map[string]int, opt Options) (*Program, error) {
+	bind, err := hpf.Bind(prog, params)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := cp.NewContext(prog, bind)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := cp.Select(ctx, opt.CP)
+	if err != nil {
+		return nil, err
+	}
+	if opt.CP.LoopDist {
+		for _, proc := range prog.Procs {
+			cp.DistributeLoops(ctx, proc, sel)
+		}
+	}
+	grid, err := ctx.Grid()
+	if err != nil {
+		return nil, err
+	}
+	out := &Program{
+		IR: prog, Ctx: ctx, Sel: sel,
+		Comm:       map[string]*comm.Analysis{},
+		Reductions: map[string][]ReductionPlan{},
+		Grid:       grid, Opt: opt,
+	}
+	for _, proc := range prog.Procs {
+		out.Reductions[proc.Name] = planReductions(ctx, proc, sel)
+		out.Comm[proc.Name] = comm.Analyze(ctx, proc, sel, opt.Comm)
+	}
+	return out, nil
+}
+
+// planReductions recognizes scalar reductions in each outermost loop:
+// statements of the shape s = s ⊕ e whose scalar is touched nowhere else
+// inside the loop and whose CP partitions the iterations.  Supported ⊕
+// (sum, min, max) become ReductionPlans — each rank accumulates its
+// partial and the loop exit combines them collectively.  A recognized
+// reduction with an unsupported operator (product) is forced to
+// replicated execution instead, preserving correctness.
+func planReductions(ctx *cp.Context, proc *ir.Procedure, sel *cp.Selection) []ReductionPlan {
+	var out []ReductionPlan
+	for _, s := range proc.Body {
+		l, ok := s.(*ir.Loop)
+		if !ok {
+			continue
+		}
+		reds := dep.FindReductions([]ir.Stmt{l})
+		for _, r := range reds {
+			if !scalarOnlyInReduction(l, r) {
+				continue
+			}
+			c := sel.CPOf(r.Stmt.ID)
+			if c.Replicated() {
+				continue // every rank runs every iteration: already global
+			}
+			switch r.Op {
+			case '+', '<', '>':
+				out = append(out, ReductionPlan{Loop: l, Stmt: r.Stmt, Var: r.Var, Op: r.Op})
+			default:
+				// Unsupported combine: replicate the accumulation.
+				sel.CPs[r.Stmt.ID] = &cp.CP{}
+			}
+		}
+	}
+	return out
+}
+
+// scalarOnlyInReduction checks that the reduction variable is read and
+// written only by the reduction statement inside the loop.
+func scalarOnlyInReduction(l *ir.Loop, r dep.Reduction) bool {
+	ok := true
+	ir.Walk([]ir.Stmt{l}, func(s ir.Stmt, _ []*ir.Loop) bool {
+		a, isA := s.(*ir.Assign)
+		if !isA || a == r.Stmt {
+			return true
+		}
+		if a.LHS.Name == r.Var && len(a.LHS.Subs) == 0 {
+			ok = false
+			return false
+		}
+		for _, n := range ir.ScalarReads(a.RHS) {
+			if n == r.Var {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// CompileSource is Compile from mini-HPF source text.
+func CompileSource(src string, params map[string]int, opt Options) (*Program, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(prog, params, opt)
+}
+
+// Report renders the compilation decisions (CPs, communication events,
+// notes) as text — what cmd/dhpfc prints.
+func (p *Program) Report() string {
+	out := fmt.Sprintf("program %s on %s%v (%d ranks)\n", p.IR.Name, p.Grid.Name, p.Grid.Shape, p.Grid.Size())
+	for _, proc := range p.IR.Procs {
+		out += fmt.Sprintf("\nsubroutine %s:\n", proc.Name)
+		if e := p.Sel.Entry[proc.Name]; e != nil && !e.Replicated() {
+			out += fmt.Sprintf("  entry CP: %s\n", e)
+		}
+		ir.Walk(proc.Body, func(s ir.Stmt, _ []*ir.Loop) bool {
+			switch st := s.(type) {
+			case *ir.Assign:
+				out += fmt.Sprintf("  stmt %-3d %-40s %s\n", st.ID, st.LHS.String()+" = ...", p.Sel.CPOf(st.ID))
+			case *ir.CallStmt:
+				out += fmt.Sprintf("  stmt %-3d call %-35s %s\n", st.ID, st.Callee, p.Sel.CPOf(st.ID))
+			}
+			return true
+		})
+		for _, e := range p.Comm[proc.Name].Events {
+			out += "  " + e.String() + p.eventVolume(proc, e) + "\n"
+		}
+	}
+	if len(p.Sel.Notes) > 0 {
+		out += "\nnotes:\n"
+		for _, n := range p.Sel.Notes {
+			out += "  " + n + "\n"
+		}
+	}
+	return out
+}
+
+// eventVolume summarizes a live event's fully-vectorized transfer plan
+// (messages and bytes) for the report.
+func (p *Program) eventVolume(proc *ir.Procedure, e *comm.Event) string {
+	if e.Eliminated {
+		return ""
+	}
+	var plan []comm.Transfer
+	if e.Kind == comm.ReadComm {
+		plan = comm.ReadTransfers(p.Ctx, proc, p.Sel, []*comm.Event{e})
+	} else {
+		plan = comm.WriteBackTransfers(p.Ctx, proc, p.Sel, []*comm.Event{e})
+	}
+	if len(plan) == 0 {
+		return ""
+	}
+	var bytes int64
+	for _, t := range plan {
+		bytes += t.Bytes()
+	}
+	return fmt.Sprintf("  [%d msgs, %d B vectorized]", len(plan), bytes)
+}
+
+// StaticFlops exposes the interpreter's per-statement flop cost so that
+// hand-coded implementations of the same formulas (the NAS baselines)
+// can charge identical virtual-time work.
+func StaticFlops(a *ir.Assign) float64 { return flopsOf(a) }
+
+// flopsOf statically counts the floating-point work of one execution of
+// an assignment's right-hand side (plus the store).
+func flopsOf(a *ir.Assign) float64 {
+	var n float64
+	ir.WalkExpr(a.RHS, func(e ir.Expr) {
+		switch x := e.(type) {
+		case *ir.Bin:
+			if x.Op == '/' {
+				n += 4
+			} else {
+				n++
+			}
+		case *ir.Intrinsic:
+			switch x.Name {
+			case "sqrt":
+				n += 6
+			case "exp", "sin", "cos", "log", "pow":
+				n += 8
+			default:
+				n++
+			}
+		}
+	})
+	if n == 0 {
+		n = 1 // a bare copy still costs a load/store
+	}
+	return n
+}

@@ -1,0 +1,71 @@
+package spmd
+
+import "testing"
+
+func TestIfExecutionMatchesSerial(t *testing.T) {
+	src := `
+program bc
+param N = 32
+param P = 4
+!hpf$ processors procs(P)
+!hpf$ template tm(N, N)
+!hpf$ align a with tm(d0, d1)
+!hpf$ distribute tm(*, BLOCK) onto procs
+
+subroutine main()
+  real a(0:N-1, 0:N-1)
+  do j = 0, N-1
+    do i = 0, N-1
+      if (j == 0) then
+        a(i,j) = 100.0
+      else
+        if (j >= N-1) then
+          a(i,j) = -100.0
+        else
+          a(i,j) = 0.5*i + 0.1*j
+        endif
+      endif
+    enddo
+  enddo
+  do j = 1, N-2
+    do i = 1, N-2
+      if (i /= j) then
+        a(i,j) = a(i,j) + 0.25*(a(i,j-1) + a(i,j+1))
+      endif
+    enddo
+  enddo
+end
+`
+	compareWithSerial(t, src, 4, []string{"a"})
+}
+
+func TestIfInsidePipelinedSweep(t *testing.T) {
+	src := `
+program bsweep
+param N = 24
+param P = 3
+!hpf$ processors procs(P)
+!hpf$ template tm(N, N)
+!hpf$ align w with tm(d0, d1)
+!hpf$ distribute tm(*, BLOCK) onto procs
+
+subroutine main()
+  real w(0:N-1, 0:N-1)
+  do j = 0, N-1
+    do i = 0, N-1
+      w(i,j) = 1.0 + 0.01*i + 0.02*j
+    enddo
+  enddo
+  do j = 1, N-1
+    do i = 1, N-2
+      if (j < N-2) then
+        w(i,j) = w(i,j) + 0.5*w(i,j-1)
+      else
+        w(i,j) = w(i,j) + 0.25*w(i,j-1)
+      endif
+    enddo
+  enddo
+end
+`
+	compareWithSerial(t, src, 3, []string{"w"})
+}

@@ -1,0 +1,211 @@
+package spmd
+
+import (
+	"fmt"
+
+	"dhpf/internal/ir"
+)
+
+// SerialResult holds the arrays of a sequential reference execution.
+type SerialResult struct {
+	arrays map[string]*array
+}
+
+// Array returns the named main-procedure array's data and bounds.
+func (sr *SerialResult) Array(name string) ([]float64, []int, []int, error) {
+	a := sr.arrays[name]
+	if a == nil {
+		return nil, nil, nil, fmt.Errorf("spmd: serial run has no array %q", name)
+	}
+	return a.data, a.lo, a.hi, nil
+}
+
+// RunSerial executes the program sequentially, ignoring all HPF
+// directives — the reference semantics every compiled SPMD execution is
+// validated against (the mini-language analogue of running the
+// NPB2.3-serial code).
+func RunSerial(prog *ir.Program, params map[string]int) (*SerialResult, error) {
+	bind := map[string]int{}
+	for k, v := range prog.Params {
+		bind[k] = v
+	}
+	for k, v := range params {
+		bind[k] = v
+	}
+	se := &serialExec{prog: prog, bind: bind}
+	var err error
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				err = fmt.Errorf("spmd: serial execution: %v", rec)
+			}
+		}()
+		se.runProc(prog.Main(), map[string]*array{}, nil)
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return &SerialResult{arrays: se.mainArrays}, nil
+}
+
+type serialExec struct {
+	prog       *ir.Program
+	bind       map[string]int
+	frames     []*frame
+	mainArrays map[string]*array
+}
+
+func (se *serialExec) top() *frame { return se.frames[len(se.frames)-1] }
+
+func (se *serialExec) runProc(proc *ir.Procedure, actualArrays map[string]*array, floatFormals map[string]float64) {
+	f := &frame{proc: proc, arrays: map[string]*array{}, fenv: map[string]float64{}}
+	for name, a := range actualArrays {
+		f.arrays[name] = a
+	}
+	for name, v := range floatFormals {
+		f.fenv[name] = v
+	}
+	for _, d := range proc.Decls {
+		if d.Rank() == 0 {
+			continue
+		}
+		if _, aliased := f.arrays[d.Name]; aliased {
+			continue
+		}
+		lo := make([]int, d.Rank())
+		hi := make([]int, d.Rank())
+		for k := range d.LB {
+			lo[k] = d.LB[k].EvalOr(se.bind, 0)
+			hi[k] = d.UB[k].EvalOr(se.bind, 0)
+		}
+		f.arrays[d.Name] = newArray(d.Name, lo, hi)
+	}
+	se.frames = append(se.frames, f)
+	if se.mainArrays == nil {
+		se.mainArrays = f.arrays
+	}
+	se.execStmts(proc, proc.Body)
+	se.frames = se.frames[:len(se.frames)-1]
+}
+
+func (se *serialExec) execStmts(proc *ir.Procedure, stmts []ir.Stmt) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ir.Assign:
+			se.assign(st)
+		case *ir.CallStmt:
+			se.call(proc, st)
+		case *ir.IfStmt:
+			rx := &rankExec{bind: se.bind, frames: se.frames}
+			if rx.evalCond(st.Cond) {
+				se.execStmts(proc, st.Then)
+			} else {
+				se.execStmts(proc, st.Else)
+			}
+		case *ir.Loop:
+			lo := st.Lo.EvalOr(se.bind, 0)
+			hi := st.Hi.EvalOr(se.bind, 0)
+			old, had := se.bind[st.Var]
+			if st.Step > 0 {
+				for v := lo; v <= hi; v++ {
+					se.bind[st.Var] = v
+					se.execStmts(proc, st.Body)
+				}
+			} else {
+				for v := lo; v >= hi; v-- {
+					se.bind[st.Var] = v
+					se.execStmts(proc, st.Body)
+				}
+			}
+			if had {
+				se.bind[st.Var] = old
+			} else {
+				delete(se.bind, st.Var)
+			}
+		}
+	}
+}
+
+func (se *serialExec) assign(a *ir.Assign) {
+	v := se.eval(a.RHS)
+	f := se.top()
+	if len(a.LHS.Subs) == 0 {
+		f.fenv[a.LHS.Name] = v
+		return
+	}
+	f.arrays[a.LHS.Name].set(se.subVals(a.LHS), v)
+}
+
+func (se *serialExec) subVals(r *ir.ArrayRef) []int {
+	p := make([]int, len(r.Subs))
+	for k, s := range r.Subs {
+		if s.Var == "" {
+			p[k] = s.Off.EvalOr(se.bind, 0)
+		} else {
+			p[k] = s.Coef*se.bind[s.Var] + s.Off.EvalOr(se.bind, 0)
+		}
+	}
+	return p
+}
+
+func (se *serialExec) call(proc *ir.Procedure, call *ir.CallStmt) {
+	callee := se.prog.Proc(call.Callee)
+	if callee == nil {
+		panic(fmt.Sprintf("call to undefined %q", call.Callee))
+	}
+	f := se.top()
+	actualArrays := map[string]*array{}
+	floatFormals := map[string]float64{}
+	var saved []struct {
+		name string
+		val  int
+		had  bool
+	}
+	for k, formal := range callee.Formals {
+		switch arg := call.Args[k].(type) {
+		case *ir.ArrayRef:
+			if len(arg.Subs) == 0 {
+				actualArrays[formal] = f.arrays[arg.Name]
+				continue
+			}
+			floatFormals[formal] = se.eval(arg)
+		case ir.IndexRef, ir.ParamRef:
+			old, had := se.bind[formal]
+			saved = append(saved, struct {
+				name string
+				val  int
+				had  bool
+			}{formal, old, had})
+			se.bind[formal] = int(se.eval(arg))
+		case ir.FloatConst:
+			if float64(int(arg.Val)) == arg.Val {
+				old, had := se.bind[formal]
+				saved = append(saved, struct {
+					name string
+					val  int
+					had  bool
+				}{formal, old, had})
+				se.bind[formal] = int(arg.Val)
+			} else {
+				floatFormals[formal] = arg.Val
+			}
+		default:
+			floatFormals[formal] = se.eval(arg)
+		}
+	}
+	se.runProc(callee, actualArrays, floatFormals)
+	for i := len(saved) - 1; i >= 0; i-- {
+		s := saved[i]
+		if s.had {
+			se.bind[s.name] = s.val
+		} else {
+			delete(se.bind, s.name)
+		}
+	}
+}
+
+func (se *serialExec) eval(e ir.Expr) float64 {
+	// Reuse the rank evaluator's logic through a lightweight shim.
+	rx := &rankExec{bind: se.bind, frames: se.frames}
+	return rx.eval(e)
+}

@@ -1,0 +1,31 @@
+package spmd
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedExamplesCompileAndVerify compiles every .hpf file under
+// testdata/ and checks the execution against serial.
+func TestShippedExamplesCompileAndVerify(t *testing.T) {
+	files, err := filepath.Glob("../../testdata/*.hpf")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata files found: %v", err)
+	}
+	for _, f := range files {
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := CompileSource(string(src), nil, DefaultOptions())
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if _, err := prog.Execute(testMachine(prog.Grid.Size())); err != nil {
+				t.Fatalf("execute: %v", err)
+			}
+		})
+	}
+}

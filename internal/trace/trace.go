@@ -1,0 +1,226 @@
+// Package trace renders space–time diagrams from mpsim event traces —
+// the paper's Figures 8.1–8.4.  Each processor is a row; time runs left
+// to right; computation, communication and idle time are distinguished,
+// so pipeline skew, load imbalance and communication phases are visible
+// exactly as in the paper's figures (green compute bands, blue message
+// bands, white idle gaps).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dhpf/internal/mpsim"
+)
+
+// Cell classifies one time bin of one rank's row.
+type Cell byte
+
+const (
+	CellIdle    Cell = ' ' // no activity (white space in the paper's figures)
+	CellCompute Cell = '#' // computation (solid green bands)
+	CellSend    Cell = '>' // sending
+	CellRecv    Cell = '<' // receiving / copy-in
+	CellWait    Cell = '.' // blocked waiting for a message
+	CellBarrier Cell = '|' // collective
+)
+
+// Diagram is a discretized space–time diagram.
+type Diagram struct {
+	Procs   int
+	Bins    int
+	T0, T1  float64 // time range covered
+	Rows    [][]Cell
+	BinSecs float64
+}
+
+// Build discretizes the events of a run into bins columns.
+func Build(res *mpsim.Result, bins int) *Diagram {
+	d := &Diagram{Procs: res.Procs, Bins: bins, T1: res.Time}
+	if bins <= 0 {
+		bins = 100
+		d.Bins = bins
+	}
+	if d.T1 <= 0 {
+		d.T1 = 1
+	}
+	d.BinSecs = (d.T1 - d.T0) / float64(bins)
+	d.Rows = make([][]Cell, res.Procs)
+	for r := range d.Rows {
+		d.Rows[r] = make([]Cell, bins)
+		for b := range d.Rows[r] {
+			d.Rows[r][b] = CellIdle
+		}
+	}
+	// Paint in priority order: compute < send/recv < wait, so that thin
+	// communication marks stay visible over wide compute bands.
+	paint := func(e mpsim.Event, c Cell) {
+		b0 := int((e.Start - d.T0) / d.BinSecs)
+		b1 := int((e.End - d.T0) / d.BinSecs)
+		b0 = max(0, min(b0, bins-1))
+		b1 = max(0, min(b1, bins-1))
+		for b := b0; b <= b1; b++ {
+			d.Rows[e.Rank][b] = c
+		}
+	}
+	for _, e := range res.Events {
+		if e.Kind == mpsim.EvCompute {
+			paint(e, CellCompute)
+		}
+	}
+	for _, e := range res.Events {
+		switch e.Kind {
+		case mpsim.EvSend:
+			paint(e, CellSend)
+		case mpsim.EvRecvCopy:
+			paint(e, CellRecv)
+		}
+	}
+	for _, e := range res.Events {
+		switch e.Kind {
+		case mpsim.EvRecvWait:
+			paint(e, CellWait)
+		case mpsim.EvBarrier:
+			paint(e, CellBarrier)
+		}
+	}
+	return d
+}
+
+// Render prints the diagram with a header and per-rank utilization.
+func (d *Diagram) Render(title string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  (0 .. %.4fs, %d bins of %.2gs)\n", title, d.T1, d.Bins, d.BinSecs)
+	fmt.Fprintf(&sb, "legend: '#'=compute  '>'=send  '<'=recv  '.'=wait  ' '=idle\n")
+	for r, row := range d.Rows {
+		busy := 0
+		for _, c := range row {
+			if c == CellCompute || c == CellSend || c == CellRecv {
+				busy++
+			}
+		}
+		fmt.Fprintf(&sb, "P%-3d |%s| %3d%%\n", r, string(cellsToBytes(row)), busy*100/len(row))
+	}
+	return sb.String()
+}
+
+func cellsToBytes(row []Cell) []byte {
+	out := make([]byte, len(row))
+	for i, c := range row {
+		out[i] = byte(c)
+	}
+	return out
+}
+
+// CSV emits the diagram as long-format rows: rank,bin,state.
+func (d *Diagram) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("rank,bin,t_start,state\n")
+	for r, row := range d.Rows {
+		for b, c := range row {
+			state := "idle"
+			switch c {
+			case CellCompute:
+				state = "compute"
+			case CellSend:
+				state = "send"
+			case CellRecv:
+				state = "recv"
+			case CellWait:
+				state = "wait"
+			case CellBarrier:
+				state = "barrier"
+			}
+			fmt.Fprintf(&sb, "%d,%d,%.6g,%s\n", r, b, d.T0+float64(b)*d.BinSecs, state)
+		}
+	}
+	return sb.String()
+}
+
+// Stats summarizes a run the way the paper discusses its figures:
+// compute/communication/idle fractions per rank and overall.
+type Stats struct {
+	Procs         int
+	ComputeFrac   []float64
+	CommFrac      []float64
+	IdleFrac      []float64
+	MeanCompute   float64
+	MeanComm      float64
+	MeanIdle      float64
+	LoadImbalance float64 // (max-min)/max of per-rank compute time
+}
+
+// Summarize computes utilization statistics from a traced run.
+func Summarize(res *mpsim.Result) Stats {
+	s := Stats{
+		Procs:       res.Procs,
+		ComputeFrac: make([]float64, res.Procs),
+		CommFrac:    make([]float64, res.Procs),
+		IdleFrac:    make([]float64, res.Procs),
+	}
+	total := res.Time
+	if total <= 0 {
+		total = 1
+	}
+	compute := make([]float64, res.Procs)
+	comm := make([]float64, res.Procs)
+	idle := make([]float64, res.Procs)
+	for _, e := range res.Events {
+		dt := e.End - e.Start
+		switch e.Kind {
+		case mpsim.EvCompute:
+			compute[e.Rank] += dt
+		case mpsim.EvSend, mpsim.EvRecvCopy:
+			comm[e.Rank] += dt
+		case mpsim.EvRecvWait, mpsim.EvBarrier:
+			idle[e.Rank] += dt
+		}
+	}
+	var maxC, minC float64
+	for r := 0; r < res.Procs; r++ {
+		s.ComputeFrac[r] = compute[r] / total
+		s.CommFrac[r] = comm[r] / total
+		s.IdleFrac[r] = (idle[r] + (total - res.RankTime[r])) / total
+		s.MeanCompute += s.ComputeFrac[r]
+		s.MeanComm += s.CommFrac[r]
+		s.MeanIdle += s.IdleFrac[r]
+		if r == 0 || compute[r] > maxC {
+			maxC = compute[r]
+		}
+		if r == 0 || compute[r] < minC {
+			minC = compute[r]
+		}
+	}
+	s.MeanCompute /= float64(res.Procs)
+	s.MeanComm /= float64(res.Procs)
+	s.MeanIdle /= float64(res.Procs)
+	if maxC > 0 {
+		s.LoadImbalance = (maxC - minC) / maxC
+	}
+	return s
+}
+
+// PhaseBreakdown sums labeled compute time per phase label across ranks,
+// sorted by descending total — the narrative companion to the figures
+// ("the largest loss of efficiency is in the wavefront computations").
+func PhaseBreakdown(res *mpsim.Result) []PhaseTime {
+	acc := map[string]float64{}
+	for _, e := range res.Events {
+		if e.Kind == mpsim.EvCompute && e.Label != "" {
+			acc[e.Label] += e.End - e.Start
+		}
+	}
+	out := make([]PhaseTime, 0, len(acc))
+	for l, t := range acc {
+		out = append(out, PhaseTime{Label: l, Seconds: t})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seconds > out[j].Seconds })
+	return out
+}
+
+// PhaseTime is one phase's cumulative compute time.
+type PhaseTime struct {
+	Label   string
+	Seconds float64
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"dhpf/internal/mpsim"
+)
+
+func tracedRun() *mpsim.Result {
+	cfg := mpsim.Config{
+		Procs:        3,
+		SendOverhead: 1e-6,
+		RecvOverhead: 1e-6,
+		Latency:      10e-6,
+		GapPerByte:   1e-8,
+		FlopTime:     1e-8,
+		Trace:        true,
+	}
+	return mpsim.Run(cfg, func(r *mpsim.Rank) {
+		// A small pipeline so every rank has compute, comm and idle.
+		if r.ID > 0 {
+			r.Recv(r.ID-1, 1)
+		}
+		r.ComputeLabeled(1e5, "stage")
+		if r.ID < 2 {
+			r.Send(r.ID+1, 1, make([]float64, 64))
+		}
+	})
+}
+
+func TestBuildDiagramShape(t *testing.T) {
+	res := tracedRun()
+	d := Build(res, 50)
+	if d.Procs != 3 || d.Bins != 50 || len(d.Rows) != 3 {
+		t.Fatalf("diagram shape: %+v", d)
+	}
+	// Rank 0 computes from t=0; rank 2 starts idle/waiting.
+	if d.Rows[0][0] != CellCompute {
+		t.Errorf("rank 0 bin 0 = %q", d.Rows[0][0])
+	}
+	if d.Rows[2][0] == CellCompute {
+		t.Errorf("rank 2 bin 0 should not be compute")
+	}
+	// Every row must contain some compute.
+	for r, row := range d.Rows {
+		found := false
+		for _, c := range row {
+			if c == CellCompute {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("rank %d has no compute cells", r)
+		}
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	res := tracedRun()
+	d := Build(res, 40)
+	out := d.Render("pipeline")
+	if !strings.Contains(out, "pipeline") || !strings.Contains(out, "P0") || !strings.Contains(out, "legend") {
+		t.Fatalf("render output malformed:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got < 5 {
+		t.Errorf("render too short: %d lines", got)
+	}
+	csv := d.CSV()
+	if !strings.HasPrefix(csv, "rank,bin,t_start,state\n") {
+		t.Fatal("CSV header missing")
+	}
+	if strings.Count(csv, "\n") != 3*40+1 {
+		t.Errorf("CSV rows = %d", strings.Count(csv, "\n"))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	res := tracedRun()
+	s := Summarize(res)
+	if s.Procs != 3 {
+		t.Fatalf("procs = %d", s.Procs)
+	}
+	// The pipeline tail idles more than the head.
+	if s.IdleFrac[2] <= s.IdleFrac[0] {
+		t.Errorf("idle fractions: %v", s.IdleFrac)
+	}
+	if s.MeanCompute <= 0 || s.MeanCompute > 1 {
+		t.Errorf("mean compute = %g", s.MeanCompute)
+	}
+	// Equal work on each rank: imbalance ~0.
+	if s.LoadImbalance > 1e-9 {
+		t.Errorf("imbalance = %g", s.LoadImbalance)
+	}
+}
+
+func TestPhaseBreakdown(t *testing.T) {
+	res := tracedRun()
+	pb := PhaseBreakdown(res)
+	if len(pb) != 1 || pb[0].Label != "stage" {
+		t.Fatalf("breakdown = %+v", pb)
+	}
+	if pb[0].Seconds <= 0 {
+		t.Error("phase time not positive")
+	}
+}
