@@ -205,24 +205,33 @@ subroutine main()
 end
 `
 
-// BenchmarkAblationNewProp compares the three §4.1 alternatives for
-// privatizable arrays, reporting the messages each plan sends.
+// BenchmarkAblationNewProp compares the §4.1 alternatives for
+// privatizable arrays, reporting the messages each plan sends: the three
+// propagation modes plus dropping the newprop pass entirely (definitions
+// keep their base owner-computes CPs).
 func BenchmarkAblationNewProp(b *testing.B) {
 	for _, m := range []struct {
 		name string
-		mode cp.NewPropMode
+		opt  spmd.Options
 	}{
-		{"translate", cp.NewPropTranslate},
-		{"replicate", cp.NewPropReplicate},
-		{"owner", cp.NewPropOwner},
+		{"translate", spmd.DefaultOptions()},
+		{"replicate", func() spmd.Options {
+			o := spmd.DefaultOptions()
+			o.CP.NewProp = cp.NewPropReplicate
+			return o
+		}()},
+		{"owner", func() spmd.Options {
+			o := spmd.DefaultOptions()
+			o.CP.NewProp = cp.NewPropOwner
+			return o
+		}()},
+		{"pass-disabled", spmd.DefaultOptions().WithDisabled(PassNewProp)},
 	} {
 		b.Run(m.name, func(b *testing.B) {
 			var msgs int64
 			var sumT float64
 			for i := 0; i < b.N; i++ {
-				opt := spmd.DefaultOptions()
-				opt.CP.NewProp = m.mode
-				prog, err := spmd.CompileSource(ablationLhsy, nil, opt)
+				prog, err := spmd.CompileSource(ablationLhsy, nil, m.opt)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -243,15 +252,17 @@ func BenchmarkAblationNewProp(b *testing.B) {
 }
 
 // BenchmarkAblationLocalize compares SP's compute_rhs communication with
-// LOCALIZE on and off.
+// the LOCALIZE pass in and out of the pipeline.
 func BenchmarkAblationLocalize(b *testing.B) {
 	src := nas.SPSource(16, 1, 2, 2)
 	for _, on := range []bool{true, false} {
 		b.Run(fmt.Sprintf("localize=%v", on), func(b *testing.B) {
+			opt := spmd.DefaultOptions()
+			if !on {
+				opt = opt.WithDisabled(PassLocalize)
+			}
 			var bytes int64
 			for i := 0; i < b.N; i++ {
-				opt := spmd.DefaultOptions()
-				opt.CP.Localize = on
 				prog, err := spmd.CompileSource(src, nil, opt)
 				if err != nil {
 					b.Fatal(err)
@@ -268,15 +279,17 @@ func BenchmarkAblationLocalize(b *testing.B) {
 }
 
 // BenchmarkAblationAvailability counts eliminated communication events
-// with §7 on and off across the SP program.
+// with the §7 availability pass in and out of the pipeline.
 func BenchmarkAblationAvailability(b *testing.B) {
 	src := nas.SPSource(16, 1, 2, 2)
 	for _, on := range []bool{true, false} {
 		b.Run(fmt.Sprintf("avail=%v", on), func(b *testing.B) {
+			opt := spmd.DefaultOptions()
+			if !on {
+				opt = opt.WithDisabled(PassAvailability)
+			}
 			elim := 0
 			for i := 0; i < b.N; i++ {
-				opt := spmd.DefaultOptions()
-				opt.Comm.Availability = on
 				prog, err := spmd.CompileSource(src, nil, opt)
 				if err != nil {
 					b.Fatal(err)
@@ -333,6 +346,18 @@ func BenchmarkISetSubtract(b *testing.B) {
 // BenchmarkCompileSP measures the whole compilation pipeline on SP.
 func BenchmarkCompileSP(b *testing.B) {
 	src := nas.SPSource(32, 2, 2, 2)
+	for i := 0; i < b.N; i++ {
+		if _, err := spmd.CompileSource(src, nil, spmd.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileBT measures the whole compilation pipeline on BT,
+// whose block-tridiagonal solves stress interprocedural CP translation
+// harder than SP.
+func BenchmarkCompileBT(b *testing.B) {
+	src := nas.BTSource(24, 2, 2, 2)
 	for i := 0; i < b.N; i++ {
 		if _, err := spmd.CompileSource(src, nil, spmd.DefaultOptions()); err != nil {
 			b.Fatal(err)

@@ -20,18 +20,22 @@
 //	-newprop MODE    translate (default) | owner | replicate  (§4.1)
 //	-grain N         coarse-grain pipelining strip width (default 8)
 //	-emit R          print the generated SPMD node program for rank R
+//	-disable LIST    drop optional passes by name (comma-separated)
+//	-explain         print the per-pass table: wall time, communication
+//	                 volume after each pass (with deltas), and decisions
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
-	"dhpf/internal/comm"
 	"dhpf/internal/cp"
 	"dhpf/internal/mpsim"
+	"dhpf/internal/passes"
 	"dhpf/internal/spmd"
 	"dhpf/internal/trace"
 )
@@ -53,28 +57,42 @@ func (p paramFlags) Set(v string) error {
 }
 
 func main() {
-	params := paramFlags{}
-	run := flag.Bool("run", false, "execute on the simulated machine")
-	doTrace := flag.Bool("trace", false, "print a space-time diagram (with -run)")
-	bins := flag.Int("bins", 100, "space-time diagram bins")
-	noLocalize := flag.Bool("no-localize", false, "disable LOCALIZE (§4.2)")
-	noLoopdist := flag.Bool("no-loopdist", false, "disable loop distribution (§5)")
-	noInterproc := flag.Bool("no-interproc", false, "disable interprocedural CPs (§6)")
-	noAvail := flag.Bool("no-avail", false, "disable data availability (§7)")
-	newprop := flag.String("newprop", "translate", "NEW propagation mode: translate|owner|replicate")
-	grain := flag.Int("grain", 8, "pipeline strip width")
-	emit := flag.Int("emit", -1, "emit the SPMD node program for this rank")
-	flag.Var(params, "param", "override a program parameter NAME=VALUE")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dhpfc [flags] file.hpf")
-		flag.PrintDefaults()
-		os.Exit(2)
+// run is main with its environment made explicit, so tests can drive the
+// CLI end to end.  Returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dhpfc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	params := paramFlags{}
+	doRun := fs.Bool("run", false, "execute on the simulated machine")
+	doTrace := fs.Bool("trace", false, "print a space-time diagram (with -run)")
+	bins := fs.Int("bins", 100, "space-time diagram bins")
+	noLocalize := fs.Bool("no-localize", false, "disable LOCALIZE (§4.2)")
+	noLoopdist := fs.Bool("no-loopdist", false, "disable loop distribution (§5)")
+	noInterproc := fs.Bool("no-interproc", false, "disable interprocedural CPs (§6)")
+	noAvail := fs.Bool("no-avail", false, "disable data availability (§7)")
+	newprop := fs.String("newprop", "translate", "NEW propagation mode: translate|owner|replicate")
+	grain := fs.Int("grain", 8, "pipeline strip width")
+	emit := fs.Int("emit", -1, "emit the SPMD node program for this rank")
+	disable := fs.String("disable", "", "comma-separated optional passes to drop "+
+		fmt.Sprintf("(%s)", strings.Join(passes.OptionalPassNames(), ",")))
+	explain := fs.Bool("explain", false, "print the per-pass instrumentation table")
+	fs.Var(params, "param", "override a program parameter NAME=VALUE")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: dhpfc [flags] file.hpf")
+		fs.PrintDefaults()
+		return 2
+	}
+	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "dhpfc:", err)
+		return 1
 	}
 
 	opt := spmd.DefaultOptions()
@@ -83,6 +101,10 @@ func main() {
 	opt.CP.Interproc = !*noInterproc
 	opt.Comm.Availability = !*noAvail
 	opt.PipelineGrain = *grain
+	opt.Instrument = *explain
+	if *disable != "" {
+		opt.Disable = strings.Split(*disable, ",")
+	}
 	switch *newprop {
 	case "translate":
 		opt.CP.NewProp = cp.NewPropTranslate
@@ -91,43 +113,45 @@ func main() {
 	case "replicate":
 		opt.CP.NewProp = cp.NewPropReplicate
 	default:
-		fatal(fmt.Errorf("unknown -newprop mode %q", *newprop))
+		fmt.Fprintln(stderr, "dhpfc:", fmt.Errorf("unknown -newprop mode %q", *newprop))
+		return 1
 	}
 
 	prog, err := spmd.CompileSource(string(src), params, opt)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "dhpfc:", err)
+		return 1
 	}
-	fmt.Print(prog.Report())
+	fmt.Fprint(stdout, prog.Report())
+
+	if *explain {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, passes.StatsTable(prog.PassStats()))
+	}
 
 	if *emit >= 0 {
-		fmt.Println()
-		fmt.Print(prog.EmitNodeProgram(*emit))
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, prog.EmitNodeProgram(*emit))
 	}
 
-	if !*run {
-		return
+	if !*doRun {
+		return 0
 	}
 	cfg := mpsim.SP2Config(prog.Grid.Size())
 	cfg.Trace = *doTrace
 	res, err := prog.Execute(cfg)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "dhpfc:", err)
+		return 1
 	}
-	fmt.Printf("\nexecution: %d ranks, %.6fs virtual time, %d messages, %d bytes\n",
+	fmt.Fprintf(stdout, "\nexecution: %d ranks, %.6fs virtual time, %d messages, %d bytes\n",
 		prog.Grid.Size(), res.Machine.Time, res.Machine.TotalMessages(), res.Machine.TotalBytes())
 	if *doTrace {
-		fmt.Println()
-		fmt.Print(trace.Build(res.Machine, *bins).Render(flag.Arg(0)))
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, trace.Build(res.Machine, *bins).Render(fs.Arg(0)))
 		s := trace.Summarize(res.Machine)
-		fmt.Printf("mean compute %.0f%%  comm %.0f%%  idle %.0f%%  load imbalance %.1f%%\n",
+		fmt.Fprintf(stdout, "mean compute %.0f%%  comm %.0f%%  idle %.0f%%  load imbalance %.1f%%\n",
 			100*s.MeanCompute, 100*s.MeanComm, 100*s.MeanIdle, 100*s.LoadImbalance)
 	}
-}
-
-var _ = comm.ReadComm
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dhpfc:", err)
-	os.Exit(1)
+	return 0
 }

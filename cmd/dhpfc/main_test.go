@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"dhpf/internal/passes"
+)
+
+// TestGoldenLhsy drives the CLI end to end on testdata/lhsy.hpf with
+// -run (virtual time is deterministic) and compares against the stored
+// golden output.
+func TestGoldenLhsy(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-run", "../../testdata/lhsy.hpf"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	want, err := os.ReadFile("testdata/lhsy.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("output differs from golden:\n--- got ---\n%s\n--- want ---\n%s", out.String(), want)
+	}
+}
+
+// TestExplainTable checks -explain prints one table row per pipeline
+// pass (wall times vary, so the check is structural).
+func TestExplainTable(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-explain", "../../testdata/lhsy.hpf"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range passes.PassNames() {
+		found := false
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.HasPrefix(line, name+" ") || strings.HasPrefix(line, name+"\t") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("-explain output has no row for pass %q", name)
+		}
+	}
+	if !strings.Contains(out.String(), "Δbytes") {
+		t.Error("-explain output missing the volume-delta column")
+	}
+}
+
+// TestDisableFlag checks -disable maps to pass-level ablation and
+// matches the legacy boolean flag.
+func TestDisableFlag(t *testing.T) {
+	var a, b, errb bytes.Buffer
+	if code := run([]string{"-no-avail", "../../testdata/lhsy.hpf"}, &a, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if code := run([]string{"-disable", "availability", "../../testdata/lhsy.hpf"}, &b, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if a.String() != b.String() {
+		t.Error("-disable availability and -no-avail reports differ")
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{}, &out, &errb); code != 2 {
+		t.Errorf("no-args exit = %d, want 2", code)
+	}
+	if code := run([]string{"-disable", "bogus", "../../testdata/lhsy.hpf"}, &out, &errb); code != 1 {
+		t.Errorf("bad -disable exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown pass") {
+		t.Errorf("bad -disable stderr = %q, want mention of unknown pass", errb.String())
+	}
+}

@@ -31,17 +31,52 @@ package dhpf
 import (
 	"dhpf/internal/mpsim"
 	"dhpf/internal/parser"
+	"dhpf/internal/passes"
 	"dhpf/internal/spmd"
 	"dhpf/internal/trace"
 )
 
 // Options configures the compilation pipeline.  The zero value disables
 // every optimization; use DefaultOptions for the paper's configuration.
+// Options.Disable drops optional passes by name (see the Pass* name
+// constants) and Options.Instrument enables the per-pass communication
+// probe reported by Program.PassStats.
 type Options = spmd.Options
 
 // DefaultOptions enables all the paper's optimizations with a pipeline
 // grain of 8.
 func DefaultOptions() Options { return spmd.DefaultOptions() }
+
+// PassStat is one pass's instrumentation record: wall time, decision
+// summary and notes, and (with Options.Instrument) the communication
+// volume as of the end of the pass.
+type PassStat = passes.Stat
+
+// Canonical pass names, in pipeline order.  The optional ones
+// (PassNewProp through PassLoopDist, PassAvailability, PassWritebackRed)
+// may be listed in Options.Disable to ablate that stage.
+const (
+	PassParse        = passes.PassParse
+	PassBind         = passes.PassBind
+	PassDependence   = passes.PassDependence
+	PassCPSelect     = passes.PassCPSelect
+	PassNewProp      = passes.PassNewProp
+	PassLocalize     = passes.PassLocalize
+	PassInterproc    = passes.PassInterproc
+	PassLoopDist     = passes.PassLoopDist
+	PassReductions   = passes.PassReductions
+	PassCommPlan     = passes.PassCommPlan
+	PassAvailability = passes.PassAvailability
+	PassWritebackRed = passes.PassWritebackRed
+	PassLower        = passes.PassLower
+)
+
+// PassNames lists every pass of the full pipeline, in order.
+func PassNames() []string { return passes.PassNames() }
+
+// StatsTable renders pass records as the table cmd/dhpfc -explain
+// prints.
+func StatsTable(stats []PassStat) string { return passes.StatsTable(stats) }
 
 // MachineConfig fixes the simulated machine's size and cost model.
 type MachineConfig = mpsim.Config
@@ -76,6 +111,12 @@ func (p *Program) Report() string { return p.inner.Report() }
 // readable pseudo-Fortran (localized bounds, guards, communication
 // calls) — the analogue of inspecting dHPF's generated F77+MPI output.
 func (p *Program) NodeProgram(rank int) string { return p.inner.EmitNodeProgram(rank) }
+
+// PassStats returns per-pass instrumentation of the compilation: one
+// record per executed pass, in pipeline order.  Wall times and decision
+// summaries are always collected; communication volumes only when the
+// program was compiled with Options.Instrument.
+func (p *Program) PassStats() []PassStat { return p.inner.PassStats() }
 
 // Run executes the program on the simulated machine.
 func (p *Program) Run(cfg MachineConfig) (*Result, error) {

@@ -7,7 +7,10 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
+	"strings"
 
 	"dhpf"
 	"dhpf/internal/cp"
@@ -80,25 +83,25 @@ subroutine main()
 end
 `
 
-func measure(src string, opt dhpf.Options) (msgs, bytes int64, flops float64) {
+func measure(src string, opt dhpf.Options) (msgs, bytes int64, flops float64, err error) {
 	prog, err := dhpf.Compile(src, nil, opt)
 	if err != nil {
-		log.Fatal(err)
+		return 0, 0, 0, err
 	}
 	res, err := prog.Run(dhpf.SP2Machine(prog.Ranks()))
 	if err != nil {
-		log.Fatal(err)
+		return 0, 0, 0, err
 	}
 	var tot float64
 	for _, s := range res.RankSeconds() {
 		tot += s
 	}
-	return res.Messages(), res.Bytes(), tot
+	return res.Messages(), res.Bytes(), tot, nil
 }
 
-func main() {
-	fmt.Println("§4.1 ablation — privatizable array CPs on the lhsy fragment (4 ranks):")
-	fmt.Printf("%-28s %9s %10s %14s\n", "mode", "messages", "bytes", "Σ rank time(s)")
+func run(w io.Writer) error {
+	fmt.Fprintln(w, "§4.1 ablation — privatizable array CPs on the lhsy fragment (4 ranks):")
+	fmt.Fprintf(w, "%-28s %9s %10s %14s\n", "mode", "messages", "bytes", "Σ rank time(s)")
 	for _, m := range []struct {
 		name string
 		mode cp.NewPropMode
@@ -109,29 +112,36 @@ func main() {
 	} {
 		opt := dhpf.DefaultOptions()
 		opt.CP.NewProp = m.mode
-		msgs, bytes, t := measure(lhsySrc, opt)
-		fmt.Printf("%-28s %9d %10d %14.6f\n", m.name, msgs, bytes, t)
+		msgs, bytes, t, err := measure(lhsySrc, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-28s %9d %10d %14.6f\n", m.name, msgs, bytes, t)
 	}
 
-	fmt.Println("\n§7 ablation — data availability on the wavefront fragment:")
-	fmt.Printf("%-28s %9s %10s\n", "mode", "events", "transfers")
+	fmt.Fprintln(w, "\n§7 ablation — data availability on the wavefront fragment:")
+	fmt.Fprintf(w, "%-28s %9s %10s\n", "mode", "events", "transfers")
 	for _, on := range []bool{true, false} {
 		opt := dhpf.DefaultOptions()
-		opt.Comm.Availability = on
+		if !on {
+			// Ablate §7 by dropping the pass from the pipeline.
+			opt = opt.WithDisabled(dhpf.PassAvailability)
+		}
 		prog, err := dhpf.Compile(sweepSrc, nil, opt)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		rep := prog.Report()
-		elim := 0
-		for i := 0; i+10 < len(rep); i++ {
-			if rep[i:i+10] == "ELIMINATED" {
-				elim++
-			}
-		}
-		fmt.Printf("availability=%-15v eliminated events: %d\n", on, elim)
+		elim := strings.Count(prog.Report(), "ELIMINATED")
+		fmt.Fprintf(w, "availability=%-15v eliminated events: %d\n", on, elim)
 	}
-	fmt.Println("\nThe translate mode computes exactly the boundary values each")
-	fmt.Println("processor needs (zero messages); replication wastes compute;")
-	fmt.Println("owner-computes forces boundary messages in the inner loop.")
+	fmt.Fprintln(w, "\nThe translate mode computes exactly the boundary values each")
+	fmt.Fprintln(w, "processor needs (zero messages); replication wastes compute;")
+	fmt.Fprintln(w, "owner-computes forces boundary messages in the inner loop.")
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

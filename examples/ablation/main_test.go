@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the ablation tables: all three §4.1 modes plus the
+// §7 availability pass toggled via Options.Disable.
+func TestRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"translate (the paper, §4.1)",
+		"replicate everything",
+		"owner-computes",
+		"availability=true",
+		"availability=false",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -7,10 +7,11 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"dhpf"
-	"dhpf/internal/spmd"
 )
 
 const src = `
@@ -80,21 +81,24 @@ subroutine main()
 end
 `
 
-func main() {
-	run := func(localize bool) {
+func run(w io.Writer) error {
+	variant := func(localize bool) error {
 		opt := dhpf.DefaultOptions()
-		opt.CP.Localize = localize
+		if !localize {
+			// Ablate by dropping the pass from the pipeline.
+			opt = opt.WithDisabled(dhpf.PassLocalize)
+		}
 		prog, err := dhpf.Compile(src, nil, opt)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		res, err := prog.Run(dhpf.SP2Machine(prog.Ranks()))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		ref, err := dhpf.RunSerial(src, nil)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		got, _, _, _ := res.Array("t")
 		want, _, _, _ := ref.Array("t")
@@ -106,14 +110,25 @@ func main() {
 				worst = -d
 			}
 		}
-		fmt.Printf("LOCALIZE=%-5v  time %.6fs  messages %4d  bytes %8d  max err %g\n",
+		fmt.Fprintf(w, "LOCALIZE=%-5v  time %.6fs  messages %4d  bytes %8d  max err %g\n",
 			localize, res.Seconds(), res.Messages(), res.Bytes(), worst)
+		return nil
 	}
-	fmt.Println("heat3d on 4 simulated ranks (2x2 over y,z), 3 time steps:")
-	run(true)
-	run(false)
-	fmt.Println("\nWith LOCALIZE the conductivity boundaries are computed redundantly")
-	fmt.Println("on both neighbours (one t-halo fetch); without it every cond")
-	fmt.Println("boundary plane is communicated separately each step.")
-	_ = spmd.DefaultOptions
+	fmt.Fprintln(w, "heat3d on 4 simulated ranks (2x2 over y,z), 3 time steps:")
+	if err := variant(true); err != nil {
+		return err
+	}
+	if err := variant(false); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nWith LOCALIZE the conductivity boundaries are computed redundantly")
+	fmt.Fprintln(w, "on both neighbours (one t-halo fetch); without it every cond")
+	fmt.Fprintln(w, "boundary plane is communicated separately each step.")
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

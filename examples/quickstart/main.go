@@ -6,8 +6,10 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 
 	"dhpf"
 )
@@ -47,23 +49,23 @@ subroutine main()
 end
 `
 
-func main() {
+func run(w io.Writer) error {
 	prog, err := dhpf.Compile(src, nil, dhpf.DefaultOptions())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("=== compiler report ===")
-	fmt.Print(prog.Report())
+	fmt.Fprintln(w, "=== compiler report ===")
+	fmt.Fprint(w, prog.Report())
 
 	res, err := prog.Run(dhpf.SP2Machine(prog.Ranks()))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Verify against the sequential reference semantics.
 	ref, err := dhpf.RunSerial(src, nil)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	got, _, _, _ := res.Array("a")
 	want, _, _, _ := ref.Array("a")
@@ -72,13 +74,20 @@ func main() {
 		maxErr = math.Max(maxErr, math.Abs(got[i]-want[i]))
 	}
 
-	fmt.Println("\n=== execution ===")
-	fmt.Printf("ranks:            %d\n", prog.Ranks())
-	fmt.Printf("virtual time:     %.6f s\n", res.Seconds())
-	fmt.Printf("messages:         %d (%d bytes)\n", res.Messages(), res.Bytes())
-	fmt.Printf("max |parallel - serial|: %g\n", maxErr)
+	fmt.Fprintln(w, "\n=== execution ===")
+	fmt.Fprintf(w, "ranks:            %d\n", prog.Ranks())
+	fmt.Fprintf(w, "virtual time:     %.6f s\n", res.Seconds())
+	fmt.Fprintf(w, "messages:         %d (%d bytes)\n", res.Messages(), res.Bytes())
+	fmt.Fprintf(w, "max |parallel - serial|: %g\n", maxErr)
 	if maxErr > 1e-12 {
-		log.Fatal("verification FAILED")
+		return fmt.Errorf("verification FAILED: max error %g", maxErr)
 	}
-	fmt.Println("verification OK: compiled SPMD code matches the serial reference")
+	fmt.Fprintln(w, "verification OK: compiled SPMD code matches the serial reference")
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -7,7 +7,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"dhpf"
 )
@@ -55,36 +57,43 @@ subroutine main()
 end
 `
 
-func main() {
+func run(w io.Writer) error {
 	prog, err := dhpf.Compile(src, nil, dhpf.DefaultOptions())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("=== compiler report (note the ELIMINATED anti-pipeline read, §7) ===")
-	fmt.Print(prog.Report())
+	fmt.Fprintln(w, "=== compiler report (note the ELIMINATED anti-pipeline read, §7) ===")
+	fmt.Fprint(w, prog.Report())
 
 	cfg := dhpf.SP2Machine(prog.Ranks())
 	cfg.Trace = true
 	res, err := prog.Run(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	ref, err := dhpf.RunSerial(src, nil)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	got, _, _, _ := res.Array("w")
 	want, _, _, _ := ref.Array("w")
 	for i := range want {
 		d := got[i] - want[i]
 		if d > 1e-12 || d < -1e-12 {
-			log.Fatalf("verification failed at %d: %g vs %g", i, got[i], want[i])
+			return fmt.Errorf("verification failed at %d: %g vs %g", i, got[i], want[i])
 		}
 	}
-	fmt.Println("\nverification OK")
+	fmt.Fprintln(w, "\nverification OK")
 
-	fmt.Println("\n=== space-time diagram: forward then reverse pipeline ===")
-	fmt.Print(res.SpaceTime("wavefront sweep, 6 ranks", 100))
-	fmt.Printf("\nvirtual time %.6fs, %d messages\n", res.Seconds(), res.Messages())
+	fmt.Fprintln(w, "\n=== space-time diagram: forward then reverse pipeline ===")
+	fmt.Fprint(w, res.SpaceTime("wavefront sweep, 6 ranks", 100))
+	fmt.Fprintf(w, "\nvirtual time %.6fs, %d messages\n", res.Seconds(), res.Messages())
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

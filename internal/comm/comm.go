@@ -74,6 +74,10 @@ type Analysis struct {
 	Proc   *ir.Procedure
 	Events []*Event
 	Notes  []string
+
+	// deps is the dependence analysis the events were built from (computed
+	// on the post-distribution body), reused by the elimination phases.
+	deps []*dep.Dependence
 }
 
 // Live returns the events not eliminated by availability analysis.
@@ -102,10 +106,29 @@ type Options struct {
 func DefaultOptions() Options { return Options{Availability: true, RedundantWriteback: true} }
 
 // Analyze builds the communication plan for a procedure under the given
-// CP selection.
+// CP selection.  It is the all-in-one convenience the pass pipeline
+// decomposes into BuildEvents, ApplyAvailability and ApplyWritebackElim.
 func Analyze(ctx *cp.Context, proc *ir.Procedure, sel *cp.Selection, opt Options) *Analysis {
+	out := BuildEvents(ctx, proc, sel)
+	if opt.Availability {
+		ApplyAvailability(ctx, sel, out)
+	}
+	if opt.RedundantWriteback {
+		ApplyWritebackElim(ctx, sel, out)
+	}
+	return out
+}
+
+// BuildEvents constructs the raw communication plan for a procedure:
+// read and write-back events for every possibly-non-local reference,
+// each vectorized to the outermost legal loop level and flagged when it
+// must be pipelined.  Dependences are re-analyzed here because loop
+// distribution may have changed the body; they are kept on the Analysis
+// for the elimination phases.
+func BuildEvents(ctx *cp.Context, proc *ir.Procedure, sel *cp.Selection) *Analysis {
 	out := &Analysis{Proc: proc}
-	deps := dep.Analyze(proc.Body) // re-run: loop distribution may have changed the body
+	deps := dep.Analyze(proc.Body)
+	out.deps = deps
 
 	asn := ir.Assignments(proc.Body)
 	for _, a := range asn {
@@ -133,14 +156,19 @@ func Analyze(ctx *cp.Context, proc *ir.Procedure, sel *cp.Selection, opt Options
 	}
 
 	markPipelined(ctx, proc, out, deps)
-
-	if opt.Availability {
-		applyAvailability(ctx, proc, sel, out, deps)
-	}
-	if opt.RedundantWriteback {
-		applyWritebackRedundancy(ctx, proc, sel, out)
-	}
 	return out
+}
+
+// ApplyAvailability runs §7 data-availability elimination on a built
+// plan (see applyAvailability).
+func ApplyAvailability(ctx *cp.Context, sel *cp.Selection, a *Analysis) {
+	applyAvailability(ctx, a.Proc, sel, a, a.deps)
+}
+
+// ApplyWritebackElim eliminates write-backs made redundant by partial
+// replication (see applyWritebackRedundancy).
+func ApplyWritebackElim(ctx *cp.Context, sel *cp.Selection, a *Analysis) {
+	applyWritebackRedundancy(ctx, a.Proc, sel, a)
 }
 
 // applyWritebackRedundancy eliminates write-back events whose non-owner

@@ -17,6 +17,15 @@ import (
 // Statement objects are reused, so CPs recorded by statement ID remain
 // valid; only Loop nodes are re-created (with fresh IDs).
 func DistributeLoops(ctx *Context, proc *ir.Procedure, sel *Selection) bool {
+	// Distribution notes come after every selection note, grouped by the
+	// procedure's program order (the order compile calls us in).
+	sel.cur = noteKey{late: 1}
+	for i, p := range ctx.Prog.Procs {
+		if p == proc {
+			sel.cur.proc = i
+			break
+		}
+	}
 	pairs := sel.Marked[proc]
 	if len(pairs) == 0 {
 		return false

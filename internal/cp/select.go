@@ -54,8 +54,94 @@ type Selection struct {
 	Marked map[*ir.Procedure][][2]*ir.Assign
 	// Entry holds each procedure's entry CP (nil if not uniform).
 	Entry map[string]*CP
-	// Notes records human-readable decisions for cmd/dhpfc -explain.
-	Notes []string
+
+	notes []noteRec
+	cur   noteKey
+	seq   int
+}
+
+// NewSelection returns an empty selection ready for the phase functions
+// (SelectBase, PropagateNewArrays, PropagateLocalize, SelectInterproc).
+func NewSelection() *Selection {
+	return &Selection{
+		CPs:    map[int]*CP{},
+		Marked: map[*ir.Procedure][][2]*ir.Assign{},
+		Entry:  map[string]*CP{},
+	}
+}
+
+// noteKey orders a decision note the way the interleaved selection of
+// the pre-pass-pipeline compiler emitted it, so that running the phases
+// as separate whole-program passes reproduces the identical report:
+// procedures bottom-up, within a procedure its top-level statements in
+// order (grouping notes, then call-translation notes, then propagation
+// notes innermost-loop-first with NEW before LOCALIZE per level), the
+// entry-CP note last, and loop-distribution notes after every selection
+// note.
+type noteKey struct {
+	late  int // 1: post-selection (loop distribution) notes
+	proc  int // bottom-up procedure index
+	entry int // 1: the procedure's entry-CP note (after its other notes)
+	top   int // top-level statement index within the procedure
+	phase int // 0 grouping/search, 1 call translation, 2 propagation
+	loop  int // innermost-first position of the propagated loop
+	sub   int // 0 NEW, 1 LOCALIZE
+}
+
+type noteRec struct {
+	key  noteKey
+	text string
+}
+
+func (k noteKey) less(o noteKey) bool {
+	if k.late != o.late {
+		return k.late < o.late
+	}
+	if k.proc != o.proc {
+		return k.proc < o.proc
+	}
+	if k.entry != o.entry {
+		return k.entry < o.entry
+	}
+	if k.top != o.top {
+		return k.top < o.top
+	}
+	if k.phase != o.phase {
+		return k.phase < o.phase
+	}
+	if k.loop != o.loop {
+		return k.loop < o.loop
+	}
+	return k.sub < o.sub
+}
+
+// Notes returns the human-readable decision log in report order.
+func (s *Selection) Notes() []string {
+	recs := make([]noteRec, len(s.notes))
+	copy(recs, s.notes)
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].key.less(recs[j].key) })
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.text
+	}
+	return out
+}
+
+// NoteCount reports how many decision notes have been recorded so far
+// (the pass manager diffs it around each pass).
+func (s *Selection) NoteCount() int { return len(s.notes) }
+
+// NotesSince returns the notes recorded after the first n, in the order
+// they were emitted (not report order) — the decisions one pass made.
+func (s *Selection) NotesSince(n int) []string {
+	if n < 0 || n > len(s.notes) {
+		return nil
+	}
+	out := make([]string, 0, len(s.notes)-n)
+	for _, r := range s.notes[n:] {
+		out = append(out, r.text)
+	}
+	return out
 }
 
 // CPOf returns the CP chosen for a statement (replicated if none).
@@ -67,26 +153,139 @@ func (s *Selection) CPOf(id int) *CP {
 }
 
 func (s *Selection) notef(format string, args ...any) {
-	s.Notes = append(s.Notes, fmt.Sprintf(format, args...))
+	s.seq++
+	s.notes = append(s.notes, noteRec{key: s.cur, text: fmt.Sprintf(format, args...)})
 }
 
-// Select runs CP selection over the whole program, bottom-up on the call
-// graph (§6), with §5 grouping and §4 privatizable/LOCALIZE propagation
-// per loop nest.
+// Select runs the complete CP selection: local selection with §5
+// grouping, §4.1/§4.2 propagation, and §6 interprocedural entry-CP
+// translation.  It is the all-in-one convenience the pass pipeline
+// decomposes into SelectBase, PropagateNewArrays, PropagateLocalize and
+// SelectInterproc.
 func Select(ctx *Context, opt Options) (*Selection, error) {
-	sel := &Selection{
-		CPs:    map[int]*CP{},
-		Marked: map[*ir.Procedure][][2]*ir.Assign{},
-		Entry:  map[string]*CP{},
+	sel, err := SelectBase(ctx, opt)
+	if err != nil {
+		return nil, err
 	}
+	if err := PropagateNewArrays(ctx, sel, opt); err != nil {
+		return nil, err
+	}
+	if opt.Localize {
+		if err := PropagateLocalize(ctx, sel, opt); err != nil {
+			return nil, err
+		}
+	}
+	if err := SelectInterproc(ctx, sel, opt); err != nil {
+		return nil, err
+	}
+	return sel, nil
+}
+
+// SelectBase runs the local CP selection of §2 and §5 for every
+// procedure, bottom-up on the call graph: candidate enumeration,
+// union-find grouping over loop-independent dependences (when
+// opt.LoopDist), and the least-communication combination search.  It
+// assigns CPs to assignments only; call statements are handled by
+// SelectInterproc and privatizable overrides by the propagation phases.
+func SelectBase(ctx *Context, opt Options) (*Selection, error) {
+	sel := NewSelection()
 	order, err := ctx.Callees()
 	if err != nil {
 		return nil, err
 	}
-	for _, proc := range order {
-		if err := selectProc(ctx, proc, sel, opt); err != nil {
-			return nil, err
+	for pi, proc := range order {
+		for ti, s := range proc.Body {
+			sel.cur = noteKey{proc: pi, top: ti}
+			switch st := s.(type) {
+			case *ir.Assign:
+				sel.CPs[st.ID] = defaultCP(ctx, proc, st)
+			case *ir.Loop:
+				if err := selectLoopBase(ctx, proc, st, sel, opt); err != nil {
+					return nil, err
+				}
+			}
 		}
+	}
+	return sel, nil
+}
+
+// PropagateNewArrays applies §4.1: for every loop carrying a NEW
+// directive, innermost loops first, the CPs of the statements defining
+// the privatizable are recomputed from the CPs of its uses.
+func PropagateNewArrays(ctx *Context, sel *Selection, opt Options) error {
+	return propagatePhase(ctx, sel, opt, false)
+}
+
+// PropagateLocalize applies §4.2: LOCALIZE partial replication for
+// distributed arrays, keeping the owner-computes term so the owner's
+// copy stays current.
+func PropagateLocalize(ctx *Context, sel *Selection, opt Options) error {
+	return propagatePhase(ctx, sel, opt, true)
+}
+
+func propagatePhase(ctx *Context, sel *Selection, opt Options, localize bool) error {
+	order, err := ctx.Callees()
+	if err != nil {
+		return err
+	}
+	sub := 0
+	if localize {
+		sub = 1
+	}
+	for pi, proc := range order {
+		for ti, s := range proc.Body {
+			top, ok := s.(*ir.Loop)
+			if !ok {
+				continue
+			}
+			var nestLoops []*ir.Loop
+			collectLoops([]ir.Stmt{top}, &nestLoops)
+			for i := len(nestLoops) - 1; i >= 0; i-- {
+				l := nestLoops[i]
+				vars := l.New
+				if localize {
+					vars = l.Localize
+				}
+				for _, v := range vars {
+					sel.cur = noteKey{proc: pi, top: ti, phase: 2, loop: len(nestLoops) - 1 - i, sub: sub}
+					if err := propagateNew(ctx, proc, l, v, sel, opt, localize); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SelectInterproc applies §6 bottom-up on the call graph: every call
+// statement receives the callee's entry CP translated through the
+// formal→actual binding (replicated when opt.Interproc is off, the
+// callee has no uniform entry CP, or translation fails), and then the
+// procedure's own entry CP is computed from its now-complete statement
+// CPs and recorded in sel.Entry and ctx.EntryCPs.  Must run after the
+// propagation phases so entry CPs reflect the propagated selections.
+func SelectInterproc(ctx *Context, sel *Selection, opt Options) error {
+	order, err := ctx.Callees()
+	if err != nil {
+		return err
+	}
+	for pi, proc := range order {
+		for ti, s := range proc.Body {
+			sel.cur = noteKey{proc: pi, top: ti, phase: 1}
+			switch st := s.(type) {
+			case *ir.CallStmt:
+				sel.CPs[st.ID] = callCP(ctx, proc, st, sel, opt)
+			case *ir.Loop:
+				ir.Walk(st.Body, func(inner ir.Stmt, _ []*ir.Loop) bool {
+					if call, ok := inner.(*ir.CallStmt); ok {
+						sel.CPs[call.ID] = callCP(ctx, proc, call, sel, opt)
+					}
+					return true
+				})
+			}
+		}
+		sel.cur = noteKey{proc: pi, entry: 1}
 		entry := entryCP(ctx, proc, sel)
 		sel.Entry[proc.Name] = entry
 		ctx.EntryCPs[proc.Name] = entry
@@ -94,132 +293,32 @@ func Select(ctx *Context, opt Options) (*Selection, error) {
 			sel.notef("proc %s: entry CP %s", proc.Name, entry)
 		}
 	}
-	return sel, nil
-}
-
-func selectProc(ctx *Context, proc *ir.Procedure, sel *Selection, opt Options) error {
-	for _, s := range proc.Body {
-		switch st := s.(type) {
-		case *ir.Assign:
-			sel.CPs[st.ID] = defaultCP(ctx, proc, st)
-		case *ir.CallStmt:
-			sel.CPs[st.ID] = callCP(ctx, proc, st, nil, sel, opt)
-		case *ir.Loop:
-			if err := selectLoop(ctx, proc, st, sel, opt); err != nil {
-				return err
-			}
-		}
-	}
 	return nil
 }
 
-// defaultCP is owner-computes of the LHS when distributed, else the
-// first distributed RHS ref, else replicated.
-func defaultCP(ctx *Context, proc *ir.Procedure, a *ir.Assign) *CP {
-	for _, c := range candidates(ctx, proc, a) {
-		return c
+// callCP computes a call statement's CP from the callee's entry CP (§6),
+// translated through the formal→actual binding; replicated when the
+// callee has no uniform entry CP or translation fails.
+func callCP(ctx *Context, proc *ir.Procedure, call *ir.CallStmt, sel *Selection, opt Options) *CP {
+	if !opt.Interproc {
+		return &CP{}
 	}
-	return &CP{}
+	entry := ctx.EntryCPs[call.Callee]
+	if entry == nil || entry.Replicated() {
+		return &CP{}
+	}
+	callee := ctx.Prog.Proc(call.Callee)
+	translated := TranslateEntryCP(ctx, callee, entry, call)
+	if translated == nil {
+		sel.notef("proc %s: call %s: entry CP %s not translatable; replicating", proc.Name, call.Callee, entry)
+		return &CP{}
+	}
+	return translated
 }
 
-// candidates enumerates the CP choices for an assignment: one ON_HOME
-// term per *distinct data partition* among the statement's distributed
-// references (references with identical partitions count once — §5).
-// The LHS reference comes first so owner-computes is the tie-break.
-//
-// A statement writing an *undistributed array* gets no candidates
-// (replicated execution): every processor holds a copy of such an array
-// and the copies must stay consistent.  The exception — privatizable
-// arrays whose values are consumed only where they were computed — is
-// handled afterwards by NEW/LOCALIZE propagation (§4), which overrides
-// the replicated CP with the translated partial one.
-func candidates(ctx *Context, proc *ir.Procedure, a *ir.Assign) []*CP {
-	if len(a.LHS.Subs) > 0 && ctx.Layout(proc, a.LHS.Name) == nil {
-		return nil
-	}
-	var out []*CP
-	seen := map[string]bool{}
-	consider := func(r *ir.ArrayRef) {
-		l := ctx.Layout(proc, r.Name)
-		if l == nil || len(r.Subs) == 0 {
-			return
-		}
-		key := partitionKey(ctx, l, r)
-		if seen[key] {
-			return
-		}
-		seen[key] = true
-		out = append(out, OnHome(r))
-	}
-	consider(a.LHS)
-	for _, r := range ir.Refs(a.RHS) {
-		consider(r)
-	}
-	return out
-}
-
-// partitionKey renders the partition-relevant part of a reference: which
-// grid dimension each distributed array dimension maps to and the
-// subscript used there.  Two references with equal keys assign every
-// iteration to the same processor.
-func partitionKey(ctx *Context, l *hpf.Layout, r *ir.ArrayRef) string {
-	key := ""
-	for d, dl := range l.Dims {
-		if dl.Kind != hpf.Block {
-			continue
-		}
-		s := r.Subs[d]
-		off := s.Off.EvalOr(ctx.Bind.Params, 0)
-		key += fmt.Sprintf("g%d:b%d:t%d:%s*%d+%d;", dl.GridDim, dl.BlockSz, dl.TplOff, s.Var, s.Coef, off)
-	}
-	return key
-}
-
-// termPartitionKey is partitionKey for an ON_HOME term (used when
-// intersecting group choice sets).
-func termPartitionKey(ctx *Context, proc *ir.Procedure, t Term) string {
-	l := ctx.Layout(proc, t.Array)
-	if l == nil {
-		return "<replicated>"
-	}
-	key := ""
-	for d, dl := range l.Dims {
-		if dl.Kind != hpf.Block {
-			continue
-		}
-		s := t.Subs[d]
-		if s.IsRange {
-			key += fmt.Sprintf("g%d:b%d:t%d:[%d:%d];", dl.GridDim, dl.BlockSz, dl.TplOff,
-				s.Lo.EvalOr(ctx.Bind.Params, 0), s.Hi.EvalOr(ctx.Bind.Params, 0))
-			continue
-		}
-		off := s.Off.EvalOr(ctx.Bind.Params, 0)
-		key += fmt.Sprintf("g%d:b%d:t%d:%s*%d+%d;", dl.GridDim, dl.BlockSz, dl.TplOff, s.Var, s.Coef, off)
-	}
-	return key
-}
-
-// PartitionKey renders the partition-relevant content of a CP: two CPs
-// with equal keys assign every iteration to the same processor.  The
-// replicated CP yields "<replicated>".
-func PartitionKey(ctx *Context, proc *ir.Procedure, c *CP) string {
-	return cpKey(ctx, proc, c)
-}
-
-func cpKey(ctx *Context, proc *ir.Procedure, c *CP) string {
-	if c.Replicated() {
-		return "<replicated>"
-	}
-	key := ""
-	for _, t := range c.Terms {
-		key += termPartitionKey(ctx, proc, t) + "|"
-	}
-	return key
-}
-
-// selectLoop runs §5 grouping then least-cost combination search for one
-// outermost loop nest, then applies §4 propagation overrides.
-func selectLoop(ctx *Context, proc *ir.Procedure, loop *ir.Loop, sel *Selection, opt Options) error {
+// selectLoopBase runs §5 grouping then least-cost combination search for
+// one outermost loop nest.
+func selectLoopBase(ctx *Context, proc *ir.Procedure, loop *ir.Loop, sel *Selection, opt Options) error {
 	asn := ir.Assignments([]ir.Stmt{loop})
 
 	// Candidate choice sets.
@@ -369,56 +468,111 @@ func selectLoop(ctx *Context, proc *ir.Procedure, loop *ir.Loop, sel *Selection,
 	for id, c := range best {
 		sel.CPs[id] = c
 	}
-
-	// Calls inside the loop (§6).
-	ir.Walk(loop.Body, func(s ir.Stmt, loops []*ir.Loop) bool {
-		if call, ok := s.(*ir.CallStmt); ok {
-			nest := append([]*ir.Loop{loop}, loops...)
-			sel.CPs[call.ID] = callCP(ctx, proc, call, nest, sel, opt)
-		}
-		return true
-	})
-
-	// §4.1 / §4.2 propagation overrides, innermost loops first so that a
-	// privatizable feeding another privatizable settles in one pass.
-	var loopsWithDirs []*ir.Loop
-	collectLoops([]ir.Stmt{loop}, &loopsWithDirs)
-	for i := len(loopsWithDirs) - 1; i >= 0; i-- {
-		l := loopsWithDirs[i]
-		for _, v := range l.New {
-			if err := propagateNew(ctx, proc, l, v, sel, opt, false); err != nil {
-				return err
-			}
-		}
-		if opt.Localize {
-			for _, v := range l.Localize {
-				if err := propagateNew(ctx, proc, l, v, sel, opt, true); err != nil {
-					return err
-				}
-			}
-		}
-	}
 	return nil
 }
 
-// callCP computes a call statement's CP from the callee's entry CP (§6),
-// translated through the formal→actual binding; replicated when the
-// callee has no uniform entry CP or translation fails.
-func callCP(ctx *Context, proc *ir.Procedure, call *ir.CallStmt, nest []*ir.Loop, sel *Selection, opt Options) *CP {
-	if !opt.Interproc {
-		return &CP{}
+// defaultCP is owner-computes of the LHS when distributed, else the
+// first distributed RHS ref, else replicated.
+func defaultCP(ctx *Context, proc *ir.Procedure, a *ir.Assign) *CP {
+	for _, c := range candidates(ctx, proc, a) {
+		return c
 	}
-	entry := ctx.EntryCPs[call.Callee]
-	if entry == nil || entry.Replicated() {
-		return &CP{}
+	return &CP{}
+}
+
+// candidates enumerates the CP choices for an assignment: one ON_HOME
+// term per *distinct data partition* among the statement's distributed
+// references (references with identical partitions count once — §5).
+// The LHS reference comes first so owner-computes is the tie-break.
+//
+// A statement writing an *undistributed array* gets no candidates
+// (replicated execution): every processor holds a copy of such an array
+// and the copies must stay consistent.  The exception — privatizable
+// arrays whose values are consumed only where they were computed — is
+// handled afterwards by NEW/LOCALIZE propagation (§4), which overrides
+// the replicated CP with the translated partial one.
+func candidates(ctx *Context, proc *ir.Procedure, a *ir.Assign) []*CP {
+	if len(a.LHS.Subs) > 0 && ctx.Layout(proc, a.LHS.Name) == nil {
+		return nil
 	}
-	callee := ctx.Prog.Proc(call.Callee)
-	translated := TranslateEntryCP(ctx, callee, entry, call)
-	if translated == nil {
-		sel.notef("proc %s: call %s: entry CP %s not translatable; replicating", proc.Name, call.Callee, entry)
-		return &CP{}
+	var out []*CP
+	seen := map[string]bool{}
+	consider := func(r *ir.ArrayRef) {
+		l := ctx.Layout(proc, r.Name)
+		if l == nil || len(r.Subs) == 0 {
+			return
+		}
+		key := partitionKey(ctx, l, r)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, OnHome(r))
 	}
-	return translated
+	consider(a.LHS)
+	for _, r := range ir.Refs(a.RHS) {
+		consider(r)
+	}
+	return out
+}
+
+// partitionKey renders the partition-relevant part of a reference: which
+// grid dimension each distributed array dimension maps to and the
+// subscript used there.  Two references with equal keys assign every
+// iteration to the same processor.
+func partitionKey(ctx *Context, l *hpf.Layout, r *ir.ArrayRef) string {
+	key := ""
+	for d, dl := range l.Dims {
+		if dl.Kind != hpf.Block {
+			continue
+		}
+		s := r.Subs[d]
+		off := s.Off.EvalOr(ctx.Bind.Params, 0)
+		key += fmt.Sprintf("g%d:b%d:t%d:%s*%d+%d;", dl.GridDim, dl.BlockSz, dl.TplOff, s.Var, s.Coef, off)
+	}
+	return key
+}
+
+// termPartitionKey is partitionKey for an ON_HOME term (used when
+// intersecting group choice sets).
+func termPartitionKey(ctx *Context, proc *ir.Procedure, t Term) string {
+	l := ctx.Layout(proc, t.Array)
+	if l == nil {
+		return "<replicated>"
+	}
+	key := ""
+	for d, dl := range l.Dims {
+		if dl.Kind != hpf.Block {
+			continue
+		}
+		s := t.Subs[d]
+		if s.IsRange {
+			key += fmt.Sprintf("g%d:b%d:t%d:[%d:%d];", dl.GridDim, dl.BlockSz, dl.TplOff,
+				s.Lo.EvalOr(ctx.Bind.Params, 0), s.Hi.EvalOr(ctx.Bind.Params, 0))
+			continue
+		}
+		off := s.Off.EvalOr(ctx.Bind.Params, 0)
+		key += fmt.Sprintf("g%d:b%d:t%d:%s*%d+%d;", dl.GridDim, dl.BlockSz, dl.TplOff, s.Var, s.Coef, off)
+	}
+	return key
+}
+
+// PartitionKey renders the partition-relevant content of a CP: two CPs
+// with equal keys assign every iteration to the same processor.  The
+// replicated CP yields "<replicated>".
+func PartitionKey(ctx *Context, proc *ir.Procedure, c *CP) string {
+	return cpKey(ctx, proc, c)
+}
+
+func cpKey(ctx *Context, proc *ir.Procedure, c *CP) string {
+	if c.Replicated() {
+		return "<replicated>"
+	}
+	key := ""
+	for _, t := range c.Terms {
+		key += termPartitionKey(ctx, proc, t) + "|"
+	}
+	return key
 }
 
 func collectLoops(body []ir.Stmt, out *[]*ir.Loop) {

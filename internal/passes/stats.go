@@ -1,0 +1,90 @@
+package passes
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dhpf/internal/comm"
+)
+
+// Stat is one pass's instrumentation record.
+type Stat struct {
+	Name string
+	Wall time.Duration
+	// Summary is the pass's one-line decision digest ("14 stmt CPs, 1
+	// pair marked"); Notes are its individual decisions, in the order
+	// they were made.
+	Summary string
+	Notes   []string
+	// With Options.Instrument: the fully-vectorized communication plan
+	// the program would need as of the end of this pass.  Measured is
+	// false for front-end passes that run before a CP selection exists
+	// (no plan can be probed yet); HasDelta once a previous pass was also
+	// measured, making DeltaBytes = Bytes − previous pass's Bytes.
+	Measured   bool
+	Msgs       int64
+	Bytes      int64
+	HasDelta   bool
+	DeltaBytes int64
+}
+
+// probe is one communication-volume measurement.
+type probe struct {
+	msgs, bytes int64
+}
+
+// measureComm computes the whole-program fully-vectorized transfer plan
+// under the current selection: the pipeline's "communication volume so
+// far".  Before the communication passes run, events are built
+// ephemerally from the current CPs; afterwards the pipeline's own plan
+// (with its eliminations) is measured.  Returns ok=false until a CP
+// selection exists.
+func measureComm(cc *CompileContext) (probe, bool) {
+	if cc.Ctx == nil || cc.Sel == nil {
+		return probe{}, false
+	}
+	var p probe
+	for _, proc := range cc.IR.Procs {
+		a := cc.Comm[proc.Name]
+		if a == nil {
+			a = comm.BuildEvents(cc.Ctx, proc, cc.Sel)
+		}
+		live := a.Live()
+		for _, t := range comm.ReadTransfers(cc.Ctx, proc, cc.Sel, live) {
+			p.msgs++
+			p.bytes += t.Bytes()
+		}
+		for _, t := range comm.WriteBackTransfers(cc.Ctx, proc, cc.Sel, live) {
+			p.msgs++
+			p.bytes += t.Bytes()
+		}
+	}
+	return p, true
+}
+
+// StatsTable renders the per-pass records as the table cmd/dhpfc
+// -explain prints: pass name, wall time, message count, bytes, byte
+// delta vs the previous measured pass, and the decision summary.
+// Unmeasured cells print "-".
+func StatsTable(stats []Stat) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %10s %8s %12s %12s  %s\n", "pass", "time", "msgs", "bytes", "Δbytes", "decisions")
+	for _, s := range stats {
+		msgs, bytes, delta := "-", "-", "-"
+		if s.Measured {
+			msgs = fmt.Sprintf("%d", s.Msgs)
+			bytes = fmt.Sprintf("%d", s.Bytes)
+			if s.HasDelta {
+				delta = fmt.Sprintf("%+d", s.DeltaBytes)
+			}
+		}
+		fmt.Fprintf(&b, "%-14s %10s %8s %12s %12s  %s\n",
+			s.Name, fmtWall(s.Wall), msgs, bytes, delta, s.Summary)
+	}
+	return b.String()
+}
+
+func fmtWall(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+}

@@ -12,30 +12,22 @@ import (
 
 	"dhpf/internal/comm"
 	"dhpf/internal/cp"
-	"dhpf/internal/dep"
 	"dhpf/internal/hpf"
 	"dhpf/internal/ir"
-	"dhpf/internal/parser"
+	"dhpf/internal/passes"
 )
 
-// Options bundles the optimization switches of the whole pipeline.
-type Options struct {
-	CP   cp.Options
-	Comm comm.Options
-	// PipelineGrain is the strip width of coarse-grain pipelining in
-	// wavefront loops (iterations of the strip-mined inner loop per
-	// message).  The paper notes dHPF applies one global granularity.
-	PipelineGrain int
-}
+// Options bundles the optimization switches of the whole pipeline.  It
+// is the pass pipeline's option set: besides the per-phase switches it
+// carries Disable (drop optional passes by name) and Instrument
+// (per-pass communication-volume probing).
+type Options = passes.Options
+
+// ReductionPlan is one recognized parallel reduction.
+type ReductionPlan = passes.ReductionPlan
 
 // DefaultOptions enables every optimization with the paper's defaults.
-func DefaultOptions() Options {
-	return Options{
-		CP:            cp.DefaultOptions(),
-		Comm:          comm.DefaultOptions(),
-		PipelineGrain: 8,
-	}
-}
+func DefaultOptions() Options { return passes.DefaultOptions() }
 
 // Program is a compiled SPMD program.
 type Program struct {
@@ -50,122 +42,41 @@ type Program struct {
 	Reductions map[string][]ReductionPlan
 	Grid       *hpf.Grid
 	Opt        Options
+	// Stats holds the per-pass instrumentation records of the pipeline
+	// run that produced this program.
+	Stats []passes.Stat
 }
 
-// ReductionPlan is one recognized parallel reduction.
-type ReductionPlan struct {
-	Loop *ir.Loop   // finalize at this loop's exit
-	Stmt *ir.Assign // the accumulation statement
-	Var  string
-	Op   byte // '+' sum, '<' min, '>' max
-}
-
-// Compile parses nothing: it takes an already-parsed program, binds its
-// directives under the parameter overrides, selects CPs (§2, §4, §6),
-// applies selective loop distribution (§5), and runs communication
-// analysis with availability elimination (§7).
+// Compile parses nothing: it takes an already-parsed program and runs
+// the pass pipeline over it — directive binding, dependence analysis,
+// CP selection (§2, §4, §6), selective loop distribution (§5), and
+// communication planning with availability elimination (§7).
 func Compile(prog *ir.Program, params map[string]int, opt Options) (*Program, error) {
-	bind, err := hpf.Bind(prog, params)
-	if err != nil {
-		return nil, err
-	}
-	ctx, err := cp.NewContext(prog, bind)
-	if err != nil {
-		return nil, err
-	}
-	sel, err := cp.Select(ctx, opt.CP)
-	if err != nil {
-		return nil, err
-	}
-	if opt.CP.LoopDist {
-		for _, proc := range prog.Procs {
-			cp.DistributeLoops(ctx, proc, sel)
-		}
-	}
-	grid, err := ctx.Grid()
-	if err != nil {
-		return nil, err
-	}
-	out := &Program{
-		IR: prog, Ctx: ctx, Sel: sel,
-		Comm:       map[string]*comm.Analysis{},
-		Reductions: map[string][]ReductionPlan{},
-		Grid:       grid, Opt: opt,
-	}
-	for _, proc := range prog.Procs {
-		out.Reductions[proc.Name] = planReductions(ctx, proc, sel)
-		out.Comm[proc.Name] = comm.Analyze(ctx, proc, sel, opt.Comm)
-	}
-	return out, nil
+	return compilePipeline(&passes.CompileContext{IR: prog, Params: params, Opt: opt})
 }
 
-// planReductions recognizes scalar reductions in each outermost loop:
-// statements of the shape s = s ⊕ e whose scalar is touched nowhere else
-// inside the loop and whose CP partitions the iterations.  Supported ⊕
-// (sum, min, max) become ReductionPlans — each rank accumulates its
-// partial and the loop exit combines them collectively.  A recognized
-// reduction with an unsupported operator (product) is forced to
-// replicated execution instead, preserving correctness.
-func planReductions(ctx *cp.Context, proc *ir.Procedure, sel *cp.Selection) []ReductionPlan {
-	var out []ReductionPlan
-	for _, s := range proc.Body {
-		l, ok := s.(*ir.Loop)
-		if !ok {
-			continue
-		}
-		reds := dep.FindReductions([]ir.Stmt{l})
-		for _, r := range reds {
-			if !scalarOnlyInReduction(l, r) {
-				continue
-			}
-			c := sel.CPOf(r.Stmt.ID)
-			if c.Replicated() {
-				continue // every rank runs every iteration: already global
-			}
-			switch r.Op {
-			case '+', '<', '>':
-				out = append(out, ReductionPlan{Loop: l, Stmt: r.Stmt, Var: r.Var, Op: r.Op})
-			default:
-				// Unsupported combine: replicate the accumulation.
-				sel.CPs[r.Stmt.ID] = &cp.CP{}
-			}
-		}
-	}
-	return out
-}
-
-// scalarOnlyInReduction checks that the reduction variable is read and
-// written only by the reduction statement inside the loop.
-func scalarOnlyInReduction(l *ir.Loop, r dep.Reduction) bool {
-	ok := true
-	ir.Walk([]ir.Stmt{l}, func(s ir.Stmt, _ []*ir.Loop) bool {
-		a, isA := s.(*ir.Assign)
-		if !isA || a == r.Stmt {
-			return true
-		}
-		if a.LHS.Name == r.Var && len(a.LHS.Subs) == 0 {
-			ok = false
-			return false
-		}
-		for _, n := range ir.ScalarReads(a.RHS) {
-			if n == r.Var {
-				ok = false
-				return false
-			}
-		}
-		return true
-	})
-	return ok
-}
-
-// CompileSource is Compile from mini-HPF source text.
+// CompileSource is Compile from mini-HPF source text (the parse pass
+// does the parsing).
 func CompileSource(src string, params map[string]int, opt Options) (*Program, error) {
-	prog, err := parser.Parse(src)
-	if err != nil {
+	return compilePipeline(&passes.CompileContext{Source: src, Params: params, Opt: opt})
+}
+
+func compilePipeline(cc *passes.CompileContext) (*Program, error) {
+	if err := passes.Run(cc); err != nil {
 		return nil, err
 	}
-	return Compile(prog, params, opt)
+	return &Program{
+		IR: cc.IR, Ctx: cc.Ctx, Sel: cc.Sel,
+		Comm:       cc.Comm,
+		Reductions: cc.Reductions,
+		Grid:       cc.Grid, Opt: cc.Opt,
+		Stats: cc.Stats,
+	}, nil
 }
+
+// PassStats returns the per-pass instrumentation of the compilation:
+// one record per executed pass, in pipeline order.
+func (p *Program) PassStats() []passes.Stat { return p.Stats }
 
 // Report renders the compilation decisions (CPs, communication events,
 // notes) as text — what cmd/dhpfc prints.
@@ -189,9 +100,9 @@ func (p *Program) Report() string {
 			out += "  " + e.String() + p.eventVolume(proc, e) + "\n"
 		}
 	}
-	if len(p.Sel.Notes) > 0 {
+	if notes := p.Sel.Notes(); len(notes) > 0 {
 		out += "\nnotes:\n"
-		for _, n := range p.Sel.Notes {
+		for _, n := range notes {
 			out += "  " + n + "\n"
 		}
 	}
