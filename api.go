@@ -1,0 +1,228 @@
+package dhpf
+
+import (
+	"fmt"
+
+	"dhpf/internal/cp"
+)
+
+// This file defines the wire types of the dhpfd compile service's
+// HTTP/JSON API (v1).  They are shared by internal/service (the server)
+// and Client (the client), so the two cannot drift.
+
+// RequestOptions is the JSON form of Options.  Absent fields take the
+// paper's defaults (DefaultOptions); pointer fields distinguish "not
+// set" from an explicit false.
+type RequestOptions struct {
+	// NewProp is the §4.1 privatizable-array mode: "translate"
+	// (default), "owner", or "replicate".
+	NewProp       string `json:"newprop,omitempty"`
+	Localize      *bool  `json:"localize,omitempty"`       // §4.2 LOCALIZE
+	LoopDist      *bool  `json:"loopdist,omitempty"`       // §5 loop distribution
+	Interproc     *bool  `json:"interproc,omitempty"`      // §6 interprocedural CPs
+	Availability  *bool  `json:"availability,omitempty"`   // §7 data availability
+	WritebackElim *bool  `json:"writeback_elim,omitempty"` // redundant write-back elimination
+	PipelineGrain int    `json:"pipeline_grain,omitempty"` // wavefront strip width (default 8)
+	MaxCombos     int    `json:"max_combos,omitempty"`     // CP search cap
+	// Disable drops optional passes by name (PassNames lists them) —
+	// the pass-level ablation switch.
+	Disable []string `json:"disable,omitempty"`
+	// Instrument enables the per-pass communication-volume probe
+	// reported in pass_stats (costs one comm analysis per pass).
+	Instrument bool `json:"instrument,omitempty"`
+}
+
+// Resolve converts the request options to pipeline Options, applying
+// defaults for absent fields.  A nil receiver means DefaultOptions.
+func (r *RequestOptions) Resolve() (Options, error) {
+	opt := DefaultOptions()
+	if r == nil {
+		return opt, nil
+	}
+	switch r.NewProp {
+	case "", "translate":
+		opt.CP.NewProp = cp.NewPropTranslate
+	case "owner":
+		opt.CP.NewProp = cp.NewPropOwner
+	case "replicate":
+		opt.CP.NewProp = cp.NewPropReplicate
+	default:
+		return opt, fmt.Errorf("unknown newprop mode %q (want translate, owner or replicate)", r.NewProp)
+	}
+	if r.Localize != nil {
+		opt.CP.Localize = *r.Localize
+	}
+	if r.LoopDist != nil {
+		opt.CP.LoopDist = *r.LoopDist
+	}
+	if r.Interproc != nil {
+		opt.CP.Interproc = *r.Interproc
+	}
+	if r.Availability != nil {
+		opt.Comm.Availability = *r.Availability
+	}
+	if r.WritebackElim != nil {
+		opt.Comm.RedundantWriteback = *r.WritebackElim
+	}
+	if r.PipelineGrain != 0 {
+		opt.PipelineGrain = r.PipelineGrain
+	}
+	if r.MaxCombos != 0 {
+		opt.CP.MaxCombos = r.MaxCombos
+	}
+	opt.Disable = append([]string{}, r.Disable...)
+	opt.Instrument = r.Instrument
+	return opt, nil
+}
+
+// CompileRequest asks the service to compile mini-HPF source.  The
+// (source, params, options) triple is the cache key; identical requests
+// are served from the content-addressed program cache.
+type CompileRequest struct {
+	Source string         `json:"source"`
+	Params map[string]int `json:"params,omitempty"`
+	// Options defaults to the paper's configuration when absent.
+	Options *RequestOptions `json:"options,omitempty"`
+	// Ranks selects which ranks' node programs /v1/compile returns
+	// (out-of-range ranks are an error); nil means every rank.
+	Ranks []int `json:"ranks,omitempty"`
+}
+
+// PassStatJSON is the JSON form of one pass's instrumentation record.
+type PassStatJSON struct {
+	Name    string   `json:"name"`
+	WallNS  int64    `json:"wall_ns"`
+	Summary string   `json:"summary,omitempty"`
+	Notes   []string `json:"notes,omitempty"`
+	// Msgs/Bytes are present when the program was compiled with
+	// options.instrument; DeltaBytes once a preceding pass was also
+	// measured.
+	Measured   bool   `json:"measured,omitempty"`
+	Msgs       int64  `json:"msgs,omitempty"`
+	Bytes      int64  `json:"bytes,omitempty"`
+	DeltaBytes *int64 `json:"delta_bytes,omitempty"`
+}
+
+// PassStatsJSON converts pass records to their wire form.
+func PassStatsJSON(stats []PassStat) []PassStatJSON {
+	out := make([]PassStatJSON, len(stats))
+	for i, st := range stats {
+		out[i] = PassStatJSON{
+			Name:     st.Name,
+			WallNS:   st.Wall.Nanoseconds(),
+			Summary:  st.Summary,
+			Notes:    st.Notes,
+			Measured: st.Measured,
+			Msgs:     st.Msgs,
+			Bytes:    st.Bytes,
+		}
+		if st.HasDelta {
+			d := st.DeltaBytes
+			out[i].DeltaBytes = &d
+		}
+	}
+	return out
+}
+
+// CompileResponse is /v1/compile's result: the compiler's report, the
+// requested ranks' generated node programs, and the per-pass records.
+type CompileResponse struct {
+	Fingerprint string `json:"fingerprint"`
+	Ranks       int    `json:"ranks"`
+	Report      string `json:"report"`
+	// NodePrograms maps rank → generated SPMD node program text.
+	NodePrograms map[int]string `json:"node_programs,omitempty"`
+	PassStats    []PassStatJSON `json:"pass_stats"`
+	// Cached reports whether the compiled program came from the cache
+	// (a stored entry or a coalesced in-flight compile).
+	Cached bool `json:"cached"`
+}
+
+// ExplainResponse is /v1/explain's result: the rendered per-pass table
+// (what cmd/dhpfc -explain prints) plus the structured records.
+type ExplainResponse struct {
+	Fingerprint string         `json:"fingerprint"`
+	Table       string         `json:"table"`
+	PassStats   []PassStatJSON `json:"pass_stats"`
+	Cached      bool           `json:"cached"`
+}
+
+// RunRequest compiles (through the cache) and executes the program on a
+// named machine configuration.
+type RunRequest struct {
+	Source  string          `json:"source"`
+	Params  map[string]int  `json:"params,omitempty"`
+	Options *RequestOptions `json:"options,omitempty"`
+	// Machine names the simulated machine: "sp2" (sized to the
+	// program's rank count, the default) or "sp2:N" (N must match the
+	// program's PROCESSORS arrangement).
+	Machine string `json:"machine,omitempty"`
+	// Arrays lists array names whose authoritative global contents the
+	// response should include.
+	Arrays []string `json:"arrays,omitempty"`
+}
+
+// ArrayJSON is one gathered global array: flattened data plus inclusive
+// per-dimension bounds.
+type ArrayJSON struct {
+	Data []float64 `json:"data"`
+	Lo   []int     `json:"lo"`
+	Hi   []int     `json:"hi"`
+}
+
+// RunResponse is /v1/run's result: the virtual-time performance
+// counters and any requested arrays.
+type RunResponse struct {
+	Fingerprint string               `json:"fingerprint"`
+	Ranks       int                  `json:"ranks"`
+	Seconds     float64              `json:"seconds"`
+	Messages    int64                `json:"messages"`
+	Bytes       int64                `json:"bytes"`
+	RankSeconds []float64            `json:"rank_seconds"`
+	Arrays      map[string]ArrayJSON `json:"arrays,omitempty"`
+	Cached      bool                 `json:"cached"`
+}
+
+// CacheStats is the program cache's counter snapshot.
+type CacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// InflightCoalesced counts requests that joined an identical
+	// in-flight compile instead of starting their own (singleflight).
+	InflightCoalesced int64 `json:"inflight_coalesced"`
+	Evictions         int64 `json:"evictions"`
+	Entries           int   `json:"entries"`
+	SizeBytes         int64 `json:"size_bytes"`
+	MaxBytes          int64 `json:"max_bytes"`
+}
+
+// ServerStats is the service's request-level counter snapshot.
+type ServerStats struct {
+	Requests int64 `json:"requests"`
+	Active   int64 `json:"active"`
+	Compiles int64 `json:"compiles"`
+	Errors   int64 `json:"errors"`
+	// Rejected counts 429s from queue backpressure; Timeouts counts
+	// compiles aborted by the per-request deadline.
+	Rejected   int64 `json:"rejected"`
+	Timeouts   int64 `json:"timeouts"`
+	Workers    int   `json:"workers"`
+	QueueDepth int   `json:"queue_depth"`
+	UptimeMS   int64 `json:"uptime_ms"`
+}
+
+// StatsResponse is /v1/stats.
+type StatsResponse struct {
+	Cache  CacheStats  `json:"cache"`
+	Server ServerStats `json:"server"`
+}
+
+// APIError is a non-2xx service response.
+type APIError struct {
+	StatusCode int    `json:"-"`
+	Message    string `json:"error"`
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("dhpfd: HTTP %d: %s", e.StatusCode, e.Message)
+}

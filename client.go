@@ -1,0 +1,102 @@
+package dhpf
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client talks to a dhpfd compile service (internal/service, served by
+// cmd/dhpfd).  The zero HTTPClient uses http.DefaultClient; cancellation
+// and per-call deadlines come from the context.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8421".
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the service at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// Compile compiles source through the service's program cache.
+func (c *Client) Compile(ctx context.Context, req CompileRequest) (*CompileResponse, error) {
+	var resp CompileResponse
+	if err := c.post(ctx, "/v1/compile", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Explain returns the per-pass instrumentation table for a compilation.
+func (c *Client) Explain(ctx context.Context, req CompileRequest) (*ExplainResponse, error) {
+	var resp ExplainResponse
+	if err := c.post(ctx, "/v1/explain", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Run compiles (cached) and executes on the named machine.
+func (c *Client) Run(ctx context.Context, req RunRequest) (*RunResponse, error) {
+	var resp RunResponse
+	if err := c.post(ctx, "/v1/run", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats returns the service's cache and request counters.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	var resp StatsResponse
+	if err := c.do(httpReq, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	return c.do(httpReq, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		apiErr := &APIError{StatusCode: resp.StatusCode}
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(data, apiErr) != nil || apiErr.Message == "" {
+			apiErr.Message = strings.TrimSpace(string(data))
+		}
+		return apiErr
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("dhpfd: decoding %s response: %w", req.URL.Path, err)
+	}
+	return nil
+}

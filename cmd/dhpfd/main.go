@@ -1,0 +1,222 @@
+// Command dhpfd serves the dhpf compiler over HTTP/JSON and load-tests
+// it.  The server fronts every compilation with a content-addressed
+// program cache (identical requests hit or coalesce; see
+// internal/cache) and a bounded worker pool with queue backpressure.
+//
+// Usage:
+//
+//	dhpfd serve [-addr :8421] [-workers 4] [-queue 64] [-cache-mb 256]
+//	            [-timeout 60s] [-quiet]
+//	dhpfd loadgen [-addr http://127.0.0.1:8421] [-requests 200]
+//	              [-concurrency 8] [-warm 0.8] [-n 16] [-steps 1]
+//
+// serve runs until interrupted (SIGINT/SIGTERM), then drains and prints
+// its final counters.  loadgen drives /v1/compile with a mixed workload:
+// a fraction of requests repeat one hot SP configuration (warm) and the
+// rest cycle through unique parameter variants (cold), and reports
+// sustained throughput and latency for each class — the warm/cold
+// compile-throughput experiment of EXPERIMENTS.md.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+
+	"dhpf"
+	"dhpf/internal/nas"
+	"dhpf/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dhpfd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main with its environment made explicit so tests can drive the
+// daemon end to end; cancelling ctx shuts serve down gracefully.
+func run(ctx context.Context, w io.Writer, args []string) error {
+	if len(args) < 1 {
+		return errors.New("usage: dhpfd serve|loadgen [flags]")
+	}
+	switch args[0] {
+	case "serve":
+		return serve(ctx, w, args[1:])
+	case "loadgen":
+		return loadgen(ctx, w, args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want serve or loadgen)", args[0])
+	}
+}
+
+func serve(ctx context.Context, w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("dhpfd serve", flag.ContinueOnError)
+	fs.SetOutput(w)
+	addr := fs.String("addr", ":8421", "listen address")
+	workers := fs.Int("workers", 4, "concurrent compile workers")
+	queue := fs.Int("queue", 64, "queued compiles beyond the workers (full queue = 429)")
+	cacheMB := fs.Int("cache-mb", 256, "program cache budget in MiB")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-request compile deadline")
+	quiet := fs.Bool("quiet", false, "suppress per-request logs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := slog.New(slog.NewTextHandler(w, nil))
+	if *quiet {
+		logger = nil
+	}
+	srv := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheBytes:     int64(*cacheMB) << 20,
+		RequestTimeout: *timeout,
+		Logger:         logger,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "dhpfd: listening on http://%s (workers=%d queue=%d cache=%dMiB timeout=%s)\n",
+		ln.Addr(), *workers, *queue, *cacheMB, *timeout)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	st := srv.Stats()
+	fmt.Fprintf(w, "dhpfd: shut down after %d requests (%d compiles, %d cache hits, %d coalesced, %d rejected)\n",
+		st.Server.Requests, st.Server.Compiles, st.Cache.Hits, st.Cache.InflightCoalesced, st.Server.Rejected)
+	return nil
+}
+
+// loadgen measures a served dhpfd instance with a mixed workload.
+func loadgen(ctx context.Context, w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("dhpfd loadgen", flag.ContinueOnError)
+	fs.SetOutput(w)
+	addr := fs.String("addr", "http://127.0.0.1:8421", "service base URL")
+	requests := fs.Int("requests", 200, "total requests to send")
+	concurrency := fs.Int("concurrency", 8, "concurrent client goroutines")
+	warmFrac := fs.Float64("warm", 0.8, "fraction of requests repeating the hot configuration")
+	n := fs.Int("n", 16, "SP grid size")
+	steps := fs.Int("steps", 1, "SP time steps")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *warmFrac < 0 || *warmFrac > 1 {
+		return fmt.Errorf("-warm %g outside [0,1]", *warmFrac)
+	}
+
+	client := dhpf.NewClient(*addr)
+	src := nas.SPSource(*n, *steps, 2, 2)
+	warmReq := dhpf.CompileRequest{Source: src, Ranks: []int{0}}
+
+	type sample struct {
+		warm bool
+		dur  time.Duration
+		err  error
+	}
+	jobs := make(chan int)
+	samples := make([]sample, *requests)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for g := 0; g < *concurrency; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				req := warmReq
+				// Spread the cold fraction evenly across the index
+				// space so small runs still mix both classes.
+				coldFrac := 1 - *warmFrac
+				warm := math.Floor(float64(i+1)*coldFrac) == math.Floor(float64(i)*coldFrac)
+				if !warm {
+					// Unique params = unique fingerprint = cold compile.
+					req.Params = map[string]int{"SEED": i}
+				}
+				start := time.Now()
+				_, err := client.Compile(ctx, req)
+				samples[i] = sample{warm: warm, dur: time.Since(start), err: err}
+			}
+		}()
+	}
+	for i := 0; i < *requests; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			close(jobs)
+			wg.Wait()
+			return ctx.Err()
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	var warmDurs, coldDurs []time.Duration
+	errs, rejected := 0, 0
+	for _, sm := range samples {
+		if sm.err != nil {
+			errs++
+			var apiErr *dhpf.APIError
+			if errors.As(sm.err, &apiErr) && apiErr.StatusCode == http.StatusTooManyRequests {
+				rejected++
+			}
+			continue
+		}
+		if sm.warm {
+			warmDurs = append(warmDurs, sm.dur)
+		} else {
+			coldDurs = append(coldDurs, sm.dur)
+		}
+	}
+	ok := *requests - errs
+	fmt.Fprintf(w, "loadgen: %d requests (%d ok, %d errors, %d rejected 429) in %.3fs\n",
+		*requests, ok, errs, rejected, elapsed.Seconds())
+	fmt.Fprintf(w, "throughput: %.1f req/s sustained at concurrency %d (warm fraction %.0f%%)\n",
+		float64(ok)/elapsed.Seconds(), *concurrency, *warmFrac*100)
+	report := func(label string, durs []time.Duration) {
+		if len(durs) == 0 {
+			fmt.Fprintf(w, "%-5s 0 requests\n", label)
+			return
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		var total time.Duration
+		for _, d := range durs {
+			total += d
+		}
+		q := func(p float64) time.Duration { return durs[min(int(p*float64(len(durs))), len(durs)-1)] }
+		fmt.Fprintf(w, "%-5s %5d requests  mean %-10s p50 %-10s p95 %-10s max %s\n",
+			label, len(durs), (total / time.Duration(len(durs))).Round(time.Microsecond),
+			q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond),
+			durs[len(durs)-1].Round(time.Microsecond))
+	}
+	report("warm", warmDurs)
+	report("cold", coldDurs)
+	return nil
+}

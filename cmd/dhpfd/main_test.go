@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dhpf"
+	"dhpf/internal/service"
+)
+
+// syncBuffer is a race-safe io.Writer for reading serve's output while
+// the daemon is running.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+const smokeSrc = `
+program smoke
+param N = 8
+param P = 2
+!hpf$ processors procs(P)
+!hpf$ template t(N)
+!hpf$ align a with t(d0)
+!hpf$ distribute t(BLOCK) onto procs
+
+subroutine main()
+  real a(0:N-1)
+  !hpf$ independent
+  do i = 0, N-1
+    a(i) = 1.0*i
+  enddo
+end
+`
+
+// TestServeSmoke starts the daemon, compiles through it, and shuts it
+// down — the start/compile/shutdown smoke test CI runs.
+func TestServeSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, &out, []string{"serve", "-addr", "127.0.0.1:0", "-quiet"})
+	}()
+
+	// Wait for the listening line and extract the bound address.
+	re := regexp.MustCompile(`listening on (http://[0-9.:]+)`)
+	var base string
+	for deadline := time.Now().Add(10 * time.Second); ; time.Sleep(5 * time.Millisecond) {
+		if m := re.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("daemon never reported its address; output:\n%s", out.String())
+		}
+	}
+
+	client := dhpf.NewClient(base)
+	resp, err := client.Compile(ctx, dhpf.CompileRequest{Source: smokeSrc})
+	if err != nil {
+		cancel()
+		t.Fatalf("compile through daemon: %v", err)
+	}
+	if resp.Ranks != 2 || !strings.Contains(resp.Report, "program smoke") {
+		t.Errorf("unexpected compile response: ranks=%d", resp.Ranks)
+	}
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		cancel()
+		t.Fatalf("stats: %v", err)
+	}
+	if stats.Server.Compiles != 1 || stats.Cache.Misses != 1 {
+		t.Errorf("daemon stats after one compile: %+v", stats)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited with: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(out.String(), "shut down after") {
+		t.Errorf("no shutdown summary in output:\n%s", out.String())
+	}
+}
+
+// TestLoadgen drives the load generator against an in-process service
+// and checks the mixed warm/cold report.
+func TestLoadgen(t *testing.T) {
+	ts := httptest.NewServer(service.New(service.Config{Workers: 2}).Handler())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run(context.Background(), &out, []string{
+		"loadgen", "-addr", ts.URL, "-requests", "30", "-concurrency", "4",
+		"-warm", "0.8", "-n", "10",
+	})
+	if err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"30 requests (30 ok", "throughput:", "req/s", "warm", "cold"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("loadgen output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestBadSubcommand covers the CLI's error surface.
+func TestBadSubcommand(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, []string{"frobnicate"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run(context.Background(), &out, nil); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+}

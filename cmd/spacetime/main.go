@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dhpf/internal/mpsim"
@@ -23,14 +24,27 @@ import (
 )
 
 func main() {
-	code := flag.String("code", "sp", "sp, bt, or lu (lu -version mpi uses the 2-D pipelined baseline)")
-	version := flag.String("version", "mpi", "mpi (hand multipartitioning), dhpf, or pgi")
-	procs := flag.Int("procs", 16, "rank count (16 in the paper's figures)")
-	n := flag.Int("n", 24, "grid size")
-	steps := flag.Int("steps", 1, "time steps")
-	bins := flag.Int("bins", 120, "diagram width in time bins")
-	csv := flag.String("csv", "", "also write the diagram as CSV to this file")
-	flag.Parse()
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "spacetime:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main with its environment made explicit, so tests can drive
+// the CLI end to end.
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("spacetime", flag.ContinueOnError)
+	fs.SetOutput(w)
+	code := fs.String("code", "sp", "sp, bt, or lu (lu -version mpi uses the 2-D pipelined baseline)")
+	version := fs.String("version", "mpi", "mpi (hand multipartitioning), dhpf, or pgi")
+	procs := fs.Int("procs", 16, "rank count (16 in the paper's figures)")
+	n := fs.Int("n", 24, "grid size")
+	steps := fs.Int("steps", 1, "time steps")
+	bins := fs.Int("bins", 120, "diagram width in time bins")
+	csv := fs.String("csv", "", "also write the diagram as CSV to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg := mpsim.SP2Config(*procs)
 	cfg.Trace = true
@@ -40,24 +54,24 @@ func main() {
 	case "mpi":
 		if *code == "lu" {
 			p1, p2 := nas.GridShape(*procs)
-			run, err := nas.RunLU2D(*n, *steps, p1, p2, cfg)
+			lu, err := nas.RunLU2D(*n, *steps, p1, p2, cfg)
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			res = run.Machine
+			res = lu.Machine
 			break
 		}
-		run, err := nas.RunMultipart(*code, *n, *steps, *procs, cfg)
+		mp, err := nas.RunMultipart(*code, *n, *steps, *procs, cfg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		res = run.Machine
+		res = mp.Machine
 	case "pgi":
-		run, err := nas.RunTranspose(*code, *n, *steps, *procs, cfg)
+		tp, err := nas.RunTranspose(*code, *n, *steps, *procs, cfg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		res = run.Machine
+		res = tp.Machine
 	case "dhpf":
 		p1, p2 := nas.GridShape(*procs)
 		var src string
@@ -69,40 +83,36 @@ func main() {
 		case "lu":
 			src = nas.LUSource(*n, *steps, p1, p2)
 		default:
-			fatal(fmt.Errorf("unknown -code %q", *code))
+			return fmt.Errorf("unknown -code %q", *code)
 		}
 		prog, err := spmd.CompileSource(src, nil, spmd.DefaultOptions())
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		er, err := prog.Execute(cfg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		res = er.Machine
 	default:
-		fatal(fmt.Errorf("unknown -version %q", *version))
+		return fmt.Errorf("unknown -version %q", *version)
 	}
 
 	d := trace.Build(res, *bins)
 	title := fmt.Sprintf("%s %s, %d ranks, N=%d, %d step(s)", *code, *version, *procs, *n, *steps)
-	fmt.Print(d.Render(title))
+	fmt.Fprint(w, d.Render(title))
 	s := trace.Summarize(res)
-	fmt.Printf("\nmean compute %.0f%%  comm %.0f%%  idle %.0f%%  load imbalance %.1f%%\n",
+	fmt.Fprintf(w, "\nmean compute %.0f%%  comm %.0f%%  idle %.0f%%  load imbalance %.1f%%\n",
 		100*s.MeanCompute, 100*s.MeanComm, 100*s.MeanIdle, 100*s.LoadImbalance)
-	fmt.Println("\nphase breakdown (compute seconds across all ranks):")
+	fmt.Fprintln(w, "\nphase breakdown (compute seconds across all ranks):")
 	for _, pt := range trace.PhaseBreakdown(res) {
-		fmt.Printf("  %-14s %.6f\n", pt.Label, pt.Seconds)
+		fmt.Fprintf(w, "  %-14s %.6f\n", pt.Label, pt.Seconds)
 	}
 	if *csv != "" {
 		if err := os.WriteFile(*csv, []byte(d.CSV()), 0o644); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("\nCSV written to %s\n", *csv)
+		fmt.Fprintf(w, "\nCSV written to %s\n", *csv)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "spacetime:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSpacetimeSmoke renders a small dhpf diagram end to end, including
+// the CSV side channel.
+func TestSpacetimeSmoke(t *testing.T) {
+	csvPath := filepath.Join(t.TempDir(), "st.csv")
+	var out bytes.Buffer
+	err := run(&out, []string{
+		"-code", "sp", "-version", "dhpf", "-procs", "4",
+		"-n", "12", "-steps", "1", "-bins", "40", "-csv", csvPath,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"sp dhpf, 4 ranks", "mean compute", "phase breakdown", "CSV written"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+	if !strings.HasPrefix(string(csv), "rank") {
+		t.Errorf("csv header missing: %q", string(csv[:min(len(csv), 40)]))
+	}
+}
+
+// TestSpacetimeMPI covers the hand-written baseline path.
+func TestSpacetimeMPI(t *testing.T) {
+	var out bytes.Buffer
+	err := run(&out, []string{"-code", "sp", "-version", "mpi", "-procs", "4", "-n", "12", "-steps", "1", "-bins", "40"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "sp mpi, 4 ranks") {
+		t.Errorf("missing title:\n%s", out.String())
+	}
+}
+
+// TestSpacetimeBadFlags covers the error surface.
+func TestSpacetimeBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, []string{"-version", "nope"}); err == nil {
+		t.Error("unknown version accepted")
+	}
+	if err := run(&out, []string{"-code", "nope", "-version", "dhpf"}); err == nil {
+		t.Error("unknown code accepted")
+	}
+}

@@ -29,6 +29,8 @@
 package dhpf
 
 import (
+	"context"
+
 	"dhpf/internal/mpsim"
 	"dhpf/internal/parser"
 	"dhpf/internal/passes"
@@ -93,11 +95,30 @@ type Program struct {
 // Compile parses and compiles mini-HPF source.  params overrides the
 // program's `param` defaults (e.g. problem size or processor counts).
 func Compile(source string, params map[string]int, opt Options) (*Program, error) {
-	p, err := spmd.CompileSource(source, params, opt)
+	return CompileCtx(context.Background(), source, params, opt)
+}
+
+// CompileCtx is Compile with cancellation: the pipeline checks ctx at
+// every pass boundary, so a cancelled or timed-out context aborts the
+// compilation between passes.  This is the entry point the compile
+// service uses to enforce per-request timeouts.
+func CompileCtx(ctx context.Context, source string, params map[string]int, opt Options) (*Program, error) {
+	p, err := spmd.CompileSourceCtx(ctx, source, params, opt)
 	if err != nil {
 		return nil, err
 	}
 	return &Program{inner: p}, nil
+}
+
+// Fingerprint returns the canonical content address of one compilation:
+// a stable hash of (source, params, options), invariant under Options
+// canonicalization (e.g. permuted or duplicated Disable lists) and param
+// map ordering.  Identical fingerprints compile to programs with
+// byte-identical Report and NodeProgram output; the compile service keys
+// its program cache with it.  Options alone can be fingerprinted with
+// Options.Fingerprint.
+func Fingerprint(source string, params map[string]int, opt Options) string {
+	return passes.FingerprintKey(source, params, opt)
 }
 
 // Ranks returns the number of processors the program was compiled for.

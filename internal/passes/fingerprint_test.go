@@ -1,0 +1,88 @@
+package passes
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestFingerprintCanonical: semantically equal Options fingerprint
+// identically — Disable order and duplicates don't matter.
+func TestFingerprintCanonical(t *testing.T) {
+	a := DefaultOptions().WithDisabled(PassAvailability, PassLoopDist)
+	b := DefaultOptions().WithDisabled(PassLoopDist, PassAvailability)
+	c := DefaultOptions().WithDisabled(PassLoopDist, PassAvailability, PassLoopDist)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("permuted Disable lists fingerprint differently")
+	}
+	if a.Fingerprint() != c.Fingerprint() {
+		t.Error("duplicated Disable entry changes the fingerprint")
+	}
+	if got := DefaultOptions().Fingerprint(); got != DefaultOptions().Fingerprint() {
+		t.Errorf("fingerprint not stable: %s", got)
+	}
+}
+
+// TestFingerprintDistinguishes: every semantic change to the inputs
+// yields a different key.
+func TestFingerprintDistinguishes(t *testing.T) {
+	base := DefaultOptions()
+	variants := map[string]Options{
+		"disable":    base.WithDisabled(PassAvailability),
+		"grain":      func() Options { o := base; o.PipelineGrain = 16; return o }(),
+		"instrument": func() Options { o := base; o.Instrument = true; return o }(),
+		"localize":   func() Options { o := base; o.CP.Localize = false; return o }(),
+		"loopdist":   func() Options { o := base; o.CP.LoopDist = false; return o }(),
+		"interproc":  func() Options { o := base; o.CP.Interproc = false; return o }(),
+		"newprop":    func() Options { o := base; o.CP.NewProp++; return o }(),
+		"avail":      func() Options { o := base; o.Comm.Availability = false; return o }(),
+		"wbelim":     func() Options { o := base; o.Comm.RedundantWriteback = false; return o }(),
+	}
+	seen := map[string]string{base.Fingerprint(): "base"}
+	for name, o := range variants {
+		fp := o.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("variant %q collides with %q", name, prev)
+		}
+		seen[fp] = name
+	}
+
+	// The full key also separates source and params.
+	src := "program p\nend\n"
+	k0 := FingerprintKey(src, nil, base)
+	if k0 != FingerprintKey(src, nil, base) {
+		t.Error("key not stable")
+	}
+	if k0 != FingerprintKey(src, map[string]int{}, base) {
+		t.Error("nil and empty params must key identically")
+	}
+	if k0 == FingerprintKey(src+" ", nil, base) {
+		t.Error("source change not reflected in key")
+	}
+	if k0 == FingerprintKey(src, map[string]int{"N": 8}, base) {
+		t.Error("param change not reflected in key")
+	}
+	if FingerprintKey(src, map[string]int{"N": 8, "P": 2}, base) !=
+		FingerprintKey(src, map[string]int{"P": 2, "N": 8}, base) {
+		t.Error("param map ordering changes the key")
+	}
+}
+
+// TestRunCtxCancelled: a pre-cancelled context aborts before the first
+// pass and reports which boundary stopped it.
+func TestRunCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cc := &CompileContext{Source: "program p\nend\n", Opt: DefaultOptions()}
+	err := RunCtx(ctx, cc)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if !strings.Contains(err.Error(), PassParse) {
+		t.Errorf("error should name the boundary: %v", err)
+	}
+	if len(cc.Stats) != 0 {
+		t.Errorf("aborted run recorded %d pass stats", len(cc.Stats))
+	}
+}

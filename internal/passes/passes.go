@@ -11,6 +11,7 @@
 package passes
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -174,6 +175,16 @@ func OptionalPassNames() []string {
 // volume recorded in cc.Stats, and its invariant check run before the
 // next pass starts.
 func Run(cc *CompileContext) error {
+	return RunCtx(context.Background(), cc)
+}
+
+// RunCtx is Run with cancellation: the context is checked at every pass
+// boundary, so a cancelled or timed-out compile aborts before the next
+// pass starts and returns ctx.Err() (wrapped with the pass it stopped
+// ahead of).  Passes themselves run to completion — the boundaries are
+// the pipeline's consistency points, so an aborted context can never
+// leave cc half-mutated by a pass.
+func RunCtx(ctx context.Context, cc *CompileContext) error {
 	pipeline, err := BuildPipeline(cc.Opt)
 	if err != nil {
 		return err
@@ -181,6 +192,9 @@ func Run(cc *CompileContext) error {
 	var prev probe
 	prevValid := false
 	for _, p := range pipeline {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("passes: aborted before %s: %w", p.Name, err)
+		}
 		noteBase := 0
 		if cc.Sel != nil {
 			noteBase = cc.Sel.NoteCount()

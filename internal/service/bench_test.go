@@ -1,0 +1,60 @@
+package service
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dhpf"
+	"dhpf/internal/nas"
+)
+
+// BenchmarkServiceWarmVsCold measures /v1/compile latency on the SP
+// source cold (unique cache key every time) and warm (same key,
+// cache-hit path), through the full HTTP round trip.  The reported
+// cold_vs_warm_x metric is the paper-scale payoff of the program cache:
+// a warm hit skips the whole pass pipeline and costs only routing +
+// rendering (expected ≥ 10×).
+func BenchmarkServiceWarmVsCold(b *testing.B) {
+	srv := New(Config{Workers: 2, QueueDepth: 256, CacheBytes: 512 << 20, RequestTimeout: time.Minute})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := dhpf.NewClient(ts.URL)
+	src := nas.SPSource(16, 1, 2, 2)
+	ctx := context.Background()
+
+	// Prime the warm entry once.
+	warmReq := dhpf.CompileRequest{Source: src, Ranks: []int{0}}
+	if _, err := client.Compile(ctx, warmReq); err != nil {
+		b.Fatal(err)
+	}
+
+	var coldNS, warmNS int64
+	seq := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coldReq := warmReq
+		coldReq.Params = map[string]int{"SEED": seq} // unique key ⇒ cache miss
+		seq++
+		t0 := time.Now()
+		if _, err := client.Compile(ctx, coldReq); err != nil {
+			b.Fatal(err)
+		}
+		coldNS += time.Since(t0).Nanoseconds()
+
+		t0 = time.Now()
+		resp, err := client.Compile(ctx, warmReq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		warmNS += time.Since(t0).Nanoseconds()
+		if !resp.Cached {
+			b.Fatal("warm request missed the cache")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(coldNS)/float64(b.N), "cold_ns/op")
+	b.ReportMetric(float64(warmNS)/float64(b.N), "warm_ns/op")
+	b.ReportMetric(float64(coldNS)/float64(warmNS), "cold_vs_warm_x")
+}

@@ -1,0 +1,439 @@
+// Package service is the dhpfd compile service: an HTTP/JSON server over
+// the root dhpf API that turns the compiler into a served artifact.  It
+// fronts every compilation with a content-addressed program cache
+// (internal/cache) keyed by dhpf.Fingerprint, so identical requests —
+// the dominant shape of configuration sweeps and ablation studies — hit
+// a stored program or coalesce onto an identical in-flight compile, and
+// bounds the work it accepts with a fixed worker pool plus a bounded
+// queue (full queue ⇒ 429).  Per-request deadlines are enforced through
+// context cancellation at pass boundaries (passes.RunCtx), so an
+// abandoned compile stops between passes and never corrupts the cache.
+//
+// Endpoints (all JSON; wire types in the root package):
+//
+//	POST /v1/compile  report + per-rank node programs + pass stats
+//	POST /v1/explain  the cmd/dhpfc -explain table
+//	POST /v1/run      execute on a named machine ("sp2" or "sp2:N")
+//	GET  /v1/stats    cache + request counters
+//	GET  /healthz     liveness
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dhpf"
+	"dhpf/internal/cache"
+)
+
+// ErrBusy is returned (as HTTP 429) when the compile queue is full.
+var ErrBusy = errors.New("service: compile queue full")
+
+// Config sizes the service.  Zero fields take the defaults.
+type Config struct {
+	// Workers bounds concurrent compiles (default 4).  Cache hits and
+	// coalesced requests never occupy a worker.
+	Workers int
+	// QueueDepth bounds compiles waiting for a worker (default 64);
+	// beyond Workers+QueueDepth new compiles are rejected with 429.
+	QueueDepth int
+	// CacheBytes is the program cache budget (default 256 MiB),
+	// charged per entry as source + rendered-report size.
+	CacheBytes int64
+	// RequestTimeout bounds each request's compile+render time
+	// (default 60s).  Hitting it aborts the compile at the next pass
+	// boundary and returns 504.
+	RequestTimeout time.Duration
+	// Logger receives one structured line per request (nil = silent).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// testHooks lets tests deterministically hold a compile inside a worker
+// slot (nil in production).
+var testPreCompile func(ctx context.Context)
+
+// program is one cache entry: the compiled program plus its rendered
+// artifacts.  The report is rendered once at insert (rendering re-runs
+// transfer planning per communication event, which would otherwise
+// dominate warm-hit latency); node programs are rendered per rank on
+// first request and memoized.
+type program struct {
+	prog   *dhpf.Program
+	report string
+
+	mu    sync.Mutex
+	nodes map[int]string
+}
+
+func newProgram(p *dhpf.Program) *program {
+	return &program{prog: p, report: p.Report(), nodes: map[int]string{}}
+}
+
+func (e *program) nodeProgram(rank int) string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s, ok := e.nodes[rank]; ok {
+		return s
+	}
+	s := e.prog.NodeProgram(rank)
+	e.nodes[rank] = s
+	return s
+}
+
+// Server is one compile service instance.
+type Server struct {
+	cfg   Config
+	cache *cache.Cache[*program]
+	// tokens is the worker pool: holding a token = compiling.
+	tokens chan struct{}
+	// pending counts compiles holding or waiting for a token; above
+	// Workers+QueueDepth new compiles are rejected.
+	pending atomic.Int64
+	start   time.Time
+
+	requests atomic.Int64
+	active   atomic.Int64
+	compiles atomic.Int64
+	errCount atomic.Int64
+	rejected atomic.Int64
+	timeouts atomic.Int64
+}
+
+// New returns a server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:    cfg,
+		cache:  cache.New[*program](cfg.CacheBytes),
+		tokens: make(chan struct{}, cfg.Workers),
+		start:  time.Now(),
+	}
+}
+
+// Handler returns the service's HTTP handler (routing + request logs).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s.logged(mux)
+}
+
+// logged wraps the mux with counters and one structured log line per
+// request.
+func (s *Server) logged(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		s.active.Add(1)
+		defer s.active.Add(-1)
+		lw := &loggingWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(lw, r)
+		s.cfg.Logger.Info("request",
+			"method", r.Method, "path", r.URL.Path,
+			"status", lw.status, "bytes", lw.bytes,
+			"dur", time.Since(t0).Round(time.Microsecond).String())
+	})
+}
+
+type loggingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *loggingWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *loggingWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Stats snapshots the cache and request counters.
+func (s *Server) Stats() dhpf.StatsResponse {
+	cs := s.cache.Stats()
+	return dhpf.StatsResponse{
+		Cache: dhpf.CacheStats{
+			Hits:              cs.Hits,
+			Misses:            cs.Misses,
+			InflightCoalesced: cs.InflightCoalesced,
+			Evictions:         cs.Evictions,
+			Entries:           cs.Entries,
+			SizeBytes:         cs.SizeBytes,
+			MaxBytes:          cs.MaxBytes,
+		},
+		Server: dhpf.ServerStats{
+			Requests:   s.requests.Load(),
+			Active:     s.active.Load(),
+			Compiles:   s.compiles.Load(),
+			Errors:     s.errCount.Load(),
+			Rejected:   s.rejected.Load(),
+			Timeouts:   s.timeouts.Load(),
+			Workers:    s.cfg.Workers,
+			QueueDepth: s.cfg.QueueDepth,
+			UptimeMS:   time.Since(s.start).Milliseconds(),
+		},
+	}
+}
+
+// compile resolves a request through the cache: hit, coalesce onto an
+// identical in-flight compile, or occupy a worker slot and compile.
+func (s *Server) compile(ctx context.Context, source string, params map[string]int, opt dhpf.Options) (key string, ent *program, cached bool, err error) {
+	key = dhpf.Fingerprint(source, params, opt)
+	ent, cached, err = s.cache.GetOrCompute(ctx, key, func(fctx context.Context) (*program, int64, error) {
+		if n := s.pending.Add(1); n > int64(s.cfg.Workers+s.cfg.QueueDepth) {
+			s.pending.Add(-1)
+			return nil, 0, ErrBusy
+		}
+		defer s.pending.Add(-1)
+		select {
+		case s.tokens <- struct{}{}:
+		case <-fctx.Done():
+			return nil, 0, fctx.Err()
+		}
+		defer func() { <-s.tokens }()
+		if testPreCompile != nil {
+			testPreCompile(fctx)
+		}
+		s.compiles.Add(1)
+		p, err := dhpf.CompileCtx(fctx, source, params, opt)
+		if err != nil {
+			return nil, 0, err
+		}
+		e := newProgram(p)
+		// Charge roughly what the entry pins in memory: the source and
+		// the rendered report (the IR and analyses scale with both).
+		return e, int64(len(source) + len(e.report) + 1024), nil
+	})
+	return key, ent, cached, err
+}
+
+// requestCtx applies the per-request compile deadline.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req dhpf.CompileRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	opt, err := req.Options.Resolve()
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	key, ent, cached, err := s.compile(ctx, req.Source, req.Params, opt)
+	if err != nil {
+		s.failCompile(w, err)
+		return
+	}
+	nranks := ent.prog.Ranks()
+	ranks := req.Ranks
+	if ranks == nil {
+		for rk := 0; rk < nranks; rk++ {
+			ranks = append(ranks, rk)
+		}
+	}
+	progs := make(map[int]string, len(ranks))
+	for _, rk := range ranks {
+		if rk < 0 || rk >= nranks {
+			s.fail(w, http.StatusUnprocessableEntity,
+				fmt.Errorf("rank %d out of range (program has %d ranks)", rk, nranks))
+			return
+		}
+		progs[rk] = ent.nodeProgram(rk)
+	}
+	s.ok(w, dhpf.CompileResponse{
+		Fingerprint:  key,
+		Ranks:        nranks,
+		Report:       ent.report,
+		NodePrograms: progs,
+		PassStats:    dhpf.PassStatsJSON(ent.prog.PassStats()),
+		Cached:       cached,
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req dhpf.CompileRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	opt, err := req.Options.Resolve()
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	key, ent, cached, err := s.compile(ctx, req.Source, req.Params, opt)
+	if err != nil {
+		s.failCompile(w, err)
+		return
+	}
+	s.ok(w, dhpf.ExplainResponse{
+		Fingerprint: key,
+		Table:       dhpf.StatsTable(ent.prog.PassStats()),
+		PassStats:   dhpf.PassStatsJSON(ent.prog.PassStats()),
+		Cached:      cached,
+	})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req dhpf.RunRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	opt, err := req.Options.Resolve()
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	key, ent, cached, err := s.compile(ctx, req.Source, req.Params, opt)
+	if err != nil {
+		s.failCompile(w, err)
+		return
+	}
+	cfg, err := ParseMachine(req.Machine, ent.prog.Ranks())
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	res, err := ent.prog.Run(cfg)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := dhpf.RunResponse{
+		Fingerprint: key,
+		Ranks:       ent.prog.Ranks(),
+		Seconds:     res.Seconds(),
+		Messages:    res.Messages(),
+		Bytes:       res.Bytes(),
+		RankSeconds: res.RankSeconds(),
+		Cached:      cached,
+	}
+	if len(req.Arrays) > 0 {
+		resp.Arrays = make(map[string]dhpf.ArrayJSON, len(req.Arrays))
+		for _, name := range req.Arrays {
+			data, lo, hi, err := res.Array(name)
+			if err != nil {
+				s.fail(w, http.StatusUnprocessableEntity, err)
+				return
+			}
+			resp.Arrays[name] = dhpf.ArrayJSON{Data: data, Lo: lo, Hi: hi}
+		}
+	}
+	s.ok(w, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.ok(w, s.Stats())
+}
+
+// ParseMachine resolves a machine name: "" or "sp2" is the paper's SP2
+// sized to the program, "sp2:N" requires the program to want N ranks.
+func ParseMachine(name string, ranks int) (dhpf.MachineConfig, error) {
+	base, count, hasCount := strings.Cut(name, ":")
+	if base == "" {
+		base = "sp2"
+	}
+	if base != "sp2" {
+		return dhpf.MachineConfig{}, fmt.Errorf("unknown machine %q (known: sp2, sp2:N)", name)
+	}
+	if hasCount {
+		n, err := strconv.Atoi(count)
+		if err != nil || n <= 0 {
+			return dhpf.MachineConfig{}, fmt.Errorf("bad machine rank count in %q", name)
+		}
+		if n != ranks {
+			return dhpf.MachineConfig{}, fmt.Errorf("machine %q has %d ranks but the program wants %d", name, n, ranks)
+		}
+	}
+	return dhpf.SP2Machine(ranks), nil
+}
+
+// --- response plumbing -------------------------------------------------------
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// failCompile maps a compile-path error to its status: queue pressure,
+// deadline, client cancellation, or a compile diagnostic.
+func (s *Server) failCompile(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrBusy):
+		s.rejected.Add(1)
+		s.fail(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Add(1)
+		s.fail(w, http.StatusGatewayTimeout, fmt.Errorf("compile timed out: %w", err))
+	case errors.Is(err, context.Canceled):
+		s.fail(w, http.StatusRequestTimeout, fmt.Errorf("request cancelled: %w", err))
+	default:
+		s.fail(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	s.errCount.Add(1)
+	writeJSON(w, status, dhpf.APIError{Message: err.Error()})
+}
+
+func (s *Server) ok(w http.ResponseWriter, v any) { writeJSON(w, http.StatusOK, v) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}

@@ -1,0 +1,386 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dhpf"
+	"dhpf/internal/nas"
+)
+
+const tinySrc = `
+program tiny
+param N = 16
+param P = 4
+!hpf$ processors procs(P)
+!hpf$ template t(N)
+!hpf$ align a with t(d0)
+!hpf$ distribute t(BLOCK) onto procs
+
+subroutine main()
+  real a(0:N-1)
+  !hpf$ independent
+  do i = 0, N-1
+    a(i) = 2.0*i
+  enddo
+end
+`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *dhpf.Client) {
+	t.Helper()
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, dhpf.NewClient(ts.URL)
+}
+
+// TestWarmHitByteIdentical: a warm /v1/compile hit returns byte-identical
+// report and node programs to the cold compile, which in turn match a
+// direct library compile of the same inputs.
+func TestWarmHitByteIdentical(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	src := nas.SPSource(12, 1, 2, 2)
+	req := dhpf.CompileRequest{Source: src}
+
+	cold, err := client.Compile(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached {
+		t.Error("first compile reported cached")
+	}
+	warm, err := client.Compile(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Error("second compile not served from cache")
+	}
+	if cold.Fingerprint != warm.Fingerprint {
+		t.Errorf("fingerprints differ: %s vs %s", cold.Fingerprint, warm.Fingerprint)
+	}
+	if warm.Report != cold.Report {
+		t.Error("warm report differs from cold report")
+	}
+	if len(warm.NodePrograms) != cold.Ranks || len(cold.NodePrograms) != cold.Ranks {
+		t.Fatalf("node program counts: warm %d cold %d want %d",
+			len(warm.NodePrograms), len(cold.NodePrograms), cold.Ranks)
+	}
+	for rk := range cold.NodePrograms {
+		if warm.NodePrograms[rk] != cold.NodePrograms[rk] {
+			t.Errorf("rank %d node program differs warm vs cold", rk)
+		}
+	}
+
+	prog, err := dhpf.Compile(src, nil, dhpf.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Report != prog.Report() {
+		t.Error("service report differs from library compile")
+	}
+	if cold.NodePrograms[0] != prog.NodeProgram(0) {
+		t.Error("service node program differs from library compile")
+	}
+	if got := dhpf.Fingerprint(src, nil, dhpf.DefaultOptions()); got != cold.Fingerprint {
+		t.Errorf("service key %s != library key %s", cold.Fingerprint, got)
+	}
+}
+
+// TestConcurrent32Singleflight: 32 concurrent identical requests against
+// a 4-worker pool compile exactly once; the rest hit the cache or
+// coalesce onto the in-flight compile (visible in /v1/stats).
+func TestConcurrent32Singleflight(t *testing.T) {
+	_, client := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+	req := dhpf.CompileRequest{Source: nas.SPSource(12, 1, 2, 2), Ranks: []int{0}}
+
+	const n = 32
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	reports := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, err := client.Compile(context.Background(), req)
+			errs[i] = err
+			if err == nil {
+				reports[i] = resp.Report
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if reports[i] != reports[0] {
+			t.Errorf("request %d got a different report", i)
+		}
+	}
+	stats, err := client.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache.Misses != 1 {
+		t.Errorf("identical requests compiled %d times, want 1 (singleflight)", stats.Cache.Misses)
+	}
+	if got := stats.Cache.Hits + stats.Cache.InflightCoalesced; got != n-1 {
+		t.Errorf("hits+coalesced = %d, want %d", got, n-1)
+	}
+	if stats.Server.Compiles != 1 {
+		t.Errorf("server ran %d compiles, want 1", stats.Server.Compiles)
+	}
+}
+
+// TestConcurrentDistinct: 32 concurrent *distinct* compiles drain through
+// the 4-worker pool without loss (run under -race in CI).
+func TestConcurrentDistinct(t *testing.T) {
+	_, client := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := dhpf.CompileRequest{
+				Source: tinySrc,
+				Params: map[string]int{"SEED": i}, // unique cache key per request
+				Ranks:  []int{0},
+			}
+			_, errs[i] = client.Compile(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("request %d: %v", i, err)
+		}
+	}
+}
+
+// TestQueueFull429: with one worker and a queue of one, a third distinct
+// compile is rejected with 429 while the first two are in flight.
+func TestQueueFull429(t *testing.T) {
+	release := make(chan struct{})
+	testPreCompile = func(context.Context) { <-release }
+	defer func() { testPreCompile = nil }()
+
+	srv, client := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	reqN := func(i int) dhpf.CompileRequest {
+		return dhpf.CompileRequest{Source: tinySrc, Params: map[string]int{"SEED": i}, Ranks: []int{0}}
+	}
+	var wg sync.WaitGroup
+	firstTwo := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, firstTwo[i] = client.Compile(context.Background(), reqN(i))
+		}(i)
+	}
+	// Wait until one compile occupies the worker and one waits in queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.pending.Load() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never filled: pending=%d", srv.pending.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, err := client.Compile(context.Background(), reqN(2))
+	var apiErr *dhpf.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third compile: want 429, got %v", err)
+	}
+	close(release)
+	wg.Wait()
+	for i, err := range firstTwo {
+		if err != nil {
+			t.Errorf("queued compile %d failed: %v", i, err)
+		}
+	}
+	if got := srv.Stats().Server.Rejected; got != 1 {
+		t.Errorf("rejected counter = %d, want 1", got)
+	}
+}
+
+// TestCancelAbortsWithoutCorruption: a client that gives up cancels the
+// in-flight compile between passes; the same key then compiles cleanly.
+func TestCancelAbortsWithoutCorruption(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	testPreCompile = func(ctx context.Context) {
+		entered <- struct{}{}
+		<-ctx.Done() // hold the worker until the last waiter gives up
+	}
+	defer func() { testPreCompile = nil }()
+
+	srv, client := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	req := dhpf.CompileRequest{Source: tinySrc, Ranks: []int{0}}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Compile(ctx, req)
+		done <- err
+	}()
+	<-entered
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("cancelled request reported success")
+	}
+
+	// The aborted flight must not have cached anything or leaked the
+	// worker: the same request now compiles successfully.  (Retry
+	// briefly — the dying flight may still be unwinding, and a request
+	// that coalesces onto it inherits its cancellation error.)
+	testPreCompile = nil
+	var resp *dhpf.CompileResponse
+	var err error
+	for deadline := time.Now().Add(5 * time.Second); ; time.Sleep(time.Millisecond) {
+		resp, err = client.Compile(context.Background(), req)
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+	}
+	if err != nil {
+		t.Fatalf("recompile after abort: %v", err)
+	}
+	if resp.Cached {
+		t.Error("aborted compile left a cache entry")
+	}
+	if got := srv.cache.Stats().Entries; got != 1 {
+		t.Errorf("cache entries = %d, want 1", got)
+	}
+}
+
+// TestTimeout504: a server-side deadline shorter than any compile yields
+// 504 and counts as a timeout.
+func TestTimeout504(t *testing.T) {
+	srv, client := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+	_, err := client.Compile(context.Background(), dhpf.CompileRequest{Source: tinySrc})
+	var apiErr *dhpf.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("want 504, got %v", err)
+	}
+	if got := srv.Stats().Server.Timeouts; got != 1 {
+		t.Errorf("timeout counter = %d, want 1", got)
+	}
+}
+
+// TestExplainAndRun: /v1/explain returns the -explain table, /v1/run the
+// virtual-time counters and requested arrays, both through the cache.
+func TestExplainAndRun(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	expl, err := client.Explain(context.Background(), dhpf.CompileRequest{
+		Source:  tinySrc,
+		Options: &dhpf.RequestOptions{Instrument: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(expl.Table, "parse") || !strings.Contains(expl.Table, "Δbytes") {
+		t.Errorf("explain table malformed:\n%s", expl.Table)
+	}
+	if len(expl.PassStats) == 0 {
+		t.Error("explain returned no pass stats")
+	}
+
+	run, err := client.Run(context.Background(), dhpf.RunRequest{
+		Source: tinySrc, Machine: "sp2:4", Arrays: []string{"a"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Ranks != 4 || run.Seconds <= 0 || len(run.RankSeconds) != 4 {
+		t.Errorf("run counters: ranks=%d s=%g rank_seconds=%d", run.Ranks, run.Seconds, len(run.RankSeconds))
+	}
+	a := run.Arrays["a"]
+	if len(a.Data) != 16 {
+		t.Fatalf("array a has %d elements", len(a.Data))
+	}
+	for i, v := range a.Data {
+		if v != 2.0*float64(i) {
+			t.Fatalf("a[%d] = %g, want %g", i, v, 2.0*float64(i))
+		}
+	}
+
+	// The run endpoint shares the compile cache.
+	run2, err := client.Run(context.Background(), dhpf.RunRequest{Source: tinySrc, Machine: "sp2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run2.Cached {
+		t.Error("second run did not reuse the cached program")
+	}
+}
+
+// TestBadRequests: malformed inputs map to the right statuses.
+func TestBadRequests(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	cases := []struct {
+		name   string
+		call   func() error
+		status int
+	}{
+		{"compile error", func() error {
+			_, err := client.Compile(context.Background(), dhpf.CompileRequest{Source: "not hpf"})
+			return err
+		}, http.StatusUnprocessableEntity},
+		{"bad newprop", func() error {
+			_, err := client.Compile(context.Background(), dhpf.CompileRequest{
+				Source: tinySrc, Options: &dhpf.RequestOptions{NewProp: "wat"}})
+			return err
+		}, http.StatusUnprocessableEntity},
+		{"bad disable", func() error {
+			_, err := client.Compile(context.Background(), dhpf.CompileRequest{
+				Source: tinySrc, Options: &dhpf.RequestOptions{Disable: []string{"nosuchpass"}}})
+			return err
+		}, http.StatusUnprocessableEntity},
+		{"bad rank", func() error {
+			_, err := client.Compile(context.Background(), dhpf.CompileRequest{Source: tinySrc, Ranks: []int{99}})
+			return err
+		}, http.StatusUnprocessableEntity},
+		{"bad machine", func() error {
+			_, err := client.Run(context.Background(), dhpf.RunRequest{Source: tinySrc, Machine: "cray:4"})
+			return err
+		}, http.StatusUnprocessableEntity},
+		{"machine rank mismatch", func() error {
+			_, err := client.Run(context.Background(), dhpf.RunRequest{Source: tinySrc, Machine: "sp2:25"})
+			return err
+		}, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		err := tc.call()
+		var apiErr *dhpf.APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != tc.status {
+			t.Errorf("%s: want HTTP %d, got %v", tc.name, tc.status, err)
+		}
+	}
+}
+
+// TestParseMachine covers the machine-name grammar.
+func TestParseMachine(t *testing.T) {
+	for _, name := range []string{"", "sp2", "sp2:9"} {
+		cfg, err := ParseMachine(name, 9)
+		if err != nil {
+			t.Errorf("ParseMachine(%q): %v", name, err)
+		} else if cfg.Procs != 9 {
+			t.Errorf("ParseMachine(%q).Procs = %d", name, cfg.Procs)
+		}
+	}
+	for _, name := range []string{"sp2:8", "sp2:x", "sp2:-1", "cray"} {
+		if _, err := ParseMachine(name, 9); err == nil {
+			t.Errorf("ParseMachine(%q) should fail", name)
+		}
+	}
+}

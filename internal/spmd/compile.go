@@ -8,6 +8,7 @@
 package spmd
 
 import (
+	"context"
 	"fmt"
 
 	"dhpf/internal/comm"
@@ -52,17 +53,24 @@ type Program struct {
 // CP selection (§2, §4, §6), selective loop distribution (§5), and
 // communication planning with availability elimination (§7).
 func Compile(prog *ir.Program, params map[string]int, opt Options) (*Program, error) {
-	return compilePipeline(&passes.CompileContext{IR: prog, Params: params, Opt: opt})
+	return compilePipeline(context.Background(), &passes.CompileContext{IR: prog, Params: params, Opt: opt})
 }
 
 // CompileSource is Compile from mini-HPF source text (the parse pass
 // does the parsing).
 func CompileSource(src string, params map[string]int, opt Options) (*Program, error) {
-	return compilePipeline(&passes.CompileContext{Source: src, Params: params, Opt: opt})
+	return CompileSourceCtx(context.Background(), src, params, opt)
 }
 
-func compilePipeline(cc *passes.CompileContext) (*Program, error) {
-	if err := passes.Run(cc); err != nil {
+// CompileSourceCtx is CompileSource with cancellation: the pipeline
+// checks ctx at every pass boundary, so a cancelled or timed-out compile
+// aborts between passes (the service's per-request timeout path).
+func CompileSourceCtx(ctx context.Context, src string, params map[string]int, opt Options) (*Program, error) {
+	return compilePipeline(ctx, &passes.CompileContext{Source: src, Params: params, Opt: opt})
+}
+
+func compilePipeline(ctx context.Context, cc *passes.CompileContext) (*Program, error) {
+	if err := passes.RunCtx(ctx, cc); err != nil {
 		return nil, err
 	}
 	return &Program{

@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// TestGoldenRender pins the exact ASCII and CSV renderings of the
+// deterministic pipeline fixture.  The simulator runs in virtual time,
+// so these outputs are bit-stable across machines; any drift is a real
+// rendering change and should be reviewed (then blessed with -update).
+func TestGoldenRender(t *testing.T) {
+	d := Build(tracedRun(), 40)
+	check := func(name, got string) {
+		t.Helper()
+		path := filepath.Join("testdata", name)
+		if *update {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden file (regenerate with go test -run TestGolden -update): %v", err)
+		}
+		if got != string(want) {
+			t.Errorf("%s drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+		}
+	}
+	check("pipeline.render.golden", d.Render("pipeline"))
+	check("pipeline.csv.golden", d.CSV())
+}

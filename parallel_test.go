@@ -1,0 +1,110 @@
+package dhpf
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestCompileParallel hammers the public API from many goroutines: the
+// compile service shares *Program values across requests, so Compile,
+// Run, Report and NodeProgram must all be safe to call concurrently.
+// Run under -race this is the library-level half of the dhpfd
+// concurrency guarantee.
+func TestCompileParallel(t *testing.T) {
+	// Serial baseline to compare every concurrent result against.
+	base, err := Compile(quickSrc, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRes, err := base.Run(SP2Machine(base.Ranks()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseB, _, _, err := baseRes.Array("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseReport := base.Report()
+	baseNode0 := base.NodeProgram(0)
+	baseFP := Fingerprint(quickSrc, nil, DefaultOptions())
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errc := make(chan error, 2*goroutines)
+
+	// Half the goroutines compile-and-run fresh programs.
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var prog *Program
+			var err error
+			if g%2 == 0 {
+				prog, err = Compile(quickSrc, nil, DefaultOptions())
+			} else {
+				prog, err = CompileCtx(context.Background(), quickSrc, nil, DefaultOptions())
+			}
+			if err != nil {
+				errc <- fmt.Errorf("goroutine %d: compile: %w", g, err)
+				return
+			}
+			if fp := Fingerprint(quickSrc, nil, DefaultOptions()); fp != baseFP {
+				errc <- fmt.Errorf("goroutine %d: fingerprint drifted", g)
+				return
+			}
+			res, err := prog.Run(SP2Machine(prog.Ranks()))
+			if err != nil {
+				errc <- fmt.Errorf("goroutine %d: run: %w", g, err)
+				return
+			}
+			b, _, _, err := res.Array("b")
+			if err != nil {
+				errc <- fmt.Errorf("goroutine %d: array: %w", g, err)
+				return
+			}
+			for i := range baseB {
+				if math.Abs(b[i]-baseB[i]) > 1e-12 {
+					errc <- fmt.Errorf("goroutine %d: b[%d] = %g, want %g", g, i, b[i], baseB[i])
+					return
+				}
+			}
+		}(g)
+	}
+
+	// The other half share ONE program — the cache's access pattern —
+	// mixing Run, Report and NodeProgram on it concurrently.
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			switch g % 3 {
+			case 0:
+				res, err := base.Run(SP2Machine(base.Ranks()))
+				if err != nil {
+					errc <- fmt.Errorf("shared goroutine %d: run: %w", g, err)
+					return
+				}
+				if res.Seconds() != baseRes.Seconds() {
+					errc <- fmt.Errorf("shared goroutine %d: time %g, want %g", g, res.Seconds(), baseRes.Seconds())
+				}
+			case 1:
+				if rep := base.Report(); rep != baseReport {
+					errc <- fmt.Errorf("shared goroutine %d: report drifted", g)
+				}
+			case 2:
+				if np := base.NodeProgram(0); np != baseNode0 {
+					errc <- fmt.Errorf("shared goroutine %d: node program drifted", g)
+				}
+			}
+		}(g)
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
