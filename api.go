@@ -75,6 +75,36 @@ func (r *RequestOptions) Resolve() (Options, error) {
 	return opt, nil
 }
 
+// RequestOptionsFrom converts pipeline Options to their wire form —
+// the inverse of Resolve, up to defaults.  The auto-tuner uses it to
+// emit a winner's configuration as a /v1/compile-ready fragment.
+func RequestOptionsFrom(o Options) *RequestOptions {
+	r := &RequestOptions{
+		Localize:      boolPtr(o.CP.Localize),
+		LoopDist:      boolPtr(o.CP.LoopDist),
+		Interproc:     boolPtr(o.CP.Interproc),
+		Availability:  boolPtr(o.Comm.Availability),
+		WritebackElim: boolPtr(o.Comm.RedundantWriteback),
+		PipelineGrain: o.PipelineGrain,
+		MaxCombos:     o.CP.MaxCombos,
+		Instrument:    o.Instrument,
+	}
+	switch o.CP.NewProp {
+	case cp.NewPropOwner:
+		r.NewProp = "owner"
+	case cp.NewPropReplicate:
+		r.NewProp = "replicate"
+	default:
+		r.NewProp = "translate"
+	}
+	if len(o.Disable) > 0 {
+		r.Disable = append([]string{}, o.Disable...)
+	}
+	return r
+}
+
+func boolPtr(b bool) *bool { return &b }
+
 // CompileRequest asks the service to compile mini-HPF source.  The
 // (source, params, options) triple is the cache key; identical requests
 // are served from the content-addressed program cache.
@@ -181,6 +211,121 @@ type RunResponse struct {
 	RankSeconds []float64            `json:"rank_seconds"`
 	Arrays      map[string]ArrayJSON `json:"arrays,omitempty"`
 	Cached      bool                 `json:"cached"`
+}
+
+// TuneOptions configures an auto-tuning search (Tune, /v1/tune,
+// cmd/dhpftune): the configuration space and the search budget.  Every
+// zero field takes a default; see internal/tune for the search
+// mechanics.
+type TuneOptions struct {
+	// Params are base parameter overrides applied to every candidate.
+	Params map[string]int `json:"params,omitempty"`
+	// Bench names the benchmark family of the source ("sp" or "bt"),
+	// unlocking the analytic screen and the 1-D transpose comparison
+	// scheme; empty means a generic source ranked by simulation alone.
+	Bench string `json:"bench,omitempty"`
+	// N, Steps are the source problem size (bench mode).
+	N     int `json:"n,omitempty"`
+	Steps int `json:"steps,omitempty"`
+	// TargetN, TargetSteps set the problem size the screen ranks for
+	// (e.g. Class A's 64³); zero means the source size.
+	TargetN     int `json:"target_n,omitempty"`
+	TargetSteps int `json:"target_steps,omitempty"`
+	// Procs is the virtual machine size (required).
+	Procs int `json:"procs"`
+	// GridParams names the source parameters that set the processor
+	// grid shape (default {"P1","P2"}).
+	GridParams [2]string `json:"grid_params,omitempty"`
+	// Grids, Grains, Ablations, Sweep span the candidate space: grid
+	// factorizations of Procs, pipeline strip widths, Options.Disable
+	// subsets, and extra swept source parameters (e.g. a BLOCK(B)
+	// block size).
+	Grids     [][2]int         `json:"grids,omitempty"`
+	Grains    []int            `json:"grains,omitempty"`
+	Ablations [][]string       `json:"ablations,omitempty"`
+	Sweep     map[string][]int `json:"sweep,omitempty"`
+	// NoTranspose drops the 1-D transpose comparison candidate.
+	NoTranspose bool `json:"no_transpose,omitempty"`
+	// TopK bounds how many screen survivors get a full simulation
+	// (default 3); MaxScreen caps the screened space via a
+	// Seed-deterministic subsample (0 = screen everything); Workers
+	// sizes the full tier's parallel waves (default 4); PruneFactor is
+	// the early-abandon margin over the incumbent (default 4).
+	TopK        int     `json:"top_k,omitempty"`
+	MaxScreen   int     `json:"max_screen,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+	Workers     int     `json:"workers,omitempty"`
+	PruneFactor float64 `json:"prune_factor,omitempty"`
+	// SkipVerify disables the serial-reference numerics check;
+	// VerifyArrays restricts it to named arrays.
+	SkipVerify   bool     `json:"skip_verify,omitempty"`
+	VerifyArrays []string `json:"verify_arrays,omitempty"`
+}
+
+// TuneRequest is /v1/tune's body: the source plus the search options.
+type TuneRequest struct {
+	Source string `json:"source"`
+	TuneOptions
+}
+
+// TuneEntry is one row of the tuner's ranked leaderboard.
+type TuneEntry struct {
+	// Key is the candidate's canonical identity, e.g. "block 2x8 g8".
+	Key    string `json:"key"`
+	Scheme string `json:"scheme"`
+	P1     int    `json:"p1,omitempty"`
+	P2     int    `json:"p2,omitempty"`
+	Grain  int    `json:"grain,omitempty"`
+	// Disable and Extra echo the candidate's ablations and swept
+	// parameter bindings.
+	Disable []string       `json:"disable,omitempty"`
+	Extra   map[string]int `json:"extra,omitempty"`
+	Rank    int            `json:"rank"`
+	// Status: "ok" (simulated and verified), "screened" (ranked by the
+	// analytic tier only), "pruned", "mismatch", "error", "infeasible".
+	Status string `json:"status"`
+	// ScreenSeconds is the analytic prediction at the target size;
+	// SimSeconds the measured virtual time at the source size.
+	ScreenSeconds float64 `json:"screen_seconds"`
+	SimSeconds    float64 `json:"sim_seconds,omitempty"`
+	SimMessages   int64   `json:"sim_messages,omitempty"`
+	SimBytes      int64   `json:"sim_bytes,omitempty"`
+	// ModelRatio is simulation/model at the source size — the
+	// calibration factor behind the target-size ranking.
+	ModelRatio     float64 `json:"model_ratio,omitempty"`
+	MaxRelErr      float64 `json:"max_rel_err,omitempty"`
+	Verified       bool    `json:"verified,omitempty"`
+	ComparedArrays int     `json:"compared_arrays,omitempty"`
+	Cached         bool    `json:"cached,omitempty"`
+	Note           string  `json:"note,omitempty"`
+	// Params and Options replay the candidate through Compile or
+	// /v1/compile.
+	Params  map[string]int  `json:"params,omitempty"`
+	Options *RequestOptions `json:"options,omitempty"`
+}
+
+// TuneCounters summarize the search effort, including the memoization
+// behaviour of repeated Tune calls.
+type TuneCounters struct {
+	Candidates   int   `json:"candidates"`
+	Screened     int   `json:"screened"`
+	Infeasible   int   `json:"infeasible"`
+	FullEvals    int   `json:"full_evals"`
+	Pruned       int   `json:"pruned"`
+	MemoHits     int   `json:"memo_hits"`
+	MemoMisses   int   `json:"memo_misses"`
+	ScreenWallNS int64 `json:"screen_wall_ns"`
+	FullWallNS   int64 `json:"full_wall_ns"`
+}
+
+// TuneResult is the tuner's report: the winner, the full ranked
+// leaderboard, effort counters, and the human-readable decision trail
+// (why each candidate was pruned or rejected — the -explain analogue).
+type TuneResult struct {
+	Winner   *TuneEntry   `json:"winner,omitempty"`
+	Entries  []TuneEntry  `json:"entries"`
+	Counters TuneCounters `json:"counters"`
+	Trail    []string     `json:"trail"`
 }
 
 // CacheStats is the program cache's counter snapshot.

@@ -4,10 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strings"
+	"syscall"
+	"time"
 )
 
 // Client talks to a dhpfd compile service (internal/service, served by
@@ -17,6 +21,53 @@ type Client struct {
 	// BaseURL is the service root, e.g. "http://127.0.0.1:8421".
 	BaseURL    string
 	HTTPClient *http.Client
+	// Retry bounds automatic retries of transient failures.  The zero
+	// value makes exactly one attempt, so loadgen and backpressure tests
+	// still observe raw 429s.
+	Retry RetryPolicy
+}
+
+// RetryPolicy retries requests that failed for reasons that resolve by
+// waiting: queue-full rejections (HTTP 429) and connection-refused
+// dials (the daemon is restarting).  Anything else — 4xx/5xx responses,
+// context cancellation, protocol errors — fails immediately.  Backoff
+// is exponential from BaseDelay with equal jitter (half fixed, half
+// uniform random), capped at MaxDelay; a cancelled context cuts the
+// wait short.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first.
+	// 0 and 1 both mean "no retries".
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 25ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth (default 2s).
+	MaxDelay time.Duration
+}
+
+// Retryable reports whether err is one of the transient failures the
+// policy covers.
+func (RetryPolicy) Retryable(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode == http.StatusTooManyRequests
+	}
+	return errors.Is(err, syscall.ECONNREFUSED)
+}
+
+// delay returns the jittered backoff before retry number retry (0-based).
+func (p RetryPolicy) delay(retry int) time.Duration {
+	base, max := p.BaseDelay, p.MaxDelay
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base << min(retry, 30)
+	if d <= 0 || d > max {
+		d = max
+	}
+	return d/2 + rand.N(d/2+1)
 }
 
 // NewClient returns a client for the service at baseURL.
@@ -51,14 +102,23 @@ func (c *Client) Run(ctx context.Context, req RunRequest) (*RunResponse, error) 
 	return &resp, nil
 }
 
-// Stats returns the service's cache and request counters.
-func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/stats", nil)
-	if err != nil {
+// Tune runs an auto-tuning search on the service (see Tuner.Tune); the
+// server bounds the search's parallelism by its own worker pool.
+func (c *Client) Tune(ctx context.Context, req TuneRequest) (*TuneResult, error) {
+	var resp TuneResult
+	if err := c.post(ctx, "/v1/tune", req, &resp); err != nil {
 		return nil, err
 	}
+	return &resp, nil
+}
+
+// Stats returns the service's cache and request counters.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 	var resp StatsResponse
-	if err := c.do(httpReq, &resp); err != nil {
+	err := c.withRetry(ctx, &resp, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/stats", nil)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -69,12 +129,34 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	if err != nil {
 		return err
 	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
-	if err != nil {
-		return err
+	return c.withRetry(ctx, out, func() (*http.Request, error) {
+		httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		httpReq.Header.Set("Content-Type", "application/json")
+		return httpReq, nil
+	})
+}
+
+// withRetry issues the request built by mkReq, retrying per c.Retry.
+// The request is rebuilt each attempt so its body can be re-read.
+func (c *Client) withRetry(ctx context.Context, out any, mkReq func() (*http.Request, error)) error {
+	for retry := 0; ; retry++ {
+		req, err := mkReq()
+		if err != nil {
+			return err
+		}
+		err = c.do(req, out)
+		if err == nil || retry+1 >= c.Retry.MaxAttempts || !c.Retry.Retryable(err) {
+			return err
+		}
+		select {
+		case <-time.After(c.Retry.delay(retry)):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	return c.do(httpReq, out)
 }
 
 func (c *Client) do(req *http.Request, out any) error {

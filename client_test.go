@@ -1,0 +1,168 @@
+package dhpf_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"dhpf"
+)
+
+// flakyServer fails the first fail429 requests with 429, then serves
+// /v1/compile by echoing the decoded source length as the rank count —
+// which also proves the client re-sends the body on each attempt.
+func flakyServer(t *testing.T, fail429 int) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if int(hits.Add(1)) <= fail429 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "queue full"})
+			return
+		}
+		var req dhpf.CompileRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("attempt %d body unreadable: %v", hits.Load(), err)
+		}
+		json.NewEncoder(w).Encode(dhpf.CompileResponse{Ranks: len(req.Source)})
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func retryClient(base string, attempts int) *dhpf.Client {
+	c := dhpf.NewClient(base)
+	c.Retry = dhpf.RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	return c
+}
+
+func TestClientRetries429(t *testing.T) {
+	ts, hits := flakyServer(t, 2)
+	c := retryClient(ts.URL, 5)
+	resp, err := c.Compile(context.Background(), dhpf.CompileRequest{Source: "abcd"})
+	if err != nil {
+		t.Fatalf("compile through flaky server: %v", err)
+	}
+	if resp.Ranks != 4 {
+		t.Errorf("body not re-sent intact: got ranks=%d, want 4", resp.Ranks)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want 3", got)
+	}
+}
+
+func TestClientRetryExhaustion(t *testing.T) {
+	ts, hits := flakyServer(t, 1000)
+	c := retryClient(ts.URL, 3)
+	_, err := c.Compile(context.Background(), dhpf.CompileRequest{Source: "x"})
+	var apiErr *dhpf.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("want final 429, got %v", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want exactly MaxAttempts=3", got)
+	}
+}
+
+func TestClientNoRetryByDefault(t *testing.T) {
+	ts, hits := flakyServer(t, 1)
+	c := dhpf.NewClient(ts.URL) // zero RetryPolicy
+	if _, err := c.Compile(context.Background(), dhpf.CompileRequest{Source: "x"}); err == nil {
+		t.Fatal("zero-value client retried a 429")
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("server saw %d attempts, want 1", got)
+	}
+}
+
+func TestClientNoRetryOnNonRetryableStatus(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		json.NewEncoder(w).Encode(map[string]string{"error": "parse error"})
+	}))
+	defer ts.Close()
+	c := retryClient(ts.URL, 5)
+	_, err := c.Compile(context.Background(), dhpf.CompileRequest{Source: "x"})
+	var apiErr *dhpf.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("want 422, got %v", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("client retried a 422: %d attempts", got)
+	}
+}
+
+// refuseFirstTransport simulates a daemon restart: the first fails dials
+// are refused at the socket, later ones reach the real server.
+type refuseFirstTransport struct {
+	fails int32
+	tries atomic.Int32
+}
+
+func (tr *refuseFirstTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if tr.tries.Add(1) <= tr.fails {
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED}
+	}
+	return http.DefaultTransport.RoundTrip(r)
+}
+
+func TestClientRetriesConnectionRefused(t *testing.T) {
+	ts, hits := flakyServer(t, 0)
+	tr := &refuseFirstTransport{fails: 2}
+	c := retryClient(ts.URL, 5)
+	c.HTTPClient = &http.Client{Transport: tr}
+	if _, err := c.Compile(context.Background(), dhpf.CompileRequest{Source: "x"}); err != nil {
+		t.Fatalf("compile across refused dials: %v", err)
+	}
+	if got, want := tr.tries.Load(), int32(3); got != want {
+		t.Errorf("%d dial attempts, want %d", got, want)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("server saw %d requests, want 1", got)
+	}
+}
+
+func TestClientRetryRespectsContext(t *testing.T) {
+	ts, _ := flakyServer(t, 1000)
+	c := dhpf.NewClient(ts.URL)
+	c.Retry = dhpf.RetryPolicy{MaxAttempts: 1000, BaseDelay: 50 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Compile(ctx, dhpf.CompileRequest{Source: "x"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("retry loop ignored cancellation for %s", elapsed)
+	}
+}
+
+func TestRetryPolicyRetryable(t *testing.T) {
+	var p dhpf.RetryPolicy
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{&dhpf.APIError{StatusCode: 429}, true},
+		{&dhpf.APIError{StatusCode: 422}, false},
+		{&dhpf.APIError{StatusCode: 504}, false},
+		{&net.OpError{Op: "dial", Err: syscall.ECONNREFUSED}, true},
+		{context.Canceled, false},
+		{errors.New("boom"), false},
+	}
+	for _, tc := range cases {
+		if got := p.Retryable(tc.err); got != tc.want {
+			t.Errorf("Retryable(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}

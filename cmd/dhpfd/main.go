@@ -8,18 +8,20 @@
 //	dhpfd serve [-addr :8421] [-workers 4] [-queue 64] [-cache-mb 256]
 //	            [-timeout 60s] [-quiet]
 //	dhpfd loadgen [-addr http://127.0.0.1:8421] [-requests 200]
-//	              [-concurrency 8] [-warm 0.8] [-n 16] [-steps 1]
+//	              [-concurrency 8] [-warm 0.8] [-n 16] [-steps 1] [-json]
 //
 // serve runs until interrupted (SIGINT/SIGTERM), then drains and prints
 // its final counters.  loadgen drives /v1/compile with a mixed workload:
 // a fraction of requests repeat one hot SP configuration (warm) and the
 // rest cycle through unique parameter variants (cold), and reports
 // sustained throughput and latency for each class — the warm/cold
-// compile-throughput experiment of EXPERIMENTS.md.
+// compile-throughput experiment of EXPERIMENTS.md.  With -json the
+// report is a single JSON summary object on stdout, for scripting.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -125,6 +127,7 @@ func loadgen(ctx context.Context, w io.Writer, args []string) error {
 	warmFrac := fs.Float64("warm", 0.8, "fraction of requests repeating the hot configuration")
 	n := fs.Int("n", 16, "SP grid size")
 	steps := fs.Int("steps", 1, "SP time steps")
+	asJSON := fs.Bool("json", false, "print a single JSON summary object instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -196,27 +199,82 @@ func loadgen(ctx context.Context, w io.Writer, args []string) error {
 		}
 	}
 	ok := *requests - errs
+	sum := loadgenSummary{
+		Requests:     *requests,
+		OK:           ok,
+		Errors:       errs,
+		Rejected429:  rejected,
+		Concurrency:  *concurrency,
+		WarmFraction: *warmFrac,
+		ElapsedNS:    elapsed.Nanoseconds(),
+		Throughput:   float64(ok) / elapsed.Seconds(),
+		Warm:         summarize(warmDurs),
+		Cold:         summarize(coldDurs),
+	}
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sum)
+	}
 	fmt.Fprintf(w, "loadgen: %d requests (%d ok, %d errors, %d rejected 429) in %.3fs\n",
-		*requests, ok, errs, rejected, elapsed.Seconds())
+		sum.Requests, sum.OK, sum.Errors, sum.Rejected429, elapsed.Seconds())
 	fmt.Fprintf(w, "throughput: %.1f req/s sustained at concurrency %d (warm fraction %.0f%%)\n",
-		float64(ok)/elapsed.Seconds(), *concurrency, *warmFrac*100)
-	report := func(label string, durs []time.Duration) {
-		if len(durs) == 0 {
+		sum.Throughput, sum.Concurrency, sum.WarmFraction*100)
+	report := func(label string, ls latencySummary) {
+		if ls.Requests == 0 {
 			fmt.Fprintf(w, "%-5s 0 requests\n", label)
 			return
 		}
-		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
-		var total time.Duration
-		for _, d := range durs {
-			total += d
-		}
-		q := func(p float64) time.Duration { return durs[min(int(p*float64(len(durs))), len(durs)-1)] }
+		ns := func(v int64) string { return time.Duration(v).Round(time.Microsecond).String() }
 		fmt.Fprintf(w, "%-5s %5d requests  mean %-10s p50 %-10s p95 %-10s max %s\n",
-			label, len(durs), (total / time.Duration(len(durs))).Round(time.Microsecond),
-			q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond),
-			durs[len(durs)-1].Round(time.Microsecond))
+			label, ls.Requests, ns(ls.MeanNS), ns(ls.P50NS), ns(ls.P95NS), ns(ls.MaxNS))
 	}
-	report("warm", warmDurs)
-	report("cold", coldDurs)
+	report("warm", sum.Warm)
+	report("cold", sum.Cold)
 	return nil
+}
+
+// loadgenSummary is the -json report: one object, nanosecond latencies,
+// so a script can diff throughput across configurations without parsing
+// the human table.
+type loadgenSummary struct {
+	Requests     int            `json:"requests"`
+	OK           int            `json:"ok"`
+	Errors       int            `json:"errors"`
+	Rejected429  int            `json:"rejected_429"`
+	Concurrency  int            `json:"concurrency"`
+	WarmFraction float64        `json:"warm_fraction"`
+	ElapsedNS    int64          `json:"elapsed_ns"`
+	Throughput   float64        `json:"throughput_rps"`
+	Warm         latencySummary `json:"warm"`
+	Cold         latencySummary `json:"cold"`
+}
+
+type latencySummary struct {
+	Requests int   `json:"requests"`
+	MeanNS   int64 `json:"mean_ns"`
+	P50NS    int64 `json:"p50_ns"`
+	P95NS    int64 `json:"p95_ns"`
+	MaxNS    int64 `json:"max_ns"`
+}
+
+func summarize(durs []time.Duration) latencySummary {
+	if len(durs) == 0 {
+		return latencySummary{}
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	var total time.Duration
+	for _, d := range durs {
+		total += d
+	}
+	q := func(p float64) int64 {
+		return durs[min(int(p*float64(len(durs))), len(durs)-1)].Nanoseconds()
+	}
+	return latencySummary{
+		Requests: len(durs),
+		MeanNS:   (total / time.Duration(len(durs))).Nanoseconds(),
+		P50NS:    q(0.50),
+		P95NS:    q(0.95),
+		MaxNS:    durs[len(durs)-1].Nanoseconds(),
+	}
 }

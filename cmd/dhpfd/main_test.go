@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"net/http/httptest"
 	"regexp"
 	"strings"
@@ -126,6 +127,39 @@ func TestLoadgen(t *testing.T) {
 		if !strings.Contains(got, want) {
 			t.Errorf("loadgen output missing %q:\n%s", want, got)
 		}
+	}
+}
+
+// TestLoadgenJSON checks that -json emits exactly one parseable summary
+// object on stdout with consistent counts.
+func TestLoadgenJSON(t *testing.T) {
+	ts := httptest.NewServer(service.New(service.Config{Workers: 2}).Handler())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run(context.Background(), &out, []string{
+		"loadgen", "-addr", ts.URL, "-requests", "20", "-concurrency", "4",
+		"-warm", "0.75", "-n", "10", "-json",
+	})
+	if err != nil {
+		t.Fatalf("loadgen -json: %v\n%s", err, out.String())
+	}
+	dec := json.NewDecoder(&out)
+	var sum loadgenSummary
+	if err := dec.Decode(&sum); err != nil {
+		t.Fatalf("stdout is not a JSON summary: %v", err)
+	}
+	if dec.More() {
+		t.Error("stdout has trailing content after the summary object")
+	}
+	if sum.Requests != 20 || sum.OK != 20 || sum.Errors != 0 {
+		t.Errorf("bad counts: %+v", sum)
+	}
+	if sum.Warm.Requests+sum.Cold.Requests != sum.OK {
+		t.Errorf("warm %d + cold %d != ok %d", sum.Warm.Requests, sum.Cold.Requests, sum.OK)
+	}
+	if sum.Throughput <= 0 || sum.ElapsedNS <= 0 || sum.Warm.P95NS < sum.Warm.P50NS {
+		t.Errorf("implausible summary: %+v", sum)
 	}
 }
 

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dhpf"
+)
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var out, errb bytes.Buffer
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	return out.String()
+}
+
+var smokeArgs = []string{
+	"-bench", "sp", "-n", "12", "-steps", "1", "-procs", "4",
+	"-grains", "8", "-topk", "2", "-workers", "2",
+}
+
+func TestLeaderboardDeterministicWinner(t *testing.T) {
+	first := runOK(t, smokeArgs...)
+	if !strings.Contains(first, "winner: ") {
+		t.Fatalf("no winner line in:\n%s", first)
+	}
+	winner := func(out string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "winner: ") {
+				return line
+			}
+		}
+		return ""
+	}
+	again := runOK(t, smokeArgs...)
+	if winner(first) != winner(again) {
+		t.Errorf("winner not deterministic: %q vs %q", winner(first), winner(again))
+	}
+	if !strings.Contains(first, "RANK") || !strings.Contains(first, "block") {
+		t.Errorf("leaderboard missing from output:\n%s", first)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	out := runOK(t, append(smokeArgs, "-json")...)
+	var res dhpf.TuneResult
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if res.Winner == nil || res.Winner.Status != "ok" {
+		t.Fatalf("JSON result has no ok winner: %+v", res.Winner)
+	}
+	if res.Counters.Candidates == 0 || len(res.Trail) == 0 {
+		t.Errorf("counters or trail missing: %+v", res.Counters)
+	}
+}
+
+func TestEmitOptionsRoundTrips(t *testing.T) {
+	// -no-transpose forces a compiled winner, which carries replayable
+	// params and options.
+	out := runOK(t, append(smokeArgs, "-no-transpose", "-emit-options")...)
+	var frag struct {
+		Scheme  string               `json:"scheme"`
+		Params  map[string]int       `json:"params"`
+		Options *dhpf.RequestOptions `json:"options"`
+	}
+	if err := json.Unmarshal([]byte(out), &frag); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if frag.Params["P1"]*frag.Params["P2"] != 4 {
+		t.Errorf("winner params do not tile 4 procs: %v", frag.Params)
+	}
+	opt, err := frag.Options.Resolve()
+	if err != nil {
+		t.Fatalf("emitted options do not resolve: %v", err)
+	}
+	if opt.PipelineGrain != 8 {
+		t.Errorf("grain not preserved: %+v", opt)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{},                              // no mode, no procs
+		{"-procs", "4"},                 // no mode
+		{"-bench", "sp"},                // no procs
+		{"-bench", "lu", "-procs", "4"}, // unknown bench
+		{"-bench", "sp", "-procs", "4", "-grids", "3y3"}, // bad grid syntax
+	}
+	for i, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code == 0 {
+			t.Errorf("case %d (%v): accepted", i, args)
+		}
+	}
+}

@@ -12,8 +12,26 @@ package cache
 import (
 	"container/list"
 	"context"
+	"strconv"
+	"strings"
 	"sync"
 )
+
+// Key builds a composite cache key from parts.  Each part is
+// length-prefixed so distinct part lists can never collide by
+// concatenation ("a","bc" vs "ab","c") — callers compose fingerprints
+// with qualifiers (scheme, machine, tier) without inventing ad-hoc
+// separators.
+func Key(parts ...string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(strconv.Itoa(len(p)))
+		b.WriteByte(':')
+		b.WriteString(p)
+		b.WriteByte(0)
+	}
+	return b.String()
+}
 
 // Stats is a point-in-time snapshot of the cache's counters.
 type Stats struct {

@@ -15,10 +15,13 @@
 package mpsim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Config fixes the machine size and cost model.
@@ -36,7 +39,29 @@ type Config struct {
 	FlopTime float64
 	// Trace enables space–time event capture.
 	Trace bool
+	// TimeLimit aborts the run once any rank's virtual clock exceeds it
+	// (0 = unlimited).  Because virtual clocks are deterministic, whether
+	// a run aborts is a deterministic function of the program and the
+	// limit: a run aborts iff its makespan would exceed the limit.  The
+	// auto-tuner uses this to abandon candidates that are already slower
+	// than the incumbent (early pruning).
+	TimeLimit float64
+	// WallLimit aborts the run after a real-time duration (0 =
+	// unlimited): a safety valve for pathological configurations whose
+	// virtual clocks stop advancing (e.g. a deadlocked exchange), which
+	// TimeLimit alone can never catch.
+	WallLimit time.Duration
 }
+
+// ErrAborted is the base error of every mpsim-initiated abort; aborted
+// runs surface it (wrapped) through the body's panic-recovery path.
+var ErrAborted = errors.New("mpsim: run aborted")
+
+// ErrTimeLimit reports a Config.TimeLimit abort; wraps ErrAborted.
+var ErrTimeLimit = fmt.Errorf("virtual time limit exceeded: %w", ErrAborted)
+
+// ErrWallLimit reports a Config.WallLimit abort; wraps ErrAborted.
+var ErrWallLimit = fmt.Errorf("wall-clock limit exceeded: %w", ErrAborted)
 
 // SP2Config approximates a 1998 IBM SP2 with 120 MHz P2SC nodes and the
 // user-space MPI library: ~29 µs one-way latency, ~90 MB/s bandwidth,
@@ -114,22 +139,33 @@ func (mb *mailbox) push(m message) {
 	mb.mu.Unlock()
 }
 
-func (mb *mailbox) pop() message {
+// pop blocks until a message is queued or the machine aborts.  The
+// abort flag is re-checked around every wait: Abort broadcasts while
+// holding mb.mu, so a waiter either sees the flag before sleeping or is
+// woken by the broadcast — it can never sleep through an abort.
+func (mb *mailbox) pop(m *Machine) message {
 	mb.mu.Lock()
 	for len(mb.queue) == 0 {
+		if err := m.abortedErr(); err != nil {
+			mb.mu.Unlock()
+			panic(err)
+		}
 		mb.cond.Wait()
 	}
-	m := mb.queue[0]
+	msg := mb.queue[0]
 	mb.queue = mb.queue[1:]
 	mb.mu.Unlock()
-	return m
+	return msg
 }
 
 // Machine is the running virtual machine.
 type Machine struct {
-	cfg   Config
-	mu    sync.Mutex
-	boxes map[mailboxKey]*mailbox
+	cfg Config
+	// abortErr is set once by Abort; every rank observing it panics with
+	// the stored error, which the body's recover handler reports.
+	abortErr atomic.Pointer[error]
+	mu       sync.Mutex
+	boxes    map[mailboxKey]*mailbox
 
 	barrierMu     sync.Mutex
 	barrierCond   *sync.Cond
@@ -195,6 +231,11 @@ func (r *Result) TotalBytes() int64 {
 }
 
 // Run executes body on every rank concurrently and collects the result.
+//
+// When the machine aborts (Config.TimeLimit, Config.WallLimit), every
+// rank blocked in a machine operation is woken and panics with an error
+// wrapping ErrAborted; body is expected to recover it (the spmd executor
+// and the nas hand-coded drivers do) and surface it to their caller.
 func Run(cfg Config, body func(r *Rank)) *Result {
 	if cfg.Procs <= 0 {
 		panic("mpsim: Procs must be positive")
@@ -202,6 +243,11 @@ func Run(cfg Config, body func(r *Rank)) *Result {
 	m := &Machine{cfg: cfg, boxes: map[mailboxKey]*mailbox{}}
 	m.barrierCond = sync.NewCond(&m.barrierMu)
 	m.reduceCond = sync.NewCond(&m.reduceMu)
+
+	var wallTimer *time.Timer
+	if cfg.WallLimit > 0 {
+		wallTimer = time.AfterFunc(cfg.WallLimit, func() { m.Abort(ErrWallLimit) })
+	}
 
 	ranks := make([]*Rank, cfg.Procs)
 	var wg sync.WaitGroup
@@ -214,6 +260,9 @@ func Run(cfg Config, body func(r *Rank)) *Result {
 		}(ranks[i])
 	}
 	wg.Wait()
+	if wallTimer != nil {
+		wallTimer.Stop()
+	}
 
 	res := &Result{
 		Procs:     cfg.Procs,
@@ -243,6 +292,63 @@ func Run(cfg Config, body func(r *Rank)) *Result {
 	return res
 }
 
+// Abort marks the machine dead with the given cause (first call wins)
+// and wakes every rank blocked in a receive, barrier or reduction; woken
+// ranks — and any rank entering a machine operation afterwards — panic
+// with the cause, to be recovered by the run body.
+func (m *Machine) Abort(cause error) {
+	if cause == nil {
+		cause = ErrAborted
+	}
+	if !m.abortErr.CompareAndSwap(nil, &cause) {
+		return
+	}
+	// Broadcast under each condition's own lock: a waiter holds that
+	// lock from its flag check until Wait releases it, so it either saw
+	// the flag or receives this wake-up.
+	m.mu.Lock()
+	boxes := make([]*mailbox, 0, len(m.boxes))
+	for _, mb := range m.boxes {
+		boxes = append(boxes, mb)
+	}
+	m.mu.Unlock()
+	for _, mb := range boxes {
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+	m.barrierMu.Lock()
+	m.barrierCond.Broadcast()
+	m.barrierMu.Unlock()
+	m.reduceMu.Lock()
+	m.reduceCond.Broadcast()
+	m.reduceMu.Unlock()
+}
+
+// abortedErr returns the abort cause, or nil while the machine is live.
+func (m *Machine) abortedErr() error {
+	if p := m.abortErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// checkLimits panics with the abort cause if the machine is dead, and
+// trips the virtual-time limit when this rank's clock has passed it.
+// Called from every clock-advancing operation, so an over-limit run
+// aborts deterministically: virtual clocks only grow, hence a run aborts
+// iff its makespan would exceed the limit.
+func (r *Rank) checkLimits() {
+	m := r.m
+	if err := m.abortedErr(); err != nil {
+		panic(err)
+	}
+	if m.cfg.TimeLimit > 0 && r.clock > m.cfg.TimeLimit {
+		m.Abort(ErrTimeLimit)
+		panic(ErrTimeLimit)
+	}
+}
+
 func (m *Machine) box(k mailboxKey) *mailbox {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -270,6 +376,7 @@ func (r *Rank) Compute(flops float64) {
 	r.emit(Event{Kind: EvCompute, Start: r.clock, End: r.clock + dt, Peer: -1})
 	r.clock += dt
 	r.flops += flops
+	r.checkLimits()
 }
 
 // ComputeLabeled is Compute with a phase label recorded in the trace.
@@ -281,6 +388,7 @@ func (r *Rank) ComputeLabeled(flops float64, label string) {
 	r.emit(Event{Kind: EvCompute, Start: r.clock, End: r.clock + dt, Peer: -1, Label: label})
 	r.clock += dt
 	r.flops += flops
+	r.checkLimits()
 }
 
 // Send transmits data to rank dst with a tag.  The model is a buffered
@@ -290,6 +398,7 @@ func (r *Rank) Send(dst, tag int, data []float64) {
 	if dst < 0 || dst >= r.m.cfg.Procs {
 		panic(fmt.Sprintf("mpsim: Send to invalid rank %d", dst))
 	}
+	r.checkLimits()
 	bytes := 8 * len(data)
 	cost := r.m.cfg.SendOverhead + float64(bytes)*r.m.cfg.GapPerByte
 	r.emit(Event{Kind: EvSend, Start: r.clock, End: r.clock + cost, Peer: dst, Bytes: bytes, Tag: tag})
@@ -308,7 +417,8 @@ func (r *Rank) Recv(src, tag int) []float64 {
 	if src < 0 || src >= r.m.cfg.Procs {
 		panic(fmt.Sprintf("mpsim: Recv from invalid rank %d", src))
 	}
-	msg := r.m.box(mailboxKey{src: src, dst: r.ID, tag: tag}).pop()
+	r.checkLimits()
+	msg := r.m.box(mailboxKey{src: src, dst: r.ID, tag: tag}).pop(r.m)
 	if msg.arrival > r.clock {
 		r.emit(Event{Kind: EvRecvWait, Start: r.clock, End: msg.arrival, Peer: src, Bytes: msg.bytes, Tag: tag})
 		r.idle += msg.arrival - r.clock
@@ -318,6 +428,7 @@ func (r *Rank) Recv(src, tag int) []float64 {
 	r.emit(Event{Kind: EvRecvCopy, Start: r.clock, End: r.clock + cost, Peer: src, Bytes: msg.bytes, Tag: tag})
 	r.clock += cost
 	r.recvd++
+	r.checkLimits()
 	return msg.data
 }
 
@@ -350,6 +461,7 @@ func (q *Request) Wait() []float64 {
 // overwriting state until every rank of this one has re-entered, so the
 // published target is stable for all readers.
 func (r *Rank) Barrier() {
+	r.checkLimits()
 	m := r.m
 	m.barrierMu.Lock()
 	gen := m.barrierGen
@@ -367,6 +479,10 @@ func (r *Rank) Barrier() {
 		m.barrierCond.Broadcast()
 	} else {
 		for gen == m.barrierGen {
+			if err := m.abortedErr(); err != nil {
+				m.barrierMu.Unlock()
+				panic(err)
+			}
 			m.barrierCond.Wait()
 		}
 	}
@@ -388,6 +504,7 @@ func (r *Rank) AllReduceSum(v float64) float64 { return r.AllReduce('+', v) }
 // '*' product, '<' min, '>' max.  All ranks receive the result and
 // advance to the combined completion time (log-tree latency).
 func (r *Rank) AllReduce(op byte, v float64) float64 {
+	r.checkLimits()
 	m := r.m
 	m.reduceMu.Lock()
 	gen := m.reduceGen
@@ -424,6 +541,10 @@ func (r *Rank) AllReduce(op byte, v float64) float64 {
 		m.reduceCond.Broadcast()
 	} else {
 		for gen == m.reduceGen {
+			if err := m.abortedErr(); err != nil {
+				m.reduceMu.Unlock()
+				panic(err)
+			}
 			m.reduceCond.Wait()
 		}
 	}

@@ -1,8 +1,12 @@
 package mpsim
 
 import (
+	"errors"
+	"fmt"
 	"math"
+	"sync"
 	"testing"
+	"time"
 )
 
 func testCfg(p int) Config {
@@ -270,5 +274,105 @@ func TestSP2ConfigSanity(t *testing.T) {
 	cfg := SP2Config(16)
 	if cfg.Procs != 16 || cfg.Latency <= 0 || cfg.FlopTime <= 0 || cfg.GapPerByte <= 0 {
 		t.Fatalf("bad SP2 config: %+v", cfg)
+	}
+}
+
+// runRecovering runs body on every rank with the panic-recovery wrapper
+// real callers (spmd, nas) install, collecting the first abort error.
+func runRecovering(cfg Config, body func(r *Rank)) (res *Result, err error) {
+	var mu sync.Mutex
+	res = Run(cfg, func(r *Rank) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				mu.Lock()
+				if err == nil {
+					if e, ok := rec.(error); ok {
+						err = e
+					} else {
+						err = fmt.Errorf("rank %d: %v", r.ID, rec)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+		body(r)
+	})
+	return res, err
+}
+
+func TestTimeLimitAbortsDeterministically(t *testing.T) {
+	cfg := Config{Procs: 2, FlopTime: 1e-6, Latency: 1e-6, TimeLimit: 50e-6}
+	// Under the limit: completes.
+	_, err := runRecovering(cfg, func(r *Rank) { r.Compute(40) })
+	if err != nil {
+		t.Fatalf("run under the limit aborted: %v", err)
+	}
+	// Over the limit: every run aborts with ErrTimeLimit.
+	for i := 0; i < 3; i++ {
+		_, err := runRecovering(cfg, func(r *Rank) {
+			for j := 0; j < 100; j++ {
+				r.Compute(1)
+			}
+		})
+		if !errors.Is(err, ErrTimeLimit) || !errors.Is(err, ErrAborted) {
+			t.Fatalf("run %d: want ErrTimeLimit, got %v", i, err)
+		}
+	}
+}
+
+func TestTimeLimitWakesBlockedReceiver(t *testing.T) {
+	// Rank 0 exceeds the limit while rank 1 is blocked in Recv on a
+	// message that will never be sent; the abort must wake rank 1 or the
+	// run deadlocks (the test itself would then time out).
+	cfg := Config{Procs: 2, FlopTime: 1e-6, Latency: 1e-6, TimeLimit: 10e-6}
+	_, err := runRecovering(cfg, func(r *Rank) {
+		if r.ID == 0 {
+			r.Compute(100)
+		} else {
+			r.Recv(0, 7)
+		}
+	})
+	if !errors.Is(err, ErrTimeLimit) {
+		t.Fatalf("want ErrTimeLimit, got %v", err)
+	}
+}
+
+func TestTimeLimitWakesBarrierAndReduce(t *testing.T) {
+	cfg := Config{Procs: 3, FlopTime: 1e-6, Latency: 1e-6, TimeLimit: 10e-6}
+	_, err := runRecovering(cfg, func(r *Rank) {
+		if r.ID == 0 {
+			r.Compute(100)
+		} else if r.ID == 1 {
+			r.Barrier()
+		} else {
+			r.AllReduceSum(1)
+		}
+	})
+	if !errors.Is(err, ErrTimeLimit) {
+		t.Fatalf("want ErrTimeLimit, got %v", err)
+	}
+}
+
+func TestWallLimitBreaksVirtualDeadlock(t *testing.T) {
+	// Both ranks wait on messages that are never sent: virtual time is
+	// stuck, so only the wall-clock limit can end the run.
+	cfg := Config{Procs: 2, FlopTime: 1e-6, Latency: 1e-6, WallLimit: 50 * time.Millisecond}
+	_, err := runRecovering(cfg, func(r *Rank) {
+		r.Recv(1-r.ID, 9)
+	})
+	if !errors.Is(err, ErrWallLimit) || !errors.Is(err, ErrAborted) {
+		t.Fatalf("want ErrWallLimit, got %v", err)
+	}
+}
+
+func TestNoLimitsUnchanged(t *testing.T) {
+	// Zero limits keep the legacy behaviour: no aborts, exact clocks.
+	cfg := Config{Procs: 2, FlopTime: 1e-6, Latency: 1e-6}
+	res, err := runRecovering(cfg, func(r *Rank) { r.Compute(1000) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Time-1000e-6) > 1e-12 {
+		t.Fatalf("Time = %g, want 1e-3", res.Time)
 	}
 }

@@ -1,12 +1,25 @@
 package nas
 
 import (
+	"errors"
 	"fmt"
 
 	"dhpf/internal/ir"
+	"dhpf/internal/mpsim"
 	"dhpf/internal/parser"
 	"dhpf/internal/spmd"
 )
+
+// rankPanicErr converts a recovered rank panic into an error.  Machine
+// aborts (mpsim time/wall limits) keep their typed error so callers can
+// errors.Is(err, mpsim.ErrAborted); everything else is a driver bug and
+// keeps the rank-labeled formatting.
+func rankPanicErr(rec any, impl string, rank int) error {
+	if err, ok := rec.(error); ok && errors.Is(err, mpsim.ErrAborted) {
+		return err
+	}
+	return fmt.Errorf("nas: %s rank %d: %v", impl, rank, rec)
+}
 
 // handState is the per-rank storage of the hand-coded implementations:
 // full-size arrays with only the locally-owned (plus halo) portions kept

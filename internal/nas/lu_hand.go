@@ -45,7 +45,7 @@ func RunLU2D(n, steps, p1, p2 int, cfg mpsim.Config) (*LURun, error) {
 			if rec := recover(); rec != nil {
 				mu.Lock()
 				if runErr == nil {
-					runErr = fmt.Errorf("nas: lu2d rank %d: %v", rk.ID, rec)
+					runErr = rankPanicErr(rec, "lu2d", rk.ID)
 				}
 				mu.Unlock()
 			}

@@ -59,7 +59,7 @@ func RunMultipart(bench string, n, steps, procs int, cfg mpsim.Config) (*Multipa
 			if rec := recover(); rec != nil {
 				mu.Lock()
 				if runErr == nil {
-					runErr = fmt.Errorf("nas: multipart rank %d: %v", rk.ID, rec)
+					runErr = rankPanicErr(rec, "multipart", rk.ID)
 				}
 				mu.Unlock()
 			}

@@ -52,7 +52,7 @@ func RunTranspose(bench string, n, steps, procs int, cfg mpsim.Config) (*Transpo
 			if rec := recover(); rec != nil {
 				mu.Lock()
 				if runErr == nil {
-					runErr = fmt.Errorf("nas: transpose rank %d: %v", rk.ID, rec)
+					runErr = rankPanicErr(rec, "transpose", rk.ID)
 				}
 				mu.Unlock()
 			}

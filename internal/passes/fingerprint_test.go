@@ -3,8 +3,11 @@ package passes
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"strings"
 	"testing"
+
+	"dhpf/internal/cp"
 )
 
 // TestFingerprintCanonical: semantically equal Options fingerprint
@@ -66,6 +69,99 @@ func TestFingerprintDistinguishes(t *testing.T) {
 	if FingerprintKey(src, map[string]int{"N": 8, "P": 2}, base) !=
 		FingerprintKey(src, map[string]int{"P": 2, "N": 8}, base) {
 		t.Error("param map ordering changes the key")
+	}
+}
+
+// randomOptions draws an Options value spanning every tunable field the
+// auto-tuner can set through dhpf.TuneOptions.
+func randomOptions(rng *rand.Rand) Options {
+	o := DefaultOptions()
+	o.CP.NewProp = cp.NewPropMode(rng.Intn(3))
+	o.CP.Localize = rng.Intn(2) == 0
+	o.CP.LoopDist = rng.Intn(2) == 0
+	o.CP.Interproc = rng.Intn(2) == 0
+	o.CP.MaxCombos = 1 + rng.Intn(64)
+	o.Comm.Availability = rng.Intn(2) == 0
+	o.Comm.RedundantWriteback = rng.Intn(2) == 0
+	o.PipelineGrain = 1 << rng.Intn(6)
+	o.Instrument = rng.Intn(2) == 0
+	optional := OptionalPassNames()
+	for _, p := range rng.Perm(len(optional))[:rng.Intn(len(optional)+1)] {
+		o.Disable = append(o.Disable, optional[p])
+	}
+	return o
+}
+
+// TestFingerprintPermutationInvariantProperty: for random Options, any
+// permutation (plus random duplication) of the Disable list fingerprints
+// identically — the cache key depends on the ablation set, not its
+// spelling.
+func TestFingerprintPermutationInvariantProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		o := randomOptions(rng)
+		want := o.Fingerprint()
+		perm := o
+		perm.Disable = make([]string, 0, len(o.Disable)+2)
+		for _, i := range rng.Perm(len(o.Disable)) {
+			perm.Disable = append(perm.Disable, o.Disable[i])
+		}
+		for i := 0; i < len(o.Disable) && i < 2; i++ {
+			perm.Disable = append(perm.Disable, o.Disable[rng.Intn(len(o.Disable))])
+		}
+		if got := perm.Fingerprint(); got != want {
+			t.Fatalf("trial %d: permuted Disable %v fingerprints differently from %v",
+				trial, perm.Disable, o.Disable)
+		}
+	}
+}
+
+// TestFingerprintFieldSensitivityProperty: from random base Options,
+// mutating any single tunable field changes the fingerprint — no two
+// distinct configurations can alias one cache entry.
+func TestFingerprintFieldSensitivityProperty(t *testing.T) {
+	optional := OptionalPassNames()
+	mutations := map[string]func(*rand.Rand, *Options){
+		"newprop":    func(r *rand.Rand, o *Options) { o.CP.NewProp = (o.CP.NewProp + 1 + cp.NewPropMode(r.Intn(2))) % 3 },
+		"localize":   func(_ *rand.Rand, o *Options) { o.CP.Localize = !o.CP.Localize },
+		"loopdist":   func(_ *rand.Rand, o *Options) { o.CP.LoopDist = !o.CP.LoopDist },
+		"interproc":  func(_ *rand.Rand, o *Options) { o.CP.Interproc = !o.CP.Interproc },
+		"maxcombos":  func(_ *rand.Rand, o *Options) { o.CP.MaxCombos++ },
+		"avail":      func(_ *rand.Rand, o *Options) { o.Comm.Availability = !o.Comm.Availability },
+		"wbelim":     func(_ *rand.Rand, o *Options) { o.Comm.RedundantWriteback = !o.Comm.RedundantWriteback },
+		"grain":      func(_ *rand.Rand, o *Options) { o.PipelineGrain *= 2 },
+		"instrument": func(_ *rand.Rand, o *Options) { o.Instrument = !o.Instrument },
+		"disable": func(r *rand.Rand, o *Options) {
+			// Toggle one pass's membership in the ablation set.
+			name := optional[r.Intn(len(optional))]
+			kept := o.Disable[:0]
+			found := false
+			for _, d := range o.Disable {
+				if d == name {
+					found = true
+				} else {
+					kept = append(kept, d)
+				}
+			}
+			o.Disable = kept
+			if !found {
+				o.Disable = append(o.Disable, name)
+			}
+		},
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		base := randomOptions(rng)
+		want := base.Fingerprint()
+		for name, mutate := range mutations {
+			mutated := base
+			mutated.Disable = append([]string{}, base.Disable...)
+			mutate(rng, &mutated)
+			if mutated.Fingerprint() == want {
+				t.Fatalf("trial %d: mutating %q did not change the fingerprint (base %+v)",
+					trial, name, base)
+			}
+		}
 	}
 }
 

@@ -32,6 +32,23 @@ type Input struct {
 	Cfg   mpsim.Config // cost model (Procs field ignored)
 	// PipelineGrain is the dhpf coarse-grain pipelining strip width.
 	PipelineGrain int
+	// P1, P2 fix the dhpf processor-grid shape explicitly (P1·P2 must
+	// equal Procs); both zero means the default most-square
+	// nas.GridShape factorization.  The auto-tuner sets these to score
+	// each grid-shape candidate separately.
+	P1, P2 int
+}
+
+// gridShape resolves the dhpf processor grid of the projection.
+func (in Input) gridShape() (p1, p2 int, err error) {
+	if in.P1 == 0 && in.P2 == 0 {
+		p1, p2 = nas.GridShape(in.Procs)
+		return p1, p2, nil
+	}
+	if in.P1 <= 0 || in.P2 <= 0 || in.P1*in.P2 != in.Procs {
+		return 0, 0, fmt.Errorf("perfmodel: grid %dx%d does not tile %d procs", in.P1, in.P2, in.Procs)
+	}
+	return in.P1, in.P2, nil
 }
 
 func (in Input) comp() float64 {
@@ -111,7 +128,10 @@ func PredictMultipart(in Input) (float64, error) {
 // whose fill time grows with the processor count — the effect that drags
 // the paper's Figure 8.2 efficiency at 25 processors.
 func PredictDHPF(in Input) (float64, error) {
-	p1, p2 := nas.GridShape(in.Procs)
+	p1, p2, err := in.gridShape()
+	if err != nil {
+		return 0, err
+	}
 	par, pivots, w := baseFlops(in)
 	cfg := in.Cfg
 	n := float64(in.N)

@@ -183,3 +183,37 @@ func mathAbs(v float64) float64 {
 	}
 	return v
 }
+
+func TestExplicitGridShape(t *testing.T) {
+	// Default shape = nas.GridShape's most-square factorization.
+	base := in("sp", 64, 1, 16)
+	def, err := PredictDHPF(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq := base
+	sq.P1, sq.P2 = 4, 4
+	v, err := PredictDHPF(sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != def {
+		t.Errorf("explicit 4x4 (%g) differs from default shape (%g)", v, def)
+	}
+	// Shape is a real model input: a skewed grid changes the projection.
+	skew := base
+	skew.P1, skew.P2 = 2, 8
+	s, err := PredictDHPF(skew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == def {
+		t.Error("2x8 grid predicted identical to 4x4 — shape ignored")
+	}
+	// Invalid tilings are rejected.
+	bad := base
+	bad.P1, bad.P2 = 3, 4
+	if _, err := PredictDHPF(bad); err == nil {
+		t.Error("3x4 grid over 16 procs accepted")
+	}
+}

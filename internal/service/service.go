@@ -14,8 +14,13 @@
 //	POST /v1/compile  report + per-rank node programs + pass stats
 //	POST /v1/explain  the cmd/dhpfc -explain table
 //	POST /v1/run      execute on a named machine ("sp2" or "sp2:N")
+//	POST /v1/tune     auto-tune distributions/granularity/ablations
 //	GET  /v1/stats    cache + request counters
 //	GET  /healthz     liveness
+//
+// A tune request occupies one worker slot for its whole duration (its
+// internal evaluation parallelism is capped at the pool size), so tuning
+// shares the same 429 backpressure and deadline regime as compiles.
 package service
 
 import (
@@ -113,6 +118,9 @@ func (e *program) nodeProgram(rank int) string {
 type Server struct {
 	cfg   Config
 	cache *cache.Cache[*program]
+	// tuner serves /v1/tune; its memo caches live as long as the server,
+	// so repeated tune requests reuse full evaluations.
+	tuner *dhpf.Tuner
 	// tokens is the worker pool: holding a token = compiling.
 	tokens chan struct{}
 	// pending counts compiles holding or waiting for a token; above
@@ -134,6 +142,7 @@ func New(cfg Config) *Server {
 	return &Server{
 		cfg:    cfg,
 		cache:  cache.New[*program](cfg.CacheBytes),
+		tuner:  dhpf.NewTuner(),
 		tokens: make(chan struct{}, cfg.Workers),
 		start:  time.Now(),
 	}
@@ -145,6 +154,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/tune", s.handleTune)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -366,6 +376,42 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.ok(w, resp)
+}
+
+// handleTune runs an auto-tuning search inside one worker slot: the
+// same pending-count backpressure (429) and per-request deadline as a
+// compile, with the tuner's internal parallelism capped at the pool
+// size.
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	var req dhpf.TuneRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	if n := s.pending.Add(1); n > int64(s.cfg.Workers+s.cfg.QueueDepth) {
+		s.pending.Add(-1)
+		s.rejected.Add(1)
+		s.fail(w, http.StatusTooManyRequests, ErrBusy)
+		return
+	}
+	defer s.pending.Add(-1)
+	select {
+	case s.tokens <- struct{}{}:
+	case <-ctx.Done():
+		s.failCompile(w, ctx.Err())
+		return
+	}
+	defer func() { <-s.tokens }()
+	if req.Workers <= 0 || req.Workers > s.cfg.Workers {
+		req.Workers = s.cfg.Workers
+	}
+	res, err := s.tuner.Tune(ctx, req.Source, req.TuneOptions)
+	if err != nil {
+		s.failCompile(w, err)
+		return
+	}
+	s.ok(w, res)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

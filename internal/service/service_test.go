@@ -263,6 +263,68 @@ func TestCancelAbortsWithoutCorruption(t *testing.T) {
 	}
 }
 
+// TestCancelWhileQueued: cancelling a request that is still waiting for
+// a worker returns its context error promptly and releases the queue
+// slot without the request ever occupying a worker or compiling.
+func TestCancelWhileQueued(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	testPreCompile = func(context.Context) { entered <- struct{}{}; <-release }
+	defer func() { testPreCompile = nil }()
+
+	srv, client := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	hold := dhpf.CompileRequest{Source: tinySrc, Ranks: []int{0}}
+	queued := dhpf.CompileRequest{Source: tinySrc, Params: map[string]int{"SEED": 1}, Ranks: []int{0}}
+
+	holdDone := make(chan error, 1)
+	go func() {
+		_, err := client.Compile(context.Background(), hold)
+		holdDone <- err
+	}()
+	// Only after the hold request is confirmed inside the worker slot is
+	// the second request sent: with a distinct fingerprint it cannot
+	// coalesce, so it must wait in the queue behind the held worker.
+	<-entered
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	queuedDone := make(chan error, 1)
+	go func() {
+		_, err := client.Compile(ctx, queued)
+		queuedDone <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.pending.Load() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled: pending=%d", srv.pending.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-queuedDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("queued request: want context.Canceled, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled queued request did not return promptly")
+	}
+	// The queue slot frees while the worker is still held.
+	for deadline = time.Now().Add(5 * time.Second); srv.pending.Load() != 1; time.Sleep(time.Millisecond) {
+		if time.Now().After(deadline) {
+			t.Fatalf("cancelled request still pending: pending=%d", srv.pending.Load())
+		}
+	}
+
+	close(release)
+	if err := <-holdDone; err != nil {
+		t.Fatalf("held compile failed: %v", err)
+	}
+	if got := srv.Stats().Server.Compiles; got != 1 {
+		t.Errorf("compiles = %d, want 1 (cancelled request must never reach a worker)", got)
+	}
+}
+
 // TestTimeout504: a server-side deadline shorter than any compile yields
 // 504 and counts as a timeout.
 func TestTimeout504(t *testing.T) {

@@ -1,6 +1,7 @@
 package spmd
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -73,7 +74,13 @@ func (p *Program) Execute(cfg mpsim.Config) (*ExecResult, error) {
 			if rec := recover(); rec != nil {
 				mu.Lock()
 				if execErr == nil {
-					execErr = fmt.Errorf("spmd: rank %d: %v", r.ID, rec)
+					// Machine aborts (time/wall limit) keep their typed
+					// error so callers can errors.Is on ErrAborted.
+					if err, ok := rec.(error); ok && errors.Is(err, mpsim.ErrAborted) {
+						execErr = err
+					} else {
+						execErr = fmt.Errorf("spmd: rank %d: %v", r.ID, rec)
+					}
 				}
 				if debugPanics {
 					fmt.Println("SPMD-PANIC:", execErr)

@@ -2,6 +2,7 @@ package spmd
 
 import (
 	"fmt"
+	"sort"
 
 	"dhpf/internal/ir"
 )
@@ -18,6 +19,17 @@ func (sr *SerialResult) Array(name string) ([]float64, []int, []int, error) {
 		return nil, nil, nil, fmt.Errorf("spmd: serial run has no array %q", name)
 	}
 	return a.data, a.lo, a.hi, nil
+}
+
+// Names lists the main-procedure arrays of the run, sorted — the
+// default verification set when a caller doesn't name specific arrays.
+func (sr *SerialResult) Names() []string {
+	names := make([]string, 0, len(sr.arrays))
+	for n := range sr.arrays {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // RunSerial executes the program sequentially, ignoring all HPF

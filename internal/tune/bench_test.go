@@ -1,0 +1,36 @@
+package tune
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkTuneScreenVsFull contrasts the cost of the two evaluation
+// tiers on the same candidate: the analytic screen (a closed-form model
+// evaluation) versus a full compile + simulate + verify pass.  The
+// screen must be orders of magnitude cheaper — that gap is what lets
+// the tuner cover the whole configuration space before spending the
+// simulation budget on the top-K.
+func BenchmarkTuneScreenVsFull(b *testing.B) {
+	s, err := specSP(4, 12, 1).withDefaults()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := Candidate{Scheme: SchemeBlock, P1: 2, P2: 2, Grain: 8}
+
+	b.Run("screen", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := modelPredict(&s, c, s.TargetN, s.TargetSteps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tu := New() // cold caches: measure the real evaluation
+			if _, err := tu.evalOnce(context.Background(), &s, c, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

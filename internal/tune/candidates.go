@@ -1,0 +1,245 @@
+package tune
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dhpf/internal/hpf"
+	"dhpf/internal/passes"
+	"dhpf/internal/perfmodel"
+)
+
+// Scheme names of a candidate's parallelization strategy.
+const (
+	// SchemeBlock is the compiled path: a P1×P2 BLOCK distribution of
+	// the distributed dimensions, coarse-grain pipelined sweeps.
+	SchemeBlock = "block"
+	// SchemeTranspose is the PGI-style comparison point: 1-D z BLOCK
+	// with full transposes around the z solve (bench mode only).
+	SchemeTranspose = "transpose"
+)
+
+// Candidate is one point of the tuner's configuration space.
+type Candidate struct {
+	Scheme string `json:"scheme"`
+	// P1, P2 factor the processor count into the grid shape (block
+	// scheme only; P1·P2 must equal Spec.Procs).
+	P1 int `json:"p1,omitempty"`
+	P2 int `json:"p2,omitempty"`
+	// Grain is the coarse-grain pipelining strip width (block scheme).
+	Grain int `json:"grain,omitempty"`
+	// Disable lists compiler passes ablated for this candidate,
+	// canonically sorted.
+	Disable []string `json:"disable,omitempty"`
+	// Extra binds swept source parameters (e.g. a BLOCK(B) block size).
+	Extra map[string]int `json:"extra,omitempty"`
+}
+
+// Key is the canonical identity of the candidate: the tuner's final
+// tie-break and the label used throughout the report trail.
+func (c Candidate) Key() string {
+	var b strings.Builder
+	b.WriteString(c.Scheme)
+	if c.Scheme == SchemeBlock {
+		fmt.Fprintf(&b, " %dx%d g%d", c.P1, c.P2, c.Grain)
+		if len(c.Disable) > 0 {
+			b.WriteString(" -")
+			b.WriteString(strings.Join(c.Disable, " -"))
+		}
+	}
+	for _, k := range sortedKeys(c.Extra) {
+		fmt.Fprintf(&b, " %s=%d", k, c.Extra[k])
+	}
+	return b.String()
+}
+
+// options builds the pass-pipeline option set the candidate encodes.
+func (c Candidate) options() passes.Options {
+	o := passes.DefaultOptions()
+	if c.Grain > 0 {
+		o.PipelineGrain = c.Grain
+	}
+	o.Disable = append([]string{}, c.Disable...)
+	return o
+}
+
+// params merges the spec's base parameters with the candidate's grid
+// shape and swept values.
+func (c Candidate) params(s *Spec) map[string]int {
+	p := map[string]int{}
+	for k, v := range s.Params {
+		p[k] = v
+	}
+	for k, v := range c.Extra {
+		p[k] = v
+	}
+	if c.Scheme == SchemeBlock && s.GridParams[0] != "" {
+		p[s.GridParams[0]] = c.P1
+		p[s.GridParams[1]] = c.P2
+	}
+	return p
+}
+
+// enumerate produces the candidate list in a fixed, deterministic order:
+// grids × grains × ablations × sweep combinations, then the transpose
+// comparison point (bench mode).
+func enumerate(s *Spec) []Candidate {
+	var out []Candidate
+	sweeps := sweepCombos(s.Sweep)
+	for _, grid := range s.Grids {
+		for _, g := range s.Grains {
+			for _, abl := range s.Ablations {
+				for _, ex := range sweeps {
+					out = append(out, Candidate{
+						Scheme:  SchemeBlock,
+						P1:      grid[0],
+						P2:      grid[1],
+						Grain:   g,
+						Disable: canonDisable(abl),
+						Extra:   ex,
+					})
+				}
+			}
+		}
+	}
+	if s.Bench != "" && !s.NoTranspose {
+		out = append(out, Candidate{Scheme: SchemeTranspose})
+	}
+	return out
+}
+
+// allGrids lists every ordered factorization p1×p2 = procs.
+func allGrids(procs int) [][2]int {
+	var out [][2]int
+	for p1 := 1; p1 <= procs; p1++ {
+		if procs%p1 == 0 {
+			out = append(out, [2]int{p1, procs / p1})
+		}
+	}
+	return out
+}
+
+// sweepCombos expands a param→values map into the cartesian product of
+// bindings, iterating keys in sorted order so the expansion is
+// deterministic.  An empty sweep yields the single nil binding.
+func sweepCombos(sweep map[string][]int) []map[string]int {
+	if len(sweep) == 0 {
+		return []map[string]int{nil}
+	}
+	keys := make([]string, 0, len(sweep))
+	for k := range sweep {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	combos := []map[string]int{{}}
+	for _, k := range keys {
+		var next []map[string]int
+		for _, base := range combos {
+			for _, v := range sweep[k] {
+				m := map[string]int{}
+				for bk, bv := range base {
+					m[bk] = bv
+				}
+				m[k] = v
+				next = append(next, m)
+			}
+		}
+		combos = next
+	}
+	return combos
+}
+
+func canonDisable(names []string) []string {
+	if len(names) == 0 {
+		return nil
+	}
+	out := append([]string{}, names...)
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// minFeasibleBlock is the smallest per-rank block extent the compiled
+// executor's pipelined sweep schedule handles: below 3 points a
+// distributed dimension has no interior strip between its halos and the
+// wavefront exchange deadlocks, so the tuner refuses such grids up
+// front rather than relying on the wall-clock safety valve.
+const minFeasibleBlock = 3
+
+// feasible reports whether the candidate can run at all, with the
+// reason when it cannot.  Block-shape checks need the problem size, so
+// they only apply in bench mode (generic sources fall back to the
+// evaluation wall limit).
+func (s *Spec) feasible(c Candidate) (bool, string) {
+	switch c.Scheme {
+	case SchemeTranspose:
+		if s.Procs > s.N {
+			return false, fmt.Sprintf("transpose needs procs ≤ n (%d > %d)", s.Procs, s.N)
+		}
+	case SchemeBlock:
+		if c.P1 < 1 || c.P2 < 1 || c.P1*c.P2 != s.Procs {
+			return false, fmt.Sprintf("grid %dx%d does not tile %d procs", c.P1, c.P2, s.Procs)
+		}
+		if s.N > 0 {
+			for _, p := range []int{c.P1, c.P2} {
+				if p > 1 && hpf.DefaultBlockSize(s.N, p) < minFeasibleBlock {
+					return false, fmt.Sprintf("block %d < %d points over %d procs (n=%d)",
+						hpf.DefaultBlockSize(s.N, p), minFeasibleBlock, p, s.N)
+				}
+			}
+		}
+	}
+	return true, ""
+}
+
+// ablationPriors multiply the analytic screen's prediction when a pass
+// is disabled: coarse cost factors distilled from the paper's measured
+// optimization contributions (§4–§7).  They only order candidates for
+// the screen — the full tier measures the real cost of any ablated
+// survivor.
+var ablationPriors = map[string]float64{
+	passes.PassNewProp:      1.35,
+	passes.PassLocalize:     1.20,
+	passes.PassInterproc:    1.05,
+	passes.PassLoopDist:     1.10,
+	passes.PassAvailability: 1.25,
+	passes.PassWritebackRed: 1.05,
+}
+
+func ablationFactor(disable []string) float64 {
+	f := 1.0
+	for _, d := range disable {
+		if p, ok := ablationPriors[d]; ok {
+			f *= p
+		} else {
+			f *= 1.15 // unknown pass: assume it mattered
+		}
+	}
+	return f
+}
+
+// modelPredict scores a candidate analytically at problem size n×steps.
+// Only meaningful in bench mode.
+func modelPredict(s *Spec, c Candidate, n, steps int) (float64, error) {
+	in := perfmodel.Input{
+		Bench: s.Bench, N: n, Steps: steps, Procs: s.Procs, Cfg: s.Machine,
+		PipelineGrain: c.Grain, P1: c.P1, P2: c.P2,
+	}
+	if c.Scheme == SchemeTranspose {
+		return perfmodel.PredictTranspose(in)
+	}
+	t, err := perfmodel.PredictDHPF(in)
+	if err != nil {
+		return 0, err
+	}
+	return t * ablationFactor(c.Disable), nil
+}

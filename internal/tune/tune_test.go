@@ -1,0 +1,285 @@
+package tune
+
+import (
+	"context"
+	"testing"
+
+	"dhpf/internal/nas"
+)
+
+func specSP(procs, n, steps int) Spec {
+	return Spec{
+		Source: nas.SPSource(n, steps, 1, procs),
+		Bench:  "sp",
+		N:      n,
+		Steps:  steps,
+		Procs:  procs,
+	}
+}
+
+func leaderboard(t *testing.T, res *Result) []string {
+	t.Helper()
+	rows := make([]string, 0, len(res.Entries))
+	for _, e := range res.Entries {
+		rows = append(rows, e.Key()+" "+e.Status)
+	}
+	return rows
+}
+
+// The acceptance property: a fixed spec produces an identical ranked
+// leaderboard on repeated runs — on a warm tuner (memo hits) and on a
+// cold one.
+func TestTuneDeterministicLeaderboard(t *testing.T) {
+	s := specSP(4, 12, 1)
+	s.Grains = []int{4, 8}
+	s.TopK = 3
+	s.Workers = 2
+
+	tu := New()
+	first, err := tu.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := tu.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := New().Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, res := range map[string]*Result{"warm": warm, "cold": cold} {
+		if got, want := leaderboard(t, res), leaderboard(t, first); !equalStrings(got, want) {
+			t.Errorf("%s leaderboard differs:\n got %v\nwant %v", name, got, want)
+		}
+		for i := range res.Entries {
+			a, b := res.Entries[i], first.Entries[i]
+			if a.Screen != b.Screen || a.Sim != b.Sim || a.Rank != b.Rank {
+				t.Errorf("%s entry %d differs: %+v vs %+v", name, i, a, b)
+			}
+		}
+	}
+	if warm.Counters.MemoHits == 0 {
+		t.Errorf("second run on the same tuner hit no memoized evaluations: %+v", warm.Counters)
+	}
+	if first.Counters.MemoHits != 0 {
+		t.Errorf("first run should miss the memo cache: %+v", first.Counters)
+	}
+	if first.Winner == nil || !first.Winner.Verified {
+		t.Fatalf("winner missing or unverified: %+v", first.Winner)
+	}
+	if first.Winner.ModelRatio <= 0 {
+		t.Errorf("winner carries no model calibration ratio: %+v", first.Winner)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The paper's Table 8.1 ordering: at 16 processors and Class A scale,
+// the compiled 2-D BLOCK code beats the PGI-style 1-D transpose code.
+// The tuner simulates at a tractable source size (18³) but ranks by the
+// analytic prediction at the target size (64³), so it must rediscover
+// that ordering — and refuse the degenerate 1×16/16×1 grids whose
+// 2-point blocks the executor cannot pipeline.
+func TestTuneSPRediscoversTable81At16Ranks(t *testing.T) {
+	s := specSP(16, 18, 1)
+	s.TargetN = 64
+	s.Grains = []int{8}
+	s.TopK = 4 // three feasible grids + the transpose comparison point
+
+	res, err := New().Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Winner
+	if w == nil || w.Scheme != SchemeBlock {
+		t.Fatalf("winner should be a 2-D block configuration, got %+v", w)
+	}
+	if !w.Verified {
+		t.Errorf("winner not verified against the serial reference: %+v", w)
+	}
+	var transpose *Entry
+	infeasible := map[string]bool{}
+	for i := range res.Entries {
+		e := &res.Entries[i]
+		if e.Scheme == SchemeTranspose {
+			transpose = e
+		}
+		if e.Status == StatusInfeasible {
+			infeasible[e.Key()] = true
+		}
+	}
+	if transpose == nil {
+		t.Fatal("no transpose candidate in the leaderboard")
+	}
+	if transpose.Status != StatusOK {
+		t.Fatalf("transpose candidate was not fully evaluated: %+v", transpose)
+	}
+	if transpose.Rank <= w.Rank {
+		t.Errorf("transpose (rank %d) should rank below the block winner (rank %d)", transpose.Rank, w.Rank)
+	}
+	if transpose.Screen <= w.Screen {
+		t.Errorf("predicted cost should favor 2-D block at 64³: block %.4g vs transpose %.4g", w.Screen, transpose.Screen)
+	}
+	for _, key := range []string{"block 1x16 g8", "block 16x1 g8"} {
+		if !infeasible[key] {
+			t.Errorf("degenerate grid %q should be infeasible; entries: %v", key, leaderboard(t, res))
+		}
+	}
+}
+
+// With a sub-1 prune factor and single-worker waves, every survivor
+// after the first must beat the incumbent by a wide margin or be
+// abandoned — and the abandonment must reproduce identically on a rerun
+// even though pruned evaluations are never cached.
+func TestTunePruningDeterministic(t *testing.T) {
+	s := specSP(4, 12, 1)
+	s.Grains = []int{8}
+	s.TopK = 3
+	s.Workers = 1
+	s.PruneFactor = 0.05 // only a 20× speedup over the incumbent survives
+
+	tu := New()
+	first, err := tu.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Counters.Pruned != 2 {
+		t.Fatalf("want the two later waves pruned, got %+v\n%v", first.Counters, first.Trail)
+	}
+	if first.Winner == nil {
+		t.Fatal("pruning must still leave the wave-1 winner")
+	}
+	again, err := tu.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := leaderboard(t, again), leaderboard(t, first); !equalStrings(got, want) {
+		t.Errorf("pruned leaderboard not reproducible:\n got %v\nwant %v", got, want)
+	}
+	if again.Counters.Pruned != first.Counters.Pruned {
+		t.Errorf("prune counts differ across runs: %d vs %d", again.Counters.Pruned, first.Counters.Pruned)
+	}
+}
+
+const genericSrc = `
+program relax
+param N = 24
+param P1 = 1
+param P2 = 4
+
+!hpf$ processors procs(P1, P2)
+!hpf$ template tm(N, N)
+!hpf$ align a with tm(d0, d1)
+!hpf$ align b with tm(d0, d1)
+!hpf$ distribute tm(BLOCK, BLOCK) onto procs
+
+subroutine main()
+  real a(0:N-1, 0:N-1)
+  real b(0:N-1, 0:N-1)
+  do j = 0, N-1
+    do i = 0, N-1
+      a(i,j) = 1.0 + 0.01*i + 0.02*j
+      b(i,j) = 0.0
+    enddo
+  enddo
+  do t = 1, 3
+    do j = 1, N-2
+      do i = 1, N-2
+        b(i,j) = 0.25*(a(i-1,j) + a(i+1,j) + a(i,j-1) + a(i,j+1))
+      enddo
+    enddo
+    do j = 1, N-2
+      do i = 1, N-2
+        a(i,j) = b(i,j)
+      enddo
+    enddo
+  enddo
+end
+`
+
+// A source outside the benchmark family has no analytic model: every
+// screen score is zero and the full tier ranks by measured simulation,
+// verifying every main array against the serial reference.
+func TestTuneGenericSource(t *testing.T) {
+	s := Spec{
+		Source: genericSrc,
+		Procs:  4,
+		Grains: []int{8},
+		TopK:   8,
+	}
+	res, err := New().Run(context.Background(), s)
+	if err != nil {
+		t.Fatalf("%v\ntrail: %v", err, res.Trail)
+	}
+	if res.Winner == nil || !res.Winner.Verified {
+		t.Fatalf("winner missing or unverified: %+v", res.Winner)
+	}
+	if res.Winner.ComparedArrays < 2 {
+		t.Errorf("generic mode should verify every main array, compared %d", res.Winner.ComparedArrays)
+	}
+	var lastSim float64
+	for _, e := range res.Entries {
+		if e.Status != StatusOK {
+			continue
+		}
+		if e.Screen != 0 {
+			t.Errorf("generic candidates must have zero screen score: %+v", e)
+		}
+		if e.Sim < lastSim {
+			t.Errorf("ok entries not sorted by simulated time: %v", leaderboard(t, res))
+		}
+		lastSim = e.Sim
+	}
+}
+
+// The economics of the two-level protocol: screening the whole space
+// must cost at least an order of magnitude less than the full tier.
+func TestScreenAtLeastTenTimesCheaperThanFull(t *testing.T) {
+	s := specSP(4, 12, 1)
+	s.Grains = []int{8}
+	s.TopK = 1
+	res, err := New().Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.FullWall < 10*res.Counters.ScreenWall {
+		t.Errorf("screen tier (%v) not ≥10× cheaper than full tier (%v)",
+			res.Counters.ScreenWall, res.Counters.FullWall)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []Spec{
+		{},                                   // no source
+		{Source: "x", Procs: 0},              // no procs
+		{Source: "x", Procs: 4, Bench: "lu"}, // unknown bench
+		{Source: "x", Procs: 4, Bench: "sp"}, // bench without size
+	}
+	for i, s := range cases {
+		if _, err := New().Run(context.Background(), s); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+// Cancelling the context mid-search surfaces the context error.
+func TestTuneCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := specSP(4, 12, 1)
+	if _, err := New().Run(ctx, s); err == nil {
+		t.Error("cancelled tune returned no error")
+	}
+}
