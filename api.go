@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dhpf/internal/cp"
+	"dhpf/internal/verify"
 )
 
 // This file defines the wire types of the dhpfd compile service's
@@ -326,6 +327,69 @@ type TuneResult struct {
 	Entries  []TuneEntry  `json:"entries"`
 	Counters TuneCounters `json:"counters"`
 	Trail    []string     `json:"trail"`
+}
+
+// VerifyDiagnostic is one translation-validation finding on the wire:
+// which theorem (check), how severe, where in the program, and why.
+type VerifyDiagnostic struct {
+	Check    string `json:"check"`
+	Severity string `json:"severity"`
+	Proc     string `json:"proc"`
+	Stmt     int    `json:"stmt"` // statement ID; -1 when not statement-scoped
+	Ref      string `json:"ref,omitempty"`
+	Set      string `json:"set,omitempty"` // rendered integer-set witness
+	Why      string `json:"why"`
+}
+
+// VerifyReport is the wire form of one verification run's outcome,
+// shared by Program.Verify and /v1/verify.  Clean means no
+// error-severity diagnostic; Text is the human rendering (what
+// cmd/dhpfc -lint prints).
+type VerifyReport struct {
+	Clean       bool               `json:"clean"`
+	Summary     string             `json:"summary"`
+	Errors      int                `json:"errors"`
+	Warnings    int                `json:"warnings"`
+	Infos       int                `json:"infos"`
+	Stmts       int                `json:"stmts"`
+	Events      int                `json:"events"`
+	Ranks       int                `json:"ranks"`
+	Diagnostics []VerifyDiagnostic `json:"diagnostics,omitempty"`
+	Text        string             `json:"text"`
+}
+
+// VerifyReportJSON converts a verifier report to its wire form.
+func VerifyReportJSON(rep *verify.Report) VerifyReport {
+	e, w, i := rep.Counts()
+	out := VerifyReport{
+		Clean: rep.Clean(), Summary: rep.Summary(),
+		Errors: e, Warnings: w, Infos: i,
+		Stmts: rep.Stmts, Events: rep.Events, Ranks: rep.Ranks,
+		Text: rep.String(),
+	}
+	for _, d := range rep.Diagnostics {
+		out.Diagnostics = append(out.Diagnostics, VerifyDiagnostic{
+			Check: d.Check, Severity: string(d.Severity), Proc: d.Proc,
+			Stmt: d.Stmt, Ref: d.Ref, Set: d.Set, Why: d.Why,
+		})
+	}
+	return out
+}
+
+// VerifyRequest asks the service to compile (through the program cache)
+// and verify mini-HPF source.  The verifier always re-proves the safety
+// theorems even when the compile itself was cached.
+type VerifyRequest struct {
+	Source  string          `json:"source"`
+	Params  map[string]int  `json:"params,omitempty"`
+	Options *RequestOptions `json:"options,omitempty"`
+}
+
+// VerifyResponse is /v1/verify's result.
+type VerifyResponse struct {
+	Fingerprint string `json:"fingerprint"`
+	VerifyReport
+	Cached bool `json:"cached"`
 }
 
 // CacheStats is the program cache's counter snapshot.

@@ -102,6 +102,18 @@ func (c *Client) Run(ctx context.Context, req RunRequest) (*RunResponse, error) 
 	return &resp, nil
 }
 
+// Verify compiles (through the service's program cache, with the
+// in-pipeline verify pass disabled) and returns the translation
+// validator's report.  Unlike a plain Compile — which fails outright on
+// an unsafe program — the response carries the full diagnostic list.
+func (c *Client) Verify(ctx context.Context, req VerifyRequest) (*VerifyResponse, error) {
+	var resp VerifyResponse
+	if err := c.post(ctx, "/v1/verify", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Tune runs an auto-tuning search on the service (see Tuner.Tune); the
 // server bounds the search's parallelism by its own worker pool.
 func (c *Client) Tune(ctx context.Context, req TuneRequest) (*TuneResult, error) {

@@ -23,6 +23,15 @@
 //	-disable LIST    drop optional passes by name (comma-separated)
 //	-explain         print the per-pass table: wall time, communication
 //	                 volume after each pass (with deltas), and decisions
+//	-lint            run the translation validator and print its
+//	                 diagnostics instead of the compile report; exit 1
+//	                 when the program fails a safety obligation
+//	-json            with -lint: print the report as JSON
+//
+// A default compile already hard-fails when the verifier finds an error;
+// -lint exists to *see* the diagnostics (including the INFO-level
+// availability/redundancy re-proofs and privatization bail-outs) rather
+// than just the first failure.
 package main
 
 import (
@@ -79,6 +88,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	disable := fs.String("disable", "", "comma-separated optional passes to drop "+
 		fmt.Sprintf("(%s)", strings.Join(passes.OptionalPassNames(), ",")))
 	explain := fs.Bool("explain", false, "print the per-pass instrumentation table")
+	lint := fs.Bool("lint", false, "print verifier diagnostics; exit 1 on safety errors")
+	asJSON := fs.Bool("json", false, "with -lint: print the verification report as JSON")
 	fs.Var(params, "param", "override a program parameter NAME=VALUE")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -117,10 +128,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	if *lint {
+		// Drop the in-pipeline verify pass so an unsafe program still
+		// compiles; the explicit Verify call below turns its failures
+		// into printed diagnostics instead of a compile error.
+		opt.Disable = append(opt.Disable, passes.PassVerify)
+	}
+
 	prog, err := spmd.CompileSource(string(src), params, opt)
 	if err != nil {
 		fmt.Fprintln(stderr, "dhpfc:", err)
 		return 1
+	}
+
+	if *lint {
+		rep, err := prog.Verify()
+		if err != nil {
+			fmt.Fprintln(stderr, "dhpfc:", err)
+			return 1
+		}
+		if *asJSON {
+			fmt.Fprintln(stdout, rep.JSON())
+		} else {
+			fmt.Fprint(stdout, rep.String())
+		}
+		if !rep.Clean() {
+			return 1
+		}
+		return 0
 	}
 	fmt.Fprint(stdout, prog.Report())
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
@@ -77,5 +78,36 @@ func TestBadUsage(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "unknown pass") {
 		t.Errorf("bad -disable stderr = %q, want mention of unknown pass", errb.String())
+	}
+}
+
+// TestLint: -lint prints the verifier's report (clean for the shipped
+// corpus, with the INFO re-proofs visible) and -json switches to the
+// structured form.
+func TestLint(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-lint", "../../testdata/ysolve.hpf"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "verify: clean") {
+		t.Errorf("missing verdict in lint output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "INFO [comm]") {
+		t.Errorf("lint output hides the availability re-proof:\n%s", out.String())
+	}
+
+	var jout bytes.Buffer
+	if code := run([]string{"-lint", "-json", "../../testdata/ysolve.hpf"}, &jout, &errb); code != 0 {
+		t.Fatalf("-json exit %d, stderr: %s", code, errb.String())
+	}
+	var rep struct {
+		Diagnostics []map[string]any `json:"diagnostics"`
+		Stmts       int              `json:"stmts"`
+	}
+	if err := json.Unmarshal(jout.Bytes(), &rep); err != nil {
+		t.Fatalf("-json output not JSON: %v\n%s", err, jout.String())
+	}
+	if rep.Stmts == 0 || len(rep.Diagnostics) == 0 {
+		t.Errorf("JSON report empty: %s", jout.String())
 	}
 }

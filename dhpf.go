@@ -55,8 +55,8 @@ func DefaultOptions() Options { return spmd.DefaultOptions() }
 type PassStat = passes.Stat
 
 // Canonical pass names, in pipeline order.  The optional ones
-// (PassNewProp through PassLoopDist, PassAvailability, PassWritebackRed)
-// may be listed in Options.Disable to ablate that stage.
+// (PassNewProp through PassLoopDist, PassAvailability, PassWritebackRed,
+// PassVerify) may be listed in Options.Disable to ablate that stage.
 const (
 	PassParse        = passes.PassParse
 	PassBind         = passes.PassBind
@@ -71,6 +71,7 @@ const (
 	PassAvailability = passes.PassAvailability
 	PassWritebackRed = passes.PassWritebackRed
 	PassLower        = passes.PassLower
+	PassVerify       = passes.PassVerify
 )
 
 // PassNames lists every pass of the full pipeline, in order.
@@ -138,6 +139,22 @@ func (p *Program) NodeProgram(rank int) string { return p.inner.EmitNodeProgram(
 // summaries are always collected; communication volumes only when the
 // program was compiled with Options.Instrument.
 func (p *Program) PassStats() []PassStat { return p.inner.PassStats() }
+
+// Verify re-runs the translation validator — the four safety theorems
+// of the verify pass (iteration coverage, communication completeness,
+// write-back soundness, pipeline legality) plus the privatization
+// linter's surfaced bail-outs — over the compiled program's analyses and
+// returns the wire-form report.  A default compile already fails when
+// the proof does; callers that disabled the in-pipeline pass
+// (Options.Disable PassVerify) use this to obtain the diagnostics
+// instead — the -lint workflow.
+func (p *Program) Verify() (VerifyReport, error) {
+	rep, err := p.inner.Verify()
+	if err != nil {
+		return VerifyReport{}, err
+	}
+	return VerifyReportJSON(rep), nil
+}
 
 // Run executes the program on the simulated machine.
 func (p *Program) Run(cfg MachineConfig) (*Result, error) {

@@ -19,6 +19,7 @@ func TestRun(t *testing.T) {
 		"owner-computes",
 		"availability=true",
 		"availability=false",
+		"verify: clean",
 	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q", want)

@@ -384,11 +384,17 @@ func selectLoopBase(ctx *Context, proc *ir.Procedure, loop *ir.Loop, sel *Select
 		r := find(i)
 		groupOf[r] = append(groupOf[r], i)
 	}
-	var groups []cpGroup
-	for r, members := range groupOf {
-		groups = append(groups, cpGroup{members: members, choices: groupChoices[r]})
+	roots := make([]int, 0, len(groupOf))
+	for r := range groupOf {
+		roots = append(roots, r)
 	}
-	// Deterministic order (map iteration is random).
+	sort.Ints(roots)
+	groups := make([]cpGroup, 0, len(roots))
+	for _, r := range roots {
+		groups = append(groups, cpGroup{members: groupOf[r], choices: groupChoices[r]})
+	}
+	// Search order is by first member, not by root (a group's root need
+	// not be its smallest member).
 	sort.Slice(groups, func(i, j int) bool { return groups[i].members[0] < groups[j].members[0] })
 
 	// Combination search over group choices, minimizing estimated comm.

@@ -25,6 +25,39 @@ import (
 // in a later inner iteration can slip through), matching dHPF's
 // treatment of NEW as a user-supplied assertion.
 func ValidateNew(l *ir.Loop, name string, bind map[string]int) error {
+	for _, b := range NewBailouts(l, name, bind) {
+		return fmt.Errorf("dep: NEW(%s) on loop %s: read %s in statement %d reads %v, only %v written earlier in the iteration",
+			name, l.Var, b.Ref, b.Stmt, b.Read, b.Written)
+	}
+	return nil
+}
+
+// Bailout is one reason the privatization linter could not validate the
+// definition-before-use requirement for a NEW/LOCALIZE variable: a read
+// whose element set is not covered by textually earlier writes within one
+// sampled iteration of the privatizing loop.
+type Bailout struct {
+	Loop    string   // privatizing loop variable
+	Var     string   // the NEW/LOCALIZE variable
+	Stmt    int      // statement containing the offending read
+	Ref     string   // rendered reference
+	Sample  int      // the sampled value of the privatizing loop index
+	Read    iset.Set // elements read
+	Written iset.Set // elements covered by earlier writes
+}
+
+// Why renders the bail-out reason as one sentence.
+func (b Bailout) Why() string {
+	return fmt.Sprintf("read %s in stmt %d (at %s=%d) reads %v but only %v is written earlier in the iteration",
+		b.Ref, b.Stmt, b.Loop, b.Sample, b.Read, b.Written)
+}
+
+// NewBailouts runs ValidateNew's set-based def-before-use check and
+// returns every violation as a structured bail-out instead of stopping at
+// the first.  An empty result means the directive validated.  Duplicate
+// violations of one read site across index samples are reported once (the
+// first sample that exposes them).
+func NewBailouts(l *ir.Loop, name string, bind map[string]int) []Bailout {
 	type site struct {
 		ref   *ir.ArrayRef
 		nest  []*ir.Loop
@@ -67,10 +100,12 @@ func ValidateNew(l *ir.Loop, name string, bind map[string]int) error {
 	}
 	samples := []int{lo, (lo + hi) / 2, hi}
 
+	var out []Bailout
+	seen := map[[2]int]bool{} // (stmt, order) already reported
 	for _, ival := range samples {
 		env := map[string]int{l.Var: ival}
 		for _, rd := range sites {
-			if rd.write {
+			if rd.write || seen[[2]int{rd.id, rd.order}] {
 				continue
 			}
 			readSet := refElemSet(rd.ref, rd.nest, env, bind)
@@ -88,12 +123,15 @@ func ValidateNew(l *ir.Loop, name string, bind map[string]int) error {
 				}
 			}
 			if !readSet.SubsetOf(written) {
-				return fmt.Errorf("dep: NEW(%s) on loop %s: read %v in statement %d reads %v, only %v written earlier in the iteration",
-					name, l.Var, rd.ref, rd.id, readSet, written)
+				seen[[2]int{rd.id, rd.order}] = true
+				out = append(out, Bailout{
+					Loop: l.Var, Var: name, Stmt: rd.id, Ref: rd.ref.String(),
+					Sample: ival, Read: readSet, Written: written,
+				})
 			}
 		}
 	}
-	return nil
+	return out
 }
 
 // refElemSet computes the set of elements a reference touches across the

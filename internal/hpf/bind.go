@@ -40,6 +40,10 @@ func Bind(prog *ir.Program, params map[string]int) (*Binding, error) {
 		shape := make([]int, len(pd.Extents))
 		for k, e := range pd.Extents {
 			shape[k] = e.Eval(bind)
+			if shape[k] <= 0 {
+				return nil, fmt.Errorf("hpf: PROCESSORS %s dimension %d has non-positive extent %d",
+					pd.Name, k, shape[k])
+			}
 		}
 		out.Grids[pd.Name] = NewGrid(pd.Name, shape...)
 	}

@@ -20,6 +20,7 @@ import (
 	"dhpf/internal/hpf"
 	"dhpf/internal/ir"
 	"dhpf/internal/parser"
+	"dhpf/internal/verify"
 )
 
 // Canonical pass names, in pipeline order.
@@ -37,6 +38,7 @@ const (
 	PassAvailability = "availability"
 	PassWritebackRed = "wbelim"
 	PassLower        = "lower"
+	PassVerify       = "verify"
 )
 
 // Options bundles the optimization switches of the whole pipeline.
@@ -50,8 +52,8 @@ type Options struct {
 
 	// Disable lists optimization passes excluded from the pipeline by
 	// name (PassNewProp, PassLocalize, PassInterproc, PassLoopDist,
-	// PassAvailability, PassWritebackRed).  Core passes cannot be
-	// disabled; unknown names are reported by BuildPipeline.
+	// PassAvailability, PassWritebackRed, PassVerify).  Core passes
+	// cannot be disabled; unknown names are reported by BuildPipeline.
 	Disable []string
 
 	// Instrument turns on the per-pass communication-volume probe: after
@@ -105,6 +107,9 @@ type CompileContext struct {
 	Sel        *cp.Selection
 	Comm       map[string]*comm.Analysis
 	Reductions map[string][]ReductionPlan
+	// Verify holds the translation-validation report of the verify pass
+	// (nil when the pass is disabled).
+	Verify *verify.Report
 
 	Stats []Stat
 }
@@ -249,6 +254,7 @@ func allPasses() []Pass {
 		{Name: PassAvailability, Run: runAvailability, Check: checkElimReasons, Optional: true},
 		{Name: PassWritebackRed, Run: runWritebackRed, Check: checkElimReasons, Optional: true},
 		{Name: PassLower, Run: runLower, Check: checkLower},
+		{Name: PassVerify, Run: runVerify, Check: checkVerify, Optional: true},
 	}
 }
 
@@ -569,6 +575,10 @@ func summarize(name string, cc *CompileContext) string {
 		return fmt.Sprintf("%d events eliminated", eliminatedCount(cc))
 	case PassLower:
 		return "SPMD artifacts validated"
+	case PassVerify:
+		if cc.Verify != nil {
+			return cc.Verify.Summary()
+		}
 	}
 	return ""
 }

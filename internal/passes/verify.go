@@ -1,0 +1,53 @@
+package passes
+
+import (
+	"fmt"
+
+	"dhpf/internal/verify"
+)
+
+// runVerify executes the translation-validation pass: the verify package
+// independently re-proves the four safety theorems (coverage,
+// communication completeness, writeback soundness, pipeline legality)
+// over the analyses the pipeline just produced, and the report is stored
+// on the context.  The pass is optional (Options.Disable "verify") but on
+// by default — a pipeline bug should fail the compile, not the run.
+func runVerify(cc *CompileContext) error {
+	reductions := map[int]bool{}
+	for _, plans := range cc.Reductions {
+		for _, r := range plans {
+			reductions[r.Stmt.ID] = true
+		}
+	}
+	rep, err := verify.Run(verify.Input{
+		IR: cc.IR, Ctx: cc.Ctx, Sel: cc.Sel, Comm: cc.Comm,
+		Reductions: reductions,
+	})
+	if err != nil {
+		return err
+	}
+	cc.Verify = rep
+	return nil
+}
+
+// checkVerify is the pass invariant: a program that fails its own safety
+// proof must not compile.  The first error diagnostics are inlined so the
+// failure localizes the broken pass without re-running anything.
+func checkVerify(cc *CompileContext) error {
+	if cc.Verify == nil {
+		return fmt.Errorf("no verification report produced")
+	}
+	errs := cc.Verify.Errors()
+	if len(errs) == 0 {
+		return nil
+	}
+	msg := fmt.Sprintf("program fails %d safety obligations", len(errs))
+	for i, d := range errs {
+		if i == 3 {
+			msg += fmt.Sprintf("; … %d more", len(errs)-i)
+			break
+		}
+		msg += "; " + d.String()
+	}
+	return fmt.Errorf("%s", msg)
+}

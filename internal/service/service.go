@@ -14,6 +14,7 @@
 //	POST /v1/compile  report + per-rank node programs + pass stats
 //	POST /v1/explain  the cmd/dhpfc -explain table
 //	POST /v1/run      execute on a named machine ("sp2" or "sp2:N")
+//	POST /v1/verify   translation-validation report (the -lint surface)
 //	POST /v1/tune     auto-tune distributions/granularity/ablations
 //	GET  /v1/stats    cache + request counters
 //	GET  /healthz     liveness
@@ -95,8 +96,9 @@ type program struct {
 	prog   *dhpf.Program
 	report string
 
-	mu    sync.Mutex
-	nodes map[int]string
+	mu        sync.Mutex
+	nodes     map[int]string
+	verifyRep *dhpf.VerifyReport
 }
 
 func newProgram(p *dhpf.Program) *program {
@@ -112,6 +114,23 @@ func (e *program) nodeProgram(rank int) string {
 	s := e.prog.NodeProgram(rank)
 	e.nodes[rank] = s
 	return s
+}
+
+// verify memoizes the translation-validation report: the proof is pure
+// over the compiled analyses, so repeated /v1/verify requests on one
+// fingerprint pay the set algebra once.
+func (e *program) verify() (*dhpf.VerifyReport, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.verifyRep != nil {
+		return e.verifyRep, nil
+	}
+	rep, err := e.prog.Verify()
+	if err != nil {
+		return nil, err
+	}
+	e.verifyRep = &rep
+	return e.verifyRep, nil
 }
 
 // Server is one compile service instance.
@@ -154,6 +173,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("POST /v1/tune", s.handleTune)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -376,6 +396,37 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.ok(w, resp)
+}
+
+// handleVerify compiles (through the cache) and returns the translation
+// validator's report.  The in-pipeline verify pass is disabled for this
+// compile — a default compile hard-fails on safety errors, but the lint
+// surface exists to *return* the diagnostics, so an unsafe program must
+// still reach the verifier.  The report is memoized on the cache entry.
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req dhpf.VerifyRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	opt, err := req.Options.Resolve()
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	opt.Disable = append(opt.Disable, dhpf.PassVerify)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	key, ent, cached, err := s.compile(ctx, req.Source, req.Params, opt)
+	if err != nil {
+		s.failCompile(w, err)
+		return
+	}
+	rep, err := ent.verify()
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.ok(w, dhpf.VerifyResponse{Fingerprint: key, VerifyReport: *rep, Cached: cached})
 }
 
 // handleTune runs an auto-tuning search inside one worker slot: the

@@ -446,3 +446,48 @@ func TestParseMachine(t *testing.T) {
 		}
 	}
 }
+
+// TestVerifyEndpoint: /v1/verify returns the translation validator's
+// verdict through the program cache, memoizing the report on the entry.
+// Its compile is keyed apart from a default compile (the in-pipeline
+// verify pass is disabled so unsafe programs still yield diagnostics).
+func TestVerifyEndpoint(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	req := dhpf.VerifyRequest{Source: tinySrc}
+
+	cold, err := client.Verify(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cold.Clean || cold.Errors != 0 {
+		t.Fatalf("tiny program not clean:\n%s", cold.Text)
+	}
+	if cold.Stmts == 0 || cold.Ranks != 4 {
+		t.Errorf("report missing coverage counters: %+v", cold.VerifyReport)
+	}
+	if !strings.Contains(cold.Summary, "verify: clean") {
+		t.Errorf("summary = %q", cold.Summary)
+	}
+	if cold.Cached {
+		t.Error("first verify reported cached")
+	}
+
+	warm, err := client.Verify(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Error("second verify not served from cache")
+	}
+	if warm.Text != cold.Text || warm.Fingerprint != cold.Fingerprint {
+		t.Error("warm verify differs from cold")
+	}
+
+	comp, err := client.Compile(context.Background(), dhpf.CompileRequest{Source: tinySrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Fingerprint == cold.Fingerprint {
+		t.Error("verify compile shares the default compile's cache key")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"dhpf/internal/hpf"
 	"dhpf/internal/ir"
 	"dhpf/internal/passes"
+	"dhpf/internal/verify"
 )
 
 // Options bundles the optimization switches of the whole pipeline.  It
@@ -85,6 +86,24 @@ func compilePipeline(ctx context.Context, cc *passes.CompileContext) (*Program, 
 // PassStats returns the per-pass instrumentation of the compilation:
 // one record per executed pass, in pipeline order.
 func (p *Program) PassStats() []passes.Stat { return p.Stats }
+
+// Verify re-runs the translation validator over the program's analyses
+// and returns the fresh report.  It always recomputes (never returns the
+// report cached by the in-pipeline verify pass), so callers that mutate
+// the analyses — the tuner's corruption tests, external tooling — get an
+// honest verdict.
+func (p *Program) Verify() (*verify.Report, error) {
+	reductions := map[int]bool{}
+	for _, plans := range p.Reductions {
+		for _, r := range plans {
+			reductions[r.Stmt.ID] = true
+		}
+	}
+	return verify.Run(verify.Input{
+		IR: p.IR, Ctx: p.Ctx, Sel: p.Sel, Comm: p.Comm,
+		Reductions: reductions,
+	})
+}
 
 // Report renders the compilation decisions (CPs, communication events,
 // notes) as text — what cmd/dhpfc prints.

@@ -211,11 +211,18 @@ func PhaseBreakdown(res *mpsim.Result) []PhaseTime {
 			acc[e.Label] += e.End - e.Start
 		}
 	}
-	out := make([]PhaseTime, 0, len(acc))
-	for l, t := range acc {
-		out = append(out, PhaseTime{Label: l, Seconds: t})
+	labels := make([]string, 0, len(acc))
+	for l := range acc {
+		labels = append(labels, l)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Seconds > out[j].Seconds })
+	sort.Strings(labels)
+	out := make([]PhaseTime, 0, len(labels))
+	for _, l := range labels {
+		out = append(out, PhaseTime{Label: l, Seconds: acc[l]})
+	}
+	// Stable on a label-sorted slice: phases with equal times keep a
+	// deterministic (alphabetical) order.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Seconds > out[j].Seconds })
 	return out
 }
 

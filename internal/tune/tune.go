@@ -122,6 +122,11 @@ type Spec struct {
 	SkipVerify   bool
 }
 
+// testCorrupt, when set by tests, mutates a compiled candidate before
+// the safety gate — the hook proving the gate rejects an unsafe program
+// (nil in production).
+var testCorrupt func(*spmd.Program)
+
 // withDefaults resolves every unset knob.
 func (s Spec) withDefaults() (Spec, error) {
 	if s.Source == "" {
@@ -575,6 +580,20 @@ func (t *Tuner) evalOnce(ctx context.Context, s *Spec, c Candidate, limit float6
 		prog, err := spmd.CompileSourceCtx(ctx, s.Source, c.params(s), c.options())
 		if err != nil {
 			return ev, fmt.Errorf("compile: %w", err)
+		}
+		if testCorrupt != nil {
+			testCorrupt(prog)
+		}
+		// Safety gate: a candidate that fails translation validation never
+		// reaches the leaderboard, whatever its virtual time.  The proof
+		// is recomputed here (not read off the compile) because an
+		// ablation may have disabled the in-pipeline verify pass, and the
+		// test hook above can invalidate the compiled analyses.
+		if rep, verr := prog.Verify(); verr != nil {
+			return ev, fmt.Errorf("safety gate: %w", verr)
+		} else if !rep.Clean() {
+			errs := rep.Errors()
+			return ev, fmt.Errorf("safety gate: candidate fails %d obligations: %s", len(errs), errs[0])
 		}
 		cfg.Procs = prog.Grid.Size()
 		er, err := prog.Execute(cfg)

@@ -2,9 +2,12 @@ package tune
 
 import (
 	"context"
+	"strings"
 	"testing"
 
+	"dhpf/internal/comm"
 	"dhpf/internal/nas"
+	"dhpf/internal/spmd"
 )
 
 func specSP(procs, n, steps int) Spec {
@@ -281,5 +284,52 @@ func TestTuneCancelled(t *testing.T) {
 	s := specSP(4, 12, 1)
 	if _, err := New().Run(ctx, s); err == nil {
 		t.Error("cancelled tune returned no error")
+	}
+}
+
+// The safety gate: a candidate whose compiled analyses fail translation
+// validation is rejected with the verifier's diagnostic in the decision
+// trail, never ranked.  The corruption hook deletes every read event —
+// the same mutation as the verifier's own adversarial tests.
+func TestTuneRejectsUnsafeCandidate(t *testing.T) {
+	testCorrupt = func(p *spmd.Program) {
+		a := p.Comm["main"]
+		var kept []*comm.Event
+		for _, e := range a.Events {
+			if e.Kind != comm.ReadComm {
+				kept = append(kept, e)
+			}
+		}
+		a.Events = kept
+	}
+	defer func() { testCorrupt = nil }()
+
+	s := Spec{
+		Source: genericSrc,
+		Procs:  4,
+		Grids:  [][2]int{{1, 4}},
+		Grains: []int{8},
+		TopK:   1,
+	}
+	res, err := New().Run(context.Background(), s)
+	if err == nil {
+		t.Fatalf("corrupted candidate won:\n%v", leaderboard(t, res))
+	}
+	var rejected *Entry
+	for i := range res.Entries {
+		if res.Entries[i].Status == StatusError {
+			rejected = &res.Entries[i]
+		}
+	}
+	if rejected == nil {
+		t.Fatalf("no error entry:\n%v", leaderboard(t, res))
+	}
+	if !strings.Contains(rejected.Note, "safety gate") ||
+		!strings.Contains(rejected.Note, "covered by no communication event") {
+		t.Errorf("rejection note lacks the diagnostic: %q", rejected.Note)
+	}
+	trail := strings.Join(res.Trail, "\n")
+	if !strings.Contains(trail, "safety gate") || !strings.Contains(trail, "[comm]") {
+		t.Errorf("decision trail lacks the safety-gate diagnostic:\n%s", trail)
 	}
 }

@@ -1,0 +1,63 @@
+package verify_test
+
+import (
+	"testing"
+
+	"dhpf/internal/nas"
+	"dhpf/internal/passes"
+	"dhpf/internal/spmd"
+)
+
+// TestAblationMatrixVerifierSafe is the golden safety matrix: dropping
+// any single optional pass still verifies clean on the whole corpus.
+// The optional passes are optimizations — an ablation may cost
+// communication volume or pipeline overlap (EXPERIMENTS.md quantifies
+// that) but must never cost correctness, and this test is the proof
+// that "merely slower" is the right column for every one of them.
+func TestAblationMatrixVerifierSafe(t *testing.T) {
+	for _, pass := range passes.OptionalPassNames() {
+		if pass == passes.PassVerify {
+			continue // disabling the verifier itself proves nothing
+		}
+		for name, src := range corpus(t) {
+			t.Run(pass+"/"+name, func(t *testing.T) {
+				opt := spmd.DefaultOptions()
+				opt.Disable = []string{pass}
+				prog, err := spmd.CompileSource(src, nil, opt)
+				if err != nil {
+					t.Fatalf("ablated compile failed: %v", err)
+				}
+				rep := mustVerify(t, prog)
+				if !rep.Clean() {
+					t.Fatalf("disabling %s makes %s unsafe:\n%s", pass, name, rep)
+				}
+			})
+		}
+	}
+}
+
+// TestNASVerifyClean: the three NAS benchmark programs compile and
+// verify clean under DefaultOptions at a small problem size — the
+// acceptance criterion tying the verifier to the paper's codes.
+func TestNASVerifyClean(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"sp", nas.SPSource(12, 1, 2, 2)},
+		{"bt", nas.BTSource(12, 1, 2, 2)},
+		{"lu", nas.LUSource(12, 1, 2, 2)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			prog := compileSrc(t, c.src)
+			rep := mustVerify(t, prog)
+			if !rep.Clean() {
+				t.Fatalf("%s not clean:\n%s", c.name, rep)
+			}
+			if rep.Stmts == 0 || rep.Events == 0 {
+				t.Fatalf("%s: empty proof (%d stmts, %d events)", c.name, rep.Stmts, rep.Events)
+			}
+		})
+	}
+}

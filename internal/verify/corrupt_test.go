@@ -1,0 +1,222 @@
+package verify_test
+
+// Adversarial tests: each seeded corruption of the compiled analyses must
+// produce its specific diagnostic.  This is what makes the verifier a
+// translation validator rather than a re-run of the compiler — it trusts
+// none of the event list, the Eliminated flags, or the CP selection, so
+// mutating any of them is caught.
+
+import (
+	"testing"
+
+	"dhpf/internal/comm"
+	"dhpf/internal/cp"
+	"dhpf/internal/ir"
+	"dhpf/internal/spmd"
+	"dhpf/internal/verify"
+)
+
+// findEvent returns the first event matching kind and statement in main.
+func findEvent(t *testing.T, prog *spmd.Program, kind comm.Kind, stmt int) *comm.Event {
+	t.Helper()
+	for _, e := range prog.Comm["main"].Events {
+		if e.Kind == kind && e.Stmt.ID == stmt {
+			return e
+		}
+	}
+	t.Fatalf("no %v event on stmt %d", kind, stmt)
+	return nil
+}
+
+// dropEvent removes one event from main's plan.
+func dropEvent(prog *spmd.Program, victim *comm.Event) {
+	a := prog.Comm["main"]
+	var kept []*comm.Event
+	for _, e := range a.Events {
+		if e != victim {
+			kept = append(kept, e)
+		}
+	}
+	a.Events = kept
+}
+
+// TestCorruptDroppedReadEvent: deleting a live read event (stencil's
+// a(i,j-1) boundary fetch) leaves a non-local read uncovered.
+func TestCorruptDroppedReadEvent(t *testing.T) {
+	prog := compileFile(t, "stencil.hpf")
+	victim := findEvent(t, prog, comm.ReadComm, 8)
+	dropEvent(prog, victim)
+	rep := mustVerify(t, prog)
+	if rep.Clean() {
+		t.Fatalf("dropped read event not caught:\n%s", rep)
+	}
+	d, ok := findDiag(rep, verify.CheckComm, verify.Error, "covered by no communication event")
+	if !ok {
+		t.Fatalf("wrong diagnostic:\n%s", rep)
+	}
+	if d.Stmt != 8 || d.Set == "" {
+		t.Errorf("diagnostic lacks location or witness set: %s", d)
+	}
+}
+
+// TestCorruptDroppedWriteback: deleting ysolve's live pipelined
+// write-back leaves the owner's copy stale.
+func TestCorruptDroppedWriteback(t *testing.T) {
+	prog := compileFile(t, "ysolve.hpf")
+	victim := findEvent(t, prog, comm.WriteBack, 9)
+	dropEvent(prog, victim)
+	rep := mustVerify(t, prog)
+	d, ok := findDiag(rep, verify.CheckWriteback, verify.Error, "never return to the owner")
+	if !ok {
+		t.Fatalf("dropped write-back not caught:\n%s", rep)
+	}
+	if d.Stmt != 9 {
+		t.Errorf("wrong statement: %s", d)
+	}
+}
+
+// TestCorruptWrongDepth: hoisting ysolve's pipelined write-back out of
+// the wavefront loop (depth 1 → 0) moves the message ahead of the
+// carried dependence that needs it inside the loop.
+func TestCorruptWrongDepth(t *testing.T) {
+	prog := compileFile(t, "ysolve.hpf")
+	victim := findEvent(t, prog, comm.WriteBack, 9)
+	if victim.Depth != 1 || !victim.Pipelined {
+		t.Fatalf("unexpected baseline event: %s", victim)
+	}
+	victim.Depth = 0
+	victim.Pipelined = false
+	victim.CarriedBy = nil
+	rep := mustVerify(t, prog)
+	if _, ok := findDiag(rep, verify.CheckPipeline, verify.Error, "dependences require depth 1"); !ok {
+		t.Fatalf("wrong-depth corruption not caught:\n%s", rep)
+	}
+}
+
+// TestCorruptUnpipelined: keeping the depth but clearing the Pipelined
+// flag on a wavefront event claims the loop carries no processor-crossing
+// dependence — it does.
+func TestCorruptUnpipelined(t *testing.T) {
+	prog := compileFile(t, "ysolve.hpf")
+	victim := findEvent(t, prog, comm.WriteBack, 9)
+	victim.Pipelined = false
+	victim.CarriedBy = nil
+	rep := mustVerify(t, prog)
+	if _, ok := findDiag(rep, verify.CheckPipeline, verify.Error, "but the event is not pipelined"); !ok {
+		t.Fatalf("un-pipelined wavefront not caught:\n%s", rep)
+	}
+}
+
+// TestCorruptCarriedByMismatch: pointing CarriedBy at the wrong loop
+// serializes the wrong dimension.
+func TestCorruptCarriedByMismatch(t *testing.T) {
+	prog := compileFile(t, "ysolve.hpf")
+	victim := findEvent(t, prog, comm.WriteBack, 9)
+	if len(victim.Nest) < 2 {
+		t.Fatalf("expected a 2-deep nest, got %d", len(victim.Nest))
+	}
+	victim.CarriedBy = victim.Nest[1] // inner i loop, not the wavefront j loop
+	rep := mustVerify(t, prog)
+	if _, ok := findDiag(rep, verify.CheckPipeline, verify.Error, "is not its placement loop"); !ok {
+		t.Fatalf("CarriedBy mismatch not caught:\n%s", rep)
+	}
+}
+
+// TestCorruptBogusElimination: marking stencil's live boundary fetch
+// Eliminated asserts an availability proof that does not exist.
+func TestCorruptBogusElimination(t *testing.T) {
+	prog := compileFile(t, "stencil.hpf")
+	victim := findEvent(t, prog, comm.ReadComm, 8)
+	victim.Eliminated = true
+	victim.Reason = "forged"
+	rep := mustVerify(t, prog)
+	if _, ok := findDiag(rep, verify.CheckComm, verify.Error, "no earlier local write covers"); !ok {
+		t.Fatalf("bogus elimination not caught:\n%s", rep)
+	}
+}
+
+const reductionSrc = `
+program red
+param N = 64
+param P = 4
+!hpf$ processors procs(P)
+!hpf$ template tline(N)
+!hpf$ align a with tline(d0)
+!hpf$ distribute tline(BLOCK) onto procs
+
+subroutine main()
+  real a(0:N-1)
+  real s
+  do i = 0, N-1
+    a(i) = 0.5*i
+  enddo
+  s = 0.0
+  do i = 0, N-1
+    s = s + a(i)
+  enddo
+end
+`
+
+// TestCorruptOverReplicatedReduction: replacing the reduction statement's
+// partitioned CP with replicated execution makes every rank accumulate
+// every element — the collective combine then multiplies the sum by the
+// rank count.  The coverage check's disjointness obligation catches it.
+func TestCorruptOverReplicatedReduction(t *testing.T) {
+	prog := compileSrc(t, reductionSrc)
+	plans := prog.Reductions["main"]
+	if len(plans) != 1 {
+		t.Fatalf("expected 1 reduction, got %d", len(plans))
+	}
+	id := plans[0].Stmt.ID
+	prog.Sel.CPs[id] = &cp.CP{} // replicated
+	rep := mustVerify(t, prog)
+	d, ok := findDiag(rep, verify.CheckCoverage, verify.Error, "double-count in the collective combine")
+	if !ok {
+		t.Fatalf("over-replicated reduction not caught:\n%s", rep)
+	}
+	if d.Stmt != id {
+		t.Errorf("wrong statement: %s", d)
+	}
+}
+
+// TestCorruptLostIterations: shrinking a statement's CP to a single term
+// that covers only part of the iteration space loses iterations.
+func TestCorruptLostIterations(t *testing.T) {
+	prog := compileFile(t, "stencil.hpf")
+	// Stmt 8 is b(i,j) = 0.25*(…); replace its CP with ON_HOME a(i,j-8):
+	// shifted ownership leaves the last block's iterations unexecuted.
+	shifted := &cp.CP{}
+	shifted.AddTerm(cp.Term{Array: "a", Subs: []cp.HomeSub{
+		{Var: "i", Coef: 1, Off: ir.Num(0)},
+		{Var: "j", Coef: 1, Off: ir.Num(-8)},
+	}})
+	prog.Sel.CPs[8] = shifted
+	rep := mustVerify(t, prog)
+	if _, ok := findDiag(rep, verify.CheckCoverage, verify.Error, "executed by no rank"); !ok {
+		t.Fatalf("lost iterations not caught:\n%s", rep)
+	}
+}
+
+// TestCorruptSelfAccumulateOverlap: ysolve's statement 9 accumulates into
+// w(i,j+1) — a non-idempotent update.  Replacing its CP with ON_HOME
+// w(i,30) ∪ w(i,45) makes the two ranks owning columns 30 and 45 each
+// execute *every* iteration: both write the full row range, including
+// elements whose owner executes nothing — overlapping replicated updates
+// with no redundancy cover, so the accumulation applies twice.
+func TestCorruptSelfAccumulateOverlap(t *testing.T) {
+	prog := compileFile(t, "ysolve.hpf")
+	corrupt := &cp.CP{}
+	corrupt.AddTerm(cp.Term{Array: "w", Subs: []cp.HomeSub{
+		{Var: "i", Coef: 1, Off: ir.Num(0)},
+		{Off: ir.Num(30)},
+	}})
+	corrupt.AddTerm(cp.Term{Array: "w", Subs: []cp.HomeSub{
+		{Var: "i", Coef: 1, Off: ir.Num(0)},
+		{Off: ir.Num(45)},
+	}})
+	prog.Sel.CPs[9] = corrupt
+	rep := mustVerify(t, prog)
+	if _, ok := findDiag(rep, verify.CheckCoverage, verify.Error, "self-accumulating write replicated"); !ok {
+		t.Fatalf("replicated self-accumulating write not caught:\n%s", rep)
+	}
+}

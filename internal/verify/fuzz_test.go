@@ -1,0 +1,127 @@
+package verify_test
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dhpf/internal/mpsim"
+	"dhpf/internal/parser"
+	"dhpf/internal/passes"
+	"dhpf/internal/spmd"
+)
+
+// corpus returns every shipped mini-HPF program.
+func corpus(t testing.TB) map[string]string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.hpf"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no corpus: %v", err)
+	}
+	out := map[string]string{}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(p)] = string(src)
+	}
+	return out
+}
+
+// FuzzCompileVerify: any mutation of the corpus must either fail to
+// parse, fail to compile with a diagnostic, or compile and verify —
+// never panic and never produce a report that cannot render.  The
+// in-pipeline verify pass is disabled so the explicit Verify call also
+// exercises unsafe-but-compilable mutants.
+func FuzzCompileVerify(f *testing.F) {
+	for _, src := range corpus(f) {
+		f.Add(src)
+	}
+	opt := spmd.DefaultOptions()
+	opt.Disable = append(opt.Disable, passes.PassVerify)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<15 {
+			t.Skip("oversized input")
+		}
+		if _, err := parser.Parse(src); err != nil {
+			return // parse failure is an accepted outcome
+		}
+		// The deadline bounds pathological pipeline blowups (compilation
+		// checks it at every pass boundary).
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		prog, err := spmd.CompileSourceCtx(ctx, src, nil, opt)
+		if err != nil {
+			return // compile diagnostics are an accepted outcome
+		}
+		if prog.Grid.Size() > 32 {
+			t.Skip("fuzzed grid too large to verify cheaply")
+		}
+		rep, err := prog.Verify()
+		if err != nil {
+			return // malformed-input error, still no panic
+		}
+		// Both renderings must succeed whatever the verdict.
+		_ = rep.String()
+		_ = rep.JSON()
+	})
+}
+
+// TestVerifierCleanCorpusMatchesSerial closes the loop between the
+// symbolic proof and the machine: every corpus program the verifier
+// calls clean must also produce numerics identical to the serial
+// reference on the message-passing simulator.  (A verifier that passed
+// broken programs would be caught here; one that broke working
+// programs is caught by TestCleanOnTestdata.)
+func TestVerifierCleanCorpusMatchesSerial(t *testing.T) {
+	cfg := mpsim.Config{
+		SendOverhead: 1e-6, RecvOverhead: 1e-6,
+		Latency: 10e-6, GapPerByte: 1e-8, FlopTime: 1e-8,
+	}
+	for name, src := range corpus(t) {
+		t.Run(name, func(t *testing.T) {
+			prog := compileSrc(t, src)
+			rep := mustVerify(t, prog)
+			if !rep.Clean() {
+				t.Fatalf("corpus program not verifier-clean:\n%s", rep)
+			}
+			mcfg := cfg
+			mcfg.Procs = prog.Grid.Size()
+			res, err := prog.Execute(mcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := spmd.RunSerial(parser.MustParse(src), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compared := 0
+			for _, arr := range ref.Names() {
+				want, _, _, err := ref.Array(arr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, _, _, err := res.Global(arr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s: %d elements vs serial %d", arr, len(got), len(want))
+				}
+				compared++
+				for i := range want {
+					if math.Abs(got[i]-want[i]) > 1e-10*math.Max(1, math.Abs(want[i])) {
+						t.Fatalf("%s[%d] = %g, serial %g", arr, i, got[i], want[i])
+					}
+				}
+			}
+			if compared == 0 {
+				t.Fatal("no arrays compared")
+			}
+		})
+	}
+}

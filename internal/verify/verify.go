@@ -1,0 +1,209 @@
+// Package verify is dhpf's translation-validation layer: an integer-set
+// static analysis that independently proves a compiled program's
+// communication plan safe, instead of trusting that CP selection (§2,
+// §4–§6), availability analysis (§7) and write-back elimination were each
+// "safe by construction".  Four theorems are checked symbolically with
+// iset set algebra over the *same* inputs the compiler used (distribution,
+// CP selection, dependence analysis re-run from scratch) but none of its
+// intermediate conclusions:
+//
+//  1. coverage — every assignment's full iteration space equals the union
+//     of the per-rank ON_HOME iteration sets (no lost iterations), and
+//     non-idempotent writes (reductions, self-accumulating updates) are
+//     not replicated across ranks unless a redundancy proof covers them;
+//  2. communication completeness — every reference touching data its
+//     executing rank does not own is covered by a live read event, or by
+//     an availability proof (re-derived here, not read off the event's
+//     Eliminated reason) naming the earlier statement that produced the
+//     values locally;
+//  3. writeback soundness — every non-owner write reaches its owner via a
+//     live write-back event or a re-derived proof that the owner computes
+//     the identical elements itself;
+//  4. pipeline legality — every live event sits at least as deep as the
+//     dependences it must respect, and events whose placement loop
+//     carries a processor-crossing flow dependence are marked Pipelined
+//     with a consistent CarriedBy loop.
+//
+// A fifth, informational check surfaces the privatization linter's
+// conservative bail-outs (dep.NewBailouts): why a NEW/LOCALIZE directive
+// could not be validated.
+//
+// The verifier deliberately re-implements the comm package's placement
+// and elimination mathematics rather than importing its conclusions, so a
+// bug (or a deliberately corrupted event list — see the corruption tests)
+// in any checked pass produces a diagnostic instead of being vacuously
+// trusted.
+package verify
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"dhpf/internal/comm"
+	"dhpf/internal/cp"
+	"dhpf/internal/ir"
+)
+
+// Severity grades a diagnostic.  Errors mean the compiled program can
+// lose or corrupt values; warnings mean an inconsistency that does not
+// provably break the program; infos record successful proofs and
+// conservative bail-outs worth seeing in a lint run.
+type Severity string
+
+const (
+	Info    Severity = "info"
+	Warning Severity = "warning"
+	Error   Severity = "error"
+)
+
+// Check names, one per theorem (plus the privatization linter surface).
+const (
+	CheckCoverage  = "coverage"
+	CheckComm      = "comm"
+	CheckWriteback = "writeback"
+	CheckPipeline  = "pipeline"
+	CheckPrivatize = "privatize"
+)
+
+// Diagnostic is one finding: which theorem, how bad, where, and the
+// offending (or witnessing) set.
+type Diagnostic struct {
+	Check    string   `json:"check"`
+	Severity Severity `json:"severity"`
+	Proc     string   `json:"proc"`
+	Stmt     int      `json:"stmt"`          // statement ID; -1 when not statement-scoped
+	Ref      string   `json:"ref,omitempty"` // rendered array reference
+	Set      string   `json:"set,omitempty"` // rendered iset witness
+	Why      string   `json:"why"`
+}
+
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s [%s] %s", strings.ToUpper(string(d.Severity)), d.Check, d.Proc)
+	if d.Stmt >= 0 {
+		s += fmt.Sprintf(" stmt %d", d.Stmt)
+	}
+	if d.Ref != "" {
+		s += " " + d.Ref
+	}
+	s += ": " + d.Why
+	if d.Set != "" {
+		s += " [set " + d.Set + "]"
+	}
+	return s
+}
+
+// Report is the outcome of one verification run.
+type Report struct {
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	Stmts       int          `json:"stmts"`  // assignments checked
+	Events      int          `json:"events"` // communication events checked
+	Ranks       int          `json:"ranks"`
+}
+
+// Clean reports whether no error-severity diagnostic was produced.
+// Warnings and infos do not make a program unsafe.
+func (r *Report) Clean() bool {
+	for _, d := range r.Diagnostics {
+		if d.Severity == Error {
+			return false
+		}
+	}
+	return true
+}
+
+// Errors returns the error-severity diagnostics.
+func (r *Report) Errors() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diagnostics {
+		if d.Severity == Error {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Counts tallies the diagnostics by severity.
+func (r *Report) Counts() (errors, warnings, infos int) {
+	for _, d := range r.Diagnostics {
+		switch d.Severity {
+		case Error:
+			errors++
+		case Warning:
+			warnings++
+		default:
+			infos++
+		}
+	}
+	return
+}
+
+// Summary is the one-line verdict.
+func (r *Report) Summary() string {
+	e, w, i := r.Counts()
+	verdict := "UNSAFE"
+	if r.Clean() {
+		verdict = "clean"
+	}
+	return fmt.Sprintf("verify: %s — %d stmts, %d events, %d ranks checked: %d errors, %d warnings, %d infos",
+		verdict, r.Stmts, r.Events, r.Ranks, e, w, i)
+}
+
+// String renders the full human-readable report.
+func (r *Report) String() string {
+	var b strings.Builder
+	b.WriteString(r.Summary())
+	b.WriteByte('\n')
+	for _, d := range r.Diagnostics {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() string {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Sprintf(`{"error":%q}`, err)
+	}
+	return string(out)
+}
+
+// Input is everything the verifier needs, mirroring the back half of a
+// passes.CompileContext.  It is a distinct struct (rather than taking the
+// CompileContext itself) so the passes package can layer a verify pass on
+// top without an import cycle.
+type Input struct {
+	IR   *ir.Program
+	Ctx  *cp.Context
+	Sel  *cp.Selection
+	Comm map[string]*comm.Analysis
+	// Reductions holds the statement IDs of recognized parallel
+	// reductions: per-rank partial accumulations that a collective
+	// combine finalizes, so their per-rank iteration sets must be
+	// pairwise disjoint (otherwise contributions double-count).
+	Reductions map[int]bool
+}
+
+// Run verifies a compiled program and returns the report.  The error is
+// non-nil only for malformed input (missing analyses, no grid) — safety
+// findings are diagnostics, not errors.
+func Run(in Input) (*Report, error) {
+	if in.IR == nil || in.Ctx == nil || in.Sel == nil || in.Comm == nil {
+		return nil, fmt.Errorf("verify: incomplete input (need IR, Ctx, Sel, Comm)")
+	}
+	grid, err := in.Ctx.Grid()
+	if err != nil {
+		return nil, fmt.Errorf("verify: %w", err)
+	}
+	rep := &Report{Ranks: grid.Size()}
+	for _, proc := range in.IR.Procs {
+		a := in.Comm[proc.Name]
+		if a == nil {
+			return nil, fmt.Errorf("verify: no communication analysis for proc %s", proc.Name)
+		}
+		c := newChecker(in, proc, a, grid, rep)
+		c.run()
+	}
+	return rep, nil
+}

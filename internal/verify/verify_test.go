@@ -1,0 +1,151 @@
+package verify_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dhpf/internal/spmd"
+	"dhpf/internal/verify"
+)
+
+// compileFile compiles a testdata program with default options.
+func compileFile(t *testing.T, name string) *spmd.Program {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return compileSrc(t, string(src))
+}
+
+func compileSrc(t *testing.T, src string) *spmd.Program {
+	t.Helper()
+	prog, err := spmd.CompileSource(src, nil, spmd.DefaultOptions())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+func mustVerify(t *testing.T, prog *spmd.Program) *verify.Report {
+	t.Helper()
+	rep, err := prog.Verify()
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return rep
+}
+
+// findDiag returns the first diagnostic of the given check and severity
+// whose Why contains the substring.
+func findDiag(rep *verify.Report, check string, sev verify.Severity, substr string) (verify.Diagnostic, bool) {
+	for _, d := range rep.Diagnostics {
+		if d.Check == check && d.Severity == sev && strings.Contains(d.Why, substr) {
+			return d, true
+		}
+	}
+	return verify.Diagnostic{}, false
+}
+
+// TestCleanOnTestdata: every shipped corpus program verifies clean under
+// DefaultOptions — the baseline for all corruption tests.
+func TestCleanOnTestdata(t *testing.T) {
+	for _, name := range []string{"stencil.hpf", "ysolve.hpf", "lhsy.hpf"} {
+		t.Run(name, func(t *testing.T) {
+			prog := compileFile(t, name)
+			rep := mustVerify(t, prog)
+			if !rep.Clean() {
+				t.Fatalf("%s not clean:\n%s", name, rep)
+			}
+			if rep.Stmts == 0 {
+				t.Fatal("no statements checked")
+			}
+		})
+	}
+}
+
+// TestEliminationReproofs: the verifier independently re-derives the
+// availability and redundancy proofs behind every eliminated event and
+// records them as INFO diagnostics naming the covering statement.
+func TestEliminationReproofs(t *testing.T) {
+	ysolve := mustVerify(t, compileFile(t, "ysolve.hpf"))
+	if _, ok := findDiag(ysolve, verify.CheckComm, verify.Info, "produced the non-local values locally with stmt"); !ok {
+		t.Errorf("ysolve: no availability re-proof INFO:\n%s", ysolve)
+	}
+	lhsy := mustVerify(t, compileFile(t, "lhsy.hpf"))
+	if _, ok := findDiag(lhsy, verify.CheckWriteback, verify.Info, "owner computes the identical elements"); !ok {
+		t.Errorf("lhsy: no redundancy re-proof INFO:\n%s", lhsy)
+	}
+	if _, ok := findDiag(lhsy, verify.CheckComm, verify.Info, "produced the non-local values locally"); !ok {
+		t.Errorf("lhsy: no availability re-proof INFO:\n%s", lhsy)
+	}
+}
+
+// TestPrivatizeBailoutSurfaced: a NEW directive whose array is read
+// before it is written inside the loop produces an INFO diagnostic with
+// the linter's reason, instead of silent conservatism.
+func TestPrivatizeBailoutSurfaced(t *testing.T) {
+	src := `
+program badnew
+param N = 64
+param P = 4
+!hpf$ processors procs(P)
+!hpf$ template tm(N, N)
+!hpf$ template tline(N)
+!hpf$ align lhs with tm(d0, d1)
+!hpf$ align cv with tline(d0)
+!hpf$ distribute tm(*, BLOCK) onto procs
+!hpf$ distribute tline(BLOCK) onto procs
+
+subroutine main()
+  real lhs(0:N-1, 0:N-1)
+  real cv(0:N-1)
+  do j = 0, N-1
+    do i = 0, N-1
+      lhs(i,j) = 0.0
+    enddo
+  enddo
+  do j = 0, N-1
+    cv(j) = 0.3*j
+  enddo
+  !hpf$ independent, new(cv)
+  do i = 1, N-2
+    do j = 1, N-2
+      lhs(i,j) = lhs(i,j) + cv(j-1)
+    enddo
+    do j = 0, N-1
+      cv(j) = 0.1*j + 0.01*i
+    enddo
+  enddo
+end
+`
+	rep := mustVerify(t, compileSrc(t, src))
+	d, ok := findDiag(rep, verify.CheckPrivatize, verify.Info, "NEW(cv)")
+	if !ok {
+		t.Fatalf("no privatize INFO diagnostic:\n%s", rep)
+	}
+	if !strings.Contains(d.Why, "written earlier in the iteration") {
+		t.Errorf("bail-out reason missing from diagnostic: %s", d)
+	}
+	// The valid NEW program stays silent.
+	clean := mustVerify(t, compileFile(t, "lhsy.hpf"))
+	if _, ok := findDiag(clean, verify.CheckPrivatize, verify.Info, "NEW"); ok {
+		t.Errorf("lhsy's valid NEW flagged:\n%s", clean)
+	}
+}
+
+// TestReportRendering: the human and JSON renderings carry the verdict
+// and the diagnostics.
+func TestReportRendering(t *testing.T) {
+	rep := mustVerify(t, compileFile(t, "ysolve.hpf"))
+	s := rep.String()
+	if !strings.Contains(s, "verify: clean") {
+		t.Errorf("missing verdict in %q", s)
+	}
+	j := rep.JSON()
+	if !strings.Contains(j, `"diagnostics"`) || !strings.Contains(j, `"stmts"`) {
+		t.Errorf("JSON missing fields: %s", j)
+	}
+}

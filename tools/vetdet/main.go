@@ -1,0 +1,290 @@
+// Command vetdet is the repo's determinism linter: it flags `for …
+// range m` loops over maps whose bodies feed order-sensitive output.
+// Go randomizes map iteration order per run, so a map-range that
+// appends to an outer slice, writes through an io.Writer /
+// strings.Builder / bytes.Buffer, or concatenates onto an outer string
+// produces nondeterministically ordered output — exactly the class of
+// bug that breaks this repo's byte-identical-report and
+// golden-output guarantees.  The fix is always the same idiom: collect
+// the keys, sort, then range over the sorted slice.
+//
+// Two exemptions keep the signal clean:
+//
+//   - a loop whose body is a single `ks = append(ks, k)` statement
+//     appending only the range variables is the first half of the
+//     sort-then-range idiom and is allowed;
+//   - a `//vetdet:ok` comment on the range statement suppresses the
+//     finding (for sinks that are genuinely order-insensitive).
+//
+// Built on go/parser + go/types with the stdlib "source" importer
+// (golang.org/x/tools is unavailable in this environment, so this is a
+// standalone main rather than a go/analysis Analyzer driven by `go vet
+// -vettool`).  Run it as:
+//
+//	go run ./tools/vetdet [package-dir ...]   (default: ./internal/...)
+//
+// Exit status 1 when any finding is reported.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./internal/..."}
+	}
+	pkgs, err := listPackages(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vetdet:", err)
+		os.Exit(2)
+	}
+	var findings []string
+	for _, p := range pkgs {
+		fs, err := lintPackage(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vetdet:", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// listedPackage is the slice of `go list -json` output vetdet needs.
+type listedPackage struct {
+	Dir     string
+	GoFiles []string
+}
+
+// listPackages resolves package patterns through the go command (the
+// only module-aware resolver available without x/tools).
+func listPackages(patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json=Dir,GoFiles"}, patterns...)
+	out, err := exec.Command("go", args...).Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return nil, fmt.Errorf("go list: %s", ee.Stderr)
+		}
+		return nil, err
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for dec.More() {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// lintPackage parses, type-checks and lints one package's non-test
+// files.
+func lintPackage(p listedPackage) ([]string, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check(files[0].Name.Name, fset, files, info); err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", p.Dir, err)
+	}
+	var findings []string
+	for _, f := range files {
+		findings = append(findings, lintFile(fset, f, info)...)
+	}
+	return findings, nil
+}
+
+// lintFile walks one file for map-range loops feeding ordered sinks.
+func lintFile(fset *token.FileSet, f *ast.File, info *types.Info) []string {
+	suppressed := suppressedLines(fset, f)
+	var findings []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if suppressed[fset.Position(rng.Pos()).Line] {
+			return true
+		}
+		if isKeyCollection(rng, info) {
+			return true
+		}
+		if sink := orderedSink(rng, info); sink != "" {
+			pos := fset.Position(rng.Pos())
+			findings = append(findings,
+				fmt.Sprintf("%s: map iteration order feeds %s: sort the keys first (or mark //vetdet:ok)",
+					pos, sink))
+		}
+		return true
+	})
+	return findings
+}
+
+// suppressedLines collects the lines carrying a //vetdet:ok comment.
+func suppressedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//vetdet:ok") {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// isKeyCollection reports the allowed idiom: a body that is exactly one
+// `ks = append(ks, k)` (or `ks = append(ks, k, v)`) whose appended
+// values are only the range variables — the gather step before sorting.
+func isKeyCollection(rng *ast.RangeStmt, info *types.Info) bool {
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	as, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltinAppend(call, info) || len(call.Args) < 2 {
+		return false
+	}
+	rangeVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok {
+			rangeVars[info.Defs[id]] = true
+		}
+	}
+	for _, arg := range call.Args[1:] {
+		id, ok := arg.(*ast.Ident)
+		if !ok || !rangeVars[info.Uses[id]] {
+			return false
+		}
+	}
+	return true
+}
+
+func isBuiltinAppend(call *ast.CallExpr, info *types.Info) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// orderedSink returns a description of the first order-sensitive output
+// the loop body feeds, or "" when the body looks order-insensitive.
+func orderedSink(rng *ast.RangeStmt, info *types.Info) string {
+	inLoop := func(obj types.Object) bool {
+		return obj != nil && obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End()
+	}
+	var sink string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			// v = append(v, …) or v += … onto a variable declared
+			// outside the loop.
+			if len(s.Lhs) != 1 {
+				return true
+			}
+			id, ok := s.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil || inLoop(obj) {
+				return true
+			}
+			if s.Tok == token.ADD_ASSIGN {
+				if b, ok := obj.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					sink = fmt.Sprintf("string concatenation onto %q", id.Name)
+				}
+				return true
+			}
+			if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isBuiltinAppend(call, info) {
+				sink = fmt.Sprintf("append to outer slice %q", id.Name)
+			}
+		case *ast.CallExpr:
+			switch fn := s.Fun.(type) {
+			case *ast.SelectorExpr:
+				name := fn.Sel.Name
+				if pkgIdent, ok := fn.X.(*ast.Ident); ok {
+					if pn, ok := info.Uses[pkgIdent].(*types.PkgName); ok && pn.Imported().Path() == "fmt" &&
+						strings.HasPrefix(name, "Fprint") {
+						sink = "a writer via fmt." + name
+						return true
+					}
+				}
+				// Methods that emit onto an outer writer/builder/buffer.
+				switch name {
+				case "WriteString", "WriteByte", "WriteRune", "Write", "Printf", "Println", "Print":
+					if recv, ok := fn.X.(*ast.Ident); ok {
+						if obj := info.Uses[recv]; obj != nil && !inLoop(obj) && isWriterish(obj.Type()) {
+							sink = fmt.Sprintf("writes to outer %q via %s", recv.Name, name)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// isWriterish recognizes the output types whose write order is the
+// output order: anything with a Write([]byte) method (io.Writer,
+// *bytes.Buffer, *strings.Builder) by name.
+func isWriterish(t types.Type) bool {
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == "Write" {
+				return true
+			}
+		}
+	}
+	return false
+}

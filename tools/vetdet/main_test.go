@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixture = `package fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func bad(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k+"!") // transformed, not a bare key gather
+	}
+	return out
+}
+
+func badPrint(m map[string]int, b *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(b, "%s=%d\n", k, v)
+	}
+}
+
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func badConcat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+func good(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodLocal(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m { //vetdet:ok
+		out = append(out, k+"?")
+	}
+	return out
+}
+`
+
+func TestLintFixture(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fixture.go")
+	if err := os.WriteFile(path, []byte(fixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lintPackage(listedPackage{Dir: dir, GoFiles: []string{"fixture.go"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		`append to outer slice "out"`,
+		"fmt.Fprintf",
+		`outer "b" via WriteString`,
+		`string concatenation onto "s"`,
+	}
+	if len(findings) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(findings), len(want), strings.Join(findings, "\n"))
+	}
+	for i, w := range want {
+		if !strings.Contains(findings[i], w) {
+			t.Errorf("finding %d = %q, want mention of %q", i, findings[i], w)
+		}
+	}
+	for _, f := range findings {
+		if strings.Contains(f, "good") || strings.Contains(f, "suppressed") {
+			t.Errorf("false positive: %s", f)
+		}
+	}
+}
+
+// TestRepoClean: the tree this linter ships in must itself lint clean —
+// the same invocation CI runs.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("source-importer type-check of the whole tree is slow")
+	}
+	pkgs, err := listPackages([]string{"dhpf/internal/...", "dhpf/cmd/...", "dhpf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		findings, err := lintPackage(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range findings {
+			t.Error(f)
+		}
+	}
+}
