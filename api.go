@@ -191,6 +191,12 @@ type RunRequest struct {
 	// Arrays lists array names whose authoritative global contents the
 	// response should include.
 	Arrays []string `json:"arrays,omitempty"`
+	// Engine selects the execution engine: "compiled" (the default) or
+	// "interp", the reference tree-walking interpreter.  Both produce
+	// byte-identical results; the field exists for differential checks
+	// and perf comparison.  Engine choice does not affect the compile
+	// fingerprint — it is an execution-time concern.
+	Engine string `json:"engine,omitempty"`
 }
 
 // ArrayJSON is one gathered global array: flattened data plus inclusive

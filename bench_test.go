@@ -366,15 +366,19 @@ func BenchmarkCompileBT(b *testing.B) {
 }
 
 // BenchmarkExecuteSPStep measures the simulated execution of one SP step
-// on 4 ranks (interpreter + virtual machine).
-func BenchmarkExecuteSPStep(b *testing.B) {
+// on 4 ranks under the default compiled engine; BenchmarkExecuteSPStepInterp
+// is the tree-walking reference baseline the speedup is quoted against.
+func BenchmarkExecuteSPStep(b *testing.B)       { benchExecuteSPStep(b, spmd.EngineCompiled) }
+func BenchmarkExecuteSPStepInterp(b *testing.B) { benchExecuteSPStep(b, spmd.EngineInterp) }
+
+func benchExecuteSPStep(b *testing.B, engine spmd.Engine) {
 	prog, err := spmd.CompileSource(nas.SPSource(16, 1, 2, 2), nil, spmd.DefaultOptions())
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := prog.Execute(mpsim.SP2Config(4)); err != nil {
+		if _, err := prog.ExecuteEngine(mpsim.SP2Config(4), engine); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -410,15 +414,19 @@ func BenchmarkMPSimPingPong(b *testing.B) {
 
 // BenchmarkLUWavefront runs the LU-extension's 2-D diagonal wavefront
 // (the "line-sweeps in multiple physical dimensions" code class the
-// paper's conclusion raises) on 4 simulated ranks.
-func BenchmarkLUWavefront(b *testing.B) {
+// paper's conclusion raises) on 4 simulated ranks under the compiled
+// engine; BenchmarkLUWavefrontInterp is the interpreter baseline.
+func BenchmarkLUWavefront(b *testing.B)       { benchLUWavefront(b, spmd.EngineCompiled) }
+func BenchmarkLUWavefrontInterp(b *testing.B) { benchLUWavefront(b, spmd.EngineInterp) }
+
+func benchLUWavefront(b *testing.B, engine spmd.Engine) {
 	prog, err := spmd.CompileSource(nas.LUSource(16, 1, 2, 2), nil, spmd.DefaultOptions())
 	if err != nil {
 		b.Fatal(err)
 	}
 	var vt float64
 	for i := 0; i < b.N; i++ {
-		res, err := prog.Execute(mpsim.SP2Config(4))
+		res, err := prog.ExecuteEngine(mpsim.SP2Config(4), engine)
 		if err != nil {
 			b.Fatal(err)
 		}

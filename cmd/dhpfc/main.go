@@ -10,6 +10,9 @@
 //	dhpfc [flags] file.hpf
 //
 //	-run             execute on the simulated machine after compiling
+//	-engine E        with -run: compiled (default) | interp — the
+//	                 closure-compiled execution engine or the reference
+//	                 tree-walking interpreter (byte-identical results)
 //	-trace           with -run: print an ASCII space–time diagram
 //	-bins N          diagram width in time bins (default 100)
 //	-param NAME=V    override a program parameter (repeatable)
@@ -76,6 +79,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	params := paramFlags{}
 	doRun := fs.Bool("run", false, "execute on the simulated machine")
+	engineName := fs.String("engine", "", "execution engine: compiled|interp (with -run)")
 	doTrace := fs.Bool("trace", false, "print a space-time diagram (with -run)")
 	bins := fs.Int("bins", 100, "space-time diagram bins")
 	noLocalize := fs.Bool("no-localize", false, "disable LOCALIZE (§4.2)")
@@ -172,9 +176,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if !*doRun {
 		return 0
 	}
+	engine, err := spmd.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(stderr, "dhpfc:", err)
+		return 1
+	}
 	cfg := mpsim.SP2Config(prog.Grid.Size())
 	cfg.Trace = *doTrace
-	res, err := prog.Execute(cfg)
+	res, err := prog.ExecuteEngine(cfg, engine)
 	if err != nil {
 		fmt.Fprintln(stderr, "dhpfc:", err)
 		return 1

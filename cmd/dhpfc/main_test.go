@@ -28,6 +28,41 @@ func TestGoldenLhsy(t *testing.T) {
 	}
 }
 
+// TestEngineFlagGolden: both execution engines render the identical run
+// report — the compiled engine is byte-for-byte the interpreter as far
+// as any observable output goes, including the virtual-time counters in
+// the execution summary line.
+func TestEngineFlagGolden(t *testing.T) {
+	var compiled, interp, errb bytes.Buffer
+	if code := run([]string{"-run", "-engine", "compiled", "../../testdata/lhsy.hpf"}, &compiled, &errb); code != 0 {
+		t.Fatalf("-engine compiled exit %d, stderr: %s", code, errb.String())
+	}
+	if code := run([]string{"-run", "-engine", "interp", "../../testdata/lhsy.hpf"}, &interp, &errb); code != 0 {
+		t.Fatalf("-engine interp exit %d, stderr: %s", code, errb.String())
+	}
+	if compiled.String() != interp.String() {
+		t.Errorf("run reports differ between engines:\n--- compiled ---\n%s\n--- interp ---\n%s",
+			compiled.String(), interp.String())
+	}
+	want, err := os.ReadFile("testdata/lhsy.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiled.String() != string(want) {
+		t.Errorf("-engine compiled output differs from golden:\n--- got ---\n%s\n--- want ---\n%s",
+			compiled.String(), want)
+	}
+
+	var out bytes.Buffer
+	errb.Reset()
+	if code := run([]string{"-run", "-engine", "bogus", "../../testdata/lhsy.hpf"}, &out, &errb); code != 1 {
+		t.Errorf("bad -engine exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown engine") {
+		t.Errorf("bad -engine stderr = %q, want mention of unknown engine", errb.String())
+	}
+}
+
 // TestExplainTable checks -explain prints one table row per pipeline
 // pass (wall times vary, so the check is structural).
 func TestExplainTable(t *testing.T) {

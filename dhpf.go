@@ -156,9 +156,23 @@ func (p *Program) Verify() (VerifyReport, error) {
 	return VerifyReportJSON(rep), nil
 }
 
-// Run executes the program on the simulated machine.
+// Run executes the program on the simulated machine with the default
+// (compiled) execution engine.
 func (p *Program) Run(cfg MachineConfig) (*Result, error) {
-	res, err := p.inner.Execute(cfg)
+	return p.RunEngine(cfg, "")
+}
+
+// RunEngine executes the program with an explicit execution engine:
+// "compiled" (or "", the default) for the closure-compiled engine,
+// "interp" for the reference tree-walking interpreter.  Both produce
+// byte-identical results; the interpreter exists as the oracle the
+// compiled engine is differentially tested against.
+func (p *Program) RunEngine(cfg MachineConfig, engine string) (*Result, error) {
+	eng, err := spmd.ParseEngine(engine)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.inner.ExecuteEngine(cfg, eng)
 	if err != nil {
 		return nil, err
 	}

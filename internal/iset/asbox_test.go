@@ -1,0 +1,108 @@
+package iset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randBox returns a random (possibly empty) box of the given rank with
+// coordinates in [-4, 12].
+func randBox(rng *rand.Rand, rank int) Box {
+	lo := make([]int, rank)
+	hi := make([]int, rank)
+	for k := 0; k < rank; k++ {
+		a := rng.Intn(17) - 4
+		b := a + rng.Intn(8) - 1 // occasionally empty (hi = lo-1)
+		lo[k], hi[k] = a, b
+	}
+	return NewBox(lo, hi)
+}
+
+// TestAsBoxAgreesWithGeneralRepresentation is the property test of the
+// AsBox fast path: whenever AsBox reports a box, the set must equal
+// FromBox of that box exactly, and point membership through the box must
+// agree with the general Contains on a sample of points in and around
+// the bounding region.  When AsBox declines, the set must genuinely not
+// be a single box (empty, or more than one disjoint fragment).
+func TestAsBoxAgreesWithGeneralRepresentation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 500; trial++ {
+		rank := 1 + rng.Intn(3)
+		s := EmptySet(rank)
+		for n := rng.Intn(4); n >= 0; n-- {
+			s = s.UnionBox(randBox(rng, rank))
+		}
+		b, ok := s.AsBox()
+		if ok {
+			if s.IsEmpty() {
+				t.Fatalf("trial %d: AsBox=true on empty set %v", trial, s)
+			}
+			if !s.Eq(FromBox(b)) {
+				t.Fatalf("trial %d: AsBox returned %v but set is %v", trial, b, s)
+			}
+			if b.Card() != s.Card() {
+				t.Fatalf("trial %d: AsBox card %d != set card %d", trial, b.Card(), s.Card())
+			}
+		} else if !s.IsEmpty() {
+			// Declined: the representation holds >1 disjoint fragments, so
+			// the set must be a strict subset of its bounding box or a
+			// genuinely non-coalescible tiling; either way the general
+			// membership path must remain authoritative (checked below).
+			if len(s.Boxes()) < 2 {
+				t.Fatalf("trial %d: AsBox=false on single-box set %v", trial, s)
+			}
+		}
+		// Membership agreement on sampled points, box path vs general path.
+		p := make([]int, rank)
+		for i := 0; i < 50; i++ {
+			for k := range p {
+				p[k] = rng.Intn(21) - 6
+			}
+			want := s.Contains(p)
+			if ok && b.Contains(p) != want {
+				t.Fatalf("trial %d: box membership of %v = %v, set says %v", trial, p, b.Contains(p), want)
+			}
+		}
+		// AsBox must not alias internal state.
+		if ok && rank > 0 {
+			b.Lo[0] = -999
+			if b2, ok2 := s.AsBox(); !ok2 || b2.Lo[0] == -999 {
+				t.Fatalf("trial %d: mutating AsBox result changed the set", trial)
+			}
+		}
+	}
+}
+
+// BenchmarkSetContains compares per-point membership through the general
+// Contains scan against the hoisted AsBox bounds-comparison fast path —
+// the cost the execution engine removes from every iteration point.
+func BenchmarkSetContains(b *testing.B) {
+	s := FromBox(NewBox([]int{1, 1, 1}, []int{64, 64, 64}))
+	p := []int{32, 32, 32}
+	b.Run("general", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !s.Contains(p) {
+				b.Fatal("expected member")
+			}
+		}
+	})
+	b.Run("asbox", func(b *testing.B) {
+		box, ok := s.AsBox()
+		if !ok {
+			b.Fatal("expected a box")
+		}
+		lo, hi := box.Lo, box.Hi
+		for i := 0; i < b.N; i++ {
+			in := true
+			for k, v := range p {
+				if v < lo[k] || v > hi[k] {
+					in = false
+					break
+				}
+			}
+			if !in {
+				b.Fatal("expected member")
+			}
+		}
+	})
+}

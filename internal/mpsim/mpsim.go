@@ -182,6 +182,25 @@ type Machine struct {
 	reduceVals   []float64
 	reduceSum    float64 // result of the last finished reduction
 	reduceTarget float64
+
+	// bufPool recycles message payload buffers: Send draws its internal
+	// copy from here and Recycle returns consumed receive buffers.
+	// Pooling is invisible to the machine's semantics — a drawn buffer is
+	// resliced to the exact payload length and fully overwritten before
+	// it is enqueued — so numeric results and virtual clocks are
+	// byte-identical with or without recycling.
+	bufPool sync.Pool
+}
+
+// getBuf returns a payload buffer of exactly n elements, reusing a
+// recycled buffer when one of sufficient capacity is available.
+func (m *Machine) getBuf(n int) []float64 {
+	if v := m.bufPool.Get(); v != nil {
+		if b := v.(*[]float64); cap(*b) >= n {
+			return (*b)[:n]
+		}
+	}
+	return make([]float64, n)
 }
 
 // Rank is one simulated processor, owned by its goroutine.
@@ -394,6 +413,11 @@ func (r *Rank) ComputeLabeled(flops float64, label string) {
 // Send transmits data to rank dst with a tag.  The model is a buffered
 // (non-blocking) send: the sender pays its overhead and continues; the
 // message arrives at sender_clock + overhead + latency + bytes/bandwidth.
+//
+// Send copies data into an internal buffer before it returns, so the
+// caller may immediately reuse (or mutate) data after the call — the
+// contract the spmd engine's pooled packing buffers rely on.  This is a
+// stable part of the API, covered by TestSendCopiesCallerBuffer.
 func (r *Rank) Send(dst, tag int, data []float64) {
 	if dst < 0 || dst >= r.m.cfg.Procs {
 		panic(fmt.Sprintf("mpsim: Send to invalid rank %d", dst))
@@ -404,7 +428,7 @@ func (r *Rank) Send(dst, tag int, data []float64) {
 	r.emit(Event{Kind: EvSend, Start: r.clock, End: r.clock + cost, Peer: dst, Bytes: bytes, Tag: tag})
 	r.clock += cost
 	arrival := r.clock + r.m.cfg.Latency
-	cp := make([]float64, len(data))
+	cp := r.m.getBuf(len(data))
 	copy(cp, data)
 	r.m.box(mailboxKey{src: r.ID, dst: dst, tag: tag}).push(message{data: cp, arrival: arrival, bytes: bytes})
 	r.sent++
@@ -413,6 +437,10 @@ func (r *Rank) Send(dst, tag int, data []float64) {
 
 // Recv blocks until a message from src with the tag arrives, advancing
 // the virtual clock to the arrival time (idle time is recorded).
+//
+// The returned slice is owned by the caller.  A caller that has fully
+// consumed it may hand it back with Recycle so later Sends reuse the
+// storage instead of allocating.
 func (r *Rank) Recv(src, tag int) []float64 {
 	if src < 0 || src >= r.m.cfg.Procs {
 		panic(fmt.Sprintf("mpsim: Recv from invalid rank %d", src))
@@ -430,6 +458,19 @@ func (r *Rank) Recv(src, tag int) []float64 {
 	r.recvd++
 	r.checkLimits()
 	return msg.data
+}
+
+// Recycle returns a buffer previously obtained from Recv to the
+// machine's payload pool.  The caller must not touch buf afterwards: a
+// later Send on any rank may reclaim and overwrite it.  Recycling is
+// optional — unreturned buffers are simply garbage-collected — and never
+// changes results: pooled buffers are resliced to the exact new payload
+// length and fully overwritten before reuse.
+func (r *Rank) Recycle(buf []float64) {
+	if buf == nil {
+		return
+	}
+	r.m.bufPool.Put(&buf)
 }
 
 // Request is a pending non-blocking receive.

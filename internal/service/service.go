@@ -370,7 +370,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	res, err := ent.prog.Run(cfg)
+	res, err := ent.prog.RunEngine(cfg, req.Engine)
 	if err != nil {
 		s.fail(w, http.StatusUnprocessableEntity, err)
 		return

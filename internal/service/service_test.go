@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -383,6 +384,61 @@ func TestExplainAndRun(t *testing.T) {
 	}
 	if !run2.Cached {
 		t.Error("second run did not reuse the cached program")
+	}
+}
+
+// TestRunEngineField: /v1/run's engine selector.  Both engines return
+// identical run responses — same fingerprint (engine choice is not a
+// compile concern), bit-identical virtual clocks, traffic, and gathered
+// arrays — and an unknown engine is a 422.
+func TestRunEngineField(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	src := nas.SPSource(12, 1, 2, 2)
+	base := dhpf.RunRequest{Source: src, Machine: "sp2:4", Arrays: []string{"u"}}
+
+	reqC := base
+	reqC.Engine = "compiled"
+	runC, err := client.Run(context.Background(), reqC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqI := base
+	reqI.Engine = "interp"
+	runI, err := client.Run(context.Background(), reqI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runC.Fingerprint != runI.Fingerprint {
+		t.Errorf("fingerprints differ across engines: %s vs %s", runC.Fingerprint, runI.Fingerprint)
+	}
+	if math.Float64bits(runC.Seconds) != math.Float64bits(runI.Seconds) {
+		t.Errorf("virtual time differs: compiled %v, interp %v", runC.Seconds, runI.Seconds)
+	}
+	if runC.Messages != runI.Messages || runC.Bytes != runI.Bytes {
+		t.Errorf("traffic differs: compiled %d/%d, interp %d/%d",
+			runC.Messages, runC.Bytes, runI.Messages, runI.Bytes)
+	}
+	for r := range runC.RankSeconds {
+		if math.Float64bits(runC.RankSeconds[r]) != math.Float64bits(runI.RankSeconds[r]) {
+			t.Errorf("rank %d clock differs", r)
+		}
+	}
+	uc, ui := runC.Arrays["u"], runI.Arrays["u"]
+	if len(uc.Data) == 0 || len(uc.Data) != len(ui.Data) {
+		t.Fatalf("array sizes: compiled %d, interp %d", len(uc.Data), len(ui.Data))
+	}
+	for k := range uc.Data {
+		if math.Float64bits(uc.Data[k]) != math.Float64bits(ui.Data[k]) {
+			t.Fatalf("u[%d]: compiled %v, interp %v", k, uc.Data[k], ui.Data[k])
+		}
+	}
+
+	bad := base
+	bad.Engine = "bogus"
+	_, err = client.Run(context.Background(), bad)
+	var apiErr *dhpf.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("bad engine error = %v, want 422", err)
 	}
 }
 

@@ -10,6 +10,7 @@ package spmd
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"dhpf/internal/comm"
 	"dhpf/internal/cp"
@@ -47,6 +48,12 @@ type Program struct {
 	// Stats holds the per-pass instrumentation records of the pipeline
 	// run that produced this program.
 	Stats []passes.Stat
+
+	// Lazily built compiled-engine plan (engine.go): constructed at most
+	// once per Program and shared read-only by every execution and rank.
+	engOnce sync.Once
+	eng     *enginePlan
+	engErr  error
 }
 
 // Compile parses nothing: it takes an already-parsed program and runs

@@ -1,0 +1,1095 @@
+package spmd
+
+// engine.go is the compile-once/run-many execution engine: it lowers a
+// compiled Program's procedure bodies into closure trees over a
+// slot-indexed environment, so the per-iteration-point work of Execute
+// carries no map lookups, no slice allocations, and no interface
+// dispatch.  The tree-walking interpreter in exec.go remains the
+// reference oracle (Program.ExecuteEngine(cfg, EngineInterp)); the
+// engine's results are byte-identical to it — same array contents, same
+// virtual clocks, same message counts and bytes — because it performs
+// the exact same floating-point operations, flop accounting, guard
+// decisions, and communication calls in the exact same order.  Only
+// provably result-free work is removed:
+//
+//   - name → value resolution moves from per-point map lookups to
+//     integer slots assigned once per Program (engineEnv);
+//   - the per-point membership test against a statement's iteration set
+//     becomes per-dimension bounds comparisons when the set is a single
+//     box (iset.Set.AsBox), with loop ranges additionally clamped to the
+//     union of member boxes for communication-free innermost loops
+//     (engine_bounds.go);
+//   - message payloads are packed/unpacked with bulk row copies into a
+//     reused staging buffer instead of element-at-a-time gather/scatter
+//     (engine_pack.go).
+//
+// Plan construction is total and conservative: any construct whose
+// runtime behaviour the plan cannot reproduce exactly (a malformed call,
+// a missing communication analysis) fails the build, and ExecuteEngine
+// falls back to the interpreter for the whole run.
+
+import (
+	"fmt"
+	"math"
+
+	"dhpf/internal/comm"
+	"dhpf/internal/ir"
+)
+
+// Engine selects Program.Execute's execution strategy.
+type Engine int
+
+const (
+	// EngineCompiled is the closure-compiled engine (the default).
+	EngineCompiled Engine = iota
+	// EngineInterp is the original tree-walking interpreter, retained as
+	// the reference oracle for differential testing.
+	EngineInterp
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineCompiled:
+		return "compiled"
+	case EngineInterp:
+		return "interp"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// ParseEngine parses an engine name as used by dhpfc -engine and the
+// service's run request field.  The empty string selects the default.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "compiled":
+		return EngineCompiled, nil
+	case "interp":
+		return EngineInterp, nil
+	}
+	return 0, fmt.Errorf("spmd: unknown engine %q (want compiled or interp)", s)
+}
+
+// --- slot-indexed environment --------------------------------------------------
+
+// engineEnv is the flat runtime environment compiled closures read and
+// write.  Integer state (params, loop variables, integer formals) is
+// program-global, mirroring the interpreter's shared bind map; float
+// scalars and array bindings are per-frame views swapped on procedure
+// entry/exit.  Invariant: ints[s] equals the interpreter's bind[name]
+// when the name is bound and 0 when it is not (intSet tracks presence),
+// so compiled affine evaluation matches AffExpr.EvalOr(bind, 0) exactly.
+type engineEnv struct {
+	ints   []int
+	intSet []bool
+	floats []float64 // current frame's scalar slots
+	fset   []bool    // current frame's scalar presence (the fenv map's "ok")
+	arrays []*array  // current frame's array slots
+}
+
+type (
+	evalFn  func(*engineEnv) float64
+	intFn   func(*engineEnv) int
+	storeFn func(*engineEnv, float64)
+	condFn  func(*engineEnv) bool
+)
+
+// --- plan representation -------------------------------------------------------
+
+// enginePlan is the once-per-Program compiled form shared (read-only) by
+// all ranks of all executions.
+type enginePlan struct {
+	nInts   int
+	intSlot map[string]int
+	procs   map[string]*procPlan
+}
+
+// procPlan is one procedure's compiled body plus its slot tables.
+type procPlan struct {
+	proc      *ir.Procedure
+	nFloats   int
+	floatSlot map[string]int
+	nArrays   int
+	arraySlot map[string]int
+	body      []planStmt
+	// guardStmts maps dense guard indices to the statement identity the
+	// per-frame guard is derived from (engine_bounds.go).
+	guardStmts []guardedStmt
+	// clamps lists, per clampable loop, the guard indices whose boxes
+	// bound the loop's useful range at the loop's nest position.
+	clamps  []clampSpec
+	maxNest int
+}
+
+type guardedStmt struct {
+	id        int
+	nestSlots []int
+}
+
+type clampSpec struct {
+	pos     int   // the loop's index in each member's nest
+	members []int // guard indices of all statements under the loop
+}
+
+type planStmt interface{ planStmtNode() }
+
+type pAssign struct {
+	a           *ir.Assign
+	depth       int
+	guardIdx    int // -1 at depth 0
+	nestSlots   []int
+	rhs         evalFn
+	store       storeFn
+	flops       float64
+	readEvents  []*comm.Event // depth-0 statements only
+	writeEvents []*comm.Event
+}
+
+type pCall struct {
+	call      *ir.CallStmt
+	callee    *ir.Procedure
+	depth     int
+	guardIdx  int // -1 at depth 0
+	nestSlots []int
+	args      []planArg
+}
+
+type planArgKind int
+
+const (
+	argAlias planArgKind = iota // whole-array actual: alias into the callee
+	argInt                      // integer actual: bind[formal] = int(value)
+	argIntConst
+	argFloat // float actual: floatFormals[formal] = value
+)
+
+type planArg struct {
+	kind     planArgKind
+	formal   string
+	slot     int    // int slot of formal (argInt/argIntConst)
+	srcName  string // caller array name (argAlias)
+	fn       evalFn // argInt / argFloat
+	intConst int    // argIntConst
+}
+
+type pLoop struct {
+	l           *ir.Loop
+	depth       int
+	varSlot     int
+	lo, hi      intFn
+	body        []planStmt
+	pure        bool // no calls/loops/comm inside: loop vars live in slots only
+	clampIdx    int  // index into frame.clamps, -1 when not clampable
+	readEvents  []*comm.Event
+	writeEvents []*comm.Event
+	pipeEvents  []*comm.Event
+	reds        []redSlot
+}
+
+type redSlot struct {
+	op    byte
+	fslot int
+}
+
+type pIf struct {
+	cond ir.Cond
+	fn   condFn
+	then []planStmt
+	els  []planStmt
+}
+
+func (*pAssign) planStmtNode() {}
+func (*pCall) planStmtNode()   {}
+func (*pLoop) planStmtNode()   {}
+func (*pIf) planStmtNode()     {}
+
+// --- plan construction ---------------------------------------------------------
+
+// enginePlanFor returns the Program's compiled plan, building it once.
+// A nil plan with a nil error never occurs; build failures surface as an
+// error and the caller falls back to the interpreter.
+func (p *Program) enginePlanFor() (*enginePlan, error) {
+	p.engOnce.Do(func() {
+		p.eng, p.engErr = buildEnginePlan(p)
+	})
+	return p.eng, p.engErr
+}
+
+func buildEnginePlan(p *Program) (*enginePlan, error) {
+	if p.IR == nil || p.IR.Main() == nil {
+		return nil, fmt.Errorf("spmd: engine: program has no procedures")
+	}
+	ep := &enginePlan{intSlot: map[string]int{}, procs: map[string]*procPlan{}}
+	// Parameters claim their global slots first so Execute can install
+	// them without consulting per-procedure tables.
+	if p.Ctx != nil && p.Ctx.Bind != nil {
+		for name := range p.Ctx.Bind.Params {
+			ep.islot(name)
+		}
+	}
+	for _, proc := range p.IR.Procs {
+		if p.Comm[proc.Name] == nil {
+			return nil, fmt.Errorf("spmd: engine: no communication analysis for %q", proc.Name)
+		}
+		c := &planCompiler{p: p, ep: ep, proc: proc, pp: &procPlan{
+			proc:      proc,
+			floatSlot: map[string]int{},
+			arraySlot: map[string]int{},
+		}}
+		// Formals may be bound as arrays, integers or floats depending on
+		// the call site; give every formal all three identities up front.
+		for _, formal := range proc.Formals {
+			ep.islot(formal)
+			c.fslot(formal)
+			c.aslot(formal)
+		}
+		for _, d := range proc.Decls {
+			if d.Rank() > 0 {
+				c.aslot(d.Name)
+			} else {
+				c.fslot(d.Name)
+			}
+		}
+		body, err := c.compileStmts(proc.Body, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		c.pp.body = body
+		ep.procs[proc.Name] = c.pp
+	}
+	return ep, nil
+}
+
+func (ep *enginePlan) islot(name string) int {
+	if s, ok := ep.intSlot[name]; ok {
+		return s
+	}
+	s := ep.nInts
+	ep.intSlot[name] = s
+	ep.nInts++
+	return s
+}
+
+// planCompiler compiles one procedure's body.
+type planCompiler struct {
+	p    *Program
+	ep   *enginePlan
+	proc *ir.Procedure
+	pp   *procPlan
+}
+
+func (c *planCompiler) fslot(name string) int {
+	if s, ok := c.pp.floatSlot[name]; ok {
+		return s
+	}
+	s := c.pp.nFloats
+	c.pp.floatSlot[name] = s
+	c.pp.nFloats++
+	return s
+}
+
+func (c *planCompiler) aslot(name string) int {
+	if s, ok := c.pp.arraySlot[name]; ok {
+		return s
+	}
+	s := c.pp.nArrays
+	c.pp.arraySlot[name] = s
+	c.pp.nArrays++
+	return s
+}
+
+func (c *planCompiler) nestSlots(nest []*ir.Loop) []int {
+	vars := ir.NestVars(nest)
+	out := make([]int, len(vars))
+	for i, v := range vars {
+		out[i] = c.ep.islot(v)
+	}
+	if len(out) > c.pp.maxNest {
+		c.pp.maxNest = len(out)
+	}
+	return out
+}
+
+func (c *planCompiler) newGuard(id int, nestSlots []int) int {
+	idx := len(c.pp.guardStmts)
+	c.pp.guardStmts = append(c.pp.guardStmts, guardedStmt{id: id, nestSlots: nestSlots})
+	return idx
+}
+
+func (c *planCompiler) compileStmts(stmts []ir.Stmt, depth int, nest []*ir.Loop) ([]planStmt, error) {
+	var out []planStmt
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ir.Assign:
+			ps, err := c.compileAssign(st, depth, nest)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ps)
+		case *ir.CallStmt:
+			ps, err := c.compileCall(st, depth, nest)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ps)
+		case *ir.Loop:
+			ps, err := c.compileLoop(st, depth, nest)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ps)
+		case *ir.IfStmt:
+			then, err := c.compileStmts(st.Then, depth, nest)
+			if err != nil {
+				return nil, err
+			}
+			els, err := c.compileStmts(st.Else, depth, nest)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &pIf{cond: st.Cond, fn: c.compileCond(st.Cond), then: then, els: els})
+			// Other statement kinds are ignored, as in execStmts.
+		}
+	}
+	return out, nil
+}
+
+func (c *planCompiler) compileAssign(a *ir.Assign, depth int, nest []*ir.Loop) (*pAssign, error) {
+	ps := &pAssign{
+		a:        a,
+		depth:    depth,
+		guardIdx: -1,
+		rhs:      c.compileExpr(a.RHS),
+		store:    c.compileStore(a.LHS),
+		flops:    flopsOf(a),
+	}
+	if depth == 0 {
+		ps.readEvents = staticEventsAt(c.p.Comm[c.proc.Name], a, comm.ReadComm)
+		ps.writeEvents = staticEventsAt(c.p.Comm[c.proc.Name], a, comm.WriteBack)
+	} else {
+		ps.nestSlots = c.nestSlots(nest)
+		ps.guardIdx = c.newGuard(a.ID, ps.nestSlots)
+	}
+	return ps, nil
+}
+
+func (c *planCompiler) compileCall(call *ir.CallStmt, depth int, nest []*ir.Loop) (*pCall, error) {
+	callee := c.p.IR.Proc(call.Callee)
+	if callee == nil {
+		return nil, fmt.Errorf("spmd: engine: call to undefined procedure %q", call.Callee)
+	}
+	if len(call.Args) != len(callee.Formals) {
+		return nil, fmt.Errorf("spmd: engine: call to %q has %d args for %d formals",
+			call.Callee, len(call.Args), len(callee.Formals))
+	}
+	ps := &pCall{call: call, callee: callee, depth: depth, guardIdx: -1}
+	if depth > 0 {
+		ps.nestSlots = c.nestSlots(nest)
+		ps.guardIdx = c.newGuard(call.ID, ps.nestSlots)
+	}
+	for k, formal := range callee.Formals {
+		pa := planArg{formal: formal}
+		switch arg := call.Args[k].(type) {
+		case *ir.ArrayRef:
+			if len(arg.Subs) == 0 {
+				pa.kind = argAlias
+				pa.srcName = arg.Name
+			} else {
+				pa.kind = argFloat
+				pa.fn = c.compileExpr(arg)
+			}
+		case ir.IndexRef, ir.ParamRef:
+			pa.kind = argInt
+			pa.slot = c.ep.islot(formal)
+			pa.fn = c.compileExpr(arg)
+		case ir.FloatConst:
+			if float64(int(arg.Val)) == arg.Val {
+				pa.kind = argIntConst
+				pa.slot = c.ep.islot(formal)
+				pa.intConst = int(arg.Val)
+			} else {
+				v := arg.Val
+				pa.kind = argFloat
+				pa.fn = func(*engineEnv) float64 { return v }
+			}
+		default:
+			pa.kind = argFloat
+			pa.fn = c.compileExpr(arg)
+		}
+		ps.args = append(ps.args, pa)
+	}
+	return ps, nil
+}
+
+func (c *planCompiler) compileLoop(l *ir.Loop, depth int, nest []*ir.Loop) (*pLoop, error) {
+	body, err := c.compileStmts(l.Body, depth+1, append(nest, l))
+	if err != nil {
+		return nil, err
+	}
+	an := c.p.Comm[c.proc.Name]
+	pl := &pLoop{
+		l:           l,
+		depth:       depth,
+		varSlot:     c.ep.islot(l.Var),
+		lo:          c.compileAff(l.Lo),
+		hi:          c.compileAff(l.Hi),
+		body:        body,
+		clampIdx:    -1,
+		readEvents:  staticEventsBeforeLoop(an, l, depth, comm.ReadComm),
+		writeEvents: staticEventsBeforeLoop(an, l, depth, comm.WriteBack),
+		pipeEvents:  staticPipelinedEvents(an, l),
+	}
+	for _, r := range c.p.Reductions[c.proc.Name] {
+		if r.Loop == l {
+			pl.reds = append(pl.reds, redSlot{op: r.Op, fslot: c.fslot(r.Var)})
+		}
+	}
+	// A loop whose body holds only (possibly if-guarded) assignments has
+	// no communication boundaries, calls or bind-map readers inside: its
+	// variable can live in slots alone.  If additionally every if
+	// condition in the body is panic-free, skipped iterations are fully
+	// unobservable, so the range can be clamped to the union of the
+	// statements' iteration boxes (engine_bounds.go).
+	if members, pureOK, clampOK := pureMembers(body); pureOK {
+		pl.pure = true
+		if clampOK {
+			pl.clampIdx = len(c.pp.clamps)
+			c.pp.clamps = append(c.pp.clamps, clampSpec{pos: depth, members: members})
+		}
+	}
+	return pl, nil
+}
+
+// pureMembers reports whether the compiled body contains only assigns
+// and ifs (recursively), returning the guard indices of every assign.
+// The third result additionally requires every if condition to be
+// panic-free: the interpreter evaluates conditions even on iterations
+// whose statements are all guarded out, so clamping such iterations away
+// is only sound when that evaluation cannot be observed.
+func pureMembers(body []planStmt) (members []int, pure, clampOK bool) {
+	members, clampOK = nil, true
+	for _, s := range body {
+		switch st := s.(type) {
+		case *pAssign:
+			members = append(members, st.guardIdx)
+		case *pIf:
+			if !condPanicFree(st.cond) {
+				clampOK = false
+			}
+			a, ok, aClamp := pureMembers(st.then)
+			if !ok {
+				return nil, false, false
+			}
+			b, ok, bClamp := pureMembers(st.els)
+			if !ok {
+				return nil, false, false
+			}
+			clampOK = clampOK && aClamp && bClamp
+			members = append(members, a...)
+			members = append(members, b...)
+		default:
+			return nil, false, false
+		}
+	}
+	return members, true, clampOK
+}
+
+func condPanicFree(c ir.Cond) bool {
+	switch c.Op {
+	case "<", ">", "<=", ">=", "==", "/=":
+		return exprPanicFree(c.L) && exprPanicFree(c.R)
+	}
+	return false
+}
+
+// exprPanicFree reports whether evaluating the expression can never
+// panic: no array reads (bounds), no non-canonical intrinsic arities, no
+// unknown node kinds.
+func exprPanicFree(e ir.Expr) bool {
+	switch x := e.(type) {
+	case ir.FloatConst, ir.IndexRef, ir.ParamRef, ir.ScalarRef:
+		return true
+	case *ir.Bin:
+		switch x.Op {
+		case '+', '-', '*', '/':
+			return exprPanicFree(x.L) && exprPanicFree(x.R)
+		}
+		return false
+	case *ir.Intrinsic:
+		switch x.Name {
+		case "sqrt", "exp", "sin", "cos", "log", "abs":
+			if len(x.Args) != 1 {
+				return false
+			}
+		case "min", "max", "mod", "pow":
+			if len(x.Args) != 2 {
+				return false
+			}
+		default:
+			return false
+		}
+		for _, a := range x.Args {
+			if !exprPanicFree(a) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// --- static event selection ----------------------------------------------------
+//
+// These mirror eventsAt / eventsBeforeLoop / pipelinedEvents in exec.go
+// exactly; they are hoisted to plan-build time because their inputs (the
+// analysis event list, the loop identity, the nest depth) are all static.
+
+func staticEventsAt(an *comm.Analysis, stmt *ir.Assign, kind comm.Kind) []*comm.Event {
+	var out []*comm.Event
+	for _, e := range an.Events {
+		if e.Kind != kind || e.Eliminated || e.Pipelined {
+			continue
+		}
+		if e.Stmt == stmt && len(e.Nest) == 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func staticEventsBeforeLoop(an *comm.Analysis, l *ir.Loop, depth int, kind comm.Kind) []*comm.Event {
+	var out []*comm.Event
+	for _, e := range an.Events {
+		if e.Kind != kind || e.Eliminated || e.Pipelined {
+			continue
+		}
+		d := min(e.Depth, len(e.Nest)-1)
+		if d < 0 {
+			continue
+		}
+		if d == depth && e.Nest[d] == l {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func staticPipelinedEvents(an *comm.Analysis, l *ir.Loop) []*comm.Event {
+	var out []*comm.Event
+	for _, e := range an.Events {
+		if e.Pipelined && !e.Eliminated && e.CarriedBy == l {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// --- expression compilation ----------------------------------------------------
+
+// compileAff lowers an affine expression to slots; unbound names read 0,
+// matching AffExpr.EvalOr(bind, 0).
+func (c *planCompiler) compileAff(a ir.AffExpr) intFn {
+	cst := a.Const
+	if len(a.Terms) == 0 {
+		return func(*engineEnv) int { return cst }
+	}
+	if len(a.Terms) == 1 {
+		coef, slot := a.Terms[0].Coef, c.ep.islot(a.Terms[0].Name)
+		return func(e *engineEnv) int { return cst + coef*e.ints[slot] }
+	}
+	type term struct{ coef, slot int }
+	ts := make([]term, len(a.Terms))
+	for i, t := range a.Terms {
+		ts[i] = term{coef: t.Coef, slot: c.ep.islot(t.Name)}
+	}
+	return func(e *engineEnv) int {
+		v := cst
+		for _, t := range ts {
+			v += t.coef * e.ints[t.slot]
+		}
+		return v
+	}
+}
+
+// compileSub lowers one subscript Coef*Var + Off.
+func (c *planCompiler) compileSub(s ir.Subscript) intFn {
+	off := c.compileAff(s.Off)
+	if s.Var == "" {
+		return off
+	}
+	coef, slot := s.Coef, c.ep.islot(s.Var)
+	return func(e *engineEnv) int { return coef*e.ints[slot] + off(e) }
+}
+
+// compileExpr lowers an RHS expression to a closure tree that performs
+// the same floating-point operations in the same order as rankExec.eval,
+// including its panics.
+func (c *planCompiler) compileExpr(expr ir.Expr) evalFn {
+	switch x := expr.(type) {
+	case ir.FloatConst:
+		v := x.Val
+		return func(*engineEnv) float64 { return v }
+	case ir.IndexRef:
+		slot := c.ep.islot(x.Name)
+		return func(e *engineEnv) float64 { return float64(e.ints[slot]) }
+	case ir.ParamRef:
+		slot := c.ep.islot(x.Name)
+		return func(e *engineEnv) float64 { return float64(e.ints[slot]) }
+	case ir.ScalarRef:
+		fs, is := c.fslot(x.Name), c.ep.islot(x.Name)
+		return func(e *engineEnv) float64 {
+			if e.fset[fs] {
+				return e.floats[fs]
+			}
+			if e.intSet[is] {
+				return float64(e.ints[is]) // integer formal read as a value
+			}
+			return 0
+		}
+	case *ir.ArrayRef:
+		return c.compileArrayRead(x)
+	case *ir.Bin:
+		l, r := c.compileExpr(x.L), c.compileExpr(x.R)
+		switch x.Op {
+		case '+':
+			return func(e *engineEnv) float64 { return l(e) + r(e) }
+		case '-':
+			return func(e *engineEnv) float64 { return l(e) - r(e) }
+		case '*':
+			return func(e *engineEnv) float64 { return l(e) * r(e) }
+		case '/':
+			return func(e *engineEnv) float64 { return l(e) / r(e) }
+		}
+		// Unknown operator: evaluate both sides (for identical panic
+		// order), then fail exactly like the interpreter.
+		return func(e *engineEnv) float64 {
+			l(e)
+			r(e)
+			panic(fmt.Sprintf("spmd: cannot evaluate %v", expr))
+		}
+	case *ir.Intrinsic:
+		return c.compileIntrinsic(x)
+	}
+	return func(*engineEnv) float64 { panic(fmt.Sprintf("spmd: cannot evaluate %v", expr)) }
+}
+
+func (c *planCompiler) compileIntrinsic(x *ir.Intrinsic) evalFn {
+	fns := make([]evalFn, len(x.Args))
+	for i, a := range x.Args {
+		fns[i] = c.compileExpr(a)
+	}
+	// Canonical arities specialize to allocation-free closures; anything
+	// else falls back to the interpreter-shaped generic path so argument
+	// evaluation order, extra-argument evaluation, and arity panics stay
+	// identical.
+	if len(fns) == 1 {
+		a0 := fns[0]
+		switch x.Name {
+		case "sqrt":
+			return func(e *engineEnv) float64 { return math.Sqrt(a0(e)) }
+		case "exp":
+			return func(e *engineEnv) float64 { return math.Exp(a0(e)) }
+		case "sin":
+			return func(e *engineEnv) float64 { return math.Sin(a0(e)) }
+		case "cos":
+			return func(e *engineEnv) float64 { return math.Cos(a0(e)) }
+		case "log":
+			return func(e *engineEnv) float64 { return math.Log(a0(e)) }
+		case "abs":
+			return func(e *engineEnv) float64 { return math.Abs(a0(e)) }
+		}
+	}
+	if len(fns) == 2 {
+		a0, a1 := fns[0], fns[1]
+		switch x.Name {
+		case "min":
+			return func(e *engineEnv) float64 { return math.Min(a0(e), a1(e)) }
+		case "max":
+			return func(e *engineEnv) float64 { return math.Max(a0(e), a1(e)) }
+		case "mod":
+			return func(e *engineEnv) float64 { return math.Mod(a0(e), a1(e)) }
+		case "pow":
+			return func(e *engineEnv) float64 { return math.Pow(a0(e), a1(e)) }
+		}
+	}
+	name := x.Name
+	return func(e *engineEnv) float64 {
+		args := make([]float64, len(fns))
+		for i, fn := range fns {
+			args[i] = fn(e)
+		}
+		switch name {
+		case "sqrt":
+			return math.Sqrt(args[0])
+		case "exp":
+			return math.Exp(args[0])
+		case "sin":
+			return math.Sin(args[0])
+		case "cos":
+			return math.Cos(args[0])
+		case "log":
+			return math.Log(args[0])
+		case "abs":
+			return math.Abs(args[0])
+		case "min":
+			return math.Min(args[0], args[1])
+		case "max":
+			return math.Max(args[0], args[1])
+		case "mod":
+			return math.Mod(args[0], args[1])
+		case "pow":
+			return math.Pow(args[0], args[1])
+		}
+		panic(fmt.Sprintf("spmd: cannot evaluate %v", x))
+	}
+}
+
+// compileArrayRead lowers an array element read: direct *array access
+// with the offset accumulated dimension by dimension, bounds-checked
+// like array.off (same panic, raised at the same first violating
+// dimension).
+func (c *planCompiler) compileArrayRead(x *ir.ArrayRef) evalFn {
+	as := c.aslot(x.Name)
+	subs := make([]intFn, len(x.Subs))
+	for k, s := range x.Subs {
+		subs[k] = c.compileSub(s)
+	}
+	name := x.Name
+	return func(e *engineEnv) float64 {
+		arr := e.arrays[as]
+		if arr == nil {
+			panic(fmt.Sprintf("spmd: read of undeclared array %q", name))
+		}
+		off := 0
+		for k, sf := range subs {
+			v := sf(e)
+			if v < arr.lo[k] || v > arr.hi[k] {
+				panic(oobMessage(arr, subs, e))
+			}
+			off += (v - arr.lo[k]) * arr.stride[k]
+		}
+		return arr.data[off]
+	}
+}
+
+// compileStore lowers the LHS of an assignment.
+func (c *planCompiler) compileStore(lhs *ir.ArrayRef) storeFn {
+	if len(lhs.Subs) == 0 {
+		fs := c.fslot(lhs.Name)
+		return func(e *engineEnv, v float64) {
+			e.floats[fs] = v
+			e.fset[fs] = true
+		}
+	}
+	as := c.aslot(lhs.Name)
+	subs := make([]intFn, len(lhs.Subs))
+	for k, s := range lhs.Subs {
+		subs[k] = c.compileSub(s)
+	}
+	name := lhs.Name
+	return func(e *engineEnv, v float64) {
+		arr := e.arrays[as]
+		if arr == nil {
+			panic(fmt.Sprintf("spmd: store to undeclared array %q", name))
+		}
+		off := 0
+		for k, sf := range subs {
+			p := sf(e)
+			if p < arr.lo[k] || p > arr.hi[k] {
+				panic(oobMessage(arr, subs, e))
+			}
+			off += (p - arr.lo[k]) * arr.stride[k]
+		}
+		arr.data[off] = v
+	}
+}
+
+// oobMessage reproduces array.off's panic text (cold path only).
+func oobMessage(arr *array, subs []intFn, e *engineEnv) string {
+	p := make([]int, len(subs))
+	for k, sf := range subs {
+		p[k] = sf(e)
+	}
+	return fmt.Sprintf("spmd: %s%v out of bounds [%v:%v]", arr.name, p, arr.lo, arr.hi)
+}
+
+func (c *planCompiler) compileCond(cond ir.Cond) condFn {
+	l, r := c.compileExpr(cond.L), c.compileExpr(cond.R)
+	switch cond.Op {
+	case "<":
+		return func(e *engineEnv) bool { return l(e) < r(e) }
+	case ">":
+		return func(e *engineEnv) bool { return l(e) > r(e) }
+	case "<=":
+		return func(e *engineEnv) bool { return l(e) <= r(e) }
+	case ">=":
+		return func(e *engineEnv) bool { return l(e) >= r(e) }
+	case "==":
+		return func(e *engineEnv) bool { return l(e) == r(e) }
+	case "/=":
+		return func(e *engineEnv) bool { return l(e) != r(e) }
+	}
+	op := cond.Op
+	return func(e *engineEnv) bool {
+		l(e)
+		r(e)
+		panic(fmt.Sprintf("spmd: unknown comparison %q", op))
+	}
+}
+
+// --- engine execution ----------------------------------------------------------
+
+// pushPlanFrame installs a frame's slot views into the rank environment
+// and derives the per-frame guards and clamps from the freshly computed
+// iteration sets.
+func (rx *rankExec) pushPlanFrame(f *frame, pp *procPlan, floatFormals map[string]float64) {
+	f.plan = pp
+	f.floats = make([]float64, pp.nFloats)
+	f.fset = make([]bool, pp.nFloats)
+	f.aslots = make([]*array, pp.nArrays)
+	for name, idx := range pp.arraySlot {
+		f.aslots[idx] = f.arrays[name]
+	}
+	for name, v := range floatFormals {
+		if idx, ok := pp.floatSlot[name]; ok {
+			f.floats[idx] = v
+			f.fset[idx] = true
+		}
+	}
+	f.point = make([]int, pp.maxNest)
+	rx.buildGuards(f, pp)
+	f.savedFloats, f.savedFset, f.savedArrays = rx.env.floats, rx.env.fset, rx.env.arrays
+	rx.env.floats, rx.env.fset, rx.env.arrays = f.floats, f.fset, f.aslots
+}
+
+func (rx *rankExec) popPlanFrame(f *frame) {
+	rx.env.floats, rx.env.fset, rx.env.arrays = f.savedFloats, f.savedFset, f.savedArrays
+}
+
+func (rx *rankExec) execPlanStmts(proc *ir.Procedure, stmts []planStmt) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *pAssign:
+			rx.execPlanAssign(proc, st)
+		case *pCall:
+			rx.execPlanCall(proc, st)
+		case *pLoop:
+			rx.execPlanLoop(proc, st)
+		case *pIf:
+			if st.fn(&rx.env) {
+				rx.execPlanStmts(proc, st.then)
+			} else {
+				rx.execPlanStmts(proc, st.els)
+			}
+		}
+	}
+}
+
+// planGuardPass is the compiled counterpart of the interpreter's
+// per-point membership test (point slice + iset.Contains): box-shaped
+// iteration sets reduce to per-dimension comparisons on slot values.
+func (rx *rankExec) planGuardPass(guardIdx int, nestSlots []int) bool {
+	f := rx.top()
+	g := &f.guards[guardIdx]
+	switch g.kind {
+	case guardNever:
+		return false
+	case guardBox:
+		for k, sl := range nestSlots {
+			if v := rx.env.ints[sl]; v < g.lo[k] || v > g.hi[k] {
+				return false
+			}
+		}
+		return true
+	default: // guardSet
+		pt := f.point[:len(nestSlots)]
+		for k, sl := range nestSlots {
+			pt[k] = rx.env.ints[sl]
+		}
+		return g.set.Contains(pt)
+	}
+}
+
+func (rx *rankExec) execPlanAssign(proc *ir.Procedure, sp *pAssign) {
+	if sp.depth == 0 {
+		rx.fireEvents(proc, sp.readEvents, 0)
+		if rx.ownsTopLevel(proc, sp.a.ID) {
+			v := sp.rhs(&rx.env)
+			rx.flops += sp.flops
+			sp.store(&rx.env, v)
+		}
+		rx.fireEvents(proc, sp.writeEvents, 0)
+		return
+	}
+	if !rx.planGuardPass(sp.guardIdx, sp.nestSlots) {
+		return
+	}
+	v := sp.rhs(&rx.env)
+	rx.flops += sp.flops
+	sp.store(&rx.env, v)
+}
+
+func (rx *rankExec) execPlanCall(proc *ir.Procedure, pc *pCall) {
+	if pc.depth == 0 {
+		if !rx.ownsTopLevel(proc, pc.call.ID) {
+			return
+		}
+	} else if !rx.planGuardPass(pc.guardIdx, pc.nestSlots) {
+		return
+	}
+	f := rx.top()
+	actualArrays := map[string]*array{}
+	floatFormals := map[string]float64{}
+	type savedInt struct {
+		name     string
+		slot     int
+		val      int
+		had      bool
+		slotVal  int
+		slotport bool
+	}
+	var saved []savedInt
+	bindInt := func(a *planArg, v int) {
+		old, had := rx.bind[a.formal]
+		saved = append(saved, savedInt{
+			name: a.formal, slot: a.slot, val: old, had: had,
+			slotVal: rx.env.ints[a.slot], slotport: rx.env.intSet[a.slot],
+		})
+		rx.bind[a.formal] = v
+		rx.env.ints[a.slot] = v
+		rx.env.intSet[a.slot] = true
+	}
+	for i := range pc.args {
+		a := &pc.args[i]
+		switch a.kind {
+		case argAlias:
+			actualArrays[a.formal] = f.arrays[a.srcName]
+		case argInt:
+			bindInt(a, int(a.fn(&rx.env)))
+		case argIntConst:
+			bindInt(a, a.intConst)
+		case argFloat:
+			floatFormals[a.formal] = a.fn(&rx.env)
+		}
+	}
+	rx.runProc(pc.callee, actualArrays, floatFormals)
+	for i := len(saved) - 1; i >= 0; i-- {
+		s := saved[i]
+		if s.had {
+			rx.bind[s.name] = s.val
+		} else {
+			delete(rx.bind, s.name)
+		}
+		if s.slotport {
+			rx.env.ints[s.slot] = s.slotVal
+			rx.env.intSet[s.slot] = true
+		} else {
+			rx.env.ints[s.slot] = 0
+			rx.env.intSet[s.slot] = false
+		}
+	}
+}
+
+func (rx *rankExec) execPlanLoop(proc *ir.Procedure, pl *pLoop) {
+	rx.fireEvents(proc, pl.readEvents, pl.depth)
+
+	var s0 []float64
+	if len(pl.reds) > 0 {
+		s0 = make([]float64, len(pl.reds))
+		for i, r := range pl.reds {
+			s0[i] = rx.env.floats[r.fslot]
+		}
+	}
+
+	if len(pl.pipeEvents) > 0 {
+		rx.execPipelined(proc, pl.l, pl.depth, pl.pipeEvents, func() { rx.iteratePlanLoop(proc, pl) })
+	} else {
+		rx.iteratePlanLoop(proc, pl)
+	}
+
+	for i, r := range pl.reds {
+		rx.flushFlops()
+		v := rx.env.floats[r.fslot]
+		switch r.op {
+		case '+':
+			rx.env.floats[r.fslot] = s0[i] + rx.rk.AllReduce('+', v-s0[i])
+		default: // '<' min, '>' max: every rank's partial includes s0
+			rx.env.floats[r.fslot] = rx.rk.AllReduce(r.op, v)
+		}
+		rx.env.fset[r.fslot] = true
+	}
+
+	rx.fireEvents(proc, pl.writeEvents, pl.depth)
+}
+
+// iteratePlanLoop is the compiled iterateLoop: bounds come from compiled
+// affine closures, the range is clamped by the active strip and (for
+// pure loops) by the hoisted union of member iteration boxes, and the
+// loop variable is maintained in its slot — plus the bind map only when
+// something inside the loop can read it.
+func (rx *rankExec) iteratePlanLoop(proc *ir.Procedure, pl *pLoop) {
+	e := &rx.env
+	lo := pl.lo(e)
+	hi := pl.hi(e)
+	l := pl.l
+	if rx.strip != nil && rx.strip.variable == l.Var {
+		if l.Step > 0 {
+			lo, hi = max(lo, rx.strip.lo), min(hi, rx.strip.hi)
+		} else {
+			lo, hi = min(lo, rx.strip.hi), max(hi, rx.strip.lo)
+		}
+	}
+	if pl.clampIdx >= 0 {
+		c := &rx.top().clamps[pl.clampIdx]
+		if l.Step > 0 {
+			lo, hi = max(lo, c.lo), min(hi, c.hi)
+		} else {
+			lo, hi = min(lo, c.hi), max(hi, c.lo)
+		}
+	}
+	vs := pl.varSlot
+	oldV, oldSet := e.ints[vs], e.intSet[vs]
+	if pl.pure {
+		if l.Step > 0 {
+			for v := lo; v <= hi; v++ {
+				e.ints[vs] = v
+				e.intSet[vs] = true
+				rx.execPlanStmts(proc, pl.body)
+			}
+		} else {
+			for v := lo; v >= hi; v-- {
+				e.ints[vs] = v
+				e.intSet[vs] = true
+				rx.execPlanStmts(proc, pl.body)
+			}
+		}
+	} else {
+		oldB, hadB := rx.bind[l.Var]
+		if l.Step > 0 {
+			for v := lo; v <= hi; v++ {
+				e.ints[vs] = v
+				e.intSet[vs] = true
+				rx.bind[l.Var] = v
+				rx.execPlanStmts(proc, pl.body)
+			}
+		} else {
+			for v := lo; v >= hi; v-- {
+				e.ints[vs] = v
+				e.intSet[vs] = true
+				rx.bind[l.Var] = v
+				rx.execPlanStmts(proc, pl.body)
+			}
+		}
+		if hadB {
+			rx.bind[l.Var] = oldB
+		} else {
+			delete(rx.bind, l.Var)
+		}
+	}
+	if oldSet {
+		e.ints[vs] = oldV
+		e.intSet[vs] = true
+	} else {
+		e.ints[vs] = 0
+		e.intSet[vs] = false
+	}
+}

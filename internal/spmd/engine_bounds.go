@@ -1,0 +1,96 @@
+package spmd
+
+// engine_bounds.go derives, once per procedure activation, the per-rank
+// iteration guards and hoisted loop-bound clamps the engine executes
+// against.  The interpreter answers "does this rank run statement s at
+// point p?" with a fresh point slice and a general iset.Set membership
+// scan on every iteration point; here the overwhelmingly common case —
+// the statement's iteration set is a single box (iset.Set.AsBox) — is
+// specialized to per-dimension comparisons on slot values, and for
+// communication-free innermost loops the member boxes additionally
+// tighten the loop range itself so non-member points are never visited
+// at all.
+
+import (
+	"math"
+
+	"dhpf/internal/iset"
+)
+
+type guardKind uint8
+
+const (
+	guardNever guardKind = iota // empty iteration set: never executes
+	guardBox                    // single box: compare slots to lo/hi
+	guardSet                    // general set: point buffer + Contains
+)
+
+// stmtGuard is one statement's per-frame membership test.
+type stmtGuard struct {
+	kind   guardKind
+	lo, hi []int
+	set    iset.Set
+}
+
+// clampRange is a conservative [lo, hi] window covering every iteration
+// of a pure loop on which at least one member statement executes.
+type clampRange struct {
+	lo, hi int
+}
+
+// buildGuards populates f.guards and f.clamps from the iteration sets
+// just computed by runProc.  Guards are exact restatements of the
+// interpreter's membership test; clamps may only discard iterations on
+// which no member statement would execute.
+func (rx *rankExec) buildGuards(f *frame, pp *procPlan) {
+	f.guards = make([]stmtGuard, len(pp.guardStmts))
+	for i, gs := range pp.guardStmts {
+		s := f.iters[gs.id]
+		g := &f.guards[i]
+		switch {
+		case s.IsEmpty():
+			g.kind = guardNever
+		default:
+			if b, ok := s.AsBox(); ok && b.Rank() == len(gs.nestSlots) {
+				g.kind = guardBox
+				g.lo, g.hi = b.Lo, b.Hi
+			} else {
+				// Multi-box set, or a rank mismatch against the nest
+				// (Contains is then vacuously false per box, which the
+				// general path reproduces exactly).
+				g.kind = guardSet
+				g.set = s
+			}
+		}
+	}
+
+	f.clamps = make([]clampRange, len(pp.clamps))
+	for i, cs := range pp.clamps {
+		c := clampRange{lo: 0, hi: -1} // all members empty: run nothing
+		for _, gi := range cs.members {
+			g := &f.guards[gi]
+			switch g.kind {
+			case guardNever:
+				// contributes no iterations
+			case guardBox:
+				if cs.pos < len(g.lo) {
+					if c.lo > c.hi {
+						c = clampRange{lo: g.lo[cs.pos], hi: g.hi[cs.pos]}
+					} else {
+						c.lo = min(c.lo, g.lo[cs.pos])
+						c.hi = max(c.hi, g.hi[cs.pos])
+					}
+				} else {
+					c = clampRange{lo: math.MinInt, hi: math.MaxInt}
+				}
+			default:
+				// General set: no cheap bound — disable the clamp.
+				c = clampRange{lo: math.MinInt, hi: math.MaxInt}
+			}
+			if c.lo == math.MinInt && c.hi == math.MaxInt {
+				break
+			}
+		}
+		f.clamps[i] = c
+	}
+}

@@ -54,18 +54,46 @@ func (er *ExecResult) Global(name string) ([]float64, []int, []int, error) {
 	return out.data, out.lo, out.hi, nil
 }
 
-// Execute runs the compiled program on the virtual machine.
+// Execute runs the compiled program on the virtual machine with the
+// default (compiled) execution engine.
 func (p *Program) Execute(cfg mpsim.Config) (*ExecResult, error) {
+	return p.ExecuteEngine(cfg, EngineCompiled)
+}
+
+// ExecuteEngine runs the compiled program with an explicit engine
+// choice.  EngineCompiled lowers procedure bodies to closure trees over
+// a slot-indexed environment (engine.go) and is byte-identical to
+// EngineInterp, the original tree-walking interpreter retained as the
+// reference oracle.  If the engine plan cannot be built for a program,
+// the interpreter runs instead.
+func (p *Program) ExecuteEngine(cfg mpsim.Config, engine Engine) (*ExecResult, error) {
 	if cfg.Procs != p.Grid.Size() {
 		return nil, fmt.Errorf("spmd: machine has %d ranks, program wants %d", cfg.Procs, p.Grid.Size())
+	}
+	var plan *enginePlan
+	if engine == EngineCompiled {
+		// Plan build happens once per Program, before any rank spawns;
+		// the plan is immutable and shared read-only by all ranks.  A
+		// build error (pathological program shape) falls back to the
+		// interpreter for the whole run.
+		plan, _ = p.enginePlanFor()
 	}
 	ranks := make([]*rankExec, cfg.Procs)
 	var mu sync.Mutex
 	var execErr error
 	res := mpsim.Run(cfg, func(r *mpsim.Rank) {
-		rx := &rankExec{p: p, rk: r, me: r.ID, bind: map[string]int{}}
+		rx := &rankExec{p: p, rk: r, me: r.ID, bind: map[string]int{}, plan: plan}
+		if plan != nil {
+			rx.env.ints = make([]int, plan.nInts)
+			rx.env.intSet = make([]bool, plan.nInts)
+		}
 		for k, v := range p.Ctx.Bind.Params {
 			rx.bind[k] = v
+			if plan != nil {
+				s := plan.intSlot[k]
+				rx.env.ints[s] = v
+				rx.env.intSet[s] = true
+			}
 		}
 		mu.Lock()
 		ranks[r.ID] = rx
@@ -157,6 +185,21 @@ type frame struct {
 	// computed over the statement's full nest at procedure entry
 	iters map[int]iset.Set
 	vars  map[int][]string // nest variable names per statement id
+
+	// Compiled-engine state (nil/unused under the interpreter): the
+	// frame's slot views installed into the rank environment, the guards
+	// and clamps derived from iters (engine_bounds.go), and the saved
+	// caller views restored on frame pop.
+	plan        *procPlan
+	floats      []float64
+	fset        []bool
+	aslots      []*array
+	guards      []stmtGuard
+	clamps      []clampRange
+	point       []int // reusable membership buffer for guardSet
+	savedFloats []float64
+	savedFset   []bool
+	savedArrays []*array
 }
 
 type stripCtl struct {
@@ -174,6 +217,15 @@ type rankExec struct {
 	tagSeq    int
 	strip     *stripCtl
 	mainFrame *frame // retained after execution for result gathering
+
+	// Compiled-engine state (nil/zero under the interpreter).  env's
+	// integer slots shadow bind — ints[slot] == bind[name], 0 when
+	// unbound — except inside communication-free loops where only the
+	// slot is maintained (engine.go).  payload is the reused message
+	// staging buffer (mpsim.Send copies before returning).
+	plan    *enginePlan
+	env     engineEnv
+	payload []float64
 }
 
 func (rx *rankExec) top() *frame { return rx.frames[len(rx.frames)-1] }
@@ -239,7 +291,14 @@ func (rx *rankExec) runProc(proc *ir.Procedure, actualArrays map[string]*array, 
 		return true
 	})
 
-	rx.execStmts(proc, proc.Body, 0)
+	if rx.plan != nil {
+		pp := rx.plan.procs[proc.Name]
+		rx.pushPlanFrame(f, pp, floatFormals)
+		rx.execPlanStmts(proc, pp.body)
+		rx.popPlanFrame(f)
+	} else {
+		rx.execStmts(proc, proc.Body, 0)
+	}
 	rx.frames = rx.frames[:len(rx.frames)-1]
 }
 
@@ -520,7 +579,7 @@ func (rx *rankExec) execLoop(proc *ir.Procedure, l *ir.Loop, depth int) {
 	}
 
 	if pipe := rx.pipelinedEvents(proc, l); len(pipe) > 0 {
-		rx.execPipelined(proc, l, depth, pipe)
+		rx.execPipelined(proc, l, depth, pipe, func() { rx.iterateLoop(proc, l, depth) })
 	} else {
 		rx.iterateLoop(proc, l, depth)
 	}
@@ -727,26 +786,16 @@ func (rx *rankExec) doTransfers(proc *ir.Procedure, transfers []comm.Transfer) {
 		if tr.From != rx.me {
 			continue
 		}
-		arr := f.arrays[tr.Array]
-		payload := make([]float64, 0, tr.Data.Card())
-		tr.Data.Each(func(p []int) bool {
-			payload = append(payload, arr.get(p))
-			return true
-		})
-		rx.rk.Send(tr.To, base+i, payload)
+		rx.payload = packPayload(rx.payload[:0], f.arrays[tr.Array], tr.Data)
+		rx.rk.Send(tr.To, base+i, rx.payload)
 	}
 	for i, tr := range transfers {
 		if tr.To != rx.me {
 			continue
 		}
 		data := rx.rk.Recv(tr.From, base+i)
-		arr := f.arrays[tr.Array]
-		j := 0
-		tr.Data.Each(func(p []int) bool {
-			arr.set(p, data[j])
-			j++
-			return true
-		})
+		unpackPayload(data, f.arrays[tr.Array], tr.Data)
+		rx.rk.Recycle(data)
 	}
 }
 
@@ -773,12 +822,15 @@ func (rx *rankExec) pipelinedEvents(proc *ir.Procedure, l *ir.Loop) []*comm.Even
 // 2-D diagonal wavefront of LU-class codes) does not re-strip: it runs
 // block-serialized within the enclosing strip, exchanging its boundary
 // restricted to that strip.
-func (rx *rankExec) execPipelined(proc *ir.Procedure, l *ir.Loop, depth int, events []*comm.Event) {
+// The loop body itself runs through the iterate callback, so both the
+// interpreter (iterateLoop) and the compiled engine (iteratePlanLoop)
+// share this strip/chunk/tag protocol unchanged.
+func (rx *rankExec) execPipelined(proc *ir.Procedure, l *ir.Loop, depth int, events []*comm.Event, iterate func()) {
 	if rx.strip != nil {
 		// Nested wavefront inside an enclosing pipeline strip.
 		plan := rx.transfersFor(proc, events, depth, rx.strip)
 		base := rx.recvMineTagged(plan)
-		rx.iterateLoop(proc, l, depth)
+		iterate()
 		rx.sendMineTagged(plan, base)
 		return
 	}
@@ -788,7 +840,7 @@ func (rx *rankExec) execPipelined(proc *ir.Procedure, l *ir.Loop, depth int, eve
 		// block).
 		plan := rx.transfersFor(proc, events, depth, nil)
 		base := rx.recvMineTagged(plan)
-		rx.iterateLoop(proc, l, depth)
+		iterate()
 		rx.sendMineTagged(plan, base)
 		return
 	}
@@ -806,7 +858,7 @@ func (rx *rankExec) execPipelined(proc *ir.Procedure, l *ir.Loop, depth int, eve
 		plan := rx.transfersFor(proc, events, depth, chunk)
 		base := rx.recvMineTagged(plan)
 		rx.strip = chunk
-		rx.iterateLoop(proc, l, depth)
+		iterate()
 		rx.strip = nil
 		rx.sendMineTagged(plan, base)
 	}
@@ -839,13 +891,8 @@ func (rx *rankExec) recvMineTagged(plan []comm.Transfer) int {
 			continue
 		}
 		data := rx.rk.Recv(tr.From, base+i)
-		arr := f.arrays[tr.Array]
-		j := 0
-		tr.Data.Each(func(p []int) bool {
-			arr.set(p, data[j])
-			j++
-			return true
-		})
+		unpackPayload(data, f.arrays[tr.Array], tr.Data)
+		rx.rk.Recycle(data)
 	}
 	return base
 }
@@ -857,12 +904,7 @@ func (rx *rankExec) sendMineTagged(plan []comm.Transfer, base int) {
 		if tr.From != rx.me {
 			continue
 		}
-		arr := f.arrays[tr.Array]
-		payload := make([]float64, 0, tr.Data.Card())
-		tr.Data.Each(func(p []int) bool {
-			payload = append(payload, arr.get(p))
-			return true
-		})
-		rx.rk.Send(tr.To, base+i, payload)
+		rx.payload = packPayload(rx.payload[:0], f.arrays[tr.Array], tr.Data)
+		rx.rk.Send(tr.To, base+i, rx.payload)
 	}
 }

@@ -1,0 +1,208 @@
+// Command benchjson runs the execution-engine benchmark set and emits a
+// machine-readable summary (BENCH_5.json).  Each benchmark family has a
+// compiled variant and an Interp-suffixed interpreter variant over the
+// same workload (bench_test.go routes both through the same body via
+// Program.ExecuteEngine), so the tool pairs them up and reports the
+// speedup of the closure-compiled engine over the tree-walking
+// interpreter alongside the raw ns/op, B/op, and allocs/op numbers.
+//
+// Usage:
+//
+//	go run ./tools/benchjson [flags]
+//
+//	-bench RE     benchmark selection regexp (default the ExecuteSPStep
+//	              and LUWavefront families)
+//	-benchtime T  passed through to go test (default 1x per bench: "2s")
+//	-o FILE       write JSON here (default BENCH_5.json; "-" = stdout)
+//	-check        gate mode: exit 1 unless the compiled engine beats the
+//	              interpreter on every paired benchmark (CI smoke; uses
+//	              a short -benchtime unless one is given)
+//
+// Stdlib-only by design, like tools/vetdet: the container has no
+// golang.org/x/perf, so the benchmark output is parsed directly.  The
+// parser understands the standard `name iters value unit ...` line
+// shape including custom ReportMetric columns (virtual_ms).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// VirtualMs is the simulated-machine makespan reported by the LU
+	// wavefront benchmarks; identical across engines by construction
+	// (the differential suite enforces it), so a mismatch here means
+	// the engines diverged.
+	VirtualMs float64 `json:"virtual_ms,omitempty"`
+}
+
+// Pair is a compiled benchmark matched with its Interp-suffixed oracle.
+type Pair struct {
+	Benchmark     string  `json:"benchmark"`
+	CompiledNs    float64 `json:"compiled_ns_per_op"`
+	InterpNs      float64 `json:"interp_ns_per_op"`
+	Speedup       float64 `json:"speedup"`
+	CompiledAlloc float64 `json:"compiled_allocs_per_op"`
+	InterpAlloc   float64 `json:"interp_allocs_per_op"`
+	AllocRatio    float64 `json:"alloc_ratio"`
+}
+
+// Report is the BENCH_5.json document.
+type Report struct {
+	GoTestArgs []string `json:"go_test_args"`
+	Benchmarks []Bench  `json:"benchmarks"`
+	Pairs      []Pair   `json:"pairs"`
+}
+
+func main() {
+	benchRE := flag.String("bench", "BenchmarkExecuteSPStep|BenchmarkLUWavefront",
+		"benchmark selection regexp (go test -bench)")
+	benchtime := flag.String("benchtime", "", "go test -benchtime (default 2s, or 1x with -check)")
+	out := flag.String("o", "BENCH_5.json", `output file ("-" for stdout)`)
+	check := flag.Bool("check", false, "exit 1 unless compiled beats interp on every pair")
+	flag.Parse()
+
+	bt := *benchtime
+	if bt == "" {
+		if *check {
+			bt = "1x"
+		} else {
+			bt = "2s"
+		}
+	}
+	args := []string{"test", "-run", "NONE", "-bench", *benchRE, "-benchmem", "-benchtime", bt, "."}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go %s: %v\n%s", strings.Join(args, " "), err, raw)
+		os.Exit(2)
+	}
+
+	rep := Report{GoTestArgs: args}
+	for _, line := range strings.Split(string(raw), "\n") {
+		b, ok := parseLine(line)
+		if ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark lines in go test output:\n%s", raw)
+		os.Exit(2)
+	}
+	rep.Pairs = pairUp(rep.Benchmarks)
+
+	js, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	js = append(js, '\n')
+	if *out == "-" {
+		os.Stdout.Write(js)
+	} else if err := os.WriteFile(*out, js, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+
+	if *check {
+		fail := false
+		for _, p := range rep.Pairs {
+			if p.Speedup <= 1 {
+				fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: compiled %.0f ns/op not faster than interp %.0f ns/op\n",
+					p.Benchmark, p.CompiledNs, p.InterpNs)
+				fail = true
+			}
+		}
+		if len(rep.Pairs) == 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: -check found no compiled/interp pairs")
+			fail = true
+		}
+		if fail {
+			os.Exit(1)
+		}
+	}
+	for _, p := range rep.Pairs {
+		fmt.Fprintf(os.Stderr, "benchjson: %s speedup %.2fx (allocs %.0f -> %.0f)\n",
+			p.Benchmark, p.Speedup, p.InterpAlloc, p.CompiledAlloc)
+	}
+}
+
+// parseLine parses one `BenchmarkName-N  iters  v unit  v unit ...`
+// result line; returns ok=false for everything else (headers, PASS,
+// ok-lines).
+func parseLine(line string) (Bench, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Bench{}, false
+	}
+	name, _, _ := strings.Cut(f[0], "-") // strip -GOMAXPROCS
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b := Bench{Name: name, Iters: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Bench{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		case "virtual_ms":
+			b.VirtualMs = v
+		}
+	}
+	return b, b.NsPerOp > 0
+}
+
+// pairUp matches each benchmark with its Interp-suffixed counterpart,
+// preserving the order benchmarks appeared in.
+func pairUp(bs []Bench) []Pair {
+	byName := make(map[string]Bench, len(bs))
+	for _, b := range bs {
+		byName[b.Name] = b
+	}
+	var pairs []Pair
+	for _, b := range bs {
+		if strings.HasSuffix(b.Name, "Interp") {
+			continue
+		}
+		in, ok := byName[b.Name+"Interp"]
+		if !ok {
+			continue
+		}
+		p := Pair{
+			Benchmark:     b.Name,
+			CompiledNs:    b.NsPerOp,
+			InterpNs:      in.NsPerOp,
+			CompiledAlloc: b.AllocsPerOp,
+			InterpAlloc:   in.AllocsPerOp,
+		}
+		if b.NsPerOp > 0 {
+			p.Speedup = in.NsPerOp / b.NsPerOp
+		}
+		if b.AllocsPerOp > 0 {
+			p.AllocRatio = in.AllocsPerOp / b.AllocsPerOp
+		}
+		pairs = append(pairs, p)
+	}
+	return pairs
+}
