@@ -132,6 +132,10 @@ type PassStatJSON struct {
 	Msgs       int64  `json:"msgs,omitempty"`
 	Bytes      int64  `json:"bytes,omitempty"`
 	DeltaBytes *int64 `json:"delta_bytes,omitempty"`
+	// Cached marks a pass whose per-procedure work was satisfied from
+	// the artifact store (incremental compile), or — on a whole-program
+	// cache hit — a pass that did not run at all for this request.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // PassStatsJSON converts pass records to their wire form.
@@ -146,11 +150,26 @@ func PassStatsJSON(stats []PassStat) []PassStatJSON {
 			Measured: st.Measured,
 			Msgs:     st.Msgs,
 			Bytes:    st.Bytes,
+			Cached:   st.Cached,
 		}
 		if st.HasDelta {
 			d := st.DeltaBytes
 			out[i].DeltaBytes = &d
 		}
+	}
+	return out
+}
+
+// CachedPassStatsJSON is the wire form of a whole-program cache hit: the
+// request did zero pass work, so every record reports zero wall time and
+// Cached, keeping only the name and decision summary of the original
+// compile.  (Previously a hit replayed the original compile's wall
+// times, which inflated aggregate timing dashboards with work that
+// never happened.)
+func CachedPassStatsJSON(stats []PassStat) []PassStatJSON {
+	out := make([]PassStatJSON, len(stats))
+	for i, st := range stats {
+		out[i] = PassStatJSON{Name: st.Name, Summary: st.Summary, Cached: true}
 	}
 	return out
 }
@@ -167,6 +186,28 @@ type CompileResponse struct {
 	// Cached reports whether the compiled program came from the cache
 	// (a stored entry or a coalesced in-flight compile).
 	Cached bool `json:"cached"`
+}
+
+// BatchCompileRequest is /v1/compile/batch's body: several compile
+// requests processed as one unit.  Batch members share the server's
+// program cache and per-unit artifact store, so members that differ by
+// one procedure (parameter sweeps, edit sequences) reuse each other's
+// per-procedure analyses.
+type BatchCompileRequest struct {
+	Requests []CompileRequest `json:"requests"`
+}
+
+// BatchCompileResult is one batch member's outcome: the response, or the
+// error that member failed with (other members still complete).
+type BatchCompileResult struct {
+	Response *CompileResponse `json:"response,omitempty"`
+	Error    string           `json:"error,omitempty"`
+}
+
+// BatchCompileResponse is /v1/compile/batch's result, one entry per
+// request, in request order.
+type BatchCompileResponse struct {
+	Results []BatchCompileResult `json:"results"`
 }
 
 // ExplainResponse is /v1/explain's result: the rendered per-pass table
@@ -426,10 +467,27 @@ type ServerStats struct {
 	UptimeMS   int64 `json:"uptime_ms"`
 }
 
+// ArtifactCacheStats is the per-unit artifact store's counter snapshot:
+// hits and misses count artifact lookups by environment fingerprint
+// across incremental compiles; dirty counts artifacts recomputed because
+// a procedure (or its callees, options or directives) changed.
+type ArtifactCacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Dirty     int64 `json:"dirty"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	SizeBytes int64 `json:"size_bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+}
+
 // StatsResponse is /v1/stats.
 type StatsResponse struct {
-	Cache  CacheStats  `json:"cache"`
-	Server ServerStats `json:"server"`
+	Cache CacheStats `json:"cache"`
+	// Artifacts is the per-unit artifact tier feeding warm recompiles,
+	// reported next to the whole-program cache above it.
+	Artifacts ArtifactCacheStats `json:"artifacts"`
+	Server    ServerStats        `json:"server"`
 }
 
 // APIError is a non-2xx service response.

@@ -17,7 +17,10 @@ package dhpf
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"testing"
+	"time"
 
 	"dhpf/internal/cp"
 	"dhpf/internal/iset"
@@ -433,4 +436,72 @@ func benchLUWavefront(b *testing.B, engine spmd.Engine) {
 		vt = res.Machine.Time
 	}
 	b.ReportMetric(vt*1e3, "virtual_ms")
+}
+
+// --- Incremental compilation -------------------------------------------------
+
+// warmEdit produces the i-th distinct one-constant edit of the modular
+// SP source (the CoefAdd term inside the add procedure), so every
+// benchmark iteration is a genuine warm edit, never a program-level
+// cache hit.
+func warmEdit(b *testing.B, base string, i int) string {
+	edited := strings.Replace(base, " + 0.1*(rhs(1",
+		fmt.Sprintf(" + 0.1%04d*(rhs(1", i%9999+1), 1)
+	if edited == base {
+		b.Fatal("warm-edit marker not found in SPModSource output")
+	}
+	return edited
+}
+
+func p50ns(durs []time.Duration) float64 {
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	return float64(durs[len(durs)/2].Nanoseconds())
+}
+
+// BenchmarkWarmEditRecompile measures the warm-edit recompile latency of
+// the modular SP program: one procedure (add) is edited each iteration
+// and recompiled through the per-procedure artifact store, thawing every
+// unchanged procedure's dependence graph, communication plan and
+// verification fragment.  The p50_ns metric is gated against
+// BenchmarkWarmEditRecompileCold by tools/benchjson -check (warm must be
+// ≥10× faster at p50).
+func BenchmarkWarmEditRecompile(b *testing.B) {
+	base := nas.SPModSource(32, 2, 2, 2)
+	inc := NewIncremental(0)
+	if _, _, err := inc.Compile(base, nil, DefaultOptions()); err != nil {
+		b.Fatal(err)
+	}
+	durs := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := warmEdit(b, base, i)
+		t0 := time.Now()
+		_, delta, err := inc.Compile(src, nil, DefaultOptions())
+		durs = append(durs, time.Since(t0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if delta.Dirty >= delta.Procs {
+			b.Fatalf("warm edit dirtied every procedure: %v", delta)
+		}
+	}
+	b.ReportMetric(p50ns(durs), "p50_ns")
+}
+
+// BenchmarkWarmEditRecompileCold is the baseline: the same per-iteration
+// edits compiled cold through the full pipeline.
+func BenchmarkWarmEditRecompileCold(b *testing.B) {
+	base := nas.SPModSource(32, 2, 2, 2)
+	durs := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := warmEdit(b, base, i)
+		t0 := time.Now()
+		_, err := Compile(src, nil, DefaultOptions())
+		durs = append(durs, time.Since(t0))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(p50ns(durs), "p50_ns")
 }

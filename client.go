@@ -84,6 +84,20 @@ func (c *Client) Compile(ctx context.Context, req CompileRequest) (*CompileRespo
 	return &resp, nil
 }
 
+// CompileBatch compiles many requests in one round trip.  The service
+// processes the batch in order against a shared program cache and
+// per-procedure artifact store, so near-identical members (a parameter
+// sweep, successive edits of one program) reuse each other's analyses.
+// Per-member failures come back in the matching BatchCompileResult; the
+// call itself fails only on transport or whole-batch errors.
+func (c *Client) CompileBatch(ctx context.Context, req BatchCompileRequest) (*BatchCompileResponse, error) {
+	var resp BatchCompileResponse
+	if err := c.post(ctx, "/v1/compile/batch", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Explain returns the per-pass instrumentation table for a compilation.
 func (c *Client) Explain(ctx context.Context, req CompileRequest) (*ExplainResponse, error) {
 	var resp ExplainResponse

@@ -71,6 +71,46 @@ func TestClientRetryExhaustion(t *testing.T) {
 	}
 }
 
+// The batch helper rides the same retry machinery as single compiles:
+// a whole-batch 429 is retried with the full body re-sent each attempt.
+func TestClientCompileBatchRetries429(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if int(hits.Add(1)) <= 2 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "queue full"})
+			return
+		}
+		var req dhpf.BatchCompileRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("attempt %d body unreadable: %v", hits.Load(), err)
+		}
+		resp := dhpf.BatchCompileResponse{Results: make([]dhpf.BatchCompileResult, len(req.Requests))}
+		for i, cr := range req.Requests {
+			resp.Results[i].Response = &dhpf.CompileResponse{Ranks: len(cr.Source)}
+		}
+		json.NewEncoder(w).Encode(resp)
+	}))
+	defer ts.Close()
+
+	c := retryClient(ts.URL, 5)
+	resp, err := c.CompileBatch(context.Background(), dhpf.BatchCompileRequest{
+		Requests: []dhpf.CompileRequest{{Source: "ab"}, {Source: "wxyz"}},
+	})
+	if err != nil {
+		t.Fatalf("batch through flaky server: %v", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want 3", got)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(resp.Results))
+	}
+	if resp.Results[0].Response.Ranks != 2 || resp.Results[1].Response.Ranks != 4 {
+		t.Errorf("batch body not re-sent intact: %+v", resp.Results)
+	}
+}
+
 func TestClientNoRetryByDefault(t *testing.T) {
 	ts, hits := flakyServer(t, 1)
 	c := dhpf.NewClient(ts.URL) // zero RetryPolicy

@@ -26,6 +26,12 @@
 //	-disable LIST    drop optional passes by name (comma-separated)
 //	-explain         print the per-pass table: wall time, communication
 //	                 volume after each pass (with deltas), and decisions
+//	-incremental     compile through the per-procedure artifact store:
+//	                 prime it cold, then recompile warm — the warm run
+//	                 thaws every procedure's frozen analyses, and its
+//	                 output (printed) is byte-identical to the cold one
+//	-stats           with -incremental: print the recompile delta and the
+//	                 per-pass table (reused passes are labelled "cached")
 //	-lint            run the translation validator and print its
 //	                 diagnostics instead of the compile report; exit 1
 //	                 when the program fails a safety obligation
@@ -45,6 +51,7 @@ import (
 	"strconv"
 	"strings"
 
+	"dhpf/internal/cache"
 	"dhpf/internal/cp"
 	"dhpf/internal/mpsim"
 	"dhpf/internal/passes"
@@ -92,6 +99,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	disable := fs.String("disable", "", "comma-separated optional passes to drop "+
 		fmt.Sprintf("(%s)", strings.Join(passes.OptionalPassNames(), ",")))
 	explain := fs.Bool("explain", false, "print the per-pass instrumentation table")
+	incremental := fs.Bool("incremental", false, "compile via the artifact store (cold prime + warm recompile)")
+	stats := fs.Bool("stats", false, "with -incremental: print the recompile delta and pass table")
 	lint := fs.Bool("lint", false, "print verifier diagnostics; exit 1 on safety errors")
 	asJSON := fs.Bool("json", false, "with -lint: print the verification report as JSON")
 	fs.Var(params, "param", "override a program parameter NAME=VALUE")
@@ -139,7 +148,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opt.Disable = append(opt.Disable, passes.PassVerify)
 	}
 
-	prog, err := spmd.CompileSource(string(src), params, opt)
+	if *stats && !*incremental {
+		fmt.Fprintln(stderr, "dhpfc: -stats requires -incremental")
+		return 2
+	}
+
+	var prog *spmd.Program
+	var delta *passes.Delta
+	if *incremental {
+		// Prime the artifact store with a cold compile, then recompile
+		// warm: the warm run thaws every procedure's frozen analyses and
+		// is the compile whose (byte-identical) output gets printed.
+		store := cache.NewArtifactStore(0)
+		if _, _, err = spmd.CompileIncremental(string(src), params, opt, store); err == nil {
+			prog, delta, err = spmd.CompileIncremental(string(src), params, opt, store)
+		}
+	} else {
+		prog, err = spmd.CompileSource(string(src), params, opt)
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "dhpfc:", err)
 		return 1
@@ -166,6 +192,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *explain {
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, passes.StatsTable(prog.PassStats()))
+	}
+
+	if *stats {
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, delta)
+		if !*explain {
+			fmt.Fprint(stdout, passes.StatsTable(prog.PassStats()))
+		}
 	}
 
 	if *emit >= 0 {

@@ -146,3 +146,43 @@ func TestLint(t *testing.T) {
 		t.Errorf("JSON report empty: %s", jout.String())
 	}
 }
+
+// TestIncrementalFlag: -incremental prints the warm recompile's output,
+// which must be byte-identical to a plain compile; -stats adds the
+// recompile delta and a pass table whose reused passes say "cached".
+func TestIncrementalFlag(t *testing.T) {
+	var plain, incr, errb bytes.Buffer
+	if code := run([]string{"../../testdata/lhsy.hpf"}, &plain, &errb); code != 0 {
+		t.Fatalf("plain exit %d: %s", code, errb.String())
+	}
+	if code := run([]string{"-incremental", "../../testdata/lhsy.hpf"}, &incr, &errb); code != 0 {
+		t.Fatalf("-incremental exit %d: %s", code, errb.String())
+	}
+	if plain.String() != incr.String() {
+		t.Errorf("-incremental report differs from plain compile:\n--- plain ---\n%s\n--- incremental ---\n%s",
+			plain.String(), incr.String())
+	}
+
+	var stats bytes.Buffer
+	if code := run([]string{"-incremental", "-stats", "../../testdata/lhsy.hpf"}, &stats, &errb); code != 0 {
+		t.Fatalf("-incremental -stats exit %d: %s", code, errb.String())
+	}
+	got := stats.String()
+	if !strings.HasPrefix(got, plain.String()) {
+		t.Error("-stats altered the compile report itself")
+	}
+	if !strings.Contains(got, "incremental: 0/") || !strings.Contains(got, "artifacts reused") {
+		t.Errorf("missing recompile delta in -stats output:\n%s", got)
+	}
+	if !strings.Contains(got, "cached") {
+		t.Errorf("warm recompile pass table has no cached labels:\n%s", got)
+	}
+
+	errb.Reset()
+	if code := run([]string{"-stats", "../../testdata/lhsy.hpf"}, &stats, &errb); code != 2 {
+		t.Errorf("-stats without -incremental exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-incremental") {
+		t.Errorf("stderr = %q, want mention of -incremental", errb.String())
+	}
+}

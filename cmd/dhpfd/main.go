@@ -6,7 +6,7 @@
 // Usage:
 //
 //	dhpfd serve [-addr :8421] [-workers 4] [-queue 64] [-cache-mb 256]
-//	            [-timeout 60s] [-quiet]
+//	            [-artifact-mb 64] [-timeout 60s] [-quiet]
 //	dhpfd loadgen [-addr http://127.0.0.1:8421] [-requests 200]
 //	              [-concurrency 8] [-warm 0.8] [-n 16] [-steps 1] [-json]
 //
@@ -74,6 +74,7 @@ func serve(ctx context.Context, w io.Writer, args []string) error {
 	workers := fs.Int("workers", 4, "concurrent compile workers")
 	queue := fs.Int("queue", 64, "queued compiles beyond the workers (full queue = 429)")
 	cacheMB := fs.Int("cache-mb", 256, "program cache budget in MiB")
+	artifactMB := fs.Int("artifact-mb", 64, "per-procedure artifact store budget in MiB")
 	timeout := fs.Duration("timeout", 60*time.Second, "per-request compile deadline")
 	quiet := fs.Bool("quiet", false, "suppress per-request logs")
 	if err := fs.Parse(args); err != nil {
@@ -88,6 +89,7 @@ func serve(ctx context.Context, w io.Writer, args []string) error {
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheBytes:     int64(*cacheMB) << 20,
+		ArtifactBytes:  int64(*artifactMB) << 20,
 		RequestTimeout: *timeout,
 		Logger:         logger,
 	})
@@ -199,6 +201,12 @@ func loadgen(ctx context.Context, w io.Writer, args []string) error {
 		}
 	}
 	ok := *requests - errs
+	// Snapshot the artifact tier after the run: how much per-procedure
+	// analysis the warm traffic reused versus recomputed.
+	var artifacts *dhpf.ArtifactCacheStats
+	if st, err := client.Stats(ctx); err == nil {
+		artifacts = &st.Artifacts
+	}
 	sum := loadgenSummary{
 		Requests:     *requests,
 		OK:           ok,
@@ -210,6 +218,7 @@ func loadgen(ctx context.Context, w io.Writer, args []string) error {
 		Throughput:   float64(ok) / elapsed.Seconds(),
 		Warm:         summarize(warmDurs),
 		Cold:         summarize(coldDurs),
+		Artifacts:    artifacts,
 	}
 	if *asJSON {
 		enc := json.NewEncoder(w)
@@ -231,6 +240,10 @@ func loadgen(ctx context.Context, w io.Writer, args []string) error {
 	}
 	report("warm", sum.Warm)
 	report("cold", sum.Cold)
+	if a := sum.Artifacts; a != nil {
+		fmt.Fprintf(w, "artifacts: %d hits, %d misses, %d dirty recomputes, %d entries (%d B)\n",
+			a.Hits, a.Misses, a.Dirty, a.Entries, a.SizeBytes)
+	}
 	return nil
 }
 
@@ -248,6 +261,9 @@ type loadgenSummary struct {
 	Throughput   float64        `json:"throughput_rps"`
 	Warm         latencySummary `json:"warm"`
 	Cold         latencySummary `json:"cold"`
+	// Artifacts is the service's per-procedure artifact-tier counters
+	// after the run (nil when /v1/stats was unreachable).
+	Artifacts *dhpf.ArtifactCacheStats `json:"artifacts,omitempty"`
 }
 
 type latencySummary struct {

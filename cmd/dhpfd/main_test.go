@@ -173,3 +173,40 @@ func TestBadSubcommand(t *testing.T) {
 		t.Error("missing subcommand accepted")
 	}
 }
+
+// TestLoadgenArtifacts: the -json summary carries the service's
+// artifact-tier counters, and the text form prints them.
+func TestLoadgenArtifacts(t *testing.T) {
+	ts := httptest.NewServer(service.New(service.Config{Workers: 2}).Handler())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run(context.Background(), &out, []string{
+		"loadgen", "-addr", ts.URL, "-requests", "10", "-concurrency", "2",
+		"-warm", "0.5", "-n", "10", "-json",
+	})
+	if err != nil {
+		t.Fatalf("loadgen -json: %v\n%s", err, out.String())
+	}
+	var sum loadgenSummary
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatalf("stdout is not a JSON summary: %v", err)
+	}
+	if sum.Artifacts == nil {
+		t.Fatal("summary has no artifact counters")
+	}
+	if sum.Artifacts.Misses == 0 || sum.Artifacts.Entries == 0 {
+		t.Errorf("artifact counters empty after compiles: %+v", *sum.Artifacts)
+	}
+
+	out.Reset()
+	err = run(context.Background(), &out, []string{
+		"loadgen", "-addr", ts.URL, "-requests", "5", "-concurrency", "2", "-n", "10",
+	})
+	if err != nil {
+		t.Fatalf("loadgen text: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "artifacts:") {
+		t.Errorf("text report missing artifact line:\n%s", out.String())
+	}
+}

@@ -31,6 +31,7 @@ package dhpf
 import (
 	"context"
 
+	"dhpf/internal/cache"
 	"dhpf/internal/mpsim"
 	"dhpf/internal/parser"
 	"dhpf/internal/passes"
@@ -77,6 +78,10 @@ const (
 // PassNames lists every pass of the full pipeline, in order.
 func PassNames() []string { return passes.PassNames() }
 
+// OptionalPassNames lists the passes Options.Disable accepts, in
+// pipeline order.
+func OptionalPassNames() []string { return passes.OptionalPassNames() }
+
 // StatsTable renders pass records as the table cmd/dhpfc -explain
 // prints.
 func StatsTable(stats []PassStat) string { return passes.StatsTable(stats) }
@@ -109,6 +114,46 @@ func CompileCtx(ctx context.Context, source string, params map[string]int, opt O
 		return nil, err
 	}
 	return &Program{inner: p}, nil
+}
+
+// CompileDelta summarizes one incremental compile: procedure counts,
+// which procedures were dirty, and the artifact hit/miss balance.
+type CompileDelta = passes.Delta
+
+// Incremental is a compiler with a per-unit artifact store: repeated
+// Compile calls reuse the dependence graphs, communication plans and
+// verification fragments of procedures whose content (and whose
+// callees' content) is unchanged, re-analyzing only edited procedures —
+// in parallel.  The output is byte-for-byte identical to a cold
+// Compile of the same source.  Safe for concurrent use.
+type Incremental struct {
+	store *cache.ArtifactStore
+}
+
+// NewIncremental returns an incremental compiler whose artifact store
+// holds at most maxBytes of frozen artifacts (0 = the 64 MiB default).
+func NewIncremental(maxBytes int64) *Incremental {
+	return &Incremental{store: cache.NewArtifactStore(maxBytes)}
+}
+
+// Compile compiles source through the artifact store, returning the
+// program plus the recompilation delta.
+func (inc *Incremental) Compile(source string, params map[string]int, opt Options) (*Program, *CompileDelta, error) {
+	return inc.CompileCtx(context.Background(), source, params, opt)
+}
+
+// CompileCtx is Compile with cancellation at pass boundaries.
+func (inc *Incremental) CompileCtx(ctx context.Context, source string, params map[string]int, opt Options) (*Program, *CompileDelta, error) {
+	p, delta, err := spmd.CompileIncrementalCtx(ctx, source, params, opt, inc.store)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Program{inner: p}, delta, nil
+}
+
+// ArtifactStats returns the artifact store's counter snapshot.
+func (inc *Incremental) ArtifactStats() cache.ArtifactStats {
+	return inc.store.Stats()
 }
 
 // Fingerprint returns the canonical content address of one compilation:

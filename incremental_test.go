@@ -1,0 +1,142 @@
+package dhpf_test
+
+import (
+	"strings"
+	"testing"
+
+	"dhpf"
+	"dhpf/internal/nas"
+)
+
+// editSPMod makes the canonical warm edit to the modular SP source: a
+// one-constant change inside the add procedure (the CoefAdd term).
+func editSPMod(t testing.TB, src string) string {
+	t.Helper()
+	edited := strings.Replace(src, " + 0.1*(rhs(1", " + 0.105*(rhs(1", 1)
+	if edited == src {
+		t.Fatal("warm-edit marker not found in SPModSource output")
+	}
+	return edited
+}
+
+// TestIncrementalSPModByteIdentical: the full modular NAS SP program
+// through the public incremental API.  A warm recompile after a
+// one-procedure edit must reuse every unchanged procedure's artifacts
+// and still produce byte-identical Report, node programs and
+// verification output to a cold compile of the edited source.
+func TestIncrementalSPModByteIdentical(t *testing.T) {
+	base := nas.SPModSource(12, 1, 2, 2)
+	inc := dhpf.NewIncremental(0)
+	opt := dhpf.DefaultOptions()
+
+	if _, _, err := inc.Compile(base, nil, opt); err != nil {
+		t.Fatalf("priming compile: %v", err)
+	}
+
+	edited := editSPMod(t, base)
+	warm, delta, err := inc.Compile(edited, nil, opt)
+	if err != nil {
+		t.Fatalf("warm compile: %v", err)
+	}
+	cold, err := dhpf.Compile(edited, nil, opt)
+	if err != nil {
+		t.Fatalf("cold compile: %v", err)
+	}
+
+	if warm.Report() != cold.Report() {
+		t.Error("warm report differs from cold report")
+	}
+	for rk := 0; rk < cold.Ranks(); rk++ {
+		if warm.NodeProgram(rk) != cold.NodeProgram(rk) {
+			t.Errorf("rank %d node program differs warm vs cold", rk)
+		}
+	}
+	wv, err1 := warm.Verify()
+	cv, err2 := cold.Verify()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("verify: warm %v cold %v", err1, err2)
+	}
+	if wv.Text != cv.Text {
+		t.Error("warm verification report differs from cold")
+	}
+
+	// Only add (edited) and main (its caller) may be dirty.
+	if delta.Dirty != 2 {
+		t.Errorf("dirty procs = %v, want exactly [add main]", delta.DirtyProcs)
+	}
+	if delta.ArtifactHits == 0 {
+		t.Error("warm edit thawed no artifacts")
+	}
+	stats := inc.ArtifactStats()
+	if stats.Hits == 0 || stats.Entries == 0 {
+		t.Errorf("artifact store counters empty after warm edit: %+v", stats)
+	}
+}
+
+// TestIncrementalSPModCachedStats: an identical recompile is fully
+// cached — zero dirty procedures, no misses, and the per-pass records
+// label the memoized passes cached.
+func TestIncrementalSPModCachedStats(t *testing.T) {
+	src := nas.SPModSource(12, 1, 2, 2)
+	inc := dhpf.NewIncremental(0)
+	if _, _, err := inc.Compile(src, nil, dhpf.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	prog, delta, err := inc.Compile(src, nil, dhpf.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Dirty != 0 || delta.ArtifactMisses != 0 {
+		t.Fatalf("identical recompile not fully cached: %v", delta)
+	}
+	var cached int
+	for _, st := range prog.PassStats() {
+		if st.Cached {
+			cached++
+		}
+	}
+	if cached == 0 {
+		t.Error("no pass marked cached on a fully-memoized recompile")
+	}
+	if !strings.Contains(dhpf.StatsTable(prog.PassStats()), "cached") {
+		t.Error("stats table does not label cached passes")
+	}
+}
+
+// TestIncrementalSPModAblations: the byte-identical invariant holds for
+// the modular SP program under every single-pass ablation.
+func TestIncrementalSPModAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ablation matrix in long mode only")
+	}
+	base := nas.SPModSource(10, 1, 2, 2)
+	for _, name := range append([]string{""}, dhpf.OptionalPassNames()...) {
+		label := "default"
+		opt := dhpf.DefaultOptions()
+		if name != "" {
+			label = "no-" + name
+			opt = opt.WithDisabled(name)
+		}
+		t.Run(label, func(t *testing.T) {
+			inc := dhpf.NewIncremental(0)
+			if _, _, err := inc.Compile(base, nil, opt); err != nil {
+				t.Fatalf("prime: %v", err)
+			}
+			edited := editSPMod(t, base)
+			warm, _, err := inc.Compile(edited, nil, opt)
+			if err != nil {
+				t.Fatalf("warm: %v", err)
+			}
+			cold, err := dhpf.Compile(edited, nil, opt)
+			if err != nil {
+				t.Fatalf("cold: %v", err)
+			}
+			if warm.Report() != cold.Report() {
+				t.Error("warm report differs from cold under ablation")
+			}
+			if warm.NodeProgram(0) != cold.NodeProgram(0) {
+				t.Error("warm node program differs from cold under ablation")
+			}
+		})
+	}
+}

@@ -1,0 +1,129 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// ArtifactStats snapshots the artifact tier's counters.  Hits and Misses
+// are counted by Get; Dirty is counted by the incremental compiler when a
+// missed artifact is actually recomputed because its inputs changed — the
+// difference between Misses and Dirty is lookups that failed for other
+// reasons (thaw refused, evicted entry).
+type ArtifactStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Dirty     int64 `json:"dirty"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	SizeBytes int64 `json:"size_bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+}
+
+// ArtifactStore is the artifact-level cache tier of incremental
+// compilation: a size-bounded LRU mapping (procedure, pass) content
+// fingerprints to frozen pass artifacts (dependence graphs, communication
+// events, verification fragments).  Unlike Cache it has no singleflight —
+// the incremental scheduler computes missing artifacts itself, in
+// parallel, and a duplicated computation is merely wasted work, never
+// wrong (both racers Put identical values under the same content key).
+//
+// All methods are safe for concurrent use; one store may back many
+// concurrent compiles (the service shares a single store across every
+// request, which is what makes the batched compile endpoint share
+// artifacts between batch members).
+type ArtifactStore struct {
+	mu    sync.Mutex
+	max   int64
+	size  int64
+	ll    *list.List // front = most recently used; values are *artEntry
+	items map[string]*list.Element
+	stats ArtifactStats
+}
+
+type artEntry struct {
+	key  string
+	val  any
+	size int64
+}
+
+// NewArtifactStore returns a store bounded at maxBytes of charged entry
+// size (<=0 selects a 64 MiB default).
+func NewArtifactStore(maxBytes int64) *ArtifactStore {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	return &ArtifactStore{
+		max:   maxBytes,
+		ll:    list.New(),
+		items: map[string]*list.Element{},
+	}
+}
+
+// Get returns the artifact stored under key and marks it recently used.
+func (s *ArtifactStore) Get(key string) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		s.stats.Hits++
+		return el.Value.(*artEntry).val, true
+	}
+	s.stats.Misses++
+	return nil, false
+}
+
+// Put stores an artifact under its content key, charging size bytes
+// against the budget and evicting LRU entries as needed.
+func (s *ArtifactStore) Put(key string, val any, size int64) {
+	if size < 1 {
+		size = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.size -= el.Value.(*artEntry).size
+		s.ll.Remove(el)
+		delete(s.items, key)
+	}
+	s.items[key] = s.ll.PushFront(&artEntry{key: key, val: val, size: size})
+	s.size += size
+	for s.size > s.max {
+		back := s.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*artEntry)
+		s.ll.Remove(back)
+		delete(s.items, e.key)
+		s.size -= e.size
+		s.stats.Evictions++
+	}
+}
+
+// MarkDirty records n artifacts recomputed because their fingerprints
+// changed (the incremental scheduler calls this once per recompiled
+// artifact).
+func (s *ArtifactStore) MarkDirty(n int64) {
+	s.mu.Lock()
+	s.stats.Dirty += n
+	s.mu.Unlock()
+}
+
+// Len returns the number of stored artifacts.
+func (s *ArtifactStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (s *ArtifactStore) Stats() ArtifactStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = s.ll.Len()
+	st.SizeBytes = s.size
+	st.MaxBytes = s.max
+	return st
+}

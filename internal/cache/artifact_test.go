@@ -1,0 +1,82 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestArtifactStoreHitMissDirty(t *testing.T) {
+	s := NewArtifactStore(1 << 20)
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("empty store returned a value")
+	}
+	s.Put("a", 42, 10)
+	v, ok := s.Get("a")
+	if !ok || v.(int) != 42 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	s.MarkDirty(3)
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Dirty != 3 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 3 dirty", st)
+	}
+	if st.Entries != 1 || st.SizeBytes != 10 {
+		t.Fatalf("stats = %+v, want 1 entry of 10 bytes", st)
+	}
+}
+
+func TestArtifactStoreReplaceSameKey(t *testing.T) {
+	s := NewArtifactStore(1 << 20)
+	s.Put("k", "old", 100)
+	s.Put("k", "new", 40)
+	v, ok := s.Get("k")
+	if !ok || v.(string) != "new" {
+		t.Fatalf("Get(k) = %v, %v", v, ok)
+	}
+	if st := s.Stats(); st.Entries != 1 || st.SizeBytes != 40 {
+		t.Fatalf("stats after replace = %+v", st)
+	}
+}
+
+func TestArtifactStoreLRUEviction(t *testing.T) {
+	s := NewArtifactStore(100)
+	s.Put("a", 1, 40)
+	s.Put("b", 2, 40)
+	s.Get("a") // a is now more recent than b
+	s.Put("c", 3, 40)
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := s.Get("a"); !ok {
+		t.Fatal("recently-used entry a was evicted")
+	}
+	if _, ok := s.Get("c"); !ok {
+		t.Fatal("fresh entry c was evicted")
+	}
+	if st := s.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestArtifactStoreConcurrent(t *testing.T) {
+	s := NewArtifactStore(1 << 20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%17)
+				if _, ok := s.Get(key); !ok {
+					s.Put(key, i, 8)
+					s.MarkDirty(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 17 {
+		t.Fatalf("Len = %d, want 17", s.Len())
+	}
+}

@@ -80,6 +80,16 @@ type Analysis struct {
 	deps []*dep.Dependence
 }
 
+// Restore rebuilds an Analysis from previously-computed events and notes
+// — the thaw path of incremental compilation.  The restored analysis has
+// no dependence information, so the elimination phases (ApplyAvailability,
+// ApplyWritebackElim) must not be run on it; a restored plan is already
+// post-elimination by construction, since artifacts are frozen at the end
+// of the communication passes.
+func Restore(proc *ir.Procedure, events []*Event, notes []string) *Analysis {
+	return &Analysis{Proc: proc, Events: events, Notes: notes}
+}
+
 // Live returns the events not eliminated by availability analysis.
 func (a *Analysis) Live() []*Event {
 	var out []*Event

@@ -35,6 +35,23 @@ type Context struct {
 // NewContext builds a context, running dependence analysis on every
 // procedure and propagating formal layouts through call sites.
 func NewContext(prog *ir.Program, bind *hpf.Binding) (*Context, error) {
+	ctx, err := NewContextNoDeps(prog, bind)
+	if err != nil {
+		return nil, err
+	}
+	for _, proc := range prog.Procs {
+		ctx.Deps[proc] = dep.Analyze(proc.Body)
+	}
+	return ctx, nil
+}
+
+// NewContextNoDeps builds a context with formal layouts propagated but
+// ctx.Deps left empty.  The incremental compiler uses it to compute
+// per-procedure fingerprints (which need the formal-layout overlays but
+// not the dependence graphs) before deciding which procedures' dependence
+// analyses it can reuse from the artifact store; it then fills Deps
+// itself, per procedure, from the store or a fresh dep.Analyze.
+func NewContextNoDeps(prog *ir.Program, bind *hpf.Binding) (*Context, error) {
 	ctx := &Context{
 		Prog:     prog,
 		Bind:     bind,
@@ -48,9 +65,6 @@ func NewContext(prog *ir.Program, bind *hpf.Binding) (*Context, error) {
 				return nil, fmt.Errorf("cp: CYCLIC distribution of %q is not supported by the set-based analyses", l.Name)
 			}
 		}
-	}
-	for _, proc := range prog.Procs {
-		ctx.Deps[proc] = dep.Analyze(proc.Body)
 	}
 	if err := ctx.propagateFormalLayouts(); err != nil {
 		return nil, err

@@ -189,11 +189,27 @@ func Select(ctx *Context, opt Options) (*Selection, error) {
 // SelectInterproc and privatizable overrides by the propagation phases.
 func SelectBase(ctx *Context, opt Options) (*Selection, error) {
 	sel := NewSelection()
-	order, err := ctx.Callees()
-	if err != nil {
+	if err := SelectBaseInto(ctx, sel, opt, nil); err != nil {
 		return nil, err
 	}
+	return sel, nil
+}
+
+// SelectBaseInto is SelectBase running into an existing selection,
+// skipping procedures for which skip returns true — those had their
+// completed per-procedure selection installed from a frozen artifact by
+// the incremental scheduler (Selection.InstallProc), so re-selecting
+// them would both waste the search and duplicate their decision notes.
+// A nil skip selects every procedure.
+func SelectBaseInto(ctx *Context, sel *Selection, opt Options, skip func(*ir.Procedure) bool) error {
+	order, err := ctx.Callees()
+	if err != nil {
+		return err
+	}
 	for pi, proc := range order {
+		if skip != nil && skip(proc) {
+			continue
+		}
 		for ti, s := range proc.Body {
 			sel.cur = noteKey{proc: pi, top: ti}
 			switch st := s.(type) {
@@ -201,29 +217,42 @@ func SelectBase(ctx *Context, opt Options) (*Selection, error) {
 				sel.CPs[st.ID] = defaultCP(ctx, proc, st)
 			case *ir.Loop:
 				if err := selectLoopBase(ctx, proc, st, sel, opt); err != nil {
-					return nil, err
+					return err
 				}
 			}
 		}
 	}
-	return sel, nil
+	return nil
 }
 
 // PropagateNewArrays applies §4.1: for every loop carrying a NEW
 // directive, innermost loops first, the CPs of the statements defining
 // the privatizable are recomputed from the CPs of its uses.
 func PropagateNewArrays(ctx *Context, sel *Selection, opt Options) error {
-	return propagatePhase(ctx, sel, opt, false)
+	return propagatePhase(ctx, sel, opt, false, nil)
+}
+
+// PropagateNewArraysPartial is PropagateNewArrays restricted to the
+// procedures skip rejects (skipped ones carry thawed, already-propagated
+// selections).
+func PropagateNewArraysPartial(ctx *Context, sel *Selection, opt Options, skip func(*ir.Procedure) bool) error {
+	return propagatePhase(ctx, sel, opt, false, skip)
 }
 
 // PropagateLocalize applies §4.2: LOCALIZE partial replication for
 // distributed arrays, keeping the owner-computes term so the owner's
 // copy stays current.
 func PropagateLocalize(ctx *Context, sel *Selection, opt Options) error {
-	return propagatePhase(ctx, sel, opt, true)
+	return propagatePhase(ctx, sel, opt, true, nil)
 }
 
-func propagatePhase(ctx *Context, sel *Selection, opt Options, localize bool) error {
+// PropagateLocalizePartial is PropagateLocalize restricted to the
+// procedures skip rejects.
+func PropagateLocalizePartial(ctx *Context, sel *Selection, opt Options, skip func(*ir.Procedure) bool) error {
+	return propagatePhase(ctx, sel, opt, true, skip)
+}
+
+func propagatePhase(ctx *Context, sel *Selection, opt Options, localize bool, skip func(*ir.Procedure) bool) error {
 	order, err := ctx.Callees()
 	if err != nil {
 		return err
@@ -233,6 +262,9 @@ func propagatePhase(ctx *Context, sel *Selection, opt Options, localize bool) er
 		sub = 1
 	}
 	for pi, proc := range order {
+		if skip != nil && skip(proc) {
+			continue
+		}
 		for ti, s := range proc.Body {
 			top, ok := s.(*ir.Loop)
 			if !ok {
@@ -266,11 +298,28 @@ func propagatePhase(ctx *Context, sel *Selection, opt Options, localize bool) er
 // CPs and recorded in sel.Entry and ctx.EntryCPs.  Must run after the
 // propagation phases so entry CPs reflect the propagated selections.
 func SelectInterproc(ctx *Context, sel *Selection, opt Options) error {
+	return SelectInterprocPartial(ctx, sel, opt, nil)
+}
+
+// SelectInterprocPartial is SelectInterproc restricted to the procedures
+// skip rejects.  A skipped procedure's entry CP was installed by the
+// thaw (Selection.InstallProc); it is republished into ctx.EntryCPs here
+// — at the procedure's bottom-up turn — so dirty callers later in the
+// order translate against exactly what a cold run would have computed.
+func SelectInterprocPartial(ctx *Context, sel *Selection, opt Options, skip func(*ir.Procedure) bool) error {
 	order, err := ctx.Callees()
 	if err != nil {
 		return err
 	}
 	for pi, proc := range order {
+		if skip != nil && skip(proc) {
+			if entry, ok := sel.Entry[proc.Name]; ok {
+				ctx.EntryCPs[proc.Name] = entry
+				continue
+			}
+			// No thawed entry CP (the artifact predates §6 state for this
+			// procedure); fall through and compute it like a dirty one.
+		}
 		for ti, s := range proc.Body {
 			sel.cur = noteKey{proc: pi, top: ti, phase: 1}
 			switch st := s.(type) {

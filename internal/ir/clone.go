@@ -1,0 +1,143 @@
+package ir
+
+// This file supports the incremental front end's per-procedure AST
+// cache: a pristine parsed Procedure is kept aside and deep-cloned into
+// each compilation (later passes — loop distribution, scalar expansion —
+// rewrite bodies in place), then the assembled program is renumbered so
+// statement ids come out exactly as a cold whole-source parse would
+// assign them.
+
+// CloneProc returns a structurally independent deep copy of the
+// procedure: declarations, statements and expressions share no mutable
+// state with the original.
+func CloneProc(p *Procedure) *Procedure {
+	out := &Procedure{
+		Name:    p.Name,
+		Formals: append([]string(nil), p.Formals...),
+		Decls:   make([]*Decl, len(p.Decls)),
+		Body:    cloneBody(p.Body),
+	}
+	for i, d := range p.Decls {
+		out.Decls[i] = &Decl{
+			Name:  d.Name,
+			LB:    cloneAffs(d.LB),
+			UB:    cloneAffs(d.UB),
+			Dummy: d.Dummy,
+		}
+	}
+	return out
+}
+
+func cloneBody(body []Stmt) []Stmt {
+	if body == nil {
+		return nil
+	}
+	out := make([]Stmt, len(body))
+	for i, s := range body {
+		out[i] = cloneStmt(s)
+	}
+	return out
+}
+
+func cloneStmt(s Stmt) Stmt {
+	switch st := s.(type) {
+	case *Assign:
+		return &Assign{ID: st.ID, LHS: cloneRef(st.LHS), RHS: cloneExpr(st.RHS)}
+	case *CallStmt:
+		args := make([]Expr, len(st.Args))
+		for i, a := range st.Args {
+			args[i] = cloneExpr(a)
+		}
+		return &CallStmt{ID: st.ID, Callee: st.Callee, Args: args}
+	case *IfStmt:
+		return &IfStmt{
+			ID:   st.ID,
+			Cond: Cond{L: cloneExpr(st.Cond.L), Op: st.Cond.Op, R: cloneExpr(st.Cond.R)},
+			Then: cloneBody(st.Then),
+			Else: cloneBody(st.Else),
+		}
+	case *Loop:
+		return &Loop{
+			ID: st.ID, Var: st.Var,
+			Lo: cloneAff(st.Lo), Hi: cloneAff(st.Hi), Step: st.Step,
+			Body:        cloneBody(st.Body),
+			Independent: st.Independent,
+			New:         append([]string(nil), st.New...),
+			Localize:    append([]string(nil), st.Localize...),
+		}
+	}
+	return s
+}
+
+func cloneExpr(e Expr) Expr {
+	switch ex := e.(type) {
+	case *Bin:
+		return &Bin{L: cloneExpr(ex.L), Op: ex.Op, R: cloneExpr(ex.R)}
+	case *Intrinsic:
+		args := make([]Expr, len(ex.Args))
+		for i, a := range ex.Args {
+			args[i] = cloneExpr(a)
+		}
+		return &Intrinsic{Name: ex.Name, Args: args}
+	case *ArrayRef:
+		return cloneRef(ex)
+	}
+	// FloatConst, IndexRef, ParamRef, ScalarRef are immutable values.
+	return e
+}
+
+func cloneRef(r *ArrayRef) *ArrayRef {
+	if r == nil {
+		return nil
+	}
+	subs := make([]Subscript, len(r.Subs))
+	for i, s := range r.Subs {
+		subs[i] = Subscript{Var: s.Var, Coef: s.Coef, Off: cloneAff(s.Off)}
+	}
+	return &ArrayRef{Name: r.Name, Subs: subs}
+}
+
+func cloneAff(a AffExpr) AffExpr {
+	return AffExpr{Const: a.Const, Terms: append([]AffTerm(nil), a.Terms...)}
+}
+
+func cloneAffs(xs []AffExpr) []AffExpr {
+	if xs == nil {
+		return nil
+	}
+	out := make([]AffExpr, len(xs))
+	for i, x := range xs {
+		out[i] = cloneAff(x)
+	}
+	return out
+}
+
+// RenumberStmts reassigns statement ids across the whole program in the
+// order a cold parse allocates them: procedures in program order, and
+// within each body pre-order (a loop or if receives its id before its
+// nested statements, an if's then-arm before its else-arm).  The
+// program's id counter is reset accordingly.
+func RenumberStmts(p *Program) {
+	p.nextID = 1
+	for _, proc := range p.Procs {
+		renumberBody(p, proc.Body)
+	}
+}
+
+func renumberBody(p *Program, body []Stmt) {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *Assign:
+			st.ID = p.NewStmtID()
+		case *CallStmt:
+			st.ID = p.NewStmtID()
+		case *IfStmt:
+			st.ID = p.NewStmtID()
+			renumberBody(p, st.Then)
+			renumberBody(p, st.Else)
+		case *Loop:
+			st.ID = p.NewStmtID()
+			renumberBody(p, st.Body)
+		}
+	}
+}

@@ -10,20 +10,29 @@ import (
 // re-parseable by internal/parser, which the round-trip tests exercise.
 func Print(p *Program) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "program %s\n", p.Name)
+	printHeader(&sb, p)
+	for _, pr := range p.Procs {
+		sb.WriteByte('\n')
+		printProc(&sb, pr)
+	}
+	return sb.String()
+}
+
+func printHeader(sb *strings.Builder, p *Program) {
+	fmt.Fprintf(sb, "program %s\n", p.Name)
 	names := make([]string, 0, len(p.Params))
 	for n := range p.Params {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		fmt.Fprintf(&sb, "param %s = %d\n", n, p.Params[n])
+		fmt.Fprintf(sb, "param %s = %d\n", n, p.Params[n])
 	}
 	for _, d := range p.Processors {
-		fmt.Fprintf(&sb, "!hpf$ processors %s(%s)\n", d.Name, affList(d.Extents))
+		fmt.Fprintf(sb, "!hpf$ processors %s(%s)\n", d.Name, affList(d.Extents))
 	}
 	for _, d := range p.Templates {
-		fmt.Fprintf(&sb, "!hpf$ template %s(%s)\n", d.Name, affList(d.Extents))
+		fmt.Fprintf(sb, "!hpf$ template %s(%s)\n", d.Name, affList(d.Extents))
 	}
 	for _, d := range p.Aligns {
 		dims := make([]string, len(d.Dims))
@@ -36,7 +45,7 @@ func Print(p *Program) string {
 				dims[i] = fmt.Sprintf("d%d+%s", ad.TDim, ad.Off)
 			}
 		}
-		fmt.Fprintf(&sb, "!hpf$ align %s with %s(%s)\n", d.Array, d.Template, strings.Join(dims, ","))
+		fmt.Fprintf(sb, "!hpf$ align %s with %s(%s)\n", d.Array, d.Template, strings.Join(dims, ","))
 	}
 	for _, d := range p.Distributes {
 		specs := make([]string, len(d.Specs))
@@ -46,12 +55,30 @@ func Print(p *Program) string {
 				specs[i] += "(" + s.Size.String() + ")"
 			}
 		}
-		fmt.Fprintf(&sb, "!hpf$ distribute %s(%s) onto %s\n", d.Target, strings.Join(specs, ","), d.Onto)
+		fmt.Fprintf(sb, "!hpf$ distribute %s(%s) onto %s\n", d.Target, strings.Join(specs, ","), d.Onto)
 	}
-	for _, pr := range p.Procs {
-		sb.WriteByte('\n')
-		printProc(&sb, pr)
-	}
+}
+
+// ProcText renders one procedure in the same canonical surface syntax
+// Print uses.  Because the parser already normalized whitespace and
+// stripped comments, two procedure bodies that differ only in layout or
+// commentary render identically — which makes this the per-unit content
+// hash input of incremental compilation: a procedure's fingerprint
+// changes exactly when its parsed form does.
+func ProcText(pr *Procedure) string {
+	var sb strings.Builder
+	printProc(&sb, pr)
+	return sb.String()
+}
+
+// HeaderText renders the program-level context every procedure compiles
+// under: program name, parameter defaults, and the directive set
+// (processors, templates, aligns, distributes).  It is Print minus the
+// procedure bodies, and forms the shared half of per-unit fingerprints —
+// a directive or parameter edit must dirty every unit.
+func HeaderText(p *Program) string {
+	var sb strings.Builder
+	printHeader(&sb, p)
 	return sb.String()
 }
 

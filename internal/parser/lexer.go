@@ -73,7 +73,7 @@ type lexer struct {
 }
 
 func lex(src string) ([]token, error) {
-	l := &lexer{src: src, line: 1, col: 1}
+	l := &lexer{src: src, line: 1, col: 1, items: make([]token, 0, len(src)/3)}
 	for {
 		tok, err := l.next()
 		if err != nil {
@@ -139,8 +139,7 @@ func (l *lexer) next() (token, error) {
 			l.advance()
 		}
 		text := l.src[start:l.pos]
-		low := strings.ToLower(text)
-		if strings.HasPrefix(low, "!hpf$") {
+		if len(text) >= 5 && strings.EqualFold(text[:5], "!hpf$") {
 			return token{kind: tDirective, text: strings.TrimSpace(text[5:]), line: line, col: col}, nil
 		}
 		// Plain comment: produce the newline that follows (if any) on the
@@ -154,12 +153,12 @@ func (l *lexer) next() (token, error) {
 		}
 		return token{kind: tIdent, text: l.src[start:l.pos], line: line, col: col}, nil
 
-	case unicode.IsDigit(rune(c)):
+	case c >= '0' && c <= '9':
 		start := l.pos
 		isFloat := false
 		for l.pos < len(l.src) {
 			c := l.peekByte()
-			if unicode.IsDigit(rune(c)) {
+			if c >= '0' && c <= '9' {
 				l.advance()
 				continue
 			}
@@ -172,7 +171,7 @@ func (l *lexer) next() (token, error) {
 			}
 			if (c == 'e' || c == 'E') && l.pos+1 < len(l.src) {
 				nxt := l.src[l.pos+1]
-				if unicode.IsDigit(rune(nxt)) || nxt == '+' || nxt == '-' {
+				if (nxt >= '0' && nxt <= '9') || nxt == '+' || nxt == '-' {
 					isFloat = true
 					l.advance() // e
 					l.advance() // sign or digit
@@ -189,10 +188,18 @@ func (l *lexer) next() (token, error) {
 
 	case strings.IndexByte("(),=+-*/:<>", c) >= 0:
 		l.advance()
-		return token{kind: tPunct, text: string(c), line: line, col: col}, nil
+		// Slice the source rather than string(c): no allocation per token.
+		return token{kind: tPunct, text: l.src[l.pos-1 : l.pos], line: line, col: col}, nil
 	}
 	return token{}, fmt.Errorf("parser: line %d:%d: unexpected character %q", line, col, c)
 }
 
-func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
-func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }
+// Identifiers are ASCII in practice; fall back to unicode classes only for
+// multi-byte runes so non-ASCII input still errors in the same place.
+func isIdentStart(r rune) bool {
+	return (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || (r > 127 && unicode.IsLetter(r))
+}
+
+func isIdentPart(r rune) bool {
+	return (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') || r == '_' || (r > 127 && unicode.IsLetter(r))
+}

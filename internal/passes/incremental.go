@@ -1,0 +1,530 @@
+package passes
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"time"
+
+	"dhpf/internal/cache"
+	"dhpf/internal/comm"
+	"dhpf/internal/cp"
+	"dhpf/internal/dep"
+	"dhpf/internal/ir"
+	"dhpf/internal/parser"
+	"dhpf/internal/verify"
+)
+
+// Delta summarizes one incremental compile: how much of the program was
+// dirty and how the artifact store fared.  Hits count artifacts thawed
+// from the store; misses count artifacts that had to be recomputed
+// (because the procedure's environment fingerprint changed, the store had
+// evicted the entry, or a thaw failed its consistency checks).
+type Delta struct {
+	Procs          int      `json:"procs"`
+	Dirty          int      `json:"dirty"`
+	DirtyProcs     []string `json:"dirty_procs,omitempty"`
+	ArtifactHits   int64    `json:"artifact_hits"`
+	ArtifactMisses int64    `json:"artifact_misses"`
+}
+
+func (d *Delta) String() string {
+	return fmt.Sprintf("incremental: %d/%d procs dirty %v, %d artifacts reused, %d recomputed",
+		d.Dirty, d.Procs, d.DirtyProcs, d.ArtifactHits, d.ArtifactMisses)
+}
+
+// incrRun is the per-compile state of the incremental scheduler.
+type incrRun struct {
+	cc    *CompileContext
+	store *cache.ArtifactStore
+	fps   *unitFingerprints
+	// src is the compile's source text, or "" when the caller supplied a
+	// pre-parsed program — the raw-text shortcut tiers (ast, rawunit) key
+	// on source chunks and must stay off in that case.
+	src string
+	// dirty marks procedures whose dependence artifact was recomputed —
+	// the procedures whose environment changed since the artifacts were
+	// frozen.
+	dirty map[*ir.Procedure]bool
+	// selOrder is the bottom-up call-graph order the selection phases
+	// iterate; selDirty marks procedures whose selection is being computed
+	// this run (dirty, or whose frozen selection failed to thaw), and
+	// selFrozen latches the one-shot freeze of their finished state at the
+	// pre-distribution boundary.
+	selOrder  []*ir.Procedure
+	selDirty  map[*ir.Procedure]bool
+	selFrozen bool
+	// commFresh marks procedures whose communication plan was built this
+	// run (rather than thawed); only these may have the elimination
+	// phases applied, and only these are frozen at lower time.
+	commFresh map[*ir.Procedure]bool
+	delta     *Delta
+}
+
+// RunIncremental is RunCtx with artifact memoization: per-procedure
+// dependence graphs, CP selections, communication plans and verification
+// fragments are reused from the store when the procedure's environment
+// fingerprint is unchanged, and only dirty procedures are re-analyzed —
+// in parallel on a bounded worker pool.  The cheap whole-program passes
+// (parsing, binding, loop distribution, reductions, lowering) always
+// run, so the resulting CompileContext is byte-for-byte identical to a
+// cold RunCtx of the same source: reports, node programs and
+// verification diagnostics cannot tell the difference.
+func RunIncremental(cc *CompileContext, store *cache.ArtifactStore) (*Delta, error) {
+	return RunIncrementalCtx(context.Background(), cc, store)
+}
+
+// RunIncrementalCtx is RunIncremental with cancellation at pass
+// boundaries, mirroring RunCtx.
+func RunIncrementalCtx(ctx context.Context, cc *CompileContext, store *cache.ArtifactStore) (*Delta, error) {
+	if store == nil {
+		return nil, fmt.Errorf("passes: RunIncremental needs an artifact store")
+	}
+	r := &incrRun{
+		cc:        cc,
+		store:     store,
+		dirty:     map[*ir.Procedure]bool{},
+		commFresh: map[*ir.Procedure]bool{},
+		delta:     &Delta{},
+	}
+	if cc.IR == nil {
+		r.src = cc.Source
+	}
+	pipeline, err := BuildPipeline(cc.Opt)
+	if err != nil {
+		return nil, err
+	}
+	overrides := map[string]func() (bool, error){
+		PassParse:        r.parse,
+		PassDependence:   r.dependence,
+		PassCPSelect:     r.cpSelect,
+		PassNewProp:      r.newProp,
+		PassLocalize:     r.localize,
+		PassInterproc:    r.interproc,
+		PassCommPlan:     r.commPlan,
+		PassAvailability: r.availability,
+		PassWritebackRed: r.writebackRed,
+		PassLower:        r.lower,
+		PassVerify:       r.verify,
+	}
+	var prev probe
+	prevValid := false
+	for _, p := range pipeline {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("passes: aborted before %s: %w", p.Name, err)
+		}
+		// The selection state is frozen at the last moment the
+		// pre-distribution body exists.  Keying on either pass makes the
+		// freeze independent of whether loopdist is ablated (reductions is
+		// mandatory).
+		if !r.selFrozen && (p.Name == PassLoopDist || p.Name == PassReductions) {
+			r.freezeSelArtifacts()
+			r.selFrozen = true
+		}
+		noteBase := 0
+		if cc.Sel != nil {
+			noteBase = cc.Sel.NoteCount()
+		}
+		start := time.Now()
+		cached := false
+		if ov, ok := overrides[p.Name]; ok {
+			cached, err = ov()
+		} else {
+			err = p.Run(cc)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pass %s: %w", p.Name, err)
+		}
+		st := Stat{Name: p.Name, Wall: time.Since(start), Cached: cached}
+		if cc.Sel != nil {
+			st.Notes = cc.Sel.NotesSince(noteBase)
+		}
+		st.Summary = summarize(p.Name, cc)
+		if st.Summary == "" {
+			st.Summary = fmt.Sprintf("%d decisions", len(st.Notes))
+		}
+		if cc.Opt.Instrument {
+			cur, ok := measureComm(cc)
+			if ok {
+				st.Msgs, st.Bytes = cur.msgs, cur.bytes
+				st.Measured = true
+				if prevValid {
+					st.DeltaBytes = cur.bytes - prev.bytes
+					st.HasDelta = true
+				}
+				prev, prevValid = cur, true
+			}
+		}
+		cc.Stats = append(cc.Stats, st)
+		if p.Check != nil {
+			if err := p.Check(cc); err != nil {
+				return nil, fmt.Errorf("pass %s: invariant violated: %w", p.Name, err)
+			}
+		}
+	}
+	r.delta.Procs = len(cc.IR.Procs)
+	return r.delta, nil
+}
+
+// parse replaces runParse: the source is split into per-subroutine raw
+// chunks, and chunks seen before (under the same header) skip the parser
+// entirely — the pristine cached Procedure is deep-cloned into the
+// program instead.  Only unseen chunks are parsed, as a synthetic
+// source of header + dirty chunks (token-equivalent to their place in
+// the full text).  Statement ids are then renumbered program-wide in
+// cold parse order, so the assembled AST — and everything downstream
+// that prints statement ids — is identical to a cold parse.  Any
+// irregularity (unsplittable source, parse error, chunk/procedure
+// mismatch) falls back to the cold whole-source parse.
+func (r *incrRun) parse() (bool, error) {
+	cc := r.cc
+	if cc.IR != nil || r.src == "" {
+		return false, runParse(cc)
+	}
+	header, chunks := splitSource(r.src)
+	if len(chunks) == 0 {
+		return false, runParse(cc)
+	}
+	keys := make([]string, len(chunks))
+	hit := make([]*ir.Procedure, len(chunks))
+	misses := 0
+	for i, ch := range chunks {
+		h := sha256.Sum256([]byte(artifactVersion + "\x00ast\x00" + header + "\x00" + ch))
+		keys[i] = artifactKey(artifactAST, hex.EncodeToString(h[:]))
+		if v, ok := r.store.Get(keys[i]); ok {
+			hit[i] = v.(*ir.Procedure)
+		} else {
+			misses++
+		}
+	}
+	var sb strings.Builder
+	sb.Grow(len(header) + len(r.src)/len(chunks)*misses + 64)
+	sb.WriteString(header)
+	for i, ch := range chunks {
+		if hit[i] == nil {
+			sb.WriteString(ch)
+			sb.WriteByte('\n')
+		}
+	}
+	prog, err := parser.Parse(sb.String())
+	if err != nil || len(prog.Procs) != misses {
+		// Either the chunking misjudged the source or the error position
+		// would be misleading: report exactly what a cold parse reports.
+		return false, runParse(cc)
+	}
+	procs := make([]*ir.Procedure, 0, len(chunks))
+	next := 0
+	for i := range chunks {
+		if hit[i] != nil {
+			procs = append(procs, ir.CloneProc(hit[i]))
+			continue
+		}
+		proc := prog.Procs[next]
+		next++
+		procs = append(procs, proc)
+		r.store.Put(keys[i], ir.CloneProc(proc), int64(128+8*len(chunks[i])))
+	}
+	prog.Procs = procs
+	ir.RenumberStmts(prog)
+	cc.IR = prog
+	return misses == 0, nil
+}
+
+// dependence replaces runDependence: the context is built without
+// dependence graphs, fingerprints decide which procedures are dirty, and
+// only those are re-analyzed (in parallel).  Dirty graphs are frozen
+// immediately — loop distribution rewrites references in place later, so
+// this is the last moment the parse-stage selectors are computable.
+func (r *incrRun) dependence() (bool, error) {
+	cc := r.cc
+	ctx, err := cp.NewContextNoDeps(cc.IR, cc.Bind)
+	if err != nil {
+		return false, err
+	}
+	grid, err := ctx.Grid()
+	if err != nil {
+		return false, err
+	}
+	r.fps = fingerprintUnits(ctx, cc.Opt, r.src, r.store)
+
+	// Look the artifacts up serially (the store is cheap), then thaw the
+	// hits on the worker pool — relocation walks every statement of every
+	// clean procedure, which is the bulk of a fully-warm compile.
+	frozen := make([]*frozenDeps, len(cc.IR.Procs))
+	thawed := make([][]*dep.Dependence, len(cc.IR.Procs))
+	for i, proc := range cc.IR.Procs {
+		if v, ok := r.store.Get(artifactKey(artifactDeps, r.fps.Env[proc])); ok {
+			frozen[i] = v.(*frozenDeps)
+		}
+	}
+	forEach(len(cc.IR.Procs), 0, func(i int) error {
+		if frozen[i] != nil {
+			thawed[i], _ = thawDeps(cc.IR.Procs[i], frozen[i])
+		}
+		return nil
+	})
+	var dirtyIdx []int
+	for i, proc := range cc.IR.Procs {
+		if thawed[i] != nil {
+			ctx.Deps[proc] = thawed[i]
+			r.delta.ArtifactHits++
+			continue
+		}
+		dirtyIdx = append(dirtyIdx, i)
+		r.dirty[proc] = true
+		r.delta.DirtyProcs = append(r.delta.DirtyProcs, proc.Name)
+	}
+	r.delta.Dirty = len(dirtyIdx)
+
+	results := make([][]*dep.Dependence, len(dirtyIdx))
+	forEach(len(dirtyIdx), 0, func(k int) error {
+		results[k] = dep.Analyze(cc.IR.Procs[dirtyIdx[k]].Body)
+		return nil
+	})
+	for k, i := range dirtyIdx {
+		proc := cc.IR.Procs[i]
+		ctx.Deps[proc] = results[k]
+		r.delta.ArtifactMisses++
+		r.store.MarkDirty(1)
+		if fz, err := freezeDeps(proc, results[k]); err == nil {
+			r.store.Put(artifactKey(artifactDeps, r.fps.Env[proc]), fz, approxSize(fz))
+		}
+	}
+	cc.Ctx = ctx
+	cc.Grid = grid
+	return len(dirtyIdx) == 0, nil
+}
+
+// selClean is the skip predicate the partial selection phases take: a
+// procedure is skipped when its frozen selection thawed successfully.
+func (r *incrRun) selClean(p *ir.Procedure) bool { return !r.selDirty[p] }
+
+// cpSelect replaces runCPSelect: clean procedures install their frozen
+// post-§6 selection state (CPs, entry CP, marked pairs, decision notes);
+// the base selection search runs only for the dirty ones.  The
+// propagation and interprocedural phases below are restricted the same
+// way, so for a fully-clean program all four selection passes are
+// no-ops over thawed state.
+func (r *incrRun) cpSelect() (bool, error) {
+	cc := r.cc
+	order, err := cc.Ctx.Callees()
+	if err != nil {
+		return false, err
+	}
+	r.selOrder = order
+	sel := cp.NewSelection()
+	cc.Sel = sel
+	r.selDirty = map[*ir.Procedure]bool{}
+	for pi, proc := range order {
+		if !r.dirty[proc] {
+			key := artifactKey(artifactSel, r.fps.Env[proc])
+			if v, ok := r.store.Get(key); ok {
+				if err := thawSel(proc, pi, sel, v.(*frozenSel)); err == nil {
+					r.delta.ArtifactHits++
+					continue
+				}
+			}
+		}
+		r.selDirty[proc] = true
+		r.delta.ArtifactMisses++
+		r.store.MarkDirty(1)
+	}
+	if err := cp.SelectBaseInto(cc.Ctx, sel, cc.Opt.CP, r.selClean); err != nil {
+		return false, err
+	}
+	return len(r.selDirty) == 0, nil
+}
+
+// newProp replaces runNewProp, propagating §4.1 only through dirty
+// procedures (thawed selections are already post-propagation).
+func (r *incrRun) newProp() (bool, error) {
+	if err := cp.PropagateNewArraysPartial(r.cc.Ctx, r.cc.Sel, r.cc.Opt.CP, r.selClean); err != nil {
+		return false, err
+	}
+	return len(r.selDirty) == 0, nil
+}
+
+// localize mirrors newProp for §4.2.
+func (r *incrRun) localize() (bool, error) {
+	if !r.cc.Opt.CP.Localize {
+		return false, nil
+	}
+	if err := cp.PropagateLocalizePartial(r.cc.Ctx, r.cc.Sel, r.cc.Opt.CP, r.selClean); err != nil {
+		return false, err
+	}
+	return len(r.selDirty) == 0, nil
+}
+
+// interproc replaces runInterproc: dirty procedures run §6 normally;
+// clean ones republish their thawed entry CPs into ctx.EntryCPs at
+// their bottom-up turn, so dirty callers translate against them.
+func (r *incrRun) interproc() (bool, error) {
+	if err := cp.SelectInterprocPartial(r.cc.Ctx, r.cc.Sel, r.cc.Opt.CP, r.selClean); err != nil {
+		return false, err
+	}
+	return len(r.selDirty) == 0, nil
+}
+
+// freezeSelArtifacts stores the finished selection state of the
+// procedures selected this run.  It runs exactly once, just before the
+// first of loopdist/reductions — the last moment the pre-distribution
+// statement walk (the relocation anchor shared with the deps artifact)
+// is computable.
+func (r *incrRun) freezeSelArtifacts() {
+	if r.cc.Sel == nil || r.fps == nil {
+		return
+	}
+	for pi, proc := range r.selOrder {
+		if !r.selDirty[proc] {
+			continue
+		}
+		fz := freezeSel(proc, pi, r.cc.Sel)
+		r.store.Put(artifactKey(artifactSel, r.fps.Env[proc]), fz, approxSize(fz))
+	}
+}
+
+// commPlan replaces runCommPlan: clean procedures thaw their finished
+// (post-elimination) plans; dirty ones build events in parallel.
+func (r *incrRun) commPlan() (bool, error) {
+	cc := r.cc
+	cc.Comm = map[string]*comm.Analysis{}
+	var fresh []int
+	for i, proc := range cc.IR.Procs {
+		if !r.dirty[proc] {
+			key := artifactKey(artifactComm, r.fps.Env[proc])
+			if v, ok := r.store.Get(key); ok {
+				if a, err := thawComm(proc, v.(*frozenComm)); err == nil {
+					cc.Comm[proc.Name] = a
+					r.delta.ArtifactHits++
+					continue
+				}
+			}
+		}
+		fresh = append(fresh, i)
+		r.commFresh[proc] = true
+	}
+	results := make([]*comm.Analysis, len(fresh))
+	forEach(len(fresh), 0, func(k int) error {
+		proc := cc.IR.Procs[fresh[k]]
+		results[k] = comm.BuildEvents(cc.Ctx, proc, cc.Sel)
+		return nil
+	})
+	for k, i := range fresh {
+		cc.Comm[cc.IR.Procs[i].Name] = results[k]
+		r.delta.ArtifactMisses++
+		r.store.MarkDirty(1)
+	}
+	return len(fresh) == 0, nil
+}
+
+// availability applies §7 elimination to freshly-built plans only: a
+// thawed plan is already post-elimination and carries no dependence
+// graphs to re-derive proofs from.
+func (r *incrRun) availability() (bool, error) {
+	cc := r.cc
+	if !cc.Opt.Comm.Availability {
+		return false, nil
+	}
+	n := 0
+	for _, proc := range cc.IR.Procs {
+		if r.commFresh[proc] {
+			comm.ApplyAvailability(cc.Ctx, cc.Sel, cc.Comm[proc.Name])
+			n++
+		}
+	}
+	return n == 0, nil
+}
+
+// writebackRed mirrors availability for write-back redundancy.
+func (r *incrRun) writebackRed() (bool, error) {
+	cc := r.cc
+	if !cc.Opt.Comm.RedundantWriteback {
+		return false, nil
+	}
+	n := 0
+	for _, proc := range cc.IR.Procs {
+		if r.commFresh[proc] {
+			comm.ApplyWritebackElim(cc.Ctx, cc.Sel, cc.Comm[proc.Name])
+			n++
+		}
+	}
+	return n == 0, nil
+}
+
+// lower runs the cold validation, then freezes the now-final (post-
+// elimination) communication plans of the procedures built this run.
+func (r *incrRun) lower() (bool, error) {
+	cc := r.cc
+	if err := runLower(cc); err != nil {
+		return false, err
+	}
+	for _, proc := range cc.IR.Procs {
+		if !r.commFresh[proc] {
+			continue
+		}
+		if fz, err := freezeComm(proc, cc.Comm[proc.Name]); err == nil {
+			r.store.Put(artifactKey(artifactComm, r.fps.Env[proc]), fz, approxSize(fz))
+		}
+	}
+	return false, nil
+}
+
+// verify replaces runVerify: clean procedures thaw their report
+// fragments (with statement IDs relocated onto the fresh bodies); dirty
+// ones are verified in parallel; the merge in procedure order makes the
+// final report identical to a cold verify.Run.
+func (r *incrRun) verify() (bool, error) {
+	cc := r.cc
+	reductions := map[int]bool{}
+	for _, plans := range cc.Reductions {
+		for _, red := range plans {
+			reductions[red.Stmt.ID] = true
+		}
+	}
+	in := verify.Input{
+		IR: cc.IR, Ctx: cc.Ctx, Sel: cc.Sel, Comm: cc.Comm,
+		Reductions: reductions,
+	}
+	frags := make([]*verify.Report, len(cc.IR.Procs))
+	var fresh []int
+	for i, proc := range cc.IR.Procs {
+		if !r.dirty[proc] && !r.commFresh[proc] {
+			key := artifactKey(artifactVerify, r.fps.Env[proc])
+			if v, ok := r.store.Get(key); ok {
+				if frag, err := thawVerify(proc, v.(*frozenVerify)); err == nil {
+					frags[i] = frag
+					r.delta.ArtifactHits++
+					continue
+				}
+			}
+		}
+		fresh = append(fresh, i)
+	}
+	err := forEach(len(fresh), 0, func(k int) error {
+		proc := cc.IR.Procs[fresh[k]]
+		frag, err := verify.RunProc(in, proc)
+		if err != nil {
+			return err
+		}
+		frags[fresh[k]] = frag
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	for _, i := range fresh {
+		proc := cc.IR.Procs[i]
+		r.delta.ArtifactMisses++
+		r.store.MarkDirty(1)
+		fz := freezeVerify(proc, frags[i])
+		r.store.Put(artifactKey(artifactVerify, r.fps.Env[proc]), fz, approxSize(fz))
+	}
+	rep := &verify.Report{}
+	for _, frag := range frags {
+		verify.Merge(rep, frag)
+	}
+	cc.Verify = rep
+	return len(fresh) == 0, nil
+}

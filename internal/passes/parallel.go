@@ -1,0 +1,54 @@
+package passes
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEach runs fn(i) for i in [0, n) on a bounded pool of workers and
+// returns the first error (by index order, so failures are deterministic
+// regardless of scheduling).  Each fn writes only its own slot of the
+// caller's result slices, so no synchronization is needed beyond the
+// pool itself.
+func forEach(n, workers int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -123,6 +123,37 @@ type Pass struct {
 	Check func(*CompileContext) error
 	// Optional passes may be dropped via Options.Disable.
 	Optional bool
+	// Reads and Produces name the CompileContext artifacts the pass
+	// consumes and defines — the edges of the artifact DAG the
+	// incremental scheduler (RunIncremental) reasons over.  A pass whose
+	// Produces are all reusable from the artifact store for every
+	// procedure is skipped on a warm recompile; ArtifactKinds lists which
+	// artifacts are cached per procedure.
+	Reads    []string
+	Produces []string
+	// PerProc marks passes whose work decomposes per procedure, so the
+	// incremental scheduler can recompute only dirty procedures and run
+	// them in parallel.
+	PerProc bool
+}
+
+// Artifact names used in Pass.Reads/Produces.  The first block lives on
+// the CompileContext; the ArtifactKinds subset is additionally cached per
+// (procedure, environment-fingerprint) in a cache.ArtifactStore.
+const (
+	ArtIR         = "ir"         // parsed program
+	ArtBind       = "bind"       // resolved directives and parameters
+	ArtDeps       = "deps"       // per-procedure dependence graphs
+	ArtSel        = "sel"        // CP selection
+	ArtReductions = "reductions" // recognized reduction plans
+	ArtComm       = "comm"       // per-procedure communication plans
+	ArtVerify     = "verify"     // per-procedure verification fragments
+)
+
+// ArtifactKinds lists the per-procedure artifacts the incremental
+// scheduler memoizes in the store, in pipeline order.
+func ArtifactKinds() []string {
+	return []string{ArtDeps, ArtSel, ArtComm, ArtVerify}
 }
 
 // BuildPipeline returns the ordered pass list for the options: the full
@@ -238,23 +269,39 @@ func RunCtx(ctx context.Context, cc *CompileContext) error {
 	return nil
 }
 
-// allPasses is the full pipeline in the order the paper's phases run.
+// allPasses is the full pipeline in the order the paper's phases run,
+// with each pass's artifact reads/produces declared (the DAG the
+// incremental scheduler memoizes over).
 func allPasses() []Pass {
 	return []Pass{
-		{Name: PassParse, Run: runParse, Check: checkParse},
-		{Name: PassBind, Run: runBind, Check: checkBind},
-		{Name: PassDependence, Run: runDependence, Check: checkDependence},
-		{Name: PassCPSelect, Run: runCPSelect, Check: checkCPSelect},
-		{Name: PassNewProp, Run: runNewProp, Optional: true},
-		{Name: PassLocalize, Run: runLocalize, Optional: true},
-		{Name: PassInterproc, Run: runInterproc, Check: checkInterproc, Optional: true},
-		{Name: PassLoopDist, Run: runLoopDist, Check: checkLoopDist, Optional: true},
-		{Name: PassReductions, Run: runReductions, Check: checkReductions},
-		{Name: PassCommPlan, Run: runCommPlan, Check: checkCommPlan},
-		{Name: PassAvailability, Run: runAvailability, Check: checkElimReasons, Optional: true},
-		{Name: PassWritebackRed, Run: runWritebackRed, Check: checkElimReasons, Optional: true},
-		{Name: PassLower, Run: runLower, Check: checkLower},
-		{Name: PassVerify, Run: runVerify, Check: checkVerify, Optional: true},
+		{Name: PassParse, Run: runParse, Check: checkParse,
+			Produces: []string{ArtIR}},
+		{Name: PassBind, Run: runBind, Check: checkBind,
+			Reads: []string{ArtIR}, Produces: []string{ArtBind}},
+		{Name: PassDependence, Run: runDependence, Check: checkDependence,
+			Reads: []string{ArtIR, ArtBind}, Produces: []string{ArtDeps}, PerProc: true},
+		{Name: PassCPSelect, Run: runCPSelect, Check: checkCPSelect,
+			Reads: []string{ArtIR, ArtBind, ArtDeps}, Produces: []string{ArtSel}, PerProc: true},
+		{Name: PassNewProp, Run: runNewProp, Optional: true,
+			Reads: []string{ArtIR, ArtDeps}, Produces: []string{ArtSel}, PerProc: true},
+		{Name: PassLocalize, Run: runLocalize, Optional: true,
+			Reads: []string{ArtIR, ArtDeps}, Produces: []string{ArtSel}, PerProc: true},
+		{Name: PassInterproc, Run: runInterproc, Check: checkInterproc, Optional: true,
+			Reads: []string{ArtIR, ArtDeps, ArtSel}, Produces: []string{ArtSel}},
+		{Name: PassLoopDist, Run: runLoopDist, Check: checkLoopDist, Optional: true,
+			Reads: []string{ArtIR, ArtDeps, ArtSel}, Produces: []string{ArtIR}, PerProc: true},
+		{Name: PassReductions, Run: runReductions, Check: checkReductions,
+			Reads: []string{ArtIR, ArtSel}, Produces: []string{ArtReductions}, PerProc: true},
+		{Name: PassCommPlan, Run: runCommPlan, Check: checkCommPlan,
+			Reads: []string{ArtIR, ArtBind, ArtSel}, Produces: []string{ArtComm}, PerProc: true},
+		{Name: PassAvailability, Run: runAvailability, Check: checkElimReasons, Optional: true,
+			Reads: []string{ArtComm}, Produces: []string{ArtComm}, PerProc: true},
+		{Name: PassWritebackRed, Run: runWritebackRed, Check: checkElimReasons, Optional: true,
+			Reads: []string{ArtComm}, Produces: []string{ArtComm}, PerProc: true},
+		{Name: PassLower, Run: runLower, Check: checkLower,
+			Reads: []string{ArtSel, ArtComm, ArtReductions}},
+		{Name: PassVerify, Run: runVerify, Check: checkVerify, Optional: true,
+			Reads: []string{ArtIR, ArtBind, ArtSel, ArtComm, ArtReductions}, Produces: []string{ArtVerify}, PerProc: true},
 	}
 }
 

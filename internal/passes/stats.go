@@ -27,6 +27,10 @@ type Stat struct {
 	Bytes      int64
 	HasDelta   bool
 	DeltaBytes int64
+	// Cached marks a pass whose per-procedure work was satisfied entirely
+	// from the artifact store by an incremental compile (no procedure was
+	// re-analyzed).  Always false on the cold pipeline.
+	Cached bool
 }
 
 // probe is one communication-volume measurement.
@@ -79,8 +83,12 @@ func StatsTable(stats []Stat) string {
 				delta = fmt.Sprintf("%+d", s.DeltaBytes)
 			}
 		}
+		wall := fmtWall(s.Wall)
+		if s.Cached {
+			wall = "cached"
+		}
 		fmt.Fprintf(&b, "%-14s %10s %8s %12s %12s  %s\n",
-			s.Name, fmtWall(s.Wall), msgs, bytes, delta, s.Summary)
+			s.Name, wall, msgs, bytes, delta, s.Summary)
 	}
 	return b.String()
 }

@@ -1,0 +1,322 @@
+package passes
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dhpf/internal/cache"
+	"dhpf/internal/cp"
+	"dhpf/internal/hpf"
+	"dhpf/internal/ir"
+)
+
+// artifactVersion is folded into every artifact fingerprint and bumped
+// whenever the frozen artifact encodings (artifact.go) or the fingerprint
+// derivation below change, so artifacts written by an older build can
+// never thaw into a newer one.
+const artifactVersion = "dhpf-artifact-v1"
+
+// unitFingerprints is the per-compilation fingerprint table the
+// incremental scheduler keys the artifact store with.
+type unitFingerprints struct {
+	// Header hashes the program-level context shared by every unit:
+	// program name, resolved parameters, directives, and the options
+	// fingerprint.
+	Header string
+	// Unit maps each procedure to the hash of its canonical rendering —
+	// the content hash that is stable under whitespace/comment edits and
+	// under edits to *other* procedures.
+	Unit map[*ir.Procedure]string
+	// Env maps each procedure to its environment fingerprint: everything
+	// that can influence the procedure's analysis results — the header,
+	// its own unit hash, its formal-layout overlay, and the unit hashes
+	// and overlays of its transitive callees (whose entry CPs feed the §6
+	// interprocedural selection at its call sites).  An artifact keyed by
+	// Env is reusable exactly when Env is unchanged.
+	Env map[*ir.Procedure]string
+}
+
+// splitUnits best-effort splits a source text into one raw chunk per
+// subroutine, in source order (each chunk spans its "subroutine" line
+// through its terminating "end" line).  It returns nil when the text
+// doesn't decompose cleanly; callers must treat nil — or a chunk count
+// that disagrees with the parsed procedure list — as "no raw chunks" and
+// fall back to canonical rendering.
+func splitUnits(src string) []string {
+	_, chunks := splitSource(src)
+	return chunks
+}
+
+// splitSource splits a source text into the header (everything before
+// the first subroutine — program name, params, directives) and one raw
+// chunk per subroutine.  Chunks are only returned when the split is
+// token-equivalent to the whole text: every line outside the header and
+// outside a chunk must be blank or a plain (non-directive) comment,
+// which the lexer discards, so parsing header+chunks sees exactly the
+// token stream of the full source.  Returns (src, nil) otherwise.
+func splitSource(src string) (string, []string) {
+	var chunks []string
+	header := src
+	start := -1
+	for pos := 0; pos < len(src); {
+		next := len(src)
+		line := src[pos:]
+		if nl := strings.IndexByte(line, '\n'); nl >= 0 {
+			line = line[:nl]
+			next = pos + nl + 1
+		}
+		t := strings.TrimSpace(line)
+		if start < 0 {
+			switch {
+			case strings.HasPrefix(t, "subroutine"):
+				if chunks == nil {
+					header = src[:pos]
+				}
+				start = pos
+			case chunks == nil:
+				// still in the header; anything goes
+			case t == "" || (strings.HasPrefix(t, "!") && !strings.EqualFold(firstN(t, 5), "!hpf$")):
+				// blank or comment between subroutines: lexer-invisible
+			default:
+				return src, nil // significant text outside any subroutine
+			}
+		} else if t == "end" {
+			chunks = append(chunks, src[start:next])
+			start = -1
+		}
+		pos = next
+	}
+	if start >= 0 {
+		return src, nil // unterminated subroutine; parser will reject it anyway
+	}
+	return header, chunks
+}
+
+func firstN(s string, n int) string {
+	if len(s) < n {
+		return s
+	}
+	return s[:n]
+}
+
+// fingerprintUnits computes the fingerprint table for a parsed, bound
+// program whose formal-layout overlays are already propagated (the ctx
+// from cp.NewContextNoDeps).  Call graphs with cycles get conservative
+// fingerprints for the procedures on the cycle path (the selection passes
+// reject recursion later with the same error as a cold compile).
+//
+// src and store enable the raw-text shortcut: a procedure whose raw
+// source chunk is byte-identical to one hashed before parses to the same
+// AST and therefore has the same canonical unit hash, so the expensive
+// canonical re-rendering is skipped and the unit hash is read from the
+// store's rawunit tier instead.  A cosmetic (whitespace/comment) edit
+// misses the raw tier and falls through to the canonical path, which
+// still yields an unchanged unit hash.  Pass src == "" or store == nil
+// to disable the shortcut.
+func fingerprintUnits(ctx *cp.Context, opt Options, src string, store *cache.ArtifactStore) *unitFingerprints {
+	fps := &unitFingerprints{
+		Unit: make(map[*ir.Procedure]string, len(ctx.Prog.Procs)),
+		Env:  make(map[*ir.Procedure]string, len(ctx.Prog.Procs)),
+	}
+
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00header\x00", artifactVersion)
+	io.WriteString(h, ir.HeaderText(ctx.Prog))
+	// Request-supplied parameter overrides resolve through the binding;
+	// hash the final values so an override dirties everything it touches.
+	names := make([]string, 0, len(ctx.Bind.Params))
+	for n := range ctx.Bind.Params {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(h, "%d:%s=%d\x00", len(n), n, ctx.Bind.Params[n])
+	}
+	writeOptions(h, opt)
+	fps.Header = hex.EncodeToString(h.Sum(nil))
+
+	// The unit hashes dominate fingerprinting cost (one canonical
+	// rendering plus a SHA-256 per procedure) and are independent, so they
+	// run on the worker pool; each goroutine writes only its own slot.
+	// The rawunit tier short-circuits the rendering for procedures whose
+	// raw source chunk was seen before.
+	var chunks []string
+	if src != "" && store != nil {
+		if c := splitUnits(src); len(c) == len(ctx.Prog.Procs) {
+			chunks = c
+		}
+	}
+	unitHashes := make([]string, len(ctx.Prog.Procs))
+	forEach(len(ctx.Prog.Procs), 0, func(i int) error {
+		var rawKey string
+		if chunks != nil {
+			rh := sha256.Sum256([]byte(artifactVersion + "\x00rawunit\x00" + chunks[i]))
+			rawKey = artifactKey(artifactRawUnit, hex.EncodeToString(rh[:]))
+			if v, ok := store.Get(rawKey); ok {
+				unitHashes[i] = v.(string)
+				return nil
+			}
+		}
+		uh := sha256.New()
+		fmt.Fprintf(uh, "%s\x00unit\x00", artifactVersion)
+		io.WriteString(uh, ir.ProcText(ctx.Prog.Procs[i]))
+		unitHashes[i] = hex.EncodeToString(uh.Sum(nil))
+		if rawKey != "" {
+			store.Put(rawKey, unitHashes[i], int64(len(rawKey)+len(unitHashes[i])))
+		}
+		return nil
+	})
+	for i, proc := range ctx.Prog.Procs {
+		fps.Unit[proc] = unitHashes[i]
+	}
+
+	// Each procedure's own env contribution (unit hash + overlay
+	// rendering) is rendered once and reused from every caller's
+	// environment hash — the env loop is O(procs × transitive callees).
+	contrib := make(map[string]string, len(ctx.Prog.Procs))
+	for _, proc := range ctx.Prog.Procs {
+		contrib[proc.Name] = unitEnvContribution(ctx, fps, proc)
+	}
+
+	// Direct-call lists are pure functions of the body, so the calls tier
+	// memoizes them per unit hash and unedited procedures skip the walk.
+	direct := make(map[string][]string, len(ctx.Prog.Procs))
+	for i, proc := range ctx.Prog.Procs {
+		if store != nil {
+			key := artifactKey(artifactCalls, unitHashes[i])
+			if v, ok := store.Get(key); ok {
+				direct[proc.Name] = v.([]string)
+				continue
+			}
+			calls := directCalls(proc)
+			direct[proc.Name] = calls
+			sz := int64(len(key))
+			for _, c := range calls {
+				sz += int64(len(c))
+			}
+			store.Put(key, calls, sz)
+			continue
+		}
+		direct[proc.Name] = directCalls(proc)
+	}
+
+	closure := calleeClosure(ctx.Prog, direct)
+	for _, proc := range ctx.Prog.Procs {
+		eh := sha256.New()
+		fmt.Fprintf(eh, "%s\x00env\x00%s\x00", artifactVersion, fps.Header)
+		io.WriteString(eh, contrib[proc.Name])
+		// Transitive callees in sorted name order: their bodies and
+		// overlays determine the entry CPs translated to this
+		// procedure's call sites.
+		callees := closure[proc.Name]
+		sorted := make([]string, 0, len(callees))
+		for name := range callees {
+			sorted = append(sorted, name)
+		}
+		sort.Strings(sorted)
+		for _, name := range sorted {
+			fmt.Fprintf(eh, "callee:%d:%s\x00", len(name), name)
+			io.WriteString(eh, contrib[name])
+		}
+		fps.Env[proc] = hex.EncodeToString(eh.Sum(nil))
+	}
+	return fps
+}
+
+// unitEnvContribution renders one procedure's own contribution to an
+// environment fingerprint: its unit hash plus its formal-layout overlay
+// (layouts reach formals from call sites, so a caller-side change that
+// rebinds a formal must dirty the callee).  Unknown callees contribute
+// the empty string, matching a missing procedure.
+func unitEnvContribution(ctx *cp.Context, fps *unitFingerprints, proc *ir.Procedure) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "unit:%s\x00", fps.Unit[proc])
+	ov := ctx.Overlay[proc]
+	formals := make([]string, 0, len(ov))
+	for name := range ov {
+		formals = append(formals, name)
+	}
+	sort.Strings(formals)
+	for _, name := range formals {
+		fmt.Fprintf(&sb, "overlay:%d:%s=%s\x00", len(name), name, layoutDesc(ov[name]))
+	}
+	return sb.String()
+}
+
+// layoutDesc renders a layout's full semantic content (Layout.String
+// omits bounds and alignment offsets, which ownership depends on).
+// Built with strconv appends — it runs once per (procedure, formal) on
+// every compile, warm or cold.
+func layoutDesc(l *hpf.Layout) string {
+	if l == nil {
+		return "<replicated>"
+	}
+	var sb strings.Builder
+	sb.WriteString(l.Name)
+	sb.WriteString("|grid=")
+	sb.WriteString(l.Grid.Name)
+	fmt.Fprintf(&sb, "%v|", l.Grid.Shape)
+	for _, d := range l.Dims {
+		fmt.Fprintf(&sb, "(%v,g%d,%d:%d,bs%d,off%d)", d.Kind, d.GridDim, d.Lo, d.Hi, d.BlockSz, d.TplOff)
+	}
+	return sb.String()
+}
+
+// directCalls returns the distinct callee names of a procedure in first-
+// call order.  It is a pure function of the procedure body, so its result
+// is cached per unit hash (the calls tier) and the body walk skipped for
+// unedited procedures.
+func directCalls(proc *ir.Procedure) []string {
+	var out []string
+	seen := map[string]bool{}
+	ir.Walk(proc.Body, func(s ir.Stmt, _ []*ir.Loop) bool {
+		if call, ok := s.(*ir.CallStmt); ok && !seen[call.Callee] {
+			seen[call.Callee] = true
+			out = append(out, call.Callee)
+		}
+		return true
+	})
+	return out
+}
+
+// calleeClosure maps each procedure name to the set of procedure names
+// transitively reachable through its call sites.  Cycles (rejected later
+// by the selection passes) terminate via the in-progress guard and yield
+// a conservative partial closure.
+func calleeClosure(prog *ir.Program, direct map[string][]string) map[string]map[string]bool {
+	closure := make(map[string]map[string]bool, len(prog.Procs))
+	var visit func(name string, path map[string]bool) map[string]bool
+	visit = func(name string, path map[string]bool) map[string]bool {
+		if c, ok := closure[name]; ok {
+			return c
+		}
+		if path[name] {
+			return nil // recursion: rejected downstream; stop expanding
+		}
+		path[name] = true
+		out := map[string]bool{}
+		for _, callee := range direct[name] {
+			out[callee] = true
+			for n := range visit(callee, path) {
+				out[n] = true
+			}
+		}
+		delete(path, name)
+		closure[name] = out
+		return out
+	}
+	for _, proc := range prog.Procs {
+		visit(proc.Name, map[string]bool{})
+	}
+	return closure
+}
+
+// artifactKey composes the store key for one (procedure, pass-kind)
+// artifact: kind tag plus the procedure's environment fingerprint.
+func artifactKey(kind, envFP string) string {
+	return fmt.Sprintf("%s\x00%s", kind, envFP)
+}

@@ -11,13 +11,21 @@
 //
 // Endpoints (all JSON; wire types in the root package):
 //
-//	POST /v1/compile  report + per-rank node programs + pass stats
-//	POST /v1/explain  the cmd/dhpfc -explain table
-//	POST /v1/run      execute on a named machine ("sp2" or "sp2:N")
-//	POST /v1/verify   translation-validation report (the -lint surface)
-//	POST /v1/tune     auto-tune distributions/granularity/ablations
-//	GET  /v1/stats    cache + request counters
-//	GET  /healthz     liveness
+//	POST /v1/compile        report + per-rank node programs + pass stats
+//	POST /v1/compile/batch  many compiles sharing one artifact store
+//	POST /v1/explain        the cmd/dhpfc -explain table
+//	POST /v1/run            execute on a named machine ("sp2" or "sp2:N")
+//	POST /v1/verify         translation-validation report (the -lint surface)
+//	POST /v1/tune           auto-tune distributions/granularity/ablations
+//	GET  /v1/stats          cache + request counters
+//	GET  /healthz           liveness
+//
+// Beneath the whole-program cache sits a per-procedure artifact store
+// (dhpf.Incremental): a warm edit — same program, one procedure changed
+// — misses the program cache but thaws the dependence graphs,
+// communication plans and verification fragments of every unchanged
+// procedure, re-analyzing only the edited ones.  /v1/stats reports the
+// artifact tier's hit/miss/dirty counters alongside the program cache's.
 //
 // A tune request occupies one worker slot for its whole duration (its
 // internal evaluation parallelism is capped at the pool size), so tuning
@@ -56,6 +64,9 @@ type Config struct {
 	// CacheBytes is the program cache budget (default 256 MiB),
 	// charged per entry as source + rendered-report size.
 	CacheBytes int64
+	// ArtifactBytes is the per-procedure artifact store budget backing
+	// warm-edit recompiles (default 64 MiB).
+	ArtifactBytes int64
 	// RequestTimeout bounds each request's compile+render time
 	// (default 60s).  Hitting it aborts the compile at the next pass
 	// boundary and returns 504.
@@ -73,6 +84,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheBytes <= 0 {
 		c.CacheBytes = 256 << 20
+	}
+	if c.ArtifactBytes <= 0 {
+		c.ArtifactBytes = 64 << 20
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 60 * time.Second
@@ -137,6 +151,10 @@ func (e *program) verify() (*dhpf.VerifyReport, error) {
 type Server struct {
 	cfg   Config
 	cache *cache.Cache[*program]
+	// inc compiles through the per-procedure artifact store: program-cache
+	// misses whose procedures are mostly unchanged (warm edits) reuse the
+	// clean procedures' frozen analyses.
+	inc *dhpf.Incremental
 	// tuner serves /v1/tune; its memo caches live as long as the server,
 	// so repeated tune requests reuse full evaluations.
 	tuner *dhpf.Tuner
@@ -161,6 +179,7 @@ func New(cfg Config) *Server {
 	return &Server{
 		cfg:    cfg,
 		cache:  cache.New[*program](cfg.CacheBytes),
+		inc:    dhpf.NewIncremental(cfg.ArtifactBytes),
 		tuner:  dhpf.NewTuner(),
 		tokens: make(chan struct{}, cfg.Workers),
 		start:  time.Now(),
@@ -171,6 +190,7 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	mux.HandleFunc("POST /v1/compile/batch", s.handleCompileBatch)
 	mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
@@ -219,7 +239,17 @@ func (w *loggingWriter) Write(p []byte) (int, error) {
 // Stats snapshots the cache and request counters.
 func (s *Server) Stats() dhpf.StatsResponse {
 	cs := s.cache.Stats()
+	as := s.inc.ArtifactStats()
 	return dhpf.StatsResponse{
+		Artifacts: dhpf.ArtifactCacheStats{
+			Hits:      as.Hits,
+			Misses:    as.Misses,
+			Dirty:     as.Dirty,
+			Evictions: as.Evictions,
+			Entries:   as.Entries,
+			SizeBytes: as.SizeBytes,
+			MaxBytes:  as.MaxBytes,
+		},
 		Cache: dhpf.CacheStats{
 			Hits:              cs.Hits,
 			Misses:            cs.Misses,
@@ -263,7 +293,11 @@ func (s *Server) compile(ctx context.Context, source string, params map[string]i
 			testPreCompile(fctx)
 		}
 		s.compiles.Add(1)
-		p, err := dhpf.CompileCtx(fctx, source, params, opt)
+		// Compile through the artifact store: a warm edit (program-cache
+		// miss, most procedures unchanged) thaws the clean procedures'
+		// analyses and re-runs only the dirty ones.  Output is
+		// byte-identical to a cold compile.
+		p, _, err := s.inc.CompileCtx(fctx, source, params, opt)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -280,22 +314,28 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 }
 
-func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
-	var req dhpf.CompileRequest
-	if !s.decode(w, r, &req) {
-		return
+// passStats renders an entry's pass records for the wire.  A program-
+// cache hit did no pass work — the records describe the compile that
+// populated the entry, not this request — so a hit reports each pass as
+// cached with zero wall time instead of replaying stale timings.
+func passStats(ent *program, cached bool) []dhpf.PassStatJSON {
+	if cached {
+		return dhpf.CachedPassStatsJSON(ent.prog.PassStats())
 	}
+	return dhpf.PassStatsJSON(ent.prog.PassStats())
+}
+
+// compileOne resolves one compile request end-to-end (cache, node
+// program rendering) and builds its wire response.  Shared by the single
+// and batch compile handlers.
+func (s *Server) compileOne(ctx context.Context, req dhpf.CompileRequest) (*dhpf.CompileResponse, error) {
 	opt, err := req.Options.Resolve()
 	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, err)
-		return
+		return nil, err
 	}
-	ctx, cancel := s.requestCtx(r)
-	defer cancel()
 	key, ent, cached, err := s.compile(ctx, req.Source, req.Params, opt)
 	if err != nil {
-		s.failCompile(w, err)
-		return
+		return nil, err
 	}
 	nranks := ent.prog.Ranks()
 	ranks := req.Ranks
@@ -307,20 +347,66 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	progs := make(map[int]string, len(ranks))
 	for _, rk := range ranks {
 		if rk < 0 || rk >= nranks {
-			s.fail(w, http.StatusUnprocessableEntity,
-				fmt.Errorf("rank %d out of range (program has %d ranks)", rk, nranks))
-			return
+			return nil, fmt.Errorf("rank %d out of range (program has %d ranks)", rk, nranks)
 		}
 		progs[rk] = ent.nodeProgram(rk)
 	}
-	s.ok(w, dhpf.CompileResponse{
+	return &dhpf.CompileResponse{
 		Fingerprint:  key,
 		Ranks:        nranks,
 		Report:       ent.report,
 		NodePrograms: progs,
-		PassStats:    dhpf.PassStatsJSON(ent.prog.PassStats()),
+		PassStats:    passStats(ent, cached),
 		Cached:       cached,
-	})
+	}, nil
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req dhpf.CompileRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	resp, err := s.compileOne(ctx, req)
+	if err != nil {
+		s.failCompile(w, err)
+		return
+	}
+	s.ok(w, *resp)
+}
+
+// handleCompileBatch compiles a slice of requests in order, sharing the
+// program cache and the per-procedure artifact store across members: in
+// a batch of near-identical programs (a parameter sweep, a set of edits
+// to one code base) every member after the first thaws the procedures it
+// shares with earlier members.  Per-member failures are reported in
+// place, so one bad program does not fail its siblings.
+func (s *Server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
+	var req dhpf.BatchCompileRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Requests) == 0 {
+		s.fail(w, http.StatusUnprocessableEntity, errors.New("batch has no requests"))
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	results := make([]dhpf.BatchCompileResult, len(req.Requests))
+	for i, cr := range req.Requests {
+		resp, err := s.compileOne(ctx, cr)
+		if err != nil {
+			results[i].Error = err.Error()
+			s.errCount.Add(1)
+			if errors.Is(err, ErrBusy) {
+				s.rejected.Add(1)
+			}
+			continue
+		}
+		results[i].Response = resp
+	}
+	s.ok(w, dhpf.BatchCompileResponse{Results: results})
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -340,10 +426,23 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.failCompile(w, err)
 		return
 	}
+	stats := ent.prog.PassStats()
+	if cached {
+		// A cache hit did no pass work: label every pass cached (and
+		// render the table from the relabelled records) rather than
+		// replaying the original compile's timings as if they were new.
+		cachedStats := make([]dhpf.PassStat, len(stats))
+		for i, st := range stats {
+			cachedStats[i] = st
+			cachedStats[i].Cached = true
+			cachedStats[i].Wall = 0
+		}
+		stats = cachedStats
+	}
 	s.ok(w, dhpf.ExplainResponse{
 		Fingerprint: key,
-		Table:       dhpf.StatsTable(ent.prog.PassStats()),
-		PassStats:   dhpf.PassStatsJSON(ent.prog.PassStats()),
+		Table:       dhpf.StatsTable(stats),
+		PassStats:   dhpf.PassStatsJSON(stats),
 		Cached:      cached,
 	})
 }

@@ -547,3 +547,160 @@ func TestVerifyEndpoint(t *testing.T) {
 		t.Error("verify compile shares the default compile's cache key")
 	}
 }
+
+// editSPMod makes the canonical warm edit to an SPModSource program: a
+// one-constant change inside the add procedure.
+func editSPMod(t *testing.T, src string) string {
+	t.Helper()
+	edited := strings.Replace(src, " + 0.1*(rhs(1", " + 0.105*(rhs(1", 1)
+	if edited == src {
+		t.Fatal("warm-edit marker not found in SPModSource output")
+	}
+	return edited
+}
+
+// TestBatchCompileWarmEdit: a batch whose second member is a one-procedure
+// edit of the first shares the unchanged procedures' artifacts, a broken
+// member fails in place without failing its siblings, and every produced
+// report is byte-identical to a direct library compile.
+func TestBatchCompileWarmEdit(t *testing.T) {
+	srv, client := newTestServer(t, Config{})
+	base := nas.SPModSource(12, 1, 2, 2)
+	edited := editSPMod(t, base)
+
+	resp, err := client.CompileBatch(context.Background(), dhpf.BatchCompileRequest{
+		Requests: []dhpf.CompileRequest{
+			{Source: base, Ranks: []int{0}},
+			{Source: edited, Ranks: []int{0}},
+			{Source: "program broken\nsubroutine main()\n  this is not hpf\nend\n"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(resp.Results))
+	}
+	if resp.Results[0].Error != "" || resp.Results[0].Response == nil {
+		t.Fatalf("base member failed: %s", resp.Results[0].Error)
+	}
+	if resp.Results[1].Error != "" || resp.Results[1].Response == nil {
+		t.Fatalf("edited member failed: %s", resp.Results[1].Error)
+	}
+	if resp.Results[2].Error == "" || resp.Results[2].Response != nil {
+		t.Error("broken member did not report its error in place")
+	}
+	if resp.Results[0].Response.Fingerprint == resp.Results[1].Response.Fingerprint {
+		t.Error("distinct sources share a fingerprint")
+	}
+
+	// Byte-identical to direct library compiles of the same sources.
+	for i, src := range []string{base, edited} {
+		prog, err := dhpf.Compile(src, nil, dhpf.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Results[i].Response.Report != prog.Report() {
+			t.Errorf("member %d report differs from library compile", i)
+		}
+		if resp.Results[i].Response.NodePrograms[0] != prog.NodeProgram(0) {
+			t.Errorf("member %d node program differs from library compile", i)
+		}
+	}
+
+	// The edited member reused the unchanged procedures' artifacts.
+	as := srv.Stats().Artifacts
+	if as.Hits == 0 {
+		t.Error("warm-edit batch member thawed no artifacts")
+	}
+	if as.Dirty == 0 {
+		t.Error("warm-edit batch member recomputed nothing (edit not seen)")
+	}
+}
+
+// TestStatsReportsArtifactTier: /v1/stats carries the artifact store's
+// counters over the wire.
+func TestStatsReportsArtifactTier(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	src := nas.SPModSource(12, 1, 2, 2)
+	if _, err := client.Compile(context.Background(), dhpf.CompileRequest{Source: src, Ranks: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Compile(context.Background(), dhpf.CompileRequest{Source: editSPMod(t, src), Ranks: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := client.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := stats.Artifacts
+	if a.Hits == 0 || a.Entries == 0 || a.SizeBytes == 0 {
+		t.Errorf("artifact tier counters missing from /v1/stats: %+v", a)
+	}
+	if a.Misses == 0 {
+		t.Errorf("cold compile reported no artifact misses: %+v", a)
+	}
+	if a.MaxBytes != 64<<20 {
+		t.Errorf("default artifact budget = %d, want %d", a.MaxBytes, 64<<20)
+	}
+}
+
+// TestCachedHitReportsNoPassWork: a program-cache hit did no pass work,
+// so its pass stats must say "cached" (zero wall) rather than replaying
+// the original compile's timings — on /v1/compile and /v1/explain both.
+func TestCachedHitReportsNoPassWork(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	req := dhpf.CompileRequest{Source: tinySrc}
+
+	cold, err := client.Compile(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawWork bool
+	for _, ps := range cold.PassStats {
+		if ps.Cached {
+			t.Errorf("cold compile marked pass %s cached", ps.Name)
+		}
+		if ps.WallNS > 0 {
+			sawWork = true
+		}
+	}
+	if !sawWork {
+		t.Error("cold compile reported zero wall time for every pass")
+	}
+
+	warm, err := client.Compile(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Fatal("second compile not served from cache")
+	}
+	if len(warm.PassStats) != len(cold.PassStats) {
+		t.Fatalf("warm pass stats count %d != cold %d", len(warm.PassStats), len(cold.PassStats))
+	}
+	for _, ps := range warm.PassStats {
+		if !ps.Cached {
+			t.Errorf("cache hit pass %s not marked cached", ps.Name)
+		}
+		if ps.WallNS != 0 {
+			t.Errorf("cache hit pass %s reports %dns of synthesized work", ps.Name, ps.WallNS)
+		}
+	}
+
+	expl, err := client.Explain(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !expl.Cached {
+		t.Fatal("explain after compile not served from cache")
+	}
+	if !strings.Contains(expl.Table, "cached") {
+		t.Error("explain table on a cache hit does not label passes cached")
+	}
+	for _, ps := range expl.PassStats {
+		if !ps.Cached || ps.WallNS != 0 {
+			t.Errorf("explain cache hit pass %s: cached=%v wall=%d", ps.Name, ps.Cached, ps.WallNS)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 
+	"dhpf/internal/cache"
 	"dhpf/internal/comm"
 	"dhpf/internal/cp"
 	"dhpf/internal/hpf"
@@ -81,13 +82,38 @@ func compilePipeline(ctx context.Context, cc *passes.CompileContext) (*Program, 
 	if err := passes.RunCtx(ctx, cc); err != nil {
 		return nil, err
 	}
+	return programOf(cc), nil
+}
+
+func programOf(cc *passes.CompileContext) *Program {
 	return &Program{
 		IR: cc.IR, Ctx: cc.Ctx, Sel: cc.Sel,
 		Comm:       cc.Comm,
 		Reductions: cc.Reductions,
 		Grid:       cc.Grid, Opt: cc.Opt,
 		Stats: cc.Stats,
-	}, nil
+	}
+}
+
+// CompileIncremental compiles source through the memoizing scheduler
+// (passes.RunIncremental): per-procedure dependence graphs, communication
+// plans and verification fragments are reused from the store when the
+// procedure's environment fingerprint is unchanged, and only dirty
+// procedures are re-analyzed.  The resulting Program is byte-for-byte
+// identical to CompileSource of the same text.
+func CompileIncremental(src string, params map[string]int, opt Options, store *cache.ArtifactStore) (*Program, *passes.Delta, error) {
+	return CompileIncrementalCtx(context.Background(), src, params, opt, store)
+}
+
+// CompileIncrementalCtx is CompileIncremental with cancellation at pass
+// boundaries.
+func CompileIncrementalCtx(ctx context.Context, src string, params map[string]int, opt Options, store *cache.ArtifactStore) (*Program, *passes.Delta, error) {
+	cc := &passes.CompileContext{Source: src, Params: params, Opt: opt}
+	delta, err := passes.RunIncrementalCtx(ctx, cc, store)
+	if err != nil {
+		return nil, nil, err
+	}
+	return programOf(cc), delta, nil
 }
 
 // PassStats returns the per-pass instrumentation of the compilation:

@@ -187,8 +187,31 @@ type Input struct {
 
 // Run verifies a compiled program and returns the report.  The error is
 // non-nil only for malformed input (missing analyses, no grid) — safety
-// findings are diagnostics, not errors.
+// findings are diagnostics, not errors.  It is the merge, in procedure
+// order, of one RunProc fragment per procedure; the incremental compiler
+// exploits exactly this decomposition to verify only dirty procedures and
+// thaw the rest.
 func Run(in Input) (*Report, error) {
+	if in.IR == nil || in.Ctx == nil || in.Sel == nil || in.Comm == nil {
+		return nil, fmt.Errorf("verify: incomplete input (need IR, Ctx, Sel, Comm)")
+	}
+	rep := &Report{}
+	for _, proc := range in.IR.Procs {
+		frag, err := RunProc(in, proc)
+		if err != nil {
+			return nil, err
+		}
+		Merge(rep, frag)
+	}
+	return rep, nil
+}
+
+// RunProc verifies a single procedure and returns its report fragment:
+// the procedure's diagnostics, its statement and event counts, and the
+// grid's rank count.  Fragments for independent procedures can be
+// computed in parallel and merged with Merge; the merged result is
+// identical to Run.
+func RunProc(in Input, proc *ir.Procedure) (*Report, error) {
 	if in.IR == nil || in.Ctx == nil || in.Sel == nil || in.Comm == nil {
 		return nil, fmt.Errorf("verify: incomplete input (need IR, Ctx, Sel, Comm)")
 	}
@@ -196,14 +219,22 @@ func Run(in Input) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("verify: %w", err)
 	}
-	rep := &Report{Ranks: grid.Size()}
-	for _, proc := range in.IR.Procs {
-		a := in.Comm[proc.Name]
-		if a == nil {
-			return nil, fmt.Errorf("verify: no communication analysis for proc %s", proc.Name)
-		}
-		c := newChecker(in, proc, a, grid, rep)
-		c.run()
+	a := in.Comm[proc.Name]
+	if a == nil {
+		return nil, fmt.Errorf("verify: no communication analysis for proc %s", proc.Name)
 	}
+	rep := &Report{Ranks: grid.Size()}
+	c := newChecker(in, proc, a, grid, rep)
+	c.run()
 	return rep, nil
+}
+
+// Merge folds a per-procedure fragment into an accumulating report:
+// diagnostics append in order, counts sum, and the rank count (identical
+// across fragments) carries over.
+func Merge(into *Report, frag *Report) {
+	into.Diagnostics = append(into.Diagnostics, frag.Diagnostics...)
+	into.Stmts += frag.Stmts
+	into.Events += frag.Events
+	into.Ranks = frag.Ranks
 }

@@ -1,22 +1,30 @@
-// Command benchjson runs the execution-engine benchmark set and emits a
-// machine-readable summary (BENCH_5.json).  Each benchmark family has a
-// compiled variant and an Interp-suffixed interpreter variant over the
-// same workload (bench_test.go routes both through the same body via
-// Program.ExecuteEngine), so the tool pairs them up and reports the
-// speedup of the closure-compiled engine over the tree-walking
-// interpreter alongside the raw ns/op, B/op, and allocs/op numbers.
+// Command benchjson runs the execution-engine and incremental-compile
+// benchmark set and emits a machine-readable summary (BENCH_6.json).
+// Two pairings are reported:
+//
+//   - engine pairs: each benchmark family has a compiled variant and an
+//     Interp-suffixed interpreter variant over the same workload
+//     (bench_test.go routes both through the same body via
+//     Program.ExecuteEngine), and the tool reports the speedup of the
+//     closure-compiled engine over the tree-walking interpreter;
+//   - the warm-edit pair: BenchmarkWarmEditRecompile (one-procedure edit
+//     against a primed artifact store) against its Cold-suffixed
+//     from-scratch twin, compared at the p50_ns metric the benchmarks
+//     report (medians, because compile times are long-tailed under GC
+//     and scheduler noise).
 //
 // Usage:
 //
 //	go run ./tools/benchjson [flags]
 //
-//	-bench RE     benchmark selection regexp (default the ExecuteSPStep
-//	              and LUWavefront families)
+//	-bench RE     benchmark selection regexp (default the ExecuteSPStep,
+//	              LUWavefront and WarmEditRecompile families)
 //	-benchtime T  passed through to go test (default 1x per bench: "2s")
-//	-o FILE       write JSON here (default BENCH_5.json; "-" = stdout)
+//	-o FILE       write JSON here (default BENCH_6.json; "-" = stdout)
 //	-check        gate mode: exit 1 unless the compiled engine beats the
-//	              interpreter on every paired benchmark (CI smoke; uses
-//	              a short -benchtime unless one is given)
+//	              interpreter on every engine pair AND the warm-edit
+//	              recompile is at least 10x faster than cold at p50 (CI
+//	              smoke; uses a short -benchtime unless one is given)
 //
 // Stdlib-only by design, like tools/vetdet: the container has no
 // golang.org/x/perf, so the benchmark output is parsed directly.  The
@@ -46,6 +54,9 @@ type Bench struct {
 	// (the differential suite enforces it), so a mismatch here means
 	// the engines diverged.
 	VirtualMs float64 `json:"virtual_ms,omitempty"`
+	// P50Ns is the median per-iteration wall time reported by the
+	// recompile benchmarks, which gate on medians rather than means.
+	P50Ns float64 `json:"p50_ns,omitempty"`
 }
 
 // Pair is a compiled benchmark matched with its Interp-suffixed oracle.
@@ -59,25 +70,42 @@ type Pair struct {
 	AllocRatio    float64 `json:"alloc_ratio"`
 }
 
-// Report is the BENCH_5.json document.
+// WarmPair is a warm-edit recompile benchmark matched with its
+// Cold-suffixed from-scratch twin, compared at p50.
+type WarmPair struct {
+	Benchmark string  `json:"benchmark"`
+	WarmP50Ns float64 `json:"warm_p50_ns"`
+	ColdP50Ns float64 `json:"cold_p50_ns"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// warmGate is the -check floor for warm-edit speedup: a one-procedure
+// edit against a primed artifact store must recompile at least this much
+// faster than a cold compile, at p50.
+const warmGate = 10.0
+
+// Report is the BENCH_6.json document.
 type Report struct {
-	GoTestArgs []string `json:"go_test_args"`
-	Benchmarks []Bench  `json:"benchmarks"`
-	Pairs      []Pair   `json:"pairs"`
+	GoTestArgs []string   `json:"go_test_args"`
+	Benchmarks []Bench    `json:"benchmarks"`
+	Pairs      []Pair     `json:"pairs"`
+	WarmPairs  []WarmPair `json:"warm_pairs,omitempty"`
 }
 
 func main() {
-	benchRE := flag.String("bench", "BenchmarkExecuteSPStep|BenchmarkLUWavefront",
+	benchRE := flag.String("bench", "BenchmarkExecuteSPStep|BenchmarkLUWavefront|BenchmarkWarmEditRecompile",
 		"benchmark selection regexp (go test -bench)")
-	benchtime := flag.String("benchtime", "", "go test -benchtime (default 2s, or 1x with -check)")
-	out := flag.String("o", "BENCH_5.json", `output file ("-" for stdout)`)
+	benchtime := flag.String("benchtime", "", "go test -benchtime (default 2s, or 40x with -check)")
+	out := flag.String("o", "BENCH_6.json", `output file ("-" for stdout)`)
 	check := flag.Bool("check", false, "exit 1 unless compiled beats interp on every pair")
 	flag.Parse()
 
 	bt := *benchtime
 	if bt == "" {
 		if *check {
-			bt = "1x"
+			// Enough iterations for a stable p50 on the recompile
+			// benchmarks while keeping the engine families quick.
+			bt = "40x"
 		} else {
 			bt = "2s"
 		}
@@ -103,6 +131,7 @@ func main() {
 		os.Exit(2)
 	}
 	rep.Pairs = pairUp(rep.Benchmarks)
+	rep.WarmPairs = pairWarm(rep.Benchmarks)
 
 	js, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -126,8 +155,19 @@ func main() {
 				fail = true
 			}
 		}
+		for _, w := range rep.WarmPairs {
+			if w.Speedup < warmGate {
+				fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: warm p50 %.0f ns only %.2fx faster than cold p50 %.0f ns (gate %.0fx)\n",
+					w.Benchmark, w.WarmP50Ns, w.Speedup, w.ColdP50Ns, warmGate)
+				fail = true
+			}
+		}
 		if len(rep.Pairs) == 0 {
 			fmt.Fprintln(os.Stderr, "benchjson: -check found no compiled/interp pairs")
+			fail = true
+		}
+		if len(rep.WarmPairs) == 0 && strings.Contains(*benchRE, "WarmEditRecompile") {
+			fmt.Fprintln(os.Stderr, "benchjson: -check found no warm/cold recompile pairs")
 			fail = true
 		}
 		if fail {
@@ -137,6 +177,10 @@ func main() {
 	for _, p := range rep.Pairs {
 		fmt.Fprintf(os.Stderr, "benchjson: %s speedup %.2fx (allocs %.0f -> %.0f)\n",
 			p.Benchmark, p.Speedup, p.InterpAlloc, p.CompiledAlloc)
+	}
+	for _, w := range rep.WarmPairs {
+		fmt.Fprintf(os.Stderr, "benchjson: %s warm-edit speedup %.2fx (p50 %.0f ns vs cold %.0f ns)\n",
+			w.Benchmark, w.Speedup, w.WarmP50Ns, w.ColdP50Ns)
 	}
 }
 
@@ -168,6 +212,8 @@ func parseLine(line string) (Bench, bool) {
 			b.AllocsPerOp = v
 		case "virtual_ms":
 			b.VirtualMs = v
+		case "p50_ns":
+			b.P50Ns = v
 		}
 	}
 	return b, b.NsPerOp > 0
@@ -203,6 +249,32 @@ func pairUp(bs []Bench) []Pair {
 			p.AllocRatio = in.AllocsPerOp / b.AllocsPerOp
 		}
 		pairs = append(pairs, p)
+	}
+	return pairs
+}
+
+// pairWarm matches each recompile benchmark with its Cold-suffixed
+// from-scratch twin and compares medians.
+func pairWarm(bs []Bench) []WarmPair {
+	byName := make(map[string]Bench, len(bs))
+	for _, b := range bs {
+		byName[b.Name] = b
+	}
+	var pairs []WarmPair
+	for _, b := range bs {
+		if strings.HasSuffix(b.Name, "Cold") || b.P50Ns <= 0 {
+			continue
+		}
+		cold, ok := byName[b.Name+"Cold"]
+		if !ok || cold.P50Ns <= 0 {
+			continue
+		}
+		pairs = append(pairs, WarmPair{
+			Benchmark: b.Name,
+			WarmP50Ns: b.P50Ns,
+			ColdP50Ns: cold.P50Ns,
+			Speedup:   cold.P50Ns / b.P50Ns,
+		})
 	}
 	return pairs
 }
