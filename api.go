@@ -439,6 +439,40 @@ type VerifyResponse struct {
 	Cached bool `json:"cached"`
 }
 
+// ProgramEntryJSON is one program-cache entry in transferable form:
+// every rendered artifact of a compilation, but not the live program.
+// It is what /v1/peer/fetch ships between fleet members and what the
+// durable store persists (as chunks) across restarts.
+type ProgramEntryJSON struct {
+	Ranks  int    `json:"ranks"`
+	Report string `json:"report"`
+	// NodePrograms carries every rank (unlike CompileResponse, which
+	// carries only the requested ones) — the receiver must be able to
+	// serve any rank without a live program.
+	NodePrograms map[int]string `json:"node_programs"`
+	// PassStats are the cache-hit form of the records (zero wall time,
+	// cached): an entry served from a peer or from disk did no pass work.
+	PassStats []PassStatJSON `json:"pass_stats"`
+	// Verify is the memoized translation-validation report, when one was
+	// computed before the entry was persisted or shipped.
+	Verify *VerifyReport `json:"verify,omitempty"`
+}
+
+// PeerFetchRequest asks a fleet member for its stored copy of a
+// fingerprint.  The receiver consults only its memory cache and local
+// store — it never compiles and never forwards the request — so a fetch
+// is one bounded hop.
+type PeerFetchRequest struct {
+	Fingerprint string `json:"fingerprint"`
+}
+
+// PeerFetchResponse is /v1/peer/fetch's result.  Found=false is a
+// normal miss, not an error.
+type PeerFetchResponse struct {
+	Found bool              `json:"found"`
+	Entry *ProgramEntryJSON `json:"entry,omitempty"`
+}
+
 // CacheStats is the program cache's counter snapshot.
 type CacheStats struct {
 	Hits   int64 `json:"hits"`
@@ -446,10 +480,13 @@ type CacheStats struct {
 	// InflightCoalesced counts requests that joined an identical
 	// in-flight compile instead of starting their own (singleflight).
 	InflightCoalesced int64 `json:"inflight_coalesced"`
-	Evictions         int64 `json:"evictions"`
-	Entries           int   `json:"entries"`
-	SizeBytes         int64 `json:"size_bytes"`
-	MaxBytes          int64 `json:"max_bytes"`
+	// BackingHits counts misses served from the durable tier (local
+	// store or a peer) instead of a fresh compile.
+	BackingHits int64 `json:"backing_hits,omitempty"`
+	Evictions   int64 `json:"evictions"`
+	Entries     int   `json:"entries"`
+	SizeBytes   int64 `json:"size_bytes"`
+	MaxBytes    int64 `json:"max_bytes"`
 }
 
 // ServerStats is the service's request-level counter snapshot.
@@ -472,13 +509,56 @@ type ServerStats struct {
 // across incremental compiles; dirty counts artifacts recomputed because
 // a procedure (or its callees, options or directives) changed.
 type ArtifactCacheStats struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Dirty     int64 `json:"dirty"`
-	Evictions int64 `json:"evictions"`
-	Entries   int   `json:"entries"`
-	SizeBytes int64 `json:"size_bytes"`
-	MaxBytes  int64 `json:"max_bytes"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// BackingHits counts artifact misses thawed from the durable chunk
+	// store instead of recomputed.
+	BackingHits int64 `json:"backing_hits,omitempty"`
+	Dirty       int64 `json:"dirty"`
+	Evictions   int64 `json:"evictions"`
+	Entries     int   `json:"entries"`
+	SizeBytes   int64 `json:"size_bytes"`
+	MaxBytes    int64 `json:"max_bytes"`
+}
+
+// StoreStats is the durable chunk store's counter snapshot plus the
+// service's program-persistence counters over it, present in /v1/stats
+// when the server was started with a store.
+type StoreStats struct {
+	Chunks       int   `json:"chunks"`
+	Manifests    int   `json:"manifests"`
+	LiveBytes    int64 `json:"live_bytes"`
+	DeadBytes    int64 `json:"dead_bytes"`
+	JournalBytes int64 `json:"journal_bytes"`
+	MaxBytes     int64 `json:"max_bytes"`
+
+	Hits           int64 `json:"hits"`
+	Misses         int64 `json:"misses"`
+	ChunkPuts      int64 `json:"chunk_puts"`
+	DedupHits      int64 `json:"dedup_hits"`
+	ManifestPuts   int64 `json:"manifest_puts"`
+	Evictions      int64 `json:"evictions"`
+	Compactions    int64 `json:"compactions"`
+	TruncatedBytes int64 `json:"truncated_bytes,omitempty"`
+
+	// ProgramHits/Misses/Writes count whole-program cache entries thawed
+	// from, missed in, and persisted to this store.
+	ProgramHits   int64 `json:"program_hits"`
+	ProgramMisses int64 `json:"program_misses"`
+	ProgramWrites int64 `json:"program_writes"`
+}
+
+// PeerStats is the fleet tier's counter snapshot, present in /v1/stats
+// when the server was started with peers.  Hits/Misses/Errors count
+// this replica's outbound fetches; Served counts entries this replica
+// handed to other members.
+type PeerStats struct {
+	Self   int   `json:"self"`
+	Peers  int   `json:"peers"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Errors int64 `json:"errors"`
+	Served int64 `json:"served"`
 }
 
 // StatsResponse is /v1/stats.
@@ -488,6 +568,10 @@ type StatsResponse struct {
 	// reported next to the whole-program cache above it.
 	Artifacts ArtifactCacheStats `json:"artifacts"`
 	Server    ServerStats        `json:"server"`
+	// Store and Peer are present when the durable store and the fleet
+	// are configured, respectively.
+	Store *StoreStats `json:"store,omitempty"`
+	Peer  *PeerStats  `json:"peer,omitempty"`
 }
 
 // APIError is a non-2xx service response.

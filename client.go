@@ -138,6 +138,18 @@ func (c *Client) Tune(ctx context.Context, req TuneRequest) (*TuneResult, error)
 	return &resp, nil
 }
 
+// PeerFetch asks a fleet member for its stored copy of a fingerprint.
+// A miss is a normal response (Found false), not an error.  This is the
+// replica-to-replica path behind cross-replica warm hits; it is exposed
+// on the client for fleet tooling and tests.
+func (c *Client) PeerFetch(ctx context.Context, req PeerFetchRequest) (*PeerFetchResponse, error) {
+	var resp PeerFetchResponse
+	if err := c.post(ctx, "/v1/peer/fetch", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Stats returns the service's cache and request counters.
 func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 	var resp StatsResponse

@@ -7,20 +7,36 @@
 //
 //	dhpfd serve [-addr :8421] [-workers 4] [-queue 64] [-cache-mb 256]
 //	            [-artifact-mb 64] [-timeout 60s] [-quiet]
+//	            [-store PATH] [-store-mb 1024] [-peers URL,URL,...] [-self N]
 //	dhpfd loadgen [-addr http://127.0.0.1:8421] [-requests 200]
 //	              [-concurrency 8] [-warm 0.8] [-n 16] [-steps 1] [-json]
+//	              [-fleet URL,URL,...] [-min-peer-hits 0]
 //
 // serve runs until interrupted (SIGINT/SIGTERM), then drains and prints
-// its final counters.  loadgen drives /v1/compile with a mixed workload:
-// a fraction of requests repeat one hot SP configuration (warm) and the
-// rest cycle through unique parameter variants (cold), and reports
-// sustained throughput and latency for each class — the warm/cold
-// compile-throughput experiment of EXPERIMENTS.md.  With -json the
-// report is a single JSON summary object on stdout, for scripting.
+// its final counters.  With -store the server persists compiled programs
+// and per-procedure artifacts to an append-only chunk journal at PATH, so
+// a restart serves previously seen fingerprints from disk with zero pass
+// work; -store-mb bounds the journal's live bytes (LRU eviction).  With
+// -peers (the same list, same order, on every member) the server joins a
+// static fleet sharded by consistent hashing: a local miss first asks the
+// fingerprint's owning peer before compiling cold.
+//
+// loadgen drives /v1/compile with a mixed workload: a fraction of
+// requests repeat one hot SP configuration (warm) and the rest cycle
+// through unique parameter variants (cold), and reports sustained
+// throughput and latency for each class — the warm/cold
+// compile-throughput experiment of EXPERIMENTS.md.  With -fleet the
+// requests round-robin over the replicas: the hot configuration is
+// primed at its ring owner, every response is checked for cross-replica
+// identity, per-replica throughput is reported, and -min-peer-hits
+// fails the run unless the fleet counters show at least that many
+// cross-replica warm hits.  With -json the report is a single JSON
+// summary object on stdout, for scripting.
 package main
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -33,6 +49,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -40,6 +57,7 @@ import (
 	"dhpf"
 	"dhpf/internal/nas"
 	"dhpf/internal/service"
+	"dhpf/internal/store"
 )
 
 func main() {
@@ -77,8 +95,31 @@ func serve(ctx context.Context, w io.Writer, args []string) error {
 	artifactMB := fs.Int("artifact-mb", 64, "per-procedure artifact store budget in MiB")
 	timeout := fs.Duration("timeout", 60*time.Second, "per-request compile deadline")
 	quiet := fs.Bool("quiet", false, "suppress per-request logs")
+	storePath := fs.String("store", "", "durable chunk-store journal path (empty = memory only)")
+	storeMB := fs.Int("store-mb", 1024, "durable store live-byte budget in MiB (LRU eviction beyond it)")
+	peersFlag := fs.String("peers", "", "comma-separated fleet base URLs, identical on every member")
+	self := fs.Int("self", 0, "this server's index in -peers")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var peers []string
+	if *peersFlag != "" {
+		for _, p := range strings.Split(*peersFlag, ",") {
+			peers = append(peers, strings.TrimRight(strings.TrimSpace(p), "/"))
+		}
+		if *self < 0 || *self >= len(peers) {
+			return fmt.Errorf("-self %d is not an index into -peers (%d members)", *self, len(peers))
+		}
+	}
+	var st *store.Store
+	if *storePath != "" {
+		var err error
+		st, err = store.Open(*storePath, store.Options{MaxBytes: int64(*storeMB) << 20})
+		if err != nil {
+			return fmt.Errorf("opening -store: %w", err)
+		}
+		defer st.Close()
 	}
 
 	logger := slog.New(slog.NewTextHandler(w, nil))
@@ -92,13 +133,23 @@ func serve(ctx context.Context, w io.Writer, args []string) error {
 		ArtifactBytes:  int64(*artifactMB) << 20,
 		RequestTimeout: *timeout,
 		Logger:         logger,
+		Store:          st,
+		Peers:          peers,
+		Self:           *self,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "dhpfd: listening on http://%s (workers=%d queue=%d cache=%dMiB timeout=%s)\n",
-		ln.Addr(), *workers, *queue, *cacheMB, *timeout)
+	extra := ""
+	if st != nil {
+		extra += fmt.Sprintf(" store=%s(%dMiB)", *storePath, *storeMB)
+	}
+	if len(peers) > 0 {
+		extra += fmt.Sprintf(" fleet=%d/self=%d", len(peers), *self)
+	}
+	fmt.Fprintf(w, "dhpfd: listening on http://%s (workers=%d queue=%d cache=%dMiB timeout=%s%s)\n",
+		ln.Addr(), *workers, *queue, *cacheMB, *timeout, extra)
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
@@ -113,9 +164,17 @@ func serve(ctx context.Context, w io.Writer, args []string) error {
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		return err
 	}
-	st := srv.Stats()
+	stats := srv.Stats()
 	fmt.Fprintf(w, "dhpfd: shut down after %d requests (%d compiles, %d cache hits, %d coalesced, %d rejected)\n",
-		st.Server.Requests, st.Server.Compiles, st.Cache.Hits, st.Cache.InflightCoalesced, st.Server.Rejected)
+		stats.Server.Requests, stats.Server.Compiles, stats.Cache.Hits, stats.Cache.InflightCoalesced, stats.Server.Rejected)
+	if ss := stats.Store; ss != nil {
+		fmt.Fprintf(w, "dhpfd: store %d chunks, %d manifests, %d B live (%d program hits, %d writes, %d evictions)\n",
+			ss.Chunks, ss.Manifests, ss.LiveBytes, ss.ProgramHits, ss.ProgramWrites, ss.Evictions)
+	}
+	if ps := stats.Peer; ps != nil {
+		fmt.Fprintf(w, "dhpfd: fleet %d peer hits, %d misses, %d errors, %d served\n",
+			ps.Hits, ps.Misses, ps.Errors, ps.Served)
+	}
 	return nil
 }
 
@@ -130,6 +189,8 @@ func loadgen(ctx context.Context, w io.Writer, args []string) error {
 	n := fs.Int("n", 16, "SP grid size")
 	steps := fs.Int("steps", 1, "SP time steps")
 	asJSON := fs.Bool("json", false, "print a single JSON summary object instead of text")
+	fleet := fs.String("fleet", "", "comma-separated fleet base URLs (overrides -addr; requests round-robin)")
+	minPeerHits := fs.Int("min-peer-hits", 0, "fail unless the fleet's peer-hit counters total at least this")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -137,14 +198,59 @@ func loadgen(ctx context.Context, w io.Writer, args []string) error {
 		return fmt.Errorf("-warm %g outside [0,1]", *warmFrac)
 	}
 
-	client := dhpf.NewClient(*addr)
+	peers := []string{*addr}
+	if *fleet != "" {
+		peers = nil
+		for _, p := range strings.Split(*fleet, ",") {
+			peers = append(peers, strings.TrimRight(strings.TrimSpace(p), "/"))
+		}
+	} else if *minPeerHits > 0 {
+		return errors.New("-min-peer-hits needs -fleet")
+	}
+	clients := make([]*dhpf.Client, len(peers))
+	for i, p := range peers {
+		clients[i] = dhpf.NewClient(p)
+	}
 	src := nas.SPSource(*n, *steps, 2, 2)
 	warmReq := dhpf.CompileRequest{Source: src, Ranks: []int{0}}
 
+	if len(clients) > 1 {
+		// Prime the hot configuration at its ring owner, so every other
+		// replica's first warm request exercises the peer-fetch path
+		// (deterministically — CI gates on the peer-hit counter).
+		owner := service.Owner(peers, dhpf.Fingerprint(src, nil, dhpf.DefaultOptions()))
+		if _, err := clients[owner].Compile(ctx, warmReq); err != nil {
+			return fmt.Errorf("priming the hot configuration at its owner: %w", err)
+		}
+	}
+
 	type sample struct {
-		warm bool
-		dur  time.Duration
-		err  error
+		warm    bool
+		replica int
+		dur     time.Duration
+		err     error
+	}
+
+	// identity records one response digest per fingerprint; replicas that
+	// disagree on a fingerprint's bytes are a correctness failure, not a
+	// performance problem.
+	var identityMu sync.Mutex
+	identity := map[string]string{}
+	mismatches := 0
+	digest := func(resp *dhpf.CompileResponse) {
+		h := sha256.New()
+		io.WriteString(h, resp.Report)
+		for rk := 0; rk < resp.Ranks; rk++ {
+			io.WriteString(h, resp.NodePrograms[rk])
+		}
+		d := fmt.Sprintf("%x", h.Sum(nil))
+		identityMu.Lock()
+		defer identityMu.Unlock()
+		if prev, ok := identity[resp.Fingerprint]; ok && prev != d {
+			mismatches++
+		} else {
+			identity[resp.Fingerprint] = d
+		}
 	}
 	jobs := make(chan int)
 	samples := make([]sample, *requests)
@@ -164,9 +270,13 @@ func loadgen(ctx context.Context, w io.Writer, args []string) error {
 					// Unique params = unique fingerprint = cold compile.
 					req.Params = map[string]int{"SEED": i}
 				}
+				replica := i % len(clients)
 				start := time.Now()
-				_, err := client.Compile(ctx, req)
-				samples[i] = sample{warm: warm, dur: time.Since(start), err: err}
+				resp, err := clients[replica].Compile(ctx, req)
+				samples[i] = sample{warm: warm, replica: replica, dur: time.Since(start), err: err}
+				if err == nil {
+					digest(resp)
+				}
 			}
 		}()
 	}
@@ -185,6 +295,7 @@ func loadgen(ctx context.Context, w io.Writer, args []string) error {
 
 	var warmDurs, coldDurs []time.Duration
 	errs, rejected := 0, 0
+	okByReplica := make([]int, len(clients))
 	for _, sm := range samples {
 		if sm.err != nil {
 			errs++
@@ -194,6 +305,7 @@ func loadgen(ctx context.Context, w io.Writer, args []string) error {
 			}
 			continue
 		}
+		okByReplica[sm.replica]++
 		if sm.warm {
 			warmDurs = append(warmDurs, sm.dur)
 		} else {
@@ -204,7 +316,7 @@ func loadgen(ctx context.Context, w io.Writer, args []string) error {
 	// Snapshot the artifact tier after the run: how much per-procedure
 	// analysis the warm traffic reused versus recomputed.
 	var artifacts *dhpf.ArtifactCacheStats
-	if st, err := client.Stats(ctx); err == nil {
+	if st, err := clients[0].Stats(ctx); err == nil {
 		artifacts = &st.Artifacts
 	}
 	sum := loadgenSummary{
@@ -212,6 +324,7 @@ func loadgen(ctx context.Context, w io.Writer, args []string) error {
 		OK:           ok,
 		Errors:       errs,
 		Rejected429:  rejected,
+		Mismatches:   mismatches,
 		Concurrency:  *concurrency,
 		WarmFraction: *warmFrac,
 		ElapsedNS:    elapsed.Nanoseconds(),
@@ -220,10 +333,36 @@ func loadgen(ctx context.Context, w io.Writer, args []string) error {
 		Cold:         summarize(coldDurs),
 		Artifacts:    artifacts,
 	}
+	if len(clients) > 1 {
+		for i, c := range clients {
+			rs := replicaSummary{
+				URL:        peers[i],
+				OK:         okByReplica[i],
+				Throughput: float64(okByReplica[i]) / elapsed.Seconds(),
+			}
+			if st, err := c.Stats(ctx); err == nil && st.Peer != nil {
+				rs.PeerHits = st.Peer.Hits
+				rs.PeerServed = st.Peer.Served
+				sum.PeerHits += st.Peer.Hits
+			}
+			sum.Fleet = append(sum.Fleet, rs)
+		}
+	}
+	// gateErr fails the run after the report is printed, so the numbers
+	// that explain the failure are always visible.
+	var gateErr error
+	if mismatches > 0 {
+		gateErr = fmt.Errorf("%d responses differed across replicas for the same fingerprint", mismatches)
+	} else if *minPeerHits > 0 && sum.PeerHits < int64(*minPeerHits) {
+		gateErr = fmt.Errorf("fleet shows %d peer hits, want at least %d", sum.PeerHits, *minPeerHits)
+	}
 	if *asJSON {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		return enc.Encode(sum)
+		if err := enc.Encode(sum); err != nil {
+			return err
+		}
+		return gateErr
 	}
 	fmt.Fprintf(w, "loadgen: %d requests (%d ok, %d errors, %d rejected 429) in %.3fs\n",
 		sum.Requests, sum.OK, sum.Errors, sum.Rejected429, elapsed.Seconds())
@@ -244,7 +383,14 @@ func loadgen(ctx context.Context, w io.Writer, args []string) error {
 		fmt.Fprintf(w, "artifacts: %d hits, %d misses, %d dirty recomputes, %d entries (%d B)\n",
 			a.Hits, a.Misses, a.Dirty, a.Entries, a.SizeBytes)
 	}
-	return nil
+	for _, rs := range sum.Fleet {
+		fmt.Fprintf(w, "replica %-28s %5d ok  %7.1f req/s  %d peer hits, %d served\n",
+			rs.URL, rs.OK, rs.Throughput, rs.PeerHits, rs.PeerServed)
+	}
+	if len(sum.Fleet) > 0 {
+		fmt.Fprintf(w, "fleet: %d cross-replica warm hits, %d response mismatches\n", sum.PeerHits, sum.Mismatches)
+	}
+	return gateErr
 }
 
 // loadgenSummary is the -json report: one object, nanosecond latencies,
@@ -264,6 +410,21 @@ type loadgenSummary struct {
 	// Artifacts is the service's per-procedure artifact-tier counters
 	// after the run (nil when /v1/stats was unreachable).
 	Artifacts *dhpf.ArtifactCacheStats `json:"artifacts,omitempty"`
+	// Fleet is the per-replica breakdown (only with -fleet); PeerHits is
+	// the fleet-wide cross-replica warm-hit total and Mismatches counts
+	// same-fingerprint responses that differed between replicas (always
+	// zero on a correct fleet).
+	Fleet      []replicaSummary `json:"fleet,omitempty"`
+	PeerHits   int64            `json:"peer_hits,omitempty"`
+	Mismatches int              `json:"mismatches,omitempty"`
+}
+
+type replicaSummary struct {
+	URL        string  `json:"url"`
+	OK         int     `json:"ok"`
+	Throughput float64 `json:"throughput_rps"`
+	PeerHits   int64   `json:"peer_hits"`
+	PeerServed int64   `json:"peer_served"`
 }
 
 type latencySummary struct {

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
@@ -13,6 +15,7 @@ import (
 
 	"dhpf"
 	"dhpf/internal/service"
+	"dhpf/internal/store"
 )
 
 // syncBuffer is a race-safe io.Writer for reading serve's output while
@@ -51,6 +54,37 @@ subroutine main()
   enddo
 end
 `
+
+// startServe launches the daemon with the given extra flags and waits
+// for its listening line, returning the base URL, the output buffer,
+// and a stop function that shuts it down and returns serve's error.
+func startServe(t *testing.T, extra ...string) (string, *syncBuffer, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, out, append([]string{"serve", "-addr", "127.0.0.1:0", "-quiet"}, extra...))
+	}()
+	re := regexp.MustCompile(`listening on (http://[0-9.:]+)`)
+	for deadline := time.Now().Add(10 * time.Second); ; time.Sleep(5 * time.Millisecond) {
+		if m := re.FindStringSubmatch(out.String()); m != nil {
+			return m[1], out, func() error {
+				cancel()
+				select {
+				case err := <-done:
+					return err
+				case <-time.After(15 * time.Second):
+					return context.DeadlineExceeded
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("daemon never reported its address; output:\n%s", out.String())
+		}
+	}
+}
 
 // TestServeSmoke starts the daemon, compiles through it, and shuts it
 // down — the start/compile/shutdown smoke test CI runs.
@@ -160,6 +194,116 @@ func TestLoadgenJSON(t *testing.T) {
 	}
 	if sum.Throughput <= 0 || sum.ElapsedNS <= 0 || sum.Warm.P95NS < sum.Warm.P50NS {
 		t.Errorf("implausible summary: %+v", sum)
+	}
+}
+
+// TestServeStoreRestartWarm: a daemon started with -store, killed, and
+// restarted over the same journal serves a previously compiled request
+// from disk — cached, byte-identical, zero compiles.
+func TestServeStoreRestartWarm(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dhpfd.store")
+	ctx := context.Background()
+	req := dhpf.CompileRequest{Source: smokeSrc}
+
+	base, _, stop := startServe(t, "-store", path)
+	cold, err := dhpf.NewClient(base).Compile(ctx, req)
+	if err != nil {
+		t.Fatalf("compile before restart: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("first daemon: %v", err)
+	}
+
+	base2, out2, stop2 := startServe(t, "-store", path)
+	client := dhpf.NewClient(base2)
+	warm, err := client.Compile(ctx, req)
+	if err != nil {
+		t.Fatalf("compile after restart: %v", err)
+	}
+	if !warm.Cached {
+		t.Error("restarted daemon did not serve the compile from its store")
+	}
+	if warm.Report != cold.Report || warm.NodePrograms[0] != cold.NodePrograms[0] {
+		t.Error("restart-warm output differs from pre-restart output")
+	}
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Server.Compiles != 0 {
+		t.Errorf("restarted daemon did %d compiles, want 0", stats.Server.Compiles)
+	}
+	if stats.Store == nil || stats.Store.ProgramHits == 0 {
+		t.Errorf("store stats show no program hit: %+v", stats.Store)
+	}
+	if err := stop2(); err != nil {
+		t.Fatalf("second daemon: %v", err)
+	}
+	if !strings.Contains(out2.String(), "dhpfd: store") {
+		t.Errorf("shutdown summary missing store line:\n%s", out2.String())
+	}
+}
+
+// TestLoadgenFleet: three store-backed daemons sharing a peer list, the
+// fleet loadgen round-robining over them — cross-replica warm hits must
+// appear (the hot config is primed at its ring owner), responses must be
+// identical everywhere, and the summary must carry per-replica numbers.
+func TestLoadgenFleet(t *testing.T) {
+	srvs := make([]*service.Server, 3)
+	peers := make([]string, 3)
+	for i := range peers {
+		i := i
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			srvs[i].Handler().ServeHTTP(w, r)
+		}))
+		defer ts.Close()
+		peers[i] = ts.URL
+	}
+	for i := range srvs {
+		st, err := store.Open(filepath.Join(t.TempDir(), "store"), store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		srvs[i] = service.New(service.Config{Workers: 2, Store: st, Peers: peers, Self: i})
+	}
+
+	var out bytes.Buffer
+	err := run(context.Background(), &out, []string{
+		"loadgen", "-fleet", strings.Join(peers, ","), "-requests", "24",
+		"-concurrency", "3", "-warm", "0.75", "-n", "10",
+		"-min-peer-hits", "1", "-json",
+	})
+	if err != nil {
+		t.Fatalf("fleet loadgen: %v\n%s", err, out.String())
+	}
+	var sum loadgenSummary
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatalf("stdout is not a JSON summary: %v", err)
+	}
+	if sum.Errors != 0 || sum.Mismatches != 0 {
+		t.Errorf("fleet run unhealthy: %+v", sum)
+	}
+	if sum.PeerHits < 1 {
+		t.Errorf("no cross-replica warm hits: %+v", sum)
+	}
+	if len(sum.Fleet) != 3 {
+		t.Fatalf("fleet breakdown has %d replicas, want 3", len(sum.Fleet))
+	}
+	okTotal := 0
+	for _, rs := range sum.Fleet {
+		okTotal += rs.OK
+	}
+	if okTotal != sum.OK {
+		t.Errorf("per-replica ok %d != total %d", okTotal, sum.OK)
+	}
+
+	// The gate itself: an impossible -min-peer-hits must fail the run.
+	if err := run(context.Background(), &out, []string{
+		"loadgen", "-fleet", strings.Join(peers, ","), "-requests", "6",
+		"-concurrency", "2", "-n", "10", "-min-peer-hits", "1000000", "-json",
+	}); err == nil {
+		t.Error("unreachable -min-peer-hits did not fail the run")
 	}
 }
 

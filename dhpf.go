@@ -36,6 +36,7 @@ import (
 	"dhpf/internal/parser"
 	"dhpf/internal/passes"
 	"dhpf/internal/spmd"
+	"dhpf/internal/store"
 	"dhpf/internal/trace"
 )
 
@@ -134,6 +135,15 @@ type Incremental struct {
 // holds at most maxBytes of frozen artifacts (0 = the 64 MiB default).
 func NewIncremental(maxBytes int64) *Incremental {
 	return &Incremental{store: cache.NewArtifactStore(maxBytes)}
+}
+
+// Persist layers a durable chunk store under the artifact tier: frozen
+// artifacts are written through to st as content-addressed chunks and
+// read back on later compiles — including by other processes, or after
+// a restart.  Call before the first Compile.  The Incremental does not
+// close st.
+func (inc *Incremental) Persist(st *store.Store) {
+	inc.store.SetBacking(passes.NewStoreBacking(st))
 }
 
 // Compile compiles source through the artifact store, returning the

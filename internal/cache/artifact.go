@@ -11,13 +11,30 @@ import (
 // difference between Misses and Dirty is lookups that failed for other
 // reasons (thaw refused, evicted entry).
 type ArtifactStats struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Dirty     int64 `json:"dirty"`
-	Evictions int64 `json:"evictions"`
-	Entries   int   `json:"entries"`
-	SizeBytes int64 `json:"size_bytes"`
-	MaxBytes  int64 `json:"max_bytes"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// BackingHits counts Get misses served by the durable backing tier
+	// (also counted in Hits): artifacts thawed from disk after a
+	// restart or from another process's compile.
+	BackingHits int64 `json:"backing_hits,omitempty"`
+	Dirty       int64 `json:"dirty"`
+	Evictions   int64 `json:"evictions"`
+	Entries     int   `json:"entries"`
+	SizeBytes   int64 `json:"size_bytes"`
+	MaxBytes    int64 `json:"max_bytes"`
+}
+
+// ArtifactBacking is an optional durable second tier under the artifact
+// store, mirroring Backing for the untyped artifact values.  Load
+// returns a decoded artifact plus its charge size; implementations skip
+// kinds they cannot serialize by returning false from Load and doing
+// nothing in Store.  Both are called outside the store's mutex, so a
+// slow disk stalls only the requesting compile; concurrent misses on
+// one key may duplicate a Load, which is wasted work, never wrong
+// (content keys make racing Puts identical).
+type ArtifactBacking interface {
+	Load(key string) (any, int64, bool)
+	Store(key string, val any, size int64)
 }
 
 // ArtifactStore is the artifact-level cache tier of incremental
@@ -33,12 +50,13 @@ type ArtifactStats struct {
 // request, which is what makes the batched compile endpoint share
 // artifacts between batch members).
 type ArtifactStore struct {
-	mu    sync.Mutex
-	max   int64
-	size  int64
-	ll    *list.List // front = most recently used; values are *artEntry
-	items map[string]*list.Element
-	stats ArtifactStats
+	mu      sync.Mutex
+	max     int64
+	size    int64
+	ll      *list.List // front = most recently used; values are *artEntry
+	items   map[string]*list.Element
+	backing ArtifactBacking
+	stats   ArtifactStats
 }
 
 type artEntry struct {
@@ -60,27 +78,63 @@ func NewArtifactStore(maxBytes int64) *ArtifactStore {
 	}
 }
 
-// Get returns the artifact stored under key and marks it recently used.
+// SetBacking installs a durable backing tier.  Call before the store is
+// shared; subsequent misses read through it and Puts write through.
+func (s *ArtifactStore) SetBacking(b ArtifactBacking) {
+	s.mu.Lock()
+	s.backing = b
+	s.mu.Unlock()
+}
+
+// Get returns the artifact stored under key and marks it recently used,
+// falling back to the durable backing tier (and promoting its value
+// into memory) on a miss.
 func (s *ArtifactStore) Get(key string) (any, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if el, ok := s.items[key]; ok {
 		s.ll.MoveToFront(el)
 		s.stats.Hits++
-		return el.Value.(*artEntry).val, true
+		v := el.Value.(*artEntry).val
+		s.mu.Unlock()
+		return v, true
 	}
-	s.stats.Misses++
-	return nil, false
+	b := s.backing
+	if b == nil {
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Unlock()
+	val, size, ok := b.Load(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !ok {
+		s.stats.Misses++
+		return nil, false
+	}
+	s.stats.Hits++
+	s.stats.BackingHits++
+	s.putLocked(key, val, size)
+	return val, true
 }
 
 // Put stores an artifact under its content key, charging size bytes
-// against the budget and evicting LRU entries as needed.
+// against the budget and evicting LRU entries as needed.  With a
+// backing tier installed the artifact is also written through to it.
 func (s *ArtifactStore) Put(key string, val any, size int64) {
+	s.mu.Lock()
+	s.putLocked(key, val, size)
+	b := s.backing
+	s.mu.Unlock()
+	if b != nil {
+		b.Store(key, val, size)
+	}
+}
+
+func (s *ArtifactStore) putLocked(key string, val any, size int64) {
 	if size < 1 {
 		size = 1
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if el, ok := s.items[key]; ok {
 		s.size -= el.Value.(*artEntry).size
 		s.ll.Remove(el)

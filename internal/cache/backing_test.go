@@ -1,0 +1,199 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// mapBacking is an in-memory Backing/ArtifactBacking double.
+type mapBacking struct {
+	mu     sync.Mutex
+	m      map[string]string
+	loads  int
+	stores int
+}
+
+func newMapBacking() *mapBacking { return &mapBacking{m: map[string]string{}} }
+
+func (b *mapBacking) Load(key string) (string, int64, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.loads++
+	v, ok := b.m[key]
+	return v, int64(len(v)), ok
+}
+
+func (b *mapBacking) Store(key, val string, size int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stores++
+	b.m[key] = val
+}
+
+func TestCacheBackingWriteThroughReadThrough(t *testing.T) {
+	ctx := context.Background()
+	b := newMapBacking()
+
+	c1 := New[string](1 << 20)
+	c1.SetBacking(b)
+	v, cached, err := c1.GetOrCompute(ctx, "k", func(context.Context) (string, int64, error) {
+		return "computed", 8, nil
+	})
+	if err != nil || v != "computed" || cached {
+		t.Fatalf("cold: v=%q cached=%v err=%v", v, cached, err)
+	}
+	if b.stores != 1 {
+		t.Fatalf("stores = %d, want 1 (write-through)", b.stores)
+	}
+
+	// A fresh cache over the same backing — a restart — serves the value
+	// without computing, and reports it as cached.
+	c2 := New[string](1 << 20)
+	c2.SetBacking(b)
+	v, cached, err = c2.GetOrCompute(ctx, "k", func(context.Context) (string, int64, error) {
+		t.Fatal("compute ran on a backing hit")
+		return "", 0, nil
+	})
+	if err != nil || v != "computed" || !cached {
+		t.Fatalf("restart-warm: v=%q cached=%v err=%v", v, cached, err)
+	}
+	if st := c2.Stats(); st.BackingHits != 1 || st.Hits != 0 {
+		t.Fatalf("stats after backing hit: %+v", st)
+	}
+
+	// Second lookup is a plain memory hit; the backing is not consulted
+	// again.
+	loadsBefore := b.loads
+	if _, cached, _ := c2.GetOrCompute(ctx, "k", nil); !cached {
+		t.Fatal("memory hit not cached")
+	}
+	if b.loads != loadsBefore {
+		t.Fatalf("backing consulted on a memory hit (%d -> %d loads)", loadsBefore, b.loads)
+	}
+}
+
+func TestCacheBackingErrorsNotStored(t *testing.T) {
+	b := newMapBacking()
+	c := New[string](1 << 20)
+	c.SetBacking(b)
+	boom := errors.New("boom")
+	_, _, err := c.GetOrCompute(context.Background(), "k", func(context.Context) (string, int64, error) {
+		return "", 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if b.stores != 0 {
+		t.Fatal("failed computation written through to backing")
+	}
+}
+
+// Concurrent misses on one key consult the backing once (the load runs
+// inside the singleflight flight).
+func TestCacheBackingSingleflight(t *testing.T) {
+	b := newMapBacking()
+	b.m["k"] = "stored"
+	c := New[string](1 << 20)
+	c.SetBacking(b)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, cached, err := c.GetOrCompute(context.Background(), "k", func(context.Context) (string, int64, error) {
+				t.Error("compute ran")
+				return "", 0, nil
+			})
+			if err != nil || v != "stored" || !cached {
+				t.Errorf("v=%q cached=%v err=%v", v, cached, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if b.loads != 1 {
+		t.Fatalf("backing loads = %d, want 1", b.loads)
+	}
+}
+
+type anyBacking struct {
+	mu     sync.Mutex
+	m      map[string]any
+	stores int
+}
+
+func (b *anyBacking) Load(key string) (any, int64, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v, ok := b.m[key]
+	return v, 8, ok
+}
+
+func (b *anyBacking) Store(key string, val any, size int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stores++
+	b.m[key] = val
+}
+
+func TestArtifactStoreBacking(t *testing.T) {
+	b := &anyBacking{m: map[string]any{}}
+
+	s1 := NewArtifactStore(1 << 20)
+	s1.SetBacking(b)
+	s1.Put("a", "artifact-value", 16)
+	if b.stores != 1 {
+		t.Fatalf("stores = %d after Put", b.stores)
+	}
+
+	// Restart: a fresh in-memory store over the same backing.
+	s2 := NewArtifactStore(1 << 20)
+	s2.SetBacking(b)
+	v, ok := s2.Get("a")
+	if !ok || v != "artifact-value" {
+		t.Fatalf("restart Get = %v, %v", v, ok)
+	}
+	st := s2.Stats()
+	if st.BackingHits != 1 || st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Promoted into memory: second Get is a pure memory hit.
+	if _, ok := s2.Get("a"); !ok {
+		t.Fatal("promoted artifact lost")
+	}
+	if st := s2.Stats(); st.BackingHits != 1 || st.Hits != 2 {
+		t.Fatalf("stats after promotion: %+v", st)
+	}
+	if _, ok := s2.Get("absent"); ok {
+		t.Fatal("phantom artifact")
+	}
+	if st := s2.Stats(); st.Misses != 1 {
+		t.Fatalf("miss not counted: %+v", st)
+	}
+}
+
+func TestArtifactStoreBackingConcurrent(t *testing.T) {
+	b := &anyBacking{m: map[string]any{}}
+	for i := 0; i < 32; i++ {
+		b.m[fmt.Sprintf("k%d", i)] = fmt.Sprintf("v%d", i)
+	}
+	s := NewArtifactStore(1 << 20)
+	s.SetBacking(b)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				key := fmt.Sprintf("k%d", i)
+				if v, ok := s.Get(key); !ok || v != fmt.Sprintf("v%d", i) {
+					t.Errorf("Get(%s) = %v, %v", key, v, ok)
+				}
+				s.Put(fmt.Sprintf("p%d", i), i, 8)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -41,10 +41,28 @@ type Stats struct {
 	// computation already running and waited for its result instead of
 	// starting their own — the singleflight dedup counter.
 	InflightCoalesced int64 `json:"inflight_coalesced"`
-	Evictions         int64 `json:"evictions"`
-	Entries           int   `json:"entries"`
-	SizeBytes         int64 `json:"size_bytes"`
-	MaxBytes          int64 `json:"max_bytes"`
+	// BackingHits counts misses that were served by the durable backing
+	// tier instead of running the computation (restart-warm hits).
+	BackingHits int64 `json:"backing_hits,omitempty"`
+	Evictions   int64 `json:"evictions"`
+	Entries     int   `json:"entries"`
+	SizeBytes   int64 `json:"size_bytes"`
+	MaxBytes    int64 `json:"max_bytes"`
+}
+
+// Backing is an optional durable second tier under the in-memory cache
+// (read-through on miss, write-through on compute).  Load returns the
+// value and the size to charge against the in-memory budget; a false
+// return falls through to the computation.  Both methods run inside the
+// singleflight flight, so concurrent misses on one key consult the
+// backing once, and Store completes before any waiter observes the
+// value — a process crash after GetOrCompute returns can never lose a
+// value the caller already saw.  Implementations must be safe for
+// concurrent use and must treat undecodable or version-mismatched
+// stored bytes as a miss, never an error.
+type Backing[V any] interface {
+	Load(key string) (V, int64, bool)
+	Store(key string, val V, size int64)
 }
 
 // entry is one stored value with its charged size.
@@ -62,6 +80,7 @@ type flight[V any] struct {
 	done    chan struct{} // closed when val/err are final
 	val     V
 	err     error
+	cached  bool // value came from the backing tier, not compute
 	waiters int
 	cancel  context.CancelFunc
 }
@@ -75,6 +94,7 @@ type Cache[V any] struct {
 	ll       *list.List // front = most recently used; values are *entry[V]
 	items    map[string]*list.Element
 	inflight map[string]*flight[V]
+	backing  Backing[V]
 	stats    Stats
 }
 
@@ -95,8 +115,18 @@ func New[V any](maxBytes int64) *Cache[V] {
 	}
 }
 
+// SetBacking installs a durable backing tier.  Call before the cache is
+// shared; subsequent misses read through it and computed values are
+// written through to it.
+func (c *Cache[V]) SetBacking(b Backing[V]) {
+	c.mu.Lock()
+	c.backing = b
+	c.mu.Unlock()
+}
+
 // Get returns the stored value for key, if present, and marks it
-// recently used.  It does not wait for in-flight computations.
+// recently used.  It does not wait for in-flight computations and does
+// not consult the backing tier.
 func (c *Cache[V]) Get(key string) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -119,8 +149,8 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 // budget; errors are returned to every waiter and never cached.
 //
 // The second result reports whether the value came from the cache (a
-// stored entry or a coalesced flight) rather than this caller's own
-// computation.
+// stored entry, a coalesced flight, or the durable backing tier) rather
+// than this caller's own computation.
 func (c *Cache[V]) GetOrCompute(ctx context.Context, key string,
 	compute func(ctx context.Context) (V, int64, error)) (V, bool, error) {
 
@@ -142,12 +172,32 @@ func (c *Cache[V]) GetOrCompute(ctx context.Context, key string,
 	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
 	f := &flight[V]{done: make(chan struct{}), waiters: 1, cancel: cancel}
 	c.inflight[key] = f
+	backing := c.backing
 	c.mu.Unlock()
 
 	go func() {
-		val, size, err := compute(fctx)
+		var (
+			val  V
+			size int64
+			err  error
+		)
+		fromBacking := false
+		if backing != nil {
+			val, size, fromBacking = backing.Load(key)
+		}
+		if !fromBacking {
+			val, size, err = compute(fctx)
+			if err == nil && backing != nil {
+				// Write through before waiters observe the value, so a
+				// restart after GetOrCompute returns always replays it.
+				backing.Store(key, val, size)
+			}
+		}
 		c.mu.Lock()
-		f.val, f.err = val, err
+		f.val, f.err, f.cached = val, err, fromBacking
+		if fromBacking {
+			c.stats.BackingHits++
+		}
 		delete(c.inflight, key)
 		if err == nil {
 			c.insertLocked(key, val, size)
@@ -165,7 +215,7 @@ func (c *Cache[V]) GetOrCompute(ctx context.Context, key string,
 func (c *Cache[V]) wait(ctx context.Context, key string, f *flight[V], coalesced bool) (V, bool, error) {
 	select {
 	case <-f.done:
-		return f.val, coalesced, f.err
+		return f.val, coalesced || f.cached, f.err
 	case <-ctx.Done():
 		c.mu.Lock()
 		f.waiters--

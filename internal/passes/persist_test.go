@@ -1,0 +1,209 @@
+package passes
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dhpf/internal/comm"
+	"dhpf/internal/cp"
+	"dhpf/internal/dep"
+	"dhpf/internal/ir"
+	"dhpf/internal/store"
+	"dhpf/internal/store/codec"
+	"dhpf/internal/verify"
+)
+
+func sampleCP() *cp.CP {
+	return &cp.CP{Terms: []cp.Term{
+		{Array: "a", Subs: []cp.HomeSub{
+			{Var: "i", Coef: 1, Off: ir.AffExpr{Const: -1, Terms: []ir.AffTerm{{Name: "n", Coef: 2}}}},
+			{IsRange: true, Lo: ir.AffExpr{Const: 1}, Hi: ir.AffExpr{Const: 0, Terms: []ir.AffTerm{{Name: "n", Coef: 1}}}},
+		}},
+		{Array: "b", Subs: []cp.HomeSub{{Var: "j", Coef: -3, Off: ir.AffExpr{Const: 7}}}},
+	}}
+}
+
+// roundTrip pushes one artifact value through encode+decode and returns
+// the decoded value; it fails the test on any refusal.
+func roundTrip(t *testing.T, kind string, val any) any {
+	t.Helper()
+	data, ok := encodeArtifact(kind, val)
+	if !ok {
+		t.Fatalf("encodeArtifact(%s) refused", kind)
+	}
+	out, ok := decodeArtifact(kind, data)
+	if !ok {
+		t.Fatalf("decodeArtifact(%s) refused", kind)
+	}
+	return out
+}
+
+func TestArtifactCodecRoundTrip(t *testing.T) {
+	deps := &frozenDeps{Deps: []frozenDep{
+		{
+			Kind: dep.Flow, Src: 0, Dst: 3,
+			SrcRef:   refSel{Kind: selLHS},
+			DstRef:   refSel{Kind: selRHS, Idx: 2},
+			Distance: []dep.Dist{{Known: true, D: -1}, {Known: false}},
+			Level:    2,
+		},
+		{
+			Kind: dep.Anti, Src: 5, Dst: 5,
+			SrcRef: refSel{Kind: selScalar, Name: "tmp"},
+			DstRef: refSel{Kind: selLHS},
+		},
+	}}
+	if got := roundTrip(t, artifactDeps, deps); !reflect.DeepEqual(got, deps) {
+		t.Errorf("deps round trip:\n got %+v\nwant %+v", got, deps)
+	}
+
+	sel := &frozenSel{
+		Sel: &cp.ProcSelection{
+			CPs:      map[int]*cp.CP{4: sampleCP(), 9: nil, 11: {}},
+			Entry:    sampleCP(),
+			HasEntry: true,
+			Marked:   [][2]int{{4, 9}, {9, 11}},
+			Notes: []cp.ProcNote{
+				{Late: 1, Entry: 2, Top: 3, Phase: 4, Loop: 5, Sub: 6, Text: "note about stmt 4"},
+				{Text: ""},
+			},
+		},
+		OldIDs: []int{1, 4, 9, 11, 15},
+	}
+	if got := roundTrip(t, artifactSel, sel); !reflect.DeepEqual(got, sel) {
+		t.Errorf("sel round trip:\n got %+v\nwant %+v", got, sel)
+	}
+
+	cm := &frozenComm{
+		Events: []frozenEvent{
+			{Kind: comm.ReadComm, Stmt: 2, Ref: refSel{Kind: selRHS, Idx: 1}, Depth: 1, Pipelined: true},
+			{Kind: comm.WriteBack, Stmt: 7, Ref: refSel{Kind: selLHS}, Eliminated: true, Reason: "covered by stmt 2"},
+		},
+		Notes:  []string{"availability: 3 reads covered", ""},
+		OldIDs: []int{0, 2, 7},
+	}
+	if got := roundTrip(t, artifactComm, cm); !reflect.DeepEqual(got, cm) {
+		t.Errorf("comm round trip:\n got %+v\nwant %+v", got, cm)
+	}
+
+	vf := &frozenVerify{
+		Diagnostics: []verify.Diagnostic{
+			{Check: "on-home", Severity: verify.Info, Proc: "main", Stmt: 3, Ref: "a(i,j)", Set: "[1:n]", Why: "covered"},
+			{Check: "comm", Severity: "error", Proc: "sweep", Stmt: -1, Why: "missing halo"},
+		},
+		Stmts: 12, Events: 4, Ranks: 4,
+		OldIDs: []int{3, 8},
+	}
+	if got := roundTrip(t, artifactVerify, vf); !reflect.DeepEqual(got, vf) {
+		t.Errorf("verify round trip:\n got %+v\nwant %+v", got, vf)
+	}
+
+	if got := roundTrip(t, artifactRawUnit, "deadbeef-unit-hash"); got != "deadbeef-unit-hash" {
+		t.Errorf("rawunit round trip: %v", got)
+	}
+	calls := []string{"sweep", "add"}
+	if got := roundTrip(t, artifactCalls, calls); !reflect.DeepEqual(got, calls) {
+		t.Errorf("calls round trip: %v", got)
+	}
+}
+
+// Deterministic encoding: the sel tier holds a map, which must encode
+// identically regardless of insertion order or identical bytes on disk
+// (chunk dedup) would silently stop working.
+func TestArtifactCodecDeterministic(t *testing.T) {
+	build := func(order []int) *frozenSel {
+		ps := &cp.ProcSelection{CPs: map[int]*cp.CP{}}
+		for _, id := range order {
+			ps.CPs[id] = &cp.CP{Terms: []cp.Term{{Array: "a"}}}
+		}
+		return &frozenSel{Sel: ps}
+	}
+	a, _ := encodeArtifact(artifactSel, build([]int{1, 2, 3, 4, 5, 6, 7, 8}))
+	b, _ := encodeArtifact(artifactSel, build([]int{8, 7, 6, 5, 4, 3, 2, 1}))
+	if string(a) != string(b) {
+		t.Fatal("sel encoding depends on map insertion order")
+	}
+}
+
+// The ast tier (live IR pointers) and unexpected value types must be
+// skipped, not serialized wrongly.
+func TestArtifactCodecSkipsUnsupported(t *testing.T) {
+	if _, ok := encodeArtifact(artifactAST, &ir.Procedure{}); ok {
+		t.Error("ast tier encoded")
+	}
+	if _, ok := encodeArtifact(artifactDeps, "wrong type"); ok {
+		t.Error("mistyped deps encoded")
+	}
+	if _, ok := encodeArtifact("nonsense", 7); ok {
+		t.Error("unknown kind encoded")
+	}
+	if _, ok := decodeArtifact("nonsense", []byte("junk")); ok {
+		t.Error("unknown kind decoded")
+	}
+}
+
+// A value written under a different codec version reads as a miss.
+func TestArtifactCodecVersionMismatchIsMiss(t *testing.T) {
+	w := codec.NewWriter("artifact/"+artifactRawUnit, artifactCodecVersion+1)
+	w.String("future bytes")
+	if _, ok := decodeArtifact(artifactRawUnit, w.Bytes()); ok {
+		t.Fatal("future-version artifact decoded")
+	}
+	if _, ok := decodeArtifact(artifactDeps, []byte("not even codec")); ok {
+		t.Fatal("garbage decoded")
+	}
+}
+
+// Truncated artifact bodies are misses, never panics or partial values.
+func TestArtifactCodecTruncationIsMiss(t *testing.T) {
+	full, ok := encodeArtifact(artifactVerify, &frozenVerify{
+		Diagnostics: []verify.Diagnostic{{Check: "c", Severity: "info", Proc: "p", Why: "w"}},
+		Stmts:       3, OldIDs: []int{1, 2, 3},
+	})
+	if !ok {
+		t.Fatal("encode refused")
+	}
+	for cut := 0; cut < len(full); cut++ {
+		if _, ok := decodeArtifact(artifactVerify, full[:cut]); ok {
+			t.Fatalf("cut=%d decoded as complete", cut)
+		}
+	}
+}
+
+// The storeBacking adapter persists through a real journal: a Put via
+// one backing is a Load via a second backing over a reopened store.
+func TestStoreBackingPersists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "artifacts.journal")
+	st, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewStoreBacking(st)
+	key := artifactKey(artifactDeps, "env-fp-1")
+	want := &frozenDeps{Deps: []frozenDep{{Kind: dep.Output, Src: 1, Dst: 2, Level: 1}}}
+	b.Store(key, want, 128)
+
+	// ast-tier values are skipped silently.
+	b.Store(artifactKey(artifactAST, "x"), &ir.Procedure{}, 1)
+	if _, _, ok := b.Load(artifactKey(artifactAST, "x")); ok {
+		t.Error("ast tier persisted")
+	}
+	st.Close()
+
+	st2, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got, size, ok := NewStoreBacking(st2).Load(key)
+	if !ok || size <= 0 {
+		t.Fatalf("Load after reopen: ok=%v size=%d", ok, size)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("thawed deps differ:\n got %+v\nwant %+v", got, want)
+	}
+	if _, _, ok := NewStoreBacking(st2).Load(artifactKey(artifactDeps, "other-env")); ok {
+		t.Error("phantom artifact")
+	}
+}

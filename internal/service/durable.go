@@ -1,0 +1,383 @@
+// Durable program tier: the adapter between the program cache and the
+// content-addressed chunk store, plus the fleet peer-fetch chain.
+//
+// A compiled program is persisted as one manifest keyed by its
+// fingerprint, whose chunks are the rendered report, every rank's node
+// program, the pass records, and (once computed) the verify report.
+// Only rendered artifacts are stored — not the live IR — so a thawed
+// entry serves /v1/compile, /v1/explain and /v1/verify byte-identically
+// with zero pass work; /v1/run revives the entry with one live compile
+// on first use (see Server.liveProgram).
+//
+// The Load chain on a program-cache miss is: local store → owning peer
+// (consistent hash on the fingerprint, via /v1/peer/fetch) → compile
+// cold.  Peer hits are installed into the local store, so a hot
+// fingerprint converges to being durable on every replica that serves
+// it.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"dhpf"
+	"dhpf/internal/store"
+	"dhpf/internal/store/codec"
+)
+
+const (
+	programManifestKind = "program"
+	programMetaVersion  = "1"
+	passesFormat        = "program.passes"
+	passesVersion       = 1
+)
+
+// durable implements cache.Backing[*program] over a chunk store and an
+// optional peer ring.  Either st or ring may be nil (store-only
+// replicas, storeless fleet members).
+type durable struct {
+	st      *store.Store
+	ring    *hashRing
+	peers   []string
+	self    int
+	client  *http.Client
+	timeout time.Duration
+
+	localHits  atomic.Int64
+	localMiss  atomic.Int64
+	writes     atomic.Int64
+	peerHits   atomic.Int64
+	peerMisses atomic.Int64
+	peerErrors atomic.Int64
+}
+
+// Load is the program cache's read-through path (runs inside the
+// singleflight flight, so one miss consults disk and peers once).
+func (d *durable) Load(key string) (*program, int64, bool) {
+	if d.st != nil {
+		if ent, size, ok := d.loadLocal(key); ok {
+			d.localHits.Add(1)
+			return ent, size, true
+		}
+		d.localMiss.Add(1)
+	}
+	if d.ring != nil {
+		if owner := d.ring.owner(key); owner != d.self {
+			if ent, size, ok := d.fetchPeer(d.peers[owner], key); ok {
+				d.peerHits.Add(1)
+				if d.st != nil {
+					d.saveEntry(key, ent) // future restarts warm locally too
+				}
+				return ent, size, true
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// Store is the write-through path: every freshly compiled program
+// becomes durable before its waiters observe it.
+func (d *durable) Store(key string, ent *program, _ int64) {
+	if d.st == nil {
+		return
+	}
+	if d.saveEntry(key, ent) {
+		d.writes.Add(1)
+	}
+}
+
+// saveEntry persists one cache entry as chunks + a manifest.  Called
+// again after a verify report is first computed (the manifest gains a
+// verify chunk; unchanged chunks dedup to no-ops).
+func (d *durable) saveEntry(key string, ent *program) bool {
+	ranks := ent.ranks
+	refs := make([]store.ChunkRef, 0, ranks+3)
+	put := func(name string, data []byte) bool {
+		addr, err := d.st.PutChunk(data)
+		if err != nil {
+			return false
+		}
+		refs = append(refs, store.ChunkRef{Name: name, Addr: addr})
+		return true
+	}
+	if !put("report", []byte(ent.report)) {
+		return false
+	}
+	for rk := 0; rk < ranks; rk++ {
+		if !put("node:"+strconv.Itoa(rk), []byte(ent.nodeProgram(rk))) {
+			return false
+		}
+	}
+	if !put("passes", encodePassStats(cachedStatsOf(ent))) {
+		return false
+	}
+	ent.mu.Lock()
+	rep := ent.verifyRep
+	ent.mu.Unlock()
+	if rep != nil {
+		js, err := json.Marshal(rep)
+		if err != nil || !put("verify", js) {
+			return false
+		}
+	}
+	err := d.st.PutManifest(key, store.Manifest{
+		Kind: programManifestKind,
+		Meta: map[string]string{"v": programMetaVersion, "ranks": strconv.Itoa(ranks)},
+		Refs: refs,
+	})
+	return err == nil
+}
+
+// loadLocal thaws one manifest from the local store into a cache entry
+// (prog == nil: rendered artifacts only).
+func (d *durable) loadLocal(key string) (*program, int64, bool) {
+	m, ok := d.st.GetManifest(key)
+	if !ok || m.Kind != programManifestKind || m.Meta["v"] != programMetaVersion {
+		return nil, 0, false
+	}
+	ranks, err := strconv.Atoi(m.Meta["ranks"])
+	if err != nil || ranks <= 0 {
+		return nil, 0, false
+	}
+	chunk := func(name string) ([]byte, bool) {
+		for _, ref := range m.Refs {
+			if ref.Name == name {
+				return d.st.GetChunk(ref.Addr)
+			}
+		}
+		return nil, false
+	}
+	report, ok := chunk("report")
+	if !ok {
+		return nil, 0, false
+	}
+	nodes := make(map[int]string, ranks)
+	size := int64(len(report)) + 1024
+	for rk := 0; rk < ranks; rk++ {
+		nd, ok := chunk("node:" + strconv.Itoa(rk))
+		if !ok {
+			return nil, 0, false
+		}
+		nodes[rk] = string(nd)
+		size += int64(len(nd))
+	}
+	pb, ok := chunk("passes")
+	if !ok {
+		return nil, 0, false
+	}
+	stats, ok := decodePassStats(pb)
+	if !ok {
+		return nil, 0, false
+	}
+	ent := &program{ranks: ranks, report: string(report), nodes: nodes, stats: stats}
+	if vb, ok := chunk("verify"); ok {
+		var rep dhpf.VerifyReport
+		if json.Unmarshal(vb, &rep) == nil {
+			ent.verifyRep = &rep
+		}
+	}
+	return ent, size, true
+}
+
+// fetchPeer asks the fingerprint's ring owner for its stored entry.
+// The owner only consults its cache and store — it never compiles — so
+// a fleet-wide cold miss costs one bounded round trip before the local
+// cold compile.
+func (d *durable) fetchPeer(base, key string) (*program, int64, bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), d.timeout)
+	defer cancel()
+	body, err := json.Marshal(dhpf.PeerFetchRequest{Fingerprint: key})
+	if err != nil {
+		d.peerErrors.Add(1)
+		return nil, 0, false
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/peer/fetch", bytes.NewReader(body))
+	if err != nil {
+		d.peerErrors.Add(1)
+		return nil, 0, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := d.client.Do(req)
+	if err != nil {
+		d.peerErrors.Add(1)
+		return nil, 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		d.peerErrors.Add(1)
+		return nil, 0, false
+	}
+	var pf dhpf.PeerFetchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pf); err != nil {
+		d.peerErrors.Add(1)
+		return nil, 0, false
+	}
+	if !pf.Found || pf.Entry == nil {
+		d.peerMisses.Add(1)
+		return nil, 0, false
+	}
+	ent, size, ok := entryFromWire(pf.Entry)
+	if !ok {
+		d.peerErrors.Add(1)
+		return nil, 0, false
+	}
+	return ent, size, true
+}
+
+// cachedStatsOf renders an entry's pass records in their cache-hit form
+// (Cached true, zero wall time) — the form both the durable store and
+// the peer wire carry, because a served entry by definition did no pass
+// work for the requester.
+func cachedStatsOf(ent *program) []dhpf.PassStat {
+	ent.mu.Lock()
+	prog, stats := ent.prog, ent.stats
+	ent.mu.Unlock()
+	if prog == nil {
+		return stats
+	}
+	src := prog.PassStats()
+	out := make([]dhpf.PassStat, len(src))
+	for i, st := range src {
+		st.Cached = true
+		st.Wall = 0
+		out[i] = st
+	}
+	return out
+}
+
+// encodePassStats serializes pass records (wall time excluded — cached
+// records are zero-wall by construction).
+func encodePassStats(stats []dhpf.PassStat) []byte {
+	w := codec.NewWriter(passesFormat, passesVersion)
+	w.Uvarint(uint64(len(stats)))
+	for _, st := range stats {
+		w.String(st.Name)
+		w.String(st.Summary)
+		w.Uvarint(uint64(len(st.Notes)))
+		for _, n := range st.Notes {
+			w.String(n)
+		}
+		w.Bool(st.Measured)
+		w.Int(int(st.Msgs))
+		w.Int(int(st.Bytes))
+		w.Bool(st.HasDelta)
+		w.Int(int(st.DeltaBytes))
+	}
+	return w.Bytes()
+}
+
+func decodePassStats(data []byte) ([]dhpf.PassStat, bool) {
+	r, err := codec.NewReader(data, passesFormat, passesVersion)
+	if err != nil {
+		return nil, false
+	}
+	n := r.Uvarint()
+	stats := make([]dhpf.PassStat, 0, n)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		st := dhpf.PassStat{Name: r.String(), Summary: r.String(), Cached: true}
+		nn := r.Uvarint()
+		for j := uint64(0); j < nn && r.Err() == nil; j++ {
+			st.Notes = append(st.Notes, r.String())
+		}
+		st.Measured = r.Bool()
+		st.Msgs = int64(r.Int())
+		st.Bytes = int64(r.Int())
+		st.HasDelta = r.Bool()
+		st.DeltaBytes = int64(r.Int())
+		stats = append(stats, st)
+	}
+	if !r.Done() {
+		return nil, false
+	}
+	return stats, true
+}
+
+// entryToWire converts a cache entry to the peer-fetch wire form (all
+// ranks rendered).
+func entryToWire(ent *program) *dhpf.ProgramEntryJSON {
+	out := &dhpf.ProgramEntryJSON{
+		Ranks:        ent.ranks,
+		Report:       ent.report,
+		NodePrograms: make(map[int]string, ent.ranks),
+		PassStats:    dhpf.PassStatsJSON(cachedStatsOf(ent)),
+	}
+	for rk := 0; rk < ent.ranks; rk++ {
+		out.NodePrograms[rk] = ent.nodeProgram(rk)
+	}
+	ent.mu.Lock()
+	if ent.verifyRep != nil {
+		rep := *ent.verifyRep
+		out.Verify = &rep
+	}
+	ent.mu.Unlock()
+	return out
+}
+
+// entryFromWire validates and converts a peer's entry into a local
+// cache entry (prog == nil, like a thawed one).
+func entryFromWire(e *dhpf.ProgramEntryJSON) (*program, int64, bool) {
+	if e.Ranks <= 0 {
+		return nil, 0, false
+	}
+	nodes := make(map[int]string, e.Ranks)
+	size := int64(len(e.Report)) + 1024
+	for rk := 0; rk < e.Ranks; rk++ {
+		nd, ok := e.NodePrograms[rk]
+		if !ok {
+			return nil, 0, false
+		}
+		nodes[rk] = nd
+		size += int64(len(nd))
+	}
+	stats := make([]dhpf.PassStat, len(e.PassStats))
+	for i, st := range e.PassStats {
+		stats[i] = dhpf.PassStat{
+			Name:     st.Name,
+			Summary:  st.Summary,
+			Notes:    st.Notes,
+			Measured: st.Measured,
+			Msgs:     st.Msgs,
+			Bytes:    st.Bytes,
+			Cached:   true,
+		}
+		if st.DeltaBytes != nil {
+			stats[i].HasDelta = true
+			stats[i].DeltaBytes = *st.DeltaBytes
+		}
+	}
+	ent := &program{ranks: e.Ranks, report: e.Report, nodes: nodes, stats: stats, verifyRep: e.Verify}
+	return ent, size, true
+}
+
+// storeStats converts store counters plus the durable tier's own to the
+// wire form.
+func (d *durable) storeStats() *dhpf.StoreStats {
+	if d.st == nil {
+		return nil
+	}
+	st := d.st.Stats()
+	return &dhpf.StoreStats{
+		Chunks:         st.Chunks,
+		Manifests:      st.Manifests,
+		LiveBytes:      st.LiveBytes,
+		DeadBytes:      st.DeadBytes,
+		JournalBytes:   st.JournalBytes,
+		MaxBytes:       st.MaxBytes,
+		Hits:           st.Hits,
+		Misses:         st.Misses,
+		ChunkPuts:      st.ChunkPuts,
+		DedupHits:      st.DedupHits,
+		ManifestPuts:   st.ManifestPuts,
+		Evictions:      st.Evictions,
+		Compactions:    st.Compactions,
+		TruncatedBytes: st.TruncatedBytes,
+		ProgramHits:    d.localHits.Load(),
+		ProgramMisses:  d.localMiss.Load(),
+		ProgramWrites:  d.writes.Load(),
+	}
+}

@@ -1,0 +1,99 @@
+// Fleet sharding: a consistent-hash ring over the configured peer list
+// routes each fingerprint to one owning replica, and /v1/peer/fetch
+// lets a non-owner pull the owner's stored entry instead of compiling
+// cold.  Every replica can still serve any request — ownership only
+// decides who is asked first on a miss — so the fleet needs no
+// membership protocol beyond an identical static peer list on every
+// member.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"dhpf"
+)
+
+// vnodesPerPeer spreads each peer over the ring so ownership stays
+// near-uniform for small fleets.
+const vnodesPerPeer = 64
+
+// hashRing is a fixed consistent-hash ring: points are the first 8
+// bytes of sha256("<peer>#<vnode>"), and a key is owned by the first
+// point at or after sha256(key), wrapping.
+type hashRing struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	point uint64
+	idx   int
+}
+
+func newHashRing(peers []string) *hashRing {
+	r := &hashRing{points: make([]ringPoint, 0, len(peers)*vnodesPerPeer)}
+	for i, peer := range peers {
+		for v := 0; v < vnodesPerPeer; v++ {
+			h := sha256.Sum256([]byte(peer + "#" + strconv.Itoa(v)))
+			r.points = append(r.points, ringPoint{point: binary.BigEndian.Uint64(h[:8]), idx: i})
+		}
+	}
+	// Ties broken by index so every member sorts identically.
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].point != r.points[b].point {
+			return r.points[a].point < r.points[b].point
+		}
+		return r.points[a].idx < r.points[b].idx
+	})
+	return r
+}
+
+func (r *hashRing) owner(key string) int {
+	h := sha256.Sum256([]byte(key))
+	p := binary.BigEndian.Uint64(h[:8])
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].point >= p })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].idx
+}
+
+// Owner returns which member of peers owns fingerprint on the fleet's
+// consistent-hash ring (-1 for an empty fleet).  Exported so fleet
+// tooling (cmd/dhpfd loadgen -fleet) can aim requests at — or away
+// from — a fingerprint's owner using the same routing as the servers.
+func Owner(peers []string, fingerprint string) int {
+	if len(peers) == 0 {
+		return -1
+	}
+	return newHashRing(peers).owner(fingerprint)
+}
+
+// handlePeerFetch serves this replica's stored copy of a fingerprint to
+// a fleet peer: memory cache first, then the local store.  It never
+// compiles and never forwards to other peers, so the fleet's fetch
+// graph has depth one and cannot cycle.
+func (s *Server) handlePeerFetch(w http.ResponseWriter, r *http.Request) {
+	var req dhpf.PeerFetchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Fingerprint == "" {
+		s.fail(w, http.StatusUnprocessableEntity, errors.New("peer fetch has no fingerprint"))
+		return
+	}
+	ent, ok := s.cache.Get(req.Fingerprint)
+	if !ok && s.durable != nil && s.durable.st != nil {
+		ent, _, ok = s.durable.loadLocal(req.Fingerprint)
+	}
+	if !ok {
+		s.ok(w, dhpf.PeerFetchResponse{})
+		return
+	}
+	s.peerServed.Add(1)
+	s.ok(w, dhpf.PeerFetchResponse{Found: true, Entry: entryToWire(ent)})
+}

@@ -30,6 +30,15 @@
 // A tune request occupies one worker slot for its whole duration (its
 // internal evaluation parallelism is capped at the pool size), so tuning
 // shares the same 429 backpressure and deadline regime as compiles.
+//
+// With Config.Store both caches gain a durable tier (internal/store):
+// compiled programs and per-procedure artifacts are written through to
+// an append-only chunk journal, so a restarted server serves previously
+// seen fingerprints byte-identically with zero pass work.  With
+// Config.Peers the server joins a static fleet: fingerprints are
+// sharded over the members by consistent hashing, and a replica that
+// misses locally asks the owning peer (POST /v1/peer/fetch) for its
+// stored entry before compiling cold.
 package service
 
 import (
@@ -48,6 +57,7 @@ import (
 
 	"dhpf"
 	"dhpf/internal/cache"
+	"dhpf/internal/store"
 )
 
 // ErrBusy is returned (as HTTP 429) when the compile queue is full.
@@ -73,6 +83,19 @@ type Config struct {
 	RequestTimeout time.Duration
 	// Logger receives one structured line per request (nil = silent).
 	Logger *slog.Logger
+	// Store, when set, is the durable chunk store backing both caches:
+	// compiled programs and frozen artifacts survive restarts.  The
+	// server does not close it.
+	Store *store.Store
+	// Peers is the fleet membership as base URLs (including this
+	// server's own), identical and identically ordered on every member;
+	// Self is this server's index in it.  With fewer than two peers the
+	// fleet tier is off.
+	Peers []string
+	Self  int
+	// PeerTimeout bounds one peer-fetch round trip (default 5s); a slow
+	// or dead peer costs at most this before the local cold compile.
+	PeerTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +114,9 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 60 * time.Second
 	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 5 * time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -106,17 +132,34 @@ var testPreCompile func(ctx context.Context)
 // transfer planning per communication event, which would otherwise
 // dominate warm-hit latency); node programs are rendered per rank on
 // first request and memoized.
+//
+// An entry thawed from the durable store or fetched from a fleet peer
+// has prog == nil: every node program is pre-rendered in nodes and the
+// pass records live in stats, so compile/explain/verify requests are
+// served without a live program.  /v1/run (and a first /v1/verify on an
+// entry persisted before its report was computed) revive the entry with
+// one artifact-warm compile — see Server.liveProgram.
 type program struct {
-	prog   *dhpf.Program
 	report string
+	ranks  int
 
 	mu        sync.Mutex
+	prog      *dhpf.Program
 	nodes     map[int]string
+	stats     []dhpf.PassStat // cache-hit form; only for thawed entries
 	verifyRep *dhpf.VerifyReport
 }
 
 func newProgram(p *dhpf.Program) *program {
-	return &program{prog: p, report: p.Report(), nodes: map[int]string{}}
+	return &program{prog: p, report: p.Report(), ranks: p.Ranks(), nodes: map[int]string{}}
+}
+
+// live returns the entry's compiled program, or nil for a thawed entry
+// that has not been revived.
+func (e *program) live() *dhpf.Program {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.prog
 }
 
 func (e *program) nodeProgram(rank int) string {
@@ -125,6 +168,11 @@ func (e *program) nodeProgram(rank int) string {
 	if s, ok := e.nodes[rank]; ok {
 		return s
 	}
+	if e.prog == nil {
+		// Thawed entries carry every rank; an absent one means the rank
+		// is out of range, which compileOne rejects before asking.
+		return ""
+	}
 	s := e.prog.NodeProgram(rank)
 	e.nodes[rank] = s
 	return s
@@ -132,12 +180,16 @@ func (e *program) nodeProgram(rank int) string {
 
 // verify memoizes the translation-validation report: the proof is pure
 // over the compiled analyses, so repeated /v1/verify requests on one
-// fingerprint pay the set algebra once.
+// fingerprint pay the set algebra once.  Callers must revive a thawed
+// entry first when no report is memoized (Server.liveProgram).
 func (e *program) verify() (*dhpf.VerifyReport, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.verifyRep != nil {
 		return e.verifyRep, nil
+	}
+	if e.prog == nil {
+		return nil, errors.New("service: verify on a thawed entry without a live program")
 	}
 	rep, err := e.prog.Verify()
 	if err != nil {
@@ -164,19 +216,29 @@ type Server struct {
 	// Workers+QueueDepth new compiles are rejected.
 	pending atomic.Int64
 	start   time.Time
+	// durable is the program cache's persistent tier (local store and/or
+	// fleet peers); nil when neither is configured.
+	durable *durable
 
-	requests atomic.Int64
-	active   atomic.Int64
-	compiles atomic.Int64
-	errCount atomic.Int64
-	rejected atomic.Int64
-	timeouts atomic.Int64
+	requests   atomic.Int64
+	active     atomic.Int64
+	compiles   atomic.Int64
+	errCount   atomic.Int64
+	rejected   atomic.Int64
+	timeouts   atomic.Int64
+	peerServed atomic.Int64
 }
 
 // New returns a server with the given configuration.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	peers := cfg.Peers
+	if len(peers) > 1 && (cfg.Self < 0 || cfg.Self >= len(peers)) {
+		cfg.Logger.Warn("service: Self is not an index into Peers; fleet tier disabled",
+			"self", cfg.Self, "peers", len(peers))
+		peers = nil
+	}
+	s := &Server{
 		cfg:    cfg,
 		cache:  cache.New[*program](cfg.CacheBytes),
 		inc:    dhpf.NewIncremental(cfg.ArtifactBytes),
@@ -184,6 +246,25 @@ func New(cfg Config) *Server {
 		tokens: make(chan struct{}, cfg.Workers),
 		start:  time.Now(),
 	}
+	if cfg.Store != nil {
+		// The artifact tier persists too, so even programs evicted from
+		// the store (or never seen here) recompile artifact-warm.
+		s.inc.Persist(cfg.Store)
+	}
+	if cfg.Store != nil || len(peers) > 1 {
+		s.durable = &durable{
+			st:      cfg.Store,
+			peers:   peers,
+			self:    cfg.Self,
+			client:  &http.Client{Timeout: cfg.PeerTimeout},
+			timeout: cfg.PeerTimeout,
+		}
+		if len(peers) > 1 {
+			s.durable.ring = newHashRing(peers)
+		}
+		s.cache.SetBacking(s.durable)
+	}
+	return s
 }
 
 // Handler returns the service's HTTP handler (routing + request logs).
@@ -195,6 +276,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("POST /v1/tune", s.handleTune)
+	mux.HandleFunc("POST /v1/peer/fetch", s.handlePeerFetch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -240,20 +322,22 @@ func (w *loggingWriter) Write(p []byte) (int, error) {
 func (s *Server) Stats() dhpf.StatsResponse {
 	cs := s.cache.Stats()
 	as := s.inc.ArtifactStats()
-	return dhpf.StatsResponse{
+	resp := dhpf.StatsResponse{
 		Artifacts: dhpf.ArtifactCacheStats{
-			Hits:      as.Hits,
-			Misses:    as.Misses,
-			Dirty:     as.Dirty,
-			Evictions: as.Evictions,
-			Entries:   as.Entries,
-			SizeBytes: as.SizeBytes,
-			MaxBytes:  as.MaxBytes,
+			Hits:        as.Hits,
+			Misses:      as.Misses,
+			BackingHits: as.BackingHits,
+			Dirty:       as.Dirty,
+			Evictions:   as.Evictions,
+			Entries:     as.Entries,
+			SizeBytes:   as.SizeBytes,
+			MaxBytes:    as.MaxBytes,
 		},
 		Cache: dhpf.CacheStats{
 			Hits:              cs.Hits,
 			Misses:            cs.Misses,
 			InflightCoalesced: cs.InflightCoalesced,
+			BackingHits:       cs.BackingHits,
 			Evictions:         cs.Evictions,
 			Entries:           cs.Entries,
 			SizeBytes:         cs.SizeBytes,
@@ -271,42 +355,101 @@ func (s *Server) Stats() dhpf.StatsResponse {
 			UptimeMS:   time.Since(s.start).Milliseconds(),
 		},
 	}
+	if s.durable != nil {
+		resp.Store = s.durable.storeStats()
+		if s.durable.ring != nil {
+			resp.Peer = &dhpf.PeerStats{
+				Self:   s.durable.self,
+				Peers:  len(s.durable.peers),
+				Hits:   s.durable.peerHits.Load(),
+				Misses: s.durable.peerMisses.Load(),
+				Errors: s.durable.peerErrors.Load(),
+				Served: s.peerServed.Load(),
+			}
+		}
+	}
+	return resp
+}
+
+// withWorker runs fn inside one worker slot, applying the queue's
+// backpressure: above Workers+QueueDepth pending holders it rejects
+// with ErrBusy, and a context cancelled while queued returns its error.
+// Shared by compiles, tune searches, and thawed-entry revivals.
+func (s *Server) withWorker(ctx context.Context, fn func(ctx context.Context) error) error {
+	if n := s.pending.Add(1); n > int64(s.cfg.Workers+s.cfg.QueueDepth) {
+		s.pending.Add(-1)
+		return ErrBusy
+	}
+	defer s.pending.Add(-1)
+	select {
+	case s.tokens <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-s.tokens }()
+	return fn(ctx)
 }
 
 // compile resolves a request through the cache: hit, coalesce onto an
-// identical in-flight compile, or occupy a worker slot and compile.
+// identical in-flight compile, thaw from the durable tier (local store,
+// then the fingerprint's owning fleet peer), or occupy a worker slot
+// and compile.
 func (s *Server) compile(ctx context.Context, source string, params map[string]int, opt dhpf.Options) (key string, ent *program, cached bool, err error) {
 	key = dhpf.Fingerprint(source, params, opt)
 	ent, cached, err = s.cache.GetOrCompute(ctx, key, func(fctx context.Context) (*program, int64, error) {
-		if n := s.pending.Add(1); n > int64(s.cfg.Workers+s.cfg.QueueDepth) {
-			s.pending.Add(-1)
-			return nil, 0, ErrBusy
-		}
-		defer s.pending.Add(-1)
-		select {
-		case s.tokens <- struct{}{}:
-		case <-fctx.Done():
-			return nil, 0, fctx.Err()
-		}
-		defer func() { <-s.tokens }()
-		if testPreCompile != nil {
-			testPreCompile(fctx)
-		}
-		s.compiles.Add(1)
-		// Compile through the artifact store: a warm edit (program-cache
-		// miss, most procedures unchanged) thaws the clean procedures'
-		// analyses and re-runs only the dirty ones.  Output is
-		// byte-identical to a cold compile.
-		p, _, err := s.inc.CompileCtx(fctx, source, params, opt)
-		if err != nil {
-			return nil, 0, err
-		}
-		e := newProgram(p)
-		// Charge roughly what the entry pins in memory: the source and
-		// the rendered report (the IR and analyses scale with both).
-		return e, int64(len(source) + len(e.report) + 1024), nil
+		var e *program
+		var size int64
+		err := s.withWorker(fctx, func(wctx context.Context) error {
+			if testPreCompile != nil {
+				testPreCompile(wctx)
+			}
+			s.compiles.Add(1)
+			// Compile through the artifact store: a warm edit (program-cache
+			// miss, most procedures unchanged) thaws the clean procedures'
+			// analyses and re-runs only the dirty ones.  Output is
+			// byte-identical to a cold compile.
+			p, _, err := s.inc.CompileCtx(wctx, source, params, opt)
+			if err != nil {
+				return err
+			}
+			e = newProgram(p)
+			// Charge roughly what the entry pins in memory: the source and
+			// the rendered report (the IR and analyses scale with both).
+			size = int64(len(source) + len(e.report) + 1024)
+			return nil
+		})
+		return e, size, err
 	})
 	return key, ent, cached, err
+}
+
+// liveProgram revives a thawed cache entry: endpoints that need the
+// compiled program itself (/v1/run, a first /v1/verify) recompile it
+// through the artifact store — warm, so with zero dirty procedures —
+// inside a worker slot, and memoize it on the entry.  The output is
+// byte-identical to the persisted rendering by the incremental
+// compiler's contract.
+func (s *Server) liveProgram(ctx context.Context, ent *program, source string, params map[string]int, opt dhpf.Options) (*dhpf.Program, error) {
+	if p := ent.live(); p != nil {
+		return p, nil
+	}
+	var p *dhpf.Program
+	err := s.withWorker(ctx, func(wctx context.Context) error {
+		s.compiles.Add(1)
+		var err error
+		p, _, err = s.inc.CompileCtx(wctx, source, params, opt)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	ent.mu.Lock()
+	if ent.prog == nil {
+		ent.prog = p
+	}
+	p = ent.prog
+	ent.mu.Unlock()
+	return p, nil
 }
 
 // requestCtx applies the per-request compile deadline.
@@ -317,12 +460,21 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 // passStats renders an entry's pass records for the wire.  A program-
 // cache hit did no pass work — the records describe the compile that
 // populated the entry, not this request — so a hit reports each pass as
-// cached with zero wall time instead of replaying stale timings.
+// cached with zero wall time instead of replaying stale timings.  A
+// thawed entry (no live program) is by construction a hit and carries
+// its records in cache-hit form already.
 func passStats(ent *program, cached bool) []dhpf.PassStatJSON {
-	if cached {
-		return dhpf.CachedPassStatsJSON(ent.prog.PassStats())
+	prog := ent.live()
+	if prog == nil {
+		ent.mu.Lock()
+		stats := ent.stats
+		ent.mu.Unlock()
+		return dhpf.CachedPassStatsJSON(stats)
 	}
-	return dhpf.PassStatsJSON(ent.prog.PassStats())
+	if cached {
+		return dhpf.CachedPassStatsJSON(prog.PassStats())
+	}
+	return dhpf.PassStatsJSON(prog.PassStats())
 }
 
 // compileOne resolves one compile request end-to-end (cache, node
@@ -337,7 +489,7 @@ func (s *Server) compileOne(ctx context.Context, req dhpf.CompileRequest) (*dhpf
 	if err != nil {
 		return nil, err
 	}
-	nranks := ent.prog.Ranks()
+	nranks := ent.ranks
 	ranks := req.Ranks
 	if ranks == nil {
 		for rk := 0; rk < nranks; rk++ {
@@ -426,18 +578,16 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.failCompile(w, err)
 		return
 	}
-	stats := ent.prog.PassStats()
+	var stats []dhpf.PassStat
 	if cached {
 		// A cache hit did no pass work: label every pass cached (and
 		// render the table from the relabelled records) rather than
 		// replaying the original compile's timings as if they were new.
-		cachedStats := make([]dhpf.PassStat, len(stats))
-		for i, st := range stats {
-			cachedStats[i] = st
-			cachedStats[i].Cached = true
-			cachedStats[i].Wall = 0
-		}
-		stats = cachedStats
+		// cachedStatsOf also covers thawed entries, whose records are
+		// persisted in exactly this form.
+		stats = cachedStatsOf(ent)
+	} else {
+		stats = ent.live().PassStats()
 	}
 	s.ok(w, dhpf.ExplainResponse{
 		Fingerprint: key,
@@ -464,19 +614,26 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.failCompile(w, err)
 		return
 	}
-	cfg, err := ParseMachine(req.Machine, ent.prog.Ranks())
+	// Execution needs the live program; a thawed entry revives it here
+	// (artifact-warm, zero dirty procedures).
+	prog, err := s.liveProgram(ctx, ent, req.Source, req.Params, opt)
+	if err != nil {
+		s.failCompile(w, err)
+		return
+	}
+	cfg, err := ParseMachine(req.Machine, ent.ranks)
 	if err != nil {
 		s.fail(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	res, err := ent.prog.RunEngine(cfg, req.Engine)
+	res, err := prog.RunEngine(cfg, req.Engine)
 	if err != nil {
 		s.fail(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	resp := dhpf.RunResponse{
 		Fingerprint: key,
-		Ranks:       ent.prog.Ranks(),
+		Ranks:       ent.ranks,
 		Seconds:     res.Seconds(),
 		Messages:    res.Messages(),
 		Bytes:       res.Bytes(),
@@ -520,10 +677,27 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		s.failCompile(w, err)
 		return
 	}
+	ent.mu.Lock()
+	hasRep := ent.verifyRep != nil
+	ent.mu.Unlock()
+	if !hasRep {
+		// No memoized report: the proof runs over the live analyses, so a
+		// thawed entry (persisted before anyone verified it) revives first.
+		if _, err := s.liveProgram(ctx, ent, req.Source, req.Params, opt); err != nil {
+			s.failCompile(w, err)
+			return
+		}
+	}
 	rep, err := ent.verify()
 	if err != nil {
 		s.fail(w, http.StatusUnprocessableEntity, err)
 		return
+	}
+	if !hasRep && s.durable != nil {
+		// Persist the freshly proven report next to the program entry:
+		// unchanged chunks dedup, the manifest gains a verify ref, and
+		// the report survives restarts with the rest of the entry.
+		s.durable.Store(key, ent, 0)
 	}
 	s.ok(w, dhpf.VerifyResponse{Fingerprint: key, VerifyReport: *rep, Cached: cached})
 }
@@ -539,24 +713,15 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	if n := s.pending.Add(1); n > int64(s.cfg.Workers+s.cfg.QueueDepth) {
-		s.pending.Add(-1)
-		s.rejected.Add(1)
-		s.fail(w, http.StatusTooManyRequests, ErrBusy)
-		return
-	}
-	defer s.pending.Add(-1)
-	select {
-	case s.tokens <- struct{}{}:
-	case <-ctx.Done():
-		s.failCompile(w, ctx.Err())
-		return
-	}
-	defer func() { <-s.tokens }()
-	if req.Workers <= 0 || req.Workers > s.cfg.Workers {
-		req.Workers = s.cfg.Workers
-	}
-	res, err := s.tuner.Tune(ctx, req.Source, req.TuneOptions)
+	var res *dhpf.TuneResult
+	err := s.withWorker(ctx, func(wctx context.Context) error {
+		if req.Workers <= 0 || req.Workers > s.cfg.Workers {
+			req.Workers = s.cfg.Workers
+		}
+		var err error
+		res, err = s.tuner.Tune(wctx, req.Source, req.TuneOptions)
+		return err
+	})
 	if err != nil {
 		s.failCompile(w, err)
 		return

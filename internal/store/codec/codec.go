@@ -1,0 +1,190 @@
+// Package codec is the stable binary encoding layer of the durable
+// store: a length-prefixed, varint-based format with a self-describing
+// (format, version) envelope.  Frozen compiler artifacts and cached
+// program entries are serialized with it before they become chunks in
+// internal/store, and deserialized on read-through after a restart.
+//
+// Versioning contract: every encoded value starts with a 4-byte magic,
+// the producer's format name, and a format version.  NewReader checks
+// all three and returns ErrFormat on any mismatch — callers treat that
+// as a cache miss (the artifact is recomputed and rewritten under the
+// current format), never as an error.  Bump the version whenever the
+// body layout of a format changes.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrFormat reports an envelope mismatch: wrong magic, format name or
+// version.  Store readers map it to "not present".
+var ErrFormat = errors.New("codec: format or version mismatch")
+
+const magic = "dpf\x01"
+
+// Writer accumulates one encoded value.  All append methods are
+// infallible; the buffer grows as needed.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter starts an encoded value with the (format, version) envelope.
+func NewWriter(format string, version uint32) *Writer {
+	w := &Writer{buf: make([]byte, 0, 128)}
+	w.buf = append(w.buf, magic...)
+	w.String(format)
+	w.Uvarint(uint64(version))
+	return w
+}
+
+// Bytes returns the encoded value.  The slice aliases the writer's
+// buffer; do not append to the writer afterwards.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// Int appends a signed int as a zigzag varint.
+func (w *Writer) Int(v int) { w.buf = binary.AppendVarint(w.buf, int64(v)) }
+
+// Bool appends one byte, 0 or 1.
+func (w *Writer) Bool(b bool) {
+	if b {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Raw appends a length-prefixed byte slice.
+func (w *Writer) Raw(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// Reader decodes one encoded value.  Errors are sticky: after the first
+// malformed field every subsequent read returns a zero value, and Err
+// reports what went wrong — callers check it once at the end.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader validates data's envelope against (format, version) and
+// returns a reader positioned at the body.  A wrong magic, format name
+// or version yields ErrFormat; truncated envelopes yield a decode
+// error.  Both mean "treat as absent" to cache layers.
+func NewReader(data []byte, format string, version uint32) (*Reader, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, ErrFormat
+	}
+	r := &Reader{buf: data, off: len(magic)}
+	f := r.String()
+	v := r.Uvarint()
+	if r.err != nil {
+		return nil, fmt.Errorf("codec: bad envelope: %w", r.err)
+	}
+	if f != format || v != uint64(version) {
+		return nil, ErrFormat
+	}
+	return r, nil
+}
+
+// Err returns the first decode error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Done reports whether the whole buffer was consumed without error —
+// the end-of-decode sanity check.
+func (r *Reader) Done() bool { return r.err == nil && r.off == len(r.buf) }
+
+func (r *Reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("codec: truncated or malformed %s at offset %d", what, r.off)
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int reads a zigzag varint.
+func (r *Reader) Int() int {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("varint")
+		return 0
+	}
+	r.off += n
+	return int(v)
+}
+
+// Bool reads one byte as a bool.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off >= len(r.buf) {
+		r.fail("bool")
+		return false
+	}
+	b := r.buf[r.off]
+	r.off++
+	if b > 1 {
+		r.fail("bool")
+		return false
+	}
+	return b == 1
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail("string")
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// Raw reads a length-prefixed byte slice (copied out of the buffer).
+func (r *Reader) Raw() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail("bytes")
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.buf[r.off:])
+	r.off += int(n)
+	return b
+}

@@ -1,0 +1,124 @@
+package codec
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter("test.fmt", 3)
+	w.Uvarint(0)
+	w.Uvarint(1<<63 + 17)
+	w.Int(-123456)
+	w.Int(0)
+	w.Int(1 << 40)
+	w.Bool(true)
+	w.Bool(false)
+	w.String("")
+	w.String("hello, \x00 world")
+	w.Raw(nil)
+	w.Raw([]byte{1, 2, 3})
+
+	r, err := NewReader(w.Bytes(), "test.fmt", 3)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("uvarint0 = %d", got)
+	}
+	if got := r.Uvarint(); got != 1<<63+17 {
+		t.Errorf("uvarint1 = %d", got)
+	}
+	if got := r.Int(); got != -123456 {
+		t.Errorf("int0 = %d", got)
+	}
+	if got := r.Int(); got != 0 {
+		t.Errorf("int1 = %d", got)
+	}
+	if got := r.Int(); got != 1<<40 {
+		t.Errorf("int2 = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Errorf("bools mangled")
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("string0 = %q", got)
+	}
+	if got := r.String(); got != "hello, \x00 world" {
+		t.Errorf("string1 = %q", got)
+	}
+	if got := r.Raw(); len(got) != 0 {
+		t.Errorf("raw0 = %v", got)
+	}
+	if got := r.Raw(); string(got) != "\x01\x02\x03" {
+		t.Errorf("raw1 = %v", got)
+	}
+	if !r.Done() {
+		t.Errorf("not done: err=%v", r.Err())
+	}
+}
+
+// Format or version mismatches are ErrFormat — the "treat as a cache
+// miss, recompute under the current format" signal.
+func TestFormatMismatchIsErrFormat(t *testing.T) {
+	w := NewWriter("fmt.a", 1)
+	w.Int(7)
+	data := w.Bytes()
+
+	if _, err := NewReader(data, "fmt.b", 1); !errors.Is(err, ErrFormat) {
+		t.Errorf("wrong format: err = %v, want ErrFormat", err)
+	}
+	if _, err := NewReader(data, "fmt.a", 2); !errors.Is(err, ErrFormat) {
+		t.Errorf("wrong version: err = %v, want ErrFormat", err)
+	}
+	if _, err := NewReader([]byte("nonsense"), "fmt.a", 1); !errors.Is(err, ErrFormat) {
+		t.Errorf("bad magic: err = %v, want ErrFormat", err)
+	}
+	if _, err := NewReader(nil, "fmt.a", 1); !errors.Is(err, ErrFormat) {
+		t.Errorf("empty: err = %v, want ErrFormat", err)
+	}
+	if _, err := NewReader(data, "fmt.a", 1); err != nil {
+		t.Errorf("matching envelope rejected: %v", err)
+	}
+}
+
+// Truncating an encoded value anywhere must produce a sticky error (or
+// envelope error), never a panic or silent success with Done()==true.
+func TestTruncationIsSticky(t *testing.T) {
+	w := NewWriter("fmt.t", 1)
+	w.String("payload string")
+	w.Int(-9)
+	w.Raw(make([]byte, 100))
+	w.Bool(true)
+	full := w.Bytes()
+
+	for cut := 0; cut < len(full); cut++ {
+		data := full[:cut]
+		r, err := NewReader(data, "fmt.t", 1)
+		if err != nil {
+			continue // envelope itself truncated
+		}
+		_ = r.String()
+		_ = r.Int()
+		_ = r.Raw()
+		_ = r.Bool()
+		if r.Done() {
+			t.Fatalf("cut=%d: truncated value decoded as Done", cut)
+		}
+	}
+}
+
+// A reader must not allocate huge buffers for a corrupt length prefix.
+func TestCorruptLengthRejected(t *testing.T) {
+	w := NewWriter("fmt.c", 1)
+	w.Uvarint(1 << 60) // claims a colossal string length...
+	buf := w.Bytes()
+	r, err := NewReader(buf, "fmt.c", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...interpreted as a string prefix with almost no bytes behind it.
+	if got := r.String(); got != "" || r.Err() == nil {
+		t.Errorf("String on corrupt length: %q err=%v, want error", got, r.Err())
+	}
+}

@@ -1,0 +1,759 @@
+// Package store is the durable persistence layer under dhpf's caches: a
+// chunked, content-addressed on-disk store in the spirit of dolt/noms
+// journaling chunk stores.
+//
+// The on-disk format is a single append-only journal file:
+//
+//	"DHPFST01"                                  8-byte file magic
+//	record*                                     appended in commit order
+//
+// where each record is
+//
+//	tag      1 byte   'C' chunk | 'M' manifest | 'D' delete
+//	length   4 bytes  big-endian payload length
+//	payload  N bytes
+//	crc32    4 bytes  big-endian IEEE CRC over tag+length+payload
+//
+// Chunk payloads are raw bytes, addressed by their SHA-256; identical
+// payloads are written once and shared (structural sharing: the same
+// node program or frozen artifact referenced from many manifests costs
+// one chunk).  Manifest payloads are codec-encoded {key, kind, meta,
+// refs} documents binding a caller key (a program fingerprint, an
+// artifact key) to a named set of chunk addresses — a one-level Merkle
+// manifest.  Delete payloads are the raw manifest key; they make
+// evictions durable so replay converges without reading the evicted
+// data.
+//
+// Recovery: Open replays the journal sequentially, rebuilding the
+// in-memory offset index, and truncates at the first torn or corrupt
+// record (short header, absurd length, CRC mismatch) — a torn tail
+// from a crash mid-append loses only the uncommitted record; every
+// fully-committed record before it is served.  Crash safety is
+// property-tested by truncating a journal at every byte offset.
+//
+// Space: the store tracks live bytes (records reachable from a current
+// manifest) against Options.MaxBytes and evicts least-recently-used
+// manifests (appending 'D' records) when over budget; when dead bytes
+// (superseded, deleted, or duplicate records) exceed live bytes,
+// compaction rewrites the journal with only live records, via a temp
+// file and an atomic rename.
+package store
+
+import (
+	"bufio"
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"dhpf/internal/store/codec"
+)
+
+const (
+	fileMagic = "DHPFST01"
+
+	tagChunk    = byte('C')
+	tagManifest = byte('M')
+	tagDelete   = byte('D')
+
+	// maxRecord bounds a single payload; a length field above it is
+	// treated as corruption during replay.  64 MiB is far above any
+	// rendered program (the HTTP layer caps request bodies at 16 MiB).
+	maxRecord = 64 << 20
+
+	manifestFormat  = "store.manifest"
+	manifestVersion = 1
+)
+
+// Addr is the SHA-256 content address of a chunk.
+type Addr [sha256.Size]byte
+
+// AddrOf returns the content address of data.
+func AddrOf(data []byte) Addr { return sha256.Sum256(data) }
+
+// String renders the address in hex.
+func (a Addr) String() string { return hex.EncodeToString(a[:]) }
+
+// ChunkRef names one chunk inside a manifest ("report", "node:3", ...).
+type ChunkRef struct {
+	Name string
+	Addr Addr
+}
+
+// Manifest binds a caller key to a named set of chunks plus small
+// string metadata.  It is the unit of lookup, recency, and eviction.
+type Manifest struct {
+	Kind string
+	Meta map[string]string
+	Refs []ChunkRef
+}
+
+// Options configures Open.
+type Options struct {
+	// MaxBytes bounds the live bytes (manifest records plus the chunk
+	// records they reference).  When an insert pushes live bytes over
+	// the bound, least-recently-used manifests are evicted until back
+	// under it (the newest manifest is never evicted).  <= 0 means
+	// 1 GiB.
+	MaxBytes int64
+	// NoAutoCompact disables compaction on the append path; Compact
+	// can still be called explicitly.  Used by tests that assert exact
+	// journal layouts.
+	NoAutoCompact bool
+}
+
+// Stats is a point-in-time snapshot of store counters.
+type Stats struct {
+	Chunks       int   `json:"chunks"`
+	Manifests    int   `json:"manifests"`
+	LiveBytes    int64 `json:"live_bytes"`
+	DeadBytes    int64 `json:"dead_bytes"`
+	JournalBytes int64 `json:"journal_bytes"`
+	MaxBytes     int64 `json:"max_bytes"`
+
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	ChunkPuts    int64 `json:"chunk_puts"`
+	DedupHits    int64 `json:"dedup_hits"`
+	ManifestPuts int64 `json:"manifest_puts"`
+	Evictions    int64 `json:"evictions"`
+	Compactions  int64 `json:"compactions"`
+	// TruncatedBytes counts journal bytes dropped at Open because the
+	// tail was torn or corrupt (crash recovery).
+	TruncatedBytes int64 `json:"truncated_bytes,omitempty"`
+}
+
+type chunkInfo struct {
+	off  int64 // payload offset in the journal
+	size int   // payload length
+	rec  int64 // whole-record bytes (header + payload + crc)
+	refs int   // referencing manifests
+}
+
+type manEntry struct {
+	key string
+	m   Manifest
+	rec int64 // whole-record bytes
+}
+
+// Store is a journaling content-addressed chunk store.  All methods are
+// safe for concurrent use.
+type Store struct {
+	mu     sync.Mutex
+	path   string
+	f      *os.File
+	opts   Options
+	end    int64 // append offset == journal length
+	chunks map[Addr]*chunkInfo
+	byKey  map[string]*list.Element // -> *manEntry
+	lru    *list.List               // front = most recently used
+	live   int64
+	dead   int64
+	stats  Stats
+	closed bool
+}
+
+// Open opens (creating if absent) the journal at path, replays it to
+// rebuild the index, and truncates any torn tail.
+func Open(path string, opts Options) (*Store, error) {
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = 1 << 30
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		path:   path,
+		f:      f,
+		opts:   opts,
+		chunks: make(map[Addr]*chunkInfo),
+		byKey:  make(map[string]*list.Element),
+		lru:    list.New(),
+	}
+	if err := s.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// replay scans the journal, applying records until the first torn or
+// corrupt one, then truncates the file there and positions appends.
+func (s *Store) replay() error {
+	fi, err := s.f.Stat()
+	if err != nil {
+		return err
+	}
+	size := fi.Size()
+	if size == 0 {
+		if _, err := s.f.Write([]byte(fileMagic)); err != nil {
+			return err
+		}
+		s.end = int64(len(fileMagic))
+		return s.f.Sync()
+	}
+	if size < int64(len(fileMagic)) {
+		// Torn before even the magic finished: rewrite it.
+		if err := s.f.Truncate(0); err != nil {
+			return err
+		}
+		if _, err := s.f.WriteAt([]byte(fileMagic), 0); err != nil {
+			return err
+		}
+		s.end = int64(len(fileMagic))
+		s.stats.TruncatedBytes = size
+		return s.f.Sync()
+	}
+	magicBuf := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(io.NewSectionReader(s.f, 0, int64(len(magicBuf))), magicBuf); err != nil {
+		return err
+	}
+	if string(magicBuf) != fileMagic {
+		return fmt.Errorf("store: %s is not a dhpf chunk journal (bad magic)", s.path)
+	}
+
+	br := bufio.NewReaderSize(io.NewSectionReader(s.f, int64(len(fileMagic)), size), 1<<20)
+	off := int64(len(fileMagic))
+	good := off
+	hdr := make([]byte, 5)
+	for {
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			break // clean EOF or torn header: stop at last good record
+		}
+		tag := hdr[0]
+		n := int64(binary.BigEndian.Uint32(hdr[1:5]))
+		if (tag != tagChunk && tag != tagManifest && tag != tagDelete) || n > maxRecord || off+5+n+4 > size {
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			break
+		}
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+			break
+		}
+		if binary.BigEndian.Uint32(crcBuf[:]) != recordCRC(tag, payload) {
+			break
+		}
+		rec := 5 + n + 4
+		s.applyRecord(tag, payload, off+5, rec)
+		off += rec
+		good = off
+	}
+	if good < size {
+		if err := s.f.Truncate(good); err != nil {
+			return err
+		}
+		s.stats.TruncatedBytes = size - good
+		if err := s.f.Sync(); err != nil {
+			return err
+		}
+	}
+	s.end = good
+	return nil
+}
+
+func recordCRC(tag byte, payload []byte) uint32 {
+	h := crc32.NewIEEE()
+	var hdr [5]byte
+	hdr[0] = tag
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	h.Write(hdr[:])
+	h.Write(payload)
+	return h.Sum32()
+}
+
+// applyRecord replays one committed record into the in-memory index.
+func (s *Store) applyRecord(tag byte, payload []byte, payloadOff, rec int64) {
+	switch tag {
+	case tagChunk:
+		addr := AddrOf(payload)
+		if _, ok := s.chunks[addr]; ok {
+			s.dead += rec // duplicate write, e.g. pre-compaction dedup miss
+			return
+		}
+		s.chunks[addr] = &chunkInfo{off: payloadOff, size: len(payload), rec: rec}
+		s.dead += rec // dead until a manifest references it
+	case tagManifest:
+		key, m, ok := decodeManifest(payload)
+		if !ok {
+			s.dead += rec // undecodable under current codec version: skip
+			return
+		}
+		for _, ref := range m.Refs {
+			if _, ok := s.chunks[ref.Addr]; !ok {
+				s.dead += rec // dangling ref (compacted away): skip
+				return
+			}
+		}
+		s.installManifest(key, m, rec)
+	case tagDelete:
+		s.dead += rec
+		s.removeManifest(string(payload))
+	}
+}
+
+// installManifest makes (key -> m) current, retiring any predecessor,
+// and moves the referenced chunks' record bytes into the live set.
+func (s *Store) installManifest(key string, m Manifest, rec int64) {
+	s.removeManifest(key)
+	el := s.lru.PushFront(&manEntry{key: key, m: m, rec: rec})
+	s.byKey[key] = el
+	s.live += rec
+	for _, ref := range m.Refs {
+		ci := s.chunks[ref.Addr]
+		ci.refs++
+		if ci.refs == 1 {
+			s.live += ci.rec
+			s.dead -= ci.rec
+		}
+	}
+}
+
+// removeManifest drops key's manifest (if any) from the index, moving
+// its record bytes — and those of any chunk it solely referenced — to
+// the dead set.
+func (s *Store) removeManifest(key string) {
+	el, ok := s.byKey[key]
+	if !ok {
+		return
+	}
+	me := el.Value.(*manEntry)
+	s.lru.Remove(el)
+	delete(s.byKey, key)
+	s.live -= me.rec
+	s.dead += me.rec
+	for _, ref := range me.m.Refs {
+		ci := s.chunks[ref.Addr]
+		ci.refs--
+		if ci.refs == 0 {
+			s.live -= ci.rec
+			s.dead += ci.rec
+		}
+	}
+}
+
+// appendRecord writes one record at the journal tail and returns the
+// payload offset and whole-record size.
+func (s *Store) appendRecord(tag byte, payload []byte) (payloadOff, rec int64, err error) {
+	buf := make([]byte, 0, 9+len(payload))
+	buf = append(buf, tag)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.BigEndian.AppendUint32(buf, recordCRC(tag, payload))
+	if _, err := s.f.WriteAt(buf, s.end); err != nil {
+		return 0, 0, fmt.Errorf("store: append: %w", err)
+	}
+	payloadOff = s.end + 5
+	rec = int64(len(buf))
+	s.end += rec
+	return payloadOff, rec, nil
+}
+
+// PutChunk writes data as a content-addressed chunk and returns its
+// address.  Identical payloads are stored once.
+func (s *Store) PutChunk(data []byte) (Addr, error) {
+	if int64(len(data)) > maxRecord {
+		return Addr{}, fmt.Errorf("store: chunk of %d bytes exceeds %d-byte record bound", len(data), maxRecord)
+	}
+	addr := AddrOf(data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Addr{}, errClosed
+	}
+	if _, ok := s.chunks[addr]; ok {
+		s.stats.DedupHits++
+		return addr, nil
+	}
+	off, rec, err := s.appendRecord(tagChunk, data)
+	if err != nil {
+		return Addr{}, err
+	}
+	s.chunks[addr] = &chunkInfo{off: off, size: len(data), rec: rec}
+	s.dead += rec // live once a manifest references it
+	s.stats.ChunkPuts++
+	return addr, nil
+}
+
+// GetChunk reads a chunk by address.  A missing address — or one whose
+// bytes no longer hash to it, which indicates on-disk corruption — is
+// reported as absent.
+func (s *Store) GetChunk(addr Addr) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false
+	}
+	ci, ok := s.chunks[addr]
+	if !ok {
+		return nil, false
+	}
+	data := make([]byte, ci.size)
+	if _, err := s.f.ReadAt(data, ci.off); err != nil {
+		return nil, false
+	}
+	if AddrOf(data) != addr {
+		return nil, false
+	}
+	return data, true
+}
+
+// PutManifest makes (key -> m) the current manifest for key.  Every
+// referenced chunk must already be present.  The write is durable
+// before PutManifest returns (the journal is fsynced), then the LRU
+// budget is enforced and compaction may run.
+func (s *Store) PutManifest(key string, m Manifest) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	for _, ref := range m.Refs {
+		if _, ok := s.chunks[ref.Addr]; !ok {
+			return fmt.Errorf("store: manifest %q references missing chunk %s (%s)", key, ref.Addr, ref.Name)
+		}
+	}
+	payload := encodeManifest(key, m)
+	_, rec, err := s.appendRecord(tagManifest, payload)
+	if err != nil {
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync: %w", err)
+	}
+	s.installManifest(key, cloneManifest(m), rec)
+	s.stats.ManifestPuts++
+	s.enforceBudgetLocked()
+	s.maybeCompactLocked()
+	return nil
+}
+
+// GetManifest returns the current manifest for key and marks it
+// recently used.
+func (s *Store) GetManifest(key string) (Manifest, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Manifest{}, false
+	}
+	el, ok := s.byKey[key]
+	if !ok {
+		s.stats.Misses++
+		return Manifest{}, false
+	}
+	s.lru.MoveToFront(el)
+	s.stats.Hits++
+	return cloneManifest(el.Value.(*manEntry).m), true
+}
+
+// Delete durably removes key's manifest.  Chunks it solely referenced
+// become dead and are reclaimed by the next compaction.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	if _, ok := s.byKey[key]; !ok {
+		return nil
+	}
+	return s.deleteLocked(key)
+}
+
+func (s *Store) deleteLocked(key string) error {
+	_, rec, err := s.appendRecord(tagDelete, []byte(key))
+	if err != nil {
+		return err
+	}
+	s.dead += rec
+	s.removeManifest(key)
+	return nil
+}
+
+// enforceBudgetLocked evicts LRU manifests until live bytes fit the
+// budget; the most recently used manifest always survives so a single
+// oversized program cannot evict itself.
+func (s *Store) enforceBudgetLocked() {
+	for s.live > s.opts.MaxBytes && s.lru.Len() > 1 {
+		back := s.lru.Back()
+		if err := s.deleteLocked(back.Value.(*manEntry).key); err != nil {
+			return // append failed (disk full?): stop evicting, keep serving
+		}
+		s.stats.Evictions++
+	}
+}
+
+// maybeCompactLocked compacts when dead bytes dominate live bytes and
+// are worth reclaiming.
+func (s *Store) maybeCompactLocked() {
+	if s.opts.NoAutoCompact {
+		return
+	}
+	if s.dead > s.live && s.dead >= 1<<20 {
+		s.compactLocked()
+	}
+}
+
+// Compact rewrites the journal with only live records, dropping dead
+// chunks, superseded manifests, and delete tombstones, via a temp file
+// and atomic rename.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	tmpPath := s.path + ".compact"
+	tf, err := os.Create(tmpPath)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmpPath) // no-op after a successful rename
+
+	bw := bufio.NewWriterSize(tf, 1<<20)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		tf.Close()
+		return err
+	}
+	end := int64(len(fileMagic))
+	writeRec := func(tag byte, payload []byte) (payloadOff, rec int64, err error) {
+		var hdr [5]byte
+		hdr[0] = tag
+		binary.BigEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return 0, 0, err
+		}
+		if _, err := bw.Write(payload); err != nil {
+			return 0, 0, err
+		}
+		var crcBuf [4]byte
+		binary.BigEndian.PutUint32(crcBuf[:], recordCRC(tag, payload))
+		if _, err := bw.Write(crcBuf[:]); err != nil {
+			return 0, 0, err
+		}
+		payloadOff = end + 5
+		rec = int64(5 + len(payload) + 4)
+		end += rec
+		return payloadOff, rec, nil
+	}
+
+	// Walk manifests LRU-back-first so that replaying the compacted
+	// journal rebuilds the same recency order (later records are more
+	// recent).  Chunks are written on first reference.
+	newChunks := make(map[Addr]*chunkInfo)
+	type manPatch struct {
+		me  *manEntry
+		rec int64
+	}
+	var patches []manPatch
+	ok := true
+	for el := s.lru.Back(); el != nil; el = el.Prev() {
+		me := el.Value.(*manEntry)
+		for _, ref := range me.m.Refs {
+			if _, dup := newChunks[ref.Addr]; dup {
+				continue
+			}
+			old := s.chunks[ref.Addr]
+			data := make([]byte, old.size)
+			if _, err = s.f.ReadAt(data, old.off); err != nil {
+				ok = false
+				break
+			}
+			if AddrOf(data) != ref.Addr {
+				err = fmt.Errorf("store: chunk %s corrupt during compaction", ref.Addr)
+				ok = false
+				break
+			}
+			var off, rec int64
+			if off, rec, err = writeRec(tagChunk, data); err != nil {
+				ok = false
+				break
+			}
+			newChunks[ref.Addr] = &chunkInfo{off: off, size: old.size, rec: rec, refs: 0}
+		}
+		if !ok {
+			break
+		}
+		var rec int64
+		if _, rec, err = writeRec(tagManifest, encodeManifest(me.key, me.m)); err != nil {
+			ok = false
+			break
+		}
+		patches = append(patches, manPatch{me: me, rec: rec})
+	}
+	if !ok {
+		tf.Close()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		return err
+	}
+	nf, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	if err != nil {
+		// The compacted journal is on disk but we lost our handle;
+		// poison the store rather than serve from the stale fd.
+		s.closed = true
+		s.f.Close()
+		return fmt.Errorf("store: reopen after compact: %w", err)
+	}
+	s.f.Close()
+	s.f = nf
+	s.end = end
+
+	// Install the rewritten index: refs recomputed from manifests.
+	s.chunks = newChunks
+	var live int64
+	for _, p := range patches {
+		p.me.rec = p.rec
+		live += p.rec
+		for _, ref := range p.me.m.Refs {
+			ci := newChunks[ref.Addr]
+			ci.refs++
+			if ci.refs == 1 {
+				live += ci.rec
+			}
+		}
+	}
+	s.live = live
+	s.dead = 0
+	s.stats.Compactions++
+	return nil
+}
+
+// Stats returns a snapshot of store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Chunks = len(s.chunks)
+	st.Manifests = s.lru.Len()
+	st.LiveBytes = s.live
+	st.DeadBytes = s.dead
+	st.JournalBytes = s.end
+	st.MaxBytes = s.opts.MaxBytes
+	return st
+}
+
+// Len returns the number of current manifests.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+// Path returns the journal path.
+func (s *Store) Path() string { return s.path }
+
+// Close syncs and closes the journal.  Further operations fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+var errClosed = fmt.Errorf("store: closed")
+
+func cloneManifest(m Manifest) Manifest {
+	out := Manifest{Kind: m.Kind}
+	if m.Meta != nil {
+		out.Meta = make(map[string]string, len(m.Meta))
+		for k, v := range m.Meta {
+			out.Meta[k] = v
+		}
+	}
+	out.Refs = append([]ChunkRef(nil), m.Refs...)
+	return out
+}
+
+// encodeManifest serializes a manifest record payload.  Meta keys are
+// sorted so identical manifests encode identically.
+func encodeManifest(key string, m Manifest) []byte {
+	w := codec.NewWriter(manifestFormat, manifestVersion)
+	w.String(key)
+	w.String(m.Kind)
+	metaKeys := make([]string, 0, len(m.Meta))
+	for k := range m.Meta {
+		metaKeys = append(metaKeys, k)
+	}
+	sort.Strings(metaKeys)
+	w.Uvarint(uint64(len(metaKeys)))
+	for _, k := range metaKeys {
+		w.String(k)
+		w.String(m.Meta[k])
+	}
+	w.Uvarint(uint64(len(m.Refs)))
+	for _, ref := range m.Refs {
+		w.String(ref.Name)
+		w.Raw(ref.Addr[:])
+	}
+	return w.Bytes()
+}
+
+func decodeManifest(payload []byte) (string, Manifest, bool) {
+	r, err := codec.NewReader(payload, manifestFormat, manifestVersion)
+	if err != nil {
+		return "", Manifest{}, false
+	}
+	key := r.String()
+	m := Manifest{Kind: r.String()}
+	if n := r.Uvarint(); n > 0 {
+		if n > uint64(len(payload)) {
+			return "", Manifest{}, false
+		}
+		m.Meta = make(map[string]string, n)
+		for i := uint64(0); i < n; i++ {
+			k := r.String()
+			m.Meta[k] = r.String()
+		}
+	}
+	nrefs := r.Uvarint()
+	if nrefs > uint64(len(payload)) {
+		return "", Manifest{}, false
+	}
+	m.Refs = make([]ChunkRef, 0, nrefs)
+	for i := uint64(0); i < nrefs; i++ {
+		ref := ChunkRef{Name: r.String()}
+		ab := r.Raw()
+		if len(ab) != len(ref.Addr) {
+			return "", Manifest{}, false
+		}
+		copy(ref.Addr[:], ab)
+		m.Refs = append(m.Refs, ref)
+	}
+	if !r.Done() {
+		return "", Manifest{}, false
+	}
+	return key, m, true
+}

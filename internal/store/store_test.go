@@ -1,0 +1,347 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, path string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(path, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func putChunkT(t *testing.T, s *Store, data []byte) Addr {
+	t.Helper()
+	a, err := s.PutChunk(data)
+	if err != nil {
+		t.Fatalf("PutChunk: %v", err)
+	}
+	return a
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openT(t, filepath.Join(t.TempDir(), "j"), Options{})
+	report := []byte("rendered report text")
+	node := []byte("node program for rank 0")
+	ra := putChunkT(t, s, report)
+	na := putChunkT(t, s, node)
+	m := Manifest{
+		Kind: "program",
+		Meta: map[string]string{"ranks": "4", "v": "1"},
+		Refs: []ChunkRef{{Name: "report", Addr: ra}, {Name: "node:0", Addr: na}},
+	}
+	if err := s.PutManifest("fp1", m); err != nil {
+		t.Fatalf("PutManifest: %v", err)
+	}
+
+	got, ok := s.GetManifest("fp1")
+	if !ok {
+		t.Fatal("GetManifest miss")
+	}
+	if got.Kind != "program" || got.Meta["ranks"] != "4" || len(got.Refs) != 2 {
+		t.Fatalf("manifest mangled: %+v", got)
+	}
+	data, ok := s.GetChunk(got.Refs[0].Addr)
+	if !ok || !bytes.Equal(data, report) {
+		t.Fatalf("report chunk = %q ok=%v", data, ok)
+	}
+	if _, ok := s.GetManifest("nope"); ok {
+		t.Fatal("phantom manifest")
+	}
+	if _, ok := s.GetChunk(AddrOf([]byte("absent"))); ok {
+		t.Fatal("phantom chunk")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Chunks != 2 || st.Manifests != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// Reopening the journal must serve everything byte-identically: this is
+// the restart-warm property the service relies on.
+func TestReopenServesIdentically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	s := openT(t, path, Options{})
+	var want [][]byte
+	for i := 0; i < 20; i++ {
+		data := []byte(fmt.Sprintf("chunk payload %d with some body", i))
+		want = append(want, data)
+		a := putChunkT(t, s, data)
+		if err := s.PutManifest(fmt.Sprintf("key%d", i), Manifest{
+			Kind: "artifact",
+			Refs: []ChunkRef{{Name: "artifact", Addr: a}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, path, Options{})
+	for i, data := range want {
+		m, ok := s2.GetManifest(fmt.Sprintf("key%d", i))
+		if !ok {
+			t.Fatalf("key%d lost across reopen", i)
+		}
+		got, ok := s2.GetChunk(m.Refs[0].Addr)
+		if !ok || !bytes.Equal(got, data) {
+			t.Fatalf("key%d chunk = %q ok=%v, want %q", i, got, ok, data)
+		}
+	}
+	if st := s2.Stats(); st.TruncatedBytes != 0 {
+		t.Fatalf("clean journal reported truncation: %+v", st)
+	}
+}
+
+// Identical payloads are stored once: the structural-sharing property
+// that lets equal node programs across ranks or fingerprints share
+// disk.
+func TestChunkDedup(t *testing.T) {
+	s := openT(t, filepath.Join(t.TempDir(), "j"), Options{})
+	data := []byte("shared node program body")
+	a1 := putChunkT(t, s, data)
+	a2 := putChunkT(t, s, data)
+	if a1 != a2 {
+		t.Fatalf("addresses differ: %s vs %s", a1, a2)
+	}
+	st := s.Stats()
+	if st.ChunkPuts != 1 || st.DedupHits != 1 || st.Chunks != 1 {
+		t.Fatalf("dedup stats: %+v", st)
+	}
+}
+
+// Re-putting a manifest supersedes the old one; dead bytes accrue and
+// explicit compaction reclaims them.
+func TestSupersedeAndCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	s := openT(t, path, Options{NoAutoCompact: true})
+	big := bytes.Repeat([]byte("x"), 10_000)
+	aOld := putChunkT(t, s, append([]byte("old"), big...))
+	aNew := putChunkT(t, s, append([]byte("new"), big...))
+	if err := s.PutManifest("k", Manifest{Kind: "t", Refs: []ChunkRef{{Name: "a", Addr: aOld}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutManifest("k", Manifest{Kind: "t", Refs: []ChunkRef{{Name: "a", Addr: aNew}}}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Manifests != 1 || st.DeadBytes <= 10_000 {
+		t.Fatalf("before compact: %+v", st)
+	}
+	before := st.JournalBytes
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	st = s.Stats()
+	if st.DeadBytes != 0 || st.JournalBytes >= before || st.Chunks != 1 || st.Compactions != 1 {
+		t.Fatalf("after compact: %+v (journal was %d)", st, before)
+	}
+	m, ok := s.GetManifest("k")
+	if !ok {
+		t.Fatal("manifest lost in compaction")
+	}
+	got, ok := s.GetChunk(m.Refs[0].Addr)
+	if !ok || !bytes.HasPrefix(got, []byte("new")) {
+		t.Fatalf("post-compact chunk = %.8q ok=%v", got, ok)
+	}
+
+	// And the compacted journal must replay cleanly.
+	s.Close()
+	s2 := openT(t, path, Options{})
+	if _, ok := s2.GetManifest("k"); !ok {
+		t.Fatal("manifest lost after compact+reopen")
+	}
+	if st := s2.Stats(); st.TruncatedBytes != 0 {
+		t.Fatalf("compacted journal replayed with truncation: %+v", st)
+	}
+}
+
+// The live-byte budget evicts least-recently-used manifests, never the
+// newest, and evictions survive a reopen (they are journaled).
+func TestBudgetEvictsLRU(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	s := openT(t, path, Options{MaxBytes: 30_000, NoAutoCompact: true})
+	payload := func(i int) []byte {
+		return append([]byte(fmt.Sprintf("p%02d-", i)), bytes.Repeat([]byte("y"), 8_000)...)
+	}
+	for i := 0; i < 8; i++ {
+		a := putChunkT(t, s, payload(i))
+		if err := s.PutManifest(fmt.Sprintf("k%d", i), Manifest{Kind: "t", Refs: []ChunkRef{{Name: "a", Addr: a}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under budget pressure: %+v", st)
+	}
+	if st.LiveBytes > 30_000 {
+		t.Fatalf("live %d over budget: %+v", st.LiveBytes, st)
+	}
+	if _, ok := s.GetManifest("k7"); !ok {
+		t.Fatal("newest manifest evicted")
+	}
+	if _, ok := s.GetManifest("k0"); ok {
+		t.Fatal("oldest manifest survived an over-budget store")
+	}
+	surviving := s.Len()
+
+	s.Close()
+	s2 := openT(t, path, Options{MaxBytes: 30_000})
+	if got := s2.Len(); got != surviving {
+		t.Fatalf("reopen has %d manifests, want %d", got, surviving)
+	}
+	if _, ok := s2.GetManifest("k0"); ok {
+		t.Fatal("evicted manifest resurrected by replay")
+	}
+}
+
+// Recency survives reopen well enough that a hot manifest is not the
+// next eviction victim: GetManifest bumps, and compaction rewrites in
+// LRU order.
+func TestRecencySurvivesCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	s := openT(t, path, Options{NoAutoCompact: true})
+	for i := 0; i < 4; i++ {
+		a := putChunkT(t, s, payloadN(i, 2_000))
+		if err := s.PutManifest(fmt.Sprintf("k%d", i), Manifest{Kind: "t", Refs: []ChunkRef{{Name: "a", Addr: a}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch k0 so it is the most recent, then compact and reopen.
+	if _, ok := s.GetManifest("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// A tiny budget forces evictions on the next insert: k1 (now the
+	// coldest) must go before k0.
+	s2 := openT(t, path, Options{MaxBytes: 9_000, NoAutoCompact: true})
+	a := putChunkT(t, s2, payloadN(99, 2_000))
+	if err := s2.PutManifest("k99", Manifest{Kind: "t", Refs: []ChunkRef{{Name: "a", Addr: a}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.GetManifest("k1"); ok {
+		t.Fatal("cold k1 survived while budget forced evictions")
+	}
+	if _, ok := s2.GetManifest("k0"); !ok {
+		t.Fatal("recently-touched k0 evicted before colder manifests")
+	}
+}
+
+func payloadN(i, n int) []byte {
+	return append([]byte(fmt.Sprintf("p%02d-", i)), bytes.Repeat([]byte("z"), n)...)
+}
+
+// Deleting a manifest is durable and frees its solely-referenced
+// chunks at the next compaction.
+func TestDeleteDurable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	s := openT(t, path, Options{NoAutoCompact: true})
+	a := putChunkT(t, s, []byte("doomed"))
+	if err := s.PutManifest("k", Manifest{Kind: "t", Refs: []ChunkRef{{Name: "a", Addr: a}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetManifest("k"); ok {
+		t.Fatal("deleted manifest still served")
+	}
+	s.Close()
+	s2 := openT(t, path, Options{})
+	if _, ok := s2.GetManifest("k"); ok {
+		t.Fatal("deleted manifest resurrected by replay")
+	}
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.Chunks != 0 || st.DeadBytes != 0 {
+		t.Fatalf("delete+compact left garbage: %+v", st)
+	}
+}
+
+// A manifest may not reference chunks the store has never seen.
+func TestManifestMissingChunkRejected(t *testing.T) {
+	s := openT(t, filepath.Join(t.TempDir(), "j"), Options{})
+	err := s.PutManifest("k", Manifest{Kind: "t", Refs: []ChunkRef{{Name: "a", Addr: AddrOf([]byte("never written"))}}})
+	if err == nil {
+		t.Fatal("dangling manifest accepted")
+	}
+}
+
+// A file that is not a journal is refused loudly, not silently wiped.
+func TestBadMagicRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notajournal")
+	if err := os.WriteFile(path, []byte("PKZIP\x03\x04 something else entirely"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); err == nil {
+		t.Fatal("Open accepted a non-journal file")
+	}
+}
+
+// Operations after Close fail cleanly.
+func TestClosedStore(t *testing.T) {
+	s := openT(t, filepath.Join(t.TempDir(), "j"), Options{})
+	s.Close()
+	if _, err := s.PutChunk([]byte("x")); err == nil {
+		t.Fatal("PutChunk on closed store succeeded")
+	}
+	if err := s.PutManifest("k", Manifest{}); err == nil {
+		t.Fatal("PutManifest on closed store succeeded")
+	}
+	if _, ok := s.GetManifest("k"); ok {
+		t.Fatal("GetManifest on closed store hit")
+	}
+}
+
+// Concurrent writers and readers must not race (run under -race in CI).
+func TestConcurrentAccess(t *testing.T) {
+	s := openT(t, filepath.Join(t.TempDir(), "j"), Options{})
+	done := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			for i := 0; i < 25; i++ {
+				data := []byte(fmt.Sprintf("g%d-i%d", g, i))
+				a, err := s.PutChunk(data)
+				if err != nil {
+					done <- err
+					return
+				}
+				if err := s.PutManifest(fmt.Sprintf("g%d-k%d", g, i), Manifest{
+					Kind: "t", Refs: []ChunkRef{{Name: "a", Addr: a}},
+				}); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+		go func(g int) {
+			for i := 0; i < 25; i++ {
+				if m, ok := s.GetManifest(fmt.Sprintf("g%d-k%d", g, i)); ok {
+					s.GetChunk(m.Refs[0].Addr)
+				}
+				s.Stats()
+			}
+			done <- nil
+		}(g)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,29 +1,32 @@
-// Command benchjson runs the execution-engine and incremental-compile
-// benchmark set and emits a machine-readable summary (BENCH_6.json).
-// Two pairings are reported:
+// Command benchjson runs the execution-engine, incremental-compile and
+// durable-store benchmark set and emits a machine-readable summary
+// (BENCH_7.json).  Two pairings are reported:
 //
 //   - engine pairs: each benchmark family has a compiled variant and an
 //     Interp-suffixed interpreter variant over the same workload
 //     (bench_test.go routes both through the same body via
 //     Program.ExecuteEngine), and the tool reports the speedup of the
 //     closure-compiled engine over the tree-walking interpreter;
-//   - the warm-edit pair: BenchmarkWarmEditRecompile (one-procedure edit
-//     against a primed artifact store) against its Cold-suffixed
-//     from-scratch twin, compared at the p50_ns metric the benchmarks
-//     report (medians, because compile times are long-tailed under GC
-//     and scheduler noise).
+//   - warm/cold pairs: each recompile benchmark against its
+//     Cold-suffixed from-scratch twin, compared at the p50_ns metric
+//     the benchmarks report (medians, because compile times are
+//     long-tailed under GC and scheduler noise).  Two families:
+//     BenchmarkWarmEditRecompile (one-procedure edit against a primed
+//     artifact store) and BenchmarkRestartWarmCompile (a freshly
+//     restarted server serving a known fingerprint from its durable
+//     store, in internal/service).
 //
 // Usage:
 //
 //	go run ./tools/benchjson [flags]
 //
 //	-bench RE     benchmark selection regexp (default the ExecuteSPStep,
-//	              LUWavefront and WarmEditRecompile families)
+//	              LUWavefront, WarmEditRecompile and RestartWarm families)
 //	-benchtime T  passed through to go test (default 1x per bench: "2s")
-//	-o FILE       write JSON here (default BENCH_6.json; "-" = stdout)
+//	-o FILE       write JSON here (default BENCH_7.json; "-" = stdout)
 //	-check        gate mode: exit 1 unless the compiled engine beats the
-//	              interpreter on every engine pair AND the warm-edit
-//	              recompile is at least 10x faster than cold at p50 (CI
+//	              interpreter on every engine pair AND every warm/cold
+//	              recompile pair is at least 10x faster warm at p50 (CI
 //	              smoke; uses a short -benchtime unless one is given)
 //
 // Stdlib-only by design, like tools/vetdet: the container has no
@@ -79,12 +82,12 @@ type WarmPair struct {
 	Speedup   float64 `json:"speedup"`
 }
 
-// warmGate is the -check floor for warm-edit speedup: a one-procedure
-// edit against a primed artifact store must recompile at least this much
-// faster than a cold compile, at p50.
+// warmGate is the -check floor for warm/cold speedup: a warm-edit
+// recompile, and a restart-warm store hit, must each beat their cold
+// twin by at least this much at p50.
 const warmGate = 10.0
 
-// Report is the BENCH_6.json document.
+// Report is the BENCH_7.json document.
 type Report struct {
 	GoTestArgs []string   `json:"go_test_args"`
 	Benchmarks []Bench    `json:"benchmarks"`
@@ -93,10 +96,10 @@ type Report struct {
 }
 
 func main() {
-	benchRE := flag.String("bench", "BenchmarkExecuteSPStep|BenchmarkLUWavefront|BenchmarkWarmEditRecompile",
+	benchRE := flag.String("bench", "BenchmarkExecuteSPStep|BenchmarkLUWavefront|BenchmarkWarmEditRecompile|BenchmarkRestartWarm",
 		"benchmark selection regexp (go test -bench)")
 	benchtime := flag.String("benchtime", "", "go test -benchtime (default 2s, or 40x with -check)")
-	out := flag.String("o", "BENCH_6.json", `output file ("-" for stdout)`)
+	out := flag.String("o", "BENCH_7.json", `output file ("-" for stdout)`)
 	check := flag.Bool("check", false, "exit 1 unless compiled beats interp on every pair")
 	flag.Parse()
 
@@ -110,7 +113,9 @@ func main() {
 			bt = "2s"
 		}
 	}
-	args := []string{"test", "-run", "NONE", "-bench", *benchRE, "-benchmem", "-benchtime", bt, "."}
+	// The benchmark families live in two packages: the root (engines,
+	// warm-edit recompiles) and internal/service (restart-warm store hits).
+	args := []string{"test", "-run", "NONE", "-bench", *benchRE, "-benchmem", "-benchtime", bt, ".", "./internal/service"}
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
@@ -168,6 +173,10 @@ func main() {
 		}
 		if len(rep.WarmPairs) == 0 && strings.Contains(*benchRE, "WarmEditRecompile") {
 			fmt.Fprintln(os.Stderr, "benchjson: -check found no warm/cold recompile pairs")
+			fail = true
+		}
+		if strings.Contains(*benchRE, "RestartWarm") && !hasWarmPair(rep.WarmPairs, "BenchmarkRestartWarmCompile") {
+			fmt.Fprintln(os.Stderr, "benchjson: -check found no restart-warm/cold pair")
 			fail = true
 		}
 		if fail {
@@ -251,6 +260,15 @@ func pairUp(bs []Bench) []Pair {
 		pairs = append(pairs, p)
 	}
 	return pairs
+}
+
+func hasWarmPair(pairs []WarmPair, name string) bool {
+	for _, p := range pairs {
+		if p.Benchmark == name {
+			return true
+		}
+	}
+	return false
 }
 
 // pairWarm matches each recompile benchmark with its Cold-suffixed
