@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dhpf/internal/cp"
+	"dhpf/internal/passes"
 	"dhpf/internal/verify"
 )
 
@@ -31,6 +32,13 @@ type RequestOptions struct {
 	// Instrument enables the per-pass communication-volume probe
 	// reported in pass_stats (costs one comm analysis per pass).
 	Instrument bool `json:"instrument,omitempty"`
+	// Backend selects the execution substrate the program is compiled
+	// for: "mp" (message-passing, the default), "shm" (shared-memory
+	// threads with barrier phases), or "hybrid" (ranks across grid
+	// dimension 0 × threads within a rank).  The backend is part of the
+	// compile fingerprint: it changes the verifier's obligations (shm
+	// adds the race-freedom theorem), not the numerics.
+	Backend string `json:"backend,omitempty"`
 }
 
 // Resolve converts the request options to pipeline Options, applying
@@ -73,6 +81,13 @@ func (r *RequestOptions) Resolve() (Options, error) {
 	}
 	opt.Disable = append([]string{}, r.Disable...)
 	opt.Instrument = r.Instrument
+	if r.Backend != "" {
+		b, err := passes.ParseBackend(r.Backend)
+		if err != nil {
+			return opt, err
+		}
+		opt.Backend = b
+	}
 	return opt, nil
 }
 
@@ -100,6 +115,9 @@ func RequestOptionsFrom(o Options) *RequestOptions {
 	}
 	if len(o.Disable) > 0 {
 		r.Disable = append([]string{}, o.Disable...)
+	}
+	if b, err := passes.ParseBackend(o.Backend); err == nil && b != passes.BackendMP {
+		r.Backend = b
 	}
 	return r
 }
@@ -251,12 +269,20 @@ type ArrayJSON struct {
 // RunResponse is /v1/run's result: the virtual-time performance
 // counters and any requested arrays.
 type RunResponse struct {
-	Fingerprint string               `json:"fingerprint"`
-	Ranks       int                  `json:"ranks"`
-	Seconds     float64              `json:"seconds"`
-	Messages    int64                `json:"messages"`
-	Bytes       int64                `json:"bytes"`
-	RankSeconds []float64            `json:"rank_seconds"`
+	Fingerprint string    `json:"fingerprint"`
+	Ranks       int       `json:"ranks"`
+	Seconds     float64   `json:"seconds"`
+	Messages    int64     `json:"messages"`
+	Bytes       int64     `json:"bytes"`
+	RankSeconds []float64 `json:"rank_seconds"`
+	// Backend echoes the substrate the program ran on ("mp" omitted).
+	// Under the shared-memory backends Messages/Bytes count only the
+	// outer (cross-group) traffic — zero for pure shm — and Pulls /
+	// PulledBytes count the direct memory-to-memory copies that replace
+	// messages.
+	Backend     string               `json:"backend,omitempty"`
+	Pulls       int64                `json:"pulls,omitempty"`
+	PulledBytes int64                `json:"pulled_bytes,omitempty"`
 	Arrays      map[string]ArrayJSON `json:"arrays,omitempty"`
 	Cached      bool                 `json:"cached"`
 }
@@ -292,6 +318,11 @@ type TuneOptions struct {
 	Grains    []int            `json:"grains,omitempty"`
 	Ablations [][]string       `json:"ablations,omitempty"`
 	Sweep     map[string][]int `json:"sweep,omitempty"`
+	// Backends lists the execution substrates the block scheme tries
+	// ("mp", "shm", "hybrid"); empty means message-passing only.  The
+	// tuner crosses every backend with every grid × grain × ablation
+	// point and the leaderboard records each candidate's backend.
+	Backends []string `json:"backends,omitempty"`
 	// NoTranspose drops the 1-D transpose comparison candidate.
 	NoTranspose bool `json:"no_transpose,omitempty"`
 	// TopK bounds how many screen survivors get a full simulation
@@ -321,9 +352,12 @@ type TuneEntry struct {
 	// Key is the candidate's canonical identity, e.g. "block 2x8 g8".
 	Key    string `json:"key"`
 	Scheme string `json:"scheme"`
-	P1     int    `json:"p1,omitempty"`
-	P2     int    `json:"p2,omitempty"`
-	Grain  int    `json:"grain,omitempty"`
+	// Backend is the candidate's execution substrate ("mp", "shm",
+	// "hybrid").
+	Backend string `json:"backend,omitempty"`
+	P1      int    `json:"p1,omitempty"`
+	P2      int    `json:"p2,omitempty"`
+	Grain   int    `json:"grain,omitempty"`
 	// Disable and Extra echo the candidate's ablations and swept
 	// parameter bindings.
 	Disable []string       `json:"disable,omitempty"`
@@ -546,6 +580,14 @@ type StoreStats struct {
 	ProgramHits   int64 `json:"program_hits"`
 	ProgramMisses int64 `json:"program_misses"`
 	ProgramWrites int64 `json:"program_writes"`
+
+	// TuneHits/Misses/Writes count tune leaderboards recalled from,
+	// missed in, and persisted to this store (keyed by tune-request
+	// fingerprint), so a restarted server answers repeat /v1/tune
+	// requests from disk.
+	TuneHits   int64 `json:"tune_hits,omitempty"`
+	TuneMisses int64 `json:"tune_misses,omitempty"`
+	TuneWrites int64 `json:"tune_writes,omitempty"`
 }
 
 // PeerStats is the fleet tier's counter snapshot, present in /v1/stats

@@ -374,8 +374,22 @@ func BenchmarkCompileBT(b *testing.B) {
 func BenchmarkExecuteSPStep(b *testing.B)       { benchExecuteSPStep(b, spmd.EngineCompiled) }
 func BenchmarkExecuteSPStepInterp(b *testing.B) { benchExecuteSPStep(b, spmd.EngineInterp) }
 
+// BenchmarkExecuteSPStepShm is the same step on the shared-memory
+// backend: one 4-thread team, barrier phases in place of messages.
+// tools/benchjson pairs it with BenchmarkExecuteSPStep to quote the
+// shm-vs-mp host-time ratio.
+func BenchmarkExecuteSPStepShm(b *testing.B) {
+	opt := spmd.DefaultOptions()
+	opt.Backend = BackendShm
+	benchExecuteSPStepOpt(b, spmd.EngineCompiled, opt)
+}
+
 func benchExecuteSPStep(b *testing.B, engine spmd.Engine) {
-	prog, err := spmd.CompileSource(nas.SPSource(16, 1, 2, 2), nil, spmd.DefaultOptions())
+	benchExecuteSPStepOpt(b, engine, spmd.DefaultOptions())
+}
+
+func benchExecuteSPStepOpt(b *testing.B, engine spmd.Engine, opt spmd.Options) {
+	prog, err := spmd.CompileSource(nas.SPSource(16, 1, 2, 2), nil, opt)
 	if err != nil {
 		b.Fatal(err)
 	}

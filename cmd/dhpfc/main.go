@@ -21,6 +21,11 @@
 //	-no-interproc    disable §6 interprocedural CPs
 //	-no-avail        disable §7 data availability analysis
 //	-newprop MODE    translate (default) | owner | replicate  (§4.1)
+//	-backend B       execution substrate: mp (message-passing, default) |
+//	                 shm (shared-memory threads, barrier phases in place
+//	                 of messages) | hybrid (ranks across grid dim 0 ×
+//	                 threads within a rank); shm/hybrid add the
+//	                 race-freedom theorem to the verifier's obligations
 //	-grain N         coarse-grain pipelining strip width (default 8)
 //	-emit R          print the generated SPMD node program for rank R
 //	-disable LIST    drop optional passes by name (comma-separated)
@@ -94,6 +99,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	noInterproc := fs.Bool("no-interproc", false, "disable interprocedural CPs (§6)")
 	noAvail := fs.Bool("no-avail", false, "disable data availability (§7)")
 	newprop := fs.String("newprop", "translate", "NEW propagation mode: translate|owner|replicate")
+	backend := fs.String("backend", "", "execution substrate: mp|shm|hybrid")
 	grain := fs.Int("grain", 8, "pipeline strip width")
 	emit := fs.Int("emit", -1, "emit the SPMD node program for this rank")
 	disable := fs.String("disable", "", "comma-separated optional passes to drop "+
@@ -126,6 +132,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opt.Comm.Availability = !*noAvail
 	opt.PipelineGrain = *grain
 	opt.Instrument = *explain
+	if opt.Backend, err = passes.ParseBackend(*backend); err != nil {
+		fmt.Fprintln(stderr, "dhpfc:", err)
+		return 1
+	}
 	if *disable != "" {
 		opt.Disable = strings.Split(*disable, ",")
 	}
@@ -222,8 +232,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "dhpfc:", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "\nexecution: %d ranks, %.6fs virtual time, %d messages, %d bytes\n",
-		prog.Grid.Size(), res.Machine.Time, res.Machine.TotalMessages(), res.Machine.TotalBytes())
+	switch {
+	case res.Shm != nil && res.Shm.Groups > 1:
+		fmt.Fprintf(stdout, "\nexecution (hybrid, %d groups): %d threads, %.6fs virtual time, %d pulls, %d pulled bytes, %d outer messages, %d outer bytes\n",
+			res.Shm.Groups, prog.Grid.Size(), res.Machine.Time,
+			res.Shm.TotalPulls(), res.Shm.TotalPulledBytes(),
+			res.Machine.TotalMessages(), res.Machine.TotalBytes())
+	case res.Shm != nil:
+		fmt.Fprintf(stdout, "\nexecution (shm): %d threads, %.6fs virtual time, %d pulls, %d pulled bytes\n",
+			prog.Grid.Size(), res.Machine.Time, res.Shm.TotalPulls(), res.Shm.TotalPulledBytes())
+	default:
+		fmt.Fprintf(stdout, "\nexecution: %d ranks, %.6fs virtual time, %d messages, %d bytes\n",
+			prog.Grid.Size(), res.Machine.Time, res.Machine.TotalMessages(), res.Machine.TotalBytes())
+	}
 	if *doTrace {
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, trace.Build(res.Machine, *bins).Render(fs.Arg(0)))

@@ -63,6 +63,38 @@ func TestEngineFlagGolden(t *testing.T) {
 	}
 }
 
+// TestBackendFlag: -backend shm runs the program on the shared-memory
+// substrate — the execution line reports pulls instead of messages —
+// and -backend hybrid reports both levels.  An unknown backend is a
+// usage error.
+func TestBackendFlag(t *testing.T) {
+	var shm, hyb, errb bytes.Buffer
+	if code := run([]string{"-run", "-backend", "shm", "../../testdata/lhsy.hpf"}, &shm, &errb); code != 0 {
+		t.Fatalf("-backend shm exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(shm.String(), "execution (shm):") || !strings.Contains(shm.String(), "pulls") {
+		t.Errorf("shm run summary missing pull counters:\n%s", shm.String())
+	}
+	if strings.Contains(shm.String(), "messages") {
+		t.Errorf("pure shm run should not report messages:\n%s", shm.String())
+	}
+	if code := run([]string{"-run", "-backend", "hybrid", "../../testdata/lhsy.hpf"}, &hyb, &errb); code != 0 {
+		t.Fatalf("-backend hybrid exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(hyb.String(), "execution (hybrid") || !strings.Contains(hyb.String(), "outer messages") {
+		t.Errorf("hybrid run summary missing outer traffic:\n%s", hyb.String())
+	}
+
+	errb.Reset()
+	var out bytes.Buffer
+	if code := run([]string{"-backend", "cuda", "../../testdata/lhsy.hpf"}, &out, &errb); code != 1 {
+		t.Errorf("bad -backend exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown backend") {
+		t.Errorf("bad -backend stderr = %q, want mention of unknown backend", errb.String())
+	}
+}
+
 // TestExplainTable checks -explain prints one table row per pipeline
 // pass (wall times vary, so the check is structural).
 func TestExplainTable(t *testing.T) {

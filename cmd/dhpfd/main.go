@@ -313,11 +313,17 @@ func loadgen(ctx context.Context, w io.Writer, args []string) error {
 		}
 	}
 	ok := *requests - errs
-	// Snapshot the artifact tier after the run: how much per-procedure
-	// analysis the warm traffic reused versus recomputed.
+	// Snapshot every cache tier after the run: the program cache (with
+	// its backing-hit split: how many misses the durable/peer tier
+	// absorbed), the per-procedure artifact tier, and — when the server
+	// has a store — the durable tier itself.
+	var cacheStats *dhpf.CacheStats
 	var artifacts *dhpf.ArtifactCacheStats
+	var storeStats *dhpf.StoreStats
 	if st, err := clients[0].Stats(ctx); err == nil {
+		cacheStats = &st.Cache
 		artifacts = &st.Artifacts
+		storeStats = st.Store
 	}
 	sum := loadgenSummary{
 		Requests:     *requests,
@@ -331,7 +337,9 @@ func loadgen(ctx context.Context, w io.Writer, args []string) error {
 		Throughput:   float64(ok) / elapsed.Seconds(),
 		Warm:         summarize(warmDurs),
 		Cold:         summarize(coldDurs),
+		Cache:        cacheStats,
 		Artifacts:    artifacts,
+		Store:        storeStats,
 	}
 	if len(clients) > 1 {
 		for i, c := range clients {
@@ -340,10 +348,18 @@ func loadgen(ctx context.Context, w io.Writer, args []string) error {
 				OK:         okByReplica[i],
 				Throughput: float64(okByReplica[i]) / elapsed.Seconds(),
 			}
-			if st, err := c.Stats(ctx); err == nil && st.Peer != nil {
-				rs.PeerHits = st.Peer.Hits
-				rs.PeerServed = st.Peer.Served
-				sum.PeerHits += st.Peer.Hits
+			if st, err := c.Stats(ctx); err == nil {
+				rs.CacheHits = st.Cache.Hits
+				rs.CacheBackingHits = st.Cache.BackingHits
+				rs.ArtifactBackingHits = st.Artifacts.BackingHits
+				if st.Store != nil {
+					rs.StoreProgramHits = st.Store.ProgramHits
+				}
+				if st.Peer != nil {
+					rs.PeerHits = st.Peer.Hits
+					rs.PeerServed = st.Peer.Served
+					sum.PeerHits += st.Peer.Hits
+				}
 			}
 			sum.Fleet = append(sum.Fleet, rs)
 		}
@@ -379,13 +395,21 @@ func loadgen(ctx context.Context, w io.Writer, args []string) error {
 	}
 	report("warm", sum.Warm)
 	report("cold", sum.Cold)
+	if c := sum.Cache; c != nil {
+		fmt.Fprintf(w, "cache: %d hits, %d misses (%d absorbed by backing tier), %d coalesced\n",
+			c.Hits, c.Misses, c.BackingHits, c.InflightCoalesced)
+	}
 	if a := sum.Artifacts; a != nil {
-		fmt.Fprintf(w, "artifacts: %d hits, %d misses, %d dirty recomputes, %d entries (%d B)\n",
-			a.Hits, a.Misses, a.Dirty, a.Entries, a.SizeBytes)
+		fmt.Fprintf(w, "artifacts: %d hits (%d thawed from store), %d misses, %d dirty recomputes, %d entries (%d B)\n",
+			a.Hits, a.BackingHits, a.Misses, a.Dirty, a.Entries, a.SizeBytes)
+	}
+	if st := sum.Store; st != nil {
+		fmt.Fprintf(w, "store: %d program hits, %d misses, %d writes (%d chunks, %d B live)\n",
+			st.ProgramHits, st.ProgramMisses, st.ProgramWrites, st.Chunks, st.LiveBytes)
 	}
 	for _, rs := range sum.Fleet {
-		fmt.Fprintf(w, "replica %-28s %5d ok  %7.1f req/s  %d peer hits, %d served\n",
-			rs.URL, rs.OK, rs.Throughput, rs.PeerHits, rs.PeerServed)
+		fmt.Fprintf(w, "replica %-28s %5d ok  %7.1f req/s  %d cache hits (%d backing), %d peer hits, %d served\n",
+			rs.URL, rs.OK, rs.Throughput, rs.CacheHits, rs.CacheBackingHits, rs.PeerHits, rs.PeerServed)
 	}
 	if len(sum.Fleet) > 0 {
 		fmt.Fprintf(w, "fleet: %d cross-replica warm hits, %d response mismatches\n", sum.PeerHits, sum.Mismatches)
@@ -407,9 +431,17 @@ type loadgenSummary struct {
 	Throughput   float64        `json:"throughput_rps"`
 	Warm         latencySummary `json:"warm"`
 	Cold         latencySummary `json:"cold"`
-	// Artifacts is the service's per-procedure artifact-tier counters
-	// after the run (nil when /v1/stats was unreachable).
+	// Cache is the program cache's counter snapshot after the run; its
+	// BackingHits field says how many misses were absorbed by the
+	// durable/peer tier rather than compiled cold.  Artifacts is the
+	// per-procedure artifact tier (same BackingHits split for thawed
+	// analyses), and Store — present only on store-backed servers — is
+	// the durable tier itself.  Together they attribute every warm
+	// request to the tier that served it.  (All nil when /v1/stats was
+	// unreachable.)
+	Cache     *dhpf.CacheStats         `json:"cache,omitempty"`
 	Artifacts *dhpf.ArtifactCacheStats `json:"artifacts,omitempty"`
+	Store     *dhpf.StoreStats         `json:"store,omitempty"`
 	// Fleet is the per-replica breakdown (only with -fleet); PeerHits is
 	// the fleet-wide cross-replica warm-hit total and Mismatches counts
 	// same-fingerprint responses that differed between replicas (always
@@ -425,6 +457,15 @@ type replicaSummary struct {
 	Throughput float64 `json:"throughput_rps"`
 	PeerHits   int64   `json:"peer_hits"`
 	PeerServed int64   `json:"peer_served"`
+	// Per-tier hit provenance: in-memory program-cache hits, misses the
+	// replica's backing tier (store or peer) absorbed, per-procedure
+	// artifacts thawed from disk, and whole programs thawed from the
+	// local store — so a fleet smoke test can assert not just *that*
+	// requests were warm but *which tier* made them warm.
+	CacheHits           int64 `json:"cache_hits"`
+	CacheBackingHits    int64 `json:"cache_backing_hits"`
+	ArtifactBackingHits int64 `json:"artifact_backing_hits"`
+	StoreProgramHits    int64 `json:"store_program_hits,omitempty"`
 }
 
 type latencySummary struct {

@@ -195,6 +195,17 @@ func TestLoadgenJSON(t *testing.T) {
 	if sum.Throughput <= 0 || sum.ElapsedNS <= 0 || sum.Warm.P95NS < sum.Warm.P50NS {
 		t.Errorf("implausible summary: %+v", sum)
 	}
+	// Tier attribution: a storeless server serves warm traffic from the
+	// in-memory program cache alone — hits present, zero backing hits.
+	if sum.Cache == nil {
+		t.Fatal("summary has no program-cache counters")
+	}
+	if sum.Cache.Hits == 0 {
+		t.Errorf("warm traffic produced no cache hits: %+v", *sum.Cache)
+	}
+	if sum.Cache.BackingHits != 0 || sum.Store != nil {
+		t.Errorf("storeless server reports backing tiers: cache=%+v store=%+v", *sum.Cache, sum.Store)
+	}
 }
 
 // TestServeStoreRestartWarm: a daemon started with -store, killed, and
@@ -291,11 +302,24 @@ func TestLoadgenFleet(t *testing.T) {
 		t.Fatalf("fleet breakdown has %d replicas, want 3", len(sum.Fleet))
 	}
 	okTotal := 0
+	var backingTotal, cacheTotal int64
 	for _, rs := range sum.Fleet {
 		okTotal += rs.OK
+		cacheTotal += rs.CacheHits
+		backingTotal += rs.CacheBackingHits
 	}
 	if okTotal != sum.OK {
 		t.Errorf("per-replica ok %d != total %d", okTotal, sum.OK)
+	}
+	// Hit provenance: the cross-replica warm hits must show up as
+	// backing-tier absorption on the replicas that fetched from a peer —
+	// the summary says not just that requests were warm but which tier
+	// (memory vs store/peer) made them warm.
+	if backingTotal < sum.PeerHits {
+		t.Errorf("peer hits (%d) not attributed to backing tiers (%d): %+v", sum.PeerHits, backingTotal, sum.Fleet)
+	}
+	if cacheTotal == 0 {
+		t.Errorf("no in-memory warm hits across the fleet: %+v", sum.Fleet)
 	}
 
 	// The gate itself: an impossible -min-peer-hits must fail the run.

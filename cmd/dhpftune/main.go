@@ -19,6 +19,9 @@
 //	-target-steps N  rank for this step count (default: source steps)
 //	-grids LIST      grid shapes, e.g. "2x8,4x4" (default: all factorizations)
 //	-grains LIST     pipeline strip widths, e.g. "4,8,16"
+//	-backends LIST   execution substrates to search, e.g. "mp,shm,hybrid"
+//	                 (default mp only; non-mp candidates carry the backend
+//	                 in their leaderboard key, e.g. "block shm 2x2 g8")
 //	-ablate LIST     ablation sets, ';'-separated Disable lists, e.g.
 //	                 "availability;localize,newprop" (full pipeline always included)
 //	-sweep P=V,...   sweep an extra source parameter (repeatable)
@@ -101,6 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		targetSteps = fs.Int("target-steps", 0, "step count the ranking targets (0 = source)")
 		grids       = fs.String("grids", "", `grid shapes, e.g. "2x8,4x4" (default: all factorizations)`)
 		grains      = fs.String("grains", "", `pipeline strip widths, e.g. "4,8,16"`)
+		backends    = fs.String("backends", "", `execution substrates to search, e.g. "mp,shm,hybrid"`)
 		ablate      = fs.String("ablate", "", `ablation sets: ';'-separated Disable lists`)
 		topK        = fs.Int("topk", 0, "survivors fully simulated (default 3)")
 		maxScreen   = fs.Int("max-screen", 0, "cap screened candidates (0 = all)")
@@ -177,6 +181,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	opt.Ablations = parseAblations(*ablate)
+	if *backends != "" {
+		for _, b := range strings.Split(*backends, ",") {
+			opt.Backends = append(opt.Backends, strings.TrimSpace(b))
+		}
+	}
 
 	res, err := dhpf.Tune(context.Background(), source, opt)
 	if err != nil {

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -80,6 +81,60 @@ func TestEmitOptionsRoundTrips(t *testing.T) {
 	}
 	if opt.PipelineGrain != 8 {
 		t.Errorf("grain not preserved: %+v", opt)
+	}
+}
+
+// TestBackendsFlag: -backends widens the search across execution
+// substrates.  Both backends must show up on the leaderboard (the shm
+// twin carries the backend token in its key) and the whole board —
+// not just the winner — must be reproducible run to run.
+func TestBackendsFlag(t *testing.T) {
+	args := append(append([]string{}, smokeArgs...),
+		"-backends", "mp,shm", "-grids", "2x2", "-no-transpose", "-json")
+	first := runOK(t, args...)
+	var res dhpf.TuneResult
+	if err := json.Unmarshal([]byte(first), &res); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, first)
+	}
+	seen := map[string]bool{}
+	for _, e := range res.Entries {
+		seen[e.Backend] = true
+	}
+	if !seen[""] && !seen["mp"] {
+		t.Errorf("no mp candidate on the leaderboard: %s", first)
+	}
+	if !seen["shm"] {
+		t.Errorf("no shm candidate on the leaderboard: %s", first)
+	}
+	if res.Winner == nil || res.Winner.Backend != "shm" {
+		t.Errorf("shm twin should win on an all-interior stencil, got %+v", res.Winner)
+	}
+	if !strings.Contains(first, "block shm 2x2") {
+		t.Errorf("shm key token missing from board:\n%s", first)
+	}
+	// Wall clocks and memo counters vary run to run; the ranked board
+	// itself (keys, statuses, backends, in order) must not.
+	board := func(r dhpf.TuneResult) string {
+		var b strings.Builder
+		for _, e := range r.Entries {
+			fmt.Fprintf(&b, "%d %s %s %s\n", e.Rank, e.Status, e.Key, e.Backend)
+		}
+		return b.String()
+	}
+	var res2 dhpf.TuneResult
+	if err := json.Unmarshal([]byte(runOK(t, args...)), &res2); err != nil {
+		t.Fatal(err)
+	}
+	if board(res) != board(res2) {
+		t.Errorf("backend search not deterministic:\n--- first ---\n%s\n--- again ---\n%s", board(res), board(res2))
+	}
+
+	var out, errb bytes.Buffer
+	if code := run(append(append([]string{}, smokeArgs...), "-backends", "cuda"), &out, &errb); code != 1 {
+		t.Errorf("bad -backends exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unknown backend") {
+		t.Errorf("bad -backends stderr = %q, want mention of unknown backend", errb.String())
 	}
 }
 

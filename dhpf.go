@@ -76,6 +76,18 @@ const (
 	PassVerify       = passes.PassVerify
 )
 
+// Execution backends Options.Backend accepts: message-passing ranks
+// (the default), shared-memory threads with barrier phases in place of
+// messages, and the hybrid layout (ranks across grid dimension 0 ×
+// threads within a rank).  All three produce bit-identical numerics;
+// they differ in the cost model and in the verifier's obligations (the
+// shared-memory backends add the race-freedom theorem).
+const (
+	BackendMP     = passes.BackendMP
+	BackendShm    = passes.BackendShm
+	BackendHybrid = passes.BackendHybrid
+)
+
 // PassNames lists every pass of the full pipeline, in order.
 func PassNames() []string { return passes.PassNames() }
 
@@ -257,6 +269,24 @@ func (r *Result) Bytes() int64 { return r.exec.Machine.TotalBytes() }
 
 // RankSeconds returns each rank's final virtual clock.
 func (r *Result) RankSeconds() []float64 { return r.exec.Machine.RankTime }
+
+// Pulls returns the number of direct memory-to-memory copies the
+// shared-memory backends performed in place of messages; zero for a
+// message-passing run.
+func (r *Result) Pulls() int64 {
+	if r.exec.Shm == nil {
+		return 0
+	}
+	return r.exec.Shm.TotalPulls()
+}
+
+// PulledBytes returns the bytes moved by those direct copies.
+func (r *Result) PulledBytes() int64 {
+	if r.exec.Shm == nil {
+		return 0
+	}
+	return r.exec.Shm.TotalPulledBytes()
+}
 
 // SpaceTime renders an ASCII space–time diagram of the run (requires the
 // machine config to have had Trace enabled).

@@ -544,16 +544,24 @@ func (r *Rank) AllReduceSum(v float64) float64 { return r.AllReduce('+', v) }
 // AllReduce combines one value from every rank under op: '+' sum,
 // '*' product, '<' min, '>' max.  All ranks receive the result and
 // advance to the combined completion time (log-tree latency).
+//
+// Contributions are folded in rank order 0..P-1 regardless of which
+// goroutine arrives last, so floating-point reductions are bit-exact
+// run to run — and bit-exact against the shared-memory backend, whose
+// teams fold in the same order.
 func (r *Rank) AllReduce(op byte, v float64) float64 {
 	r.checkLimits()
 	m := r.m
 	m.reduceMu.Lock()
 	gen := m.reduceGen
 	if m.reduceCnt == 0 {
-		m.reduceVals = m.reduceVals[:0]
+		if cap(m.reduceVals) < m.cfg.Procs {
+			m.reduceVals = make([]float64, m.cfg.Procs)
+		}
+		m.reduceVals = m.reduceVals[:m.cfg.Procs]
 		m.reduceMax = 0
 	}
-	m.reduceVals = append(m.reduceVals, v)
+	m.reduceVals[r.ID] = v
 	if r.clock > m.reduceMax {
 		m.reduceMax = r.clock
 	}

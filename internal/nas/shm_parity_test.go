@@ -1,0 +1,102 @@
+package nas
+
+// Differential check of the shared-memory backend on the full NAS-class
+// codes: the shm team (both layouts) must reproduce the message
+// machine's global arrays bit for bit on SP, BT, and the LU 2-D
+// wavefront, under every pass ablation.  Clocks and traffic are not
+// compared — the substrates price time differently by design; a pure
+// shm run must simply report zero message traffic.
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"dhpf/internal/mpsim"
+	"dhpf/internal/passes"
+	"dhpf/internal/spmd"
+)
+
+func TestShmByteIdenticalNAS(t *testing.T) {
+	cases := []struct {
+		name  string
+		src   string
+		procs int
+	}{
+		{"sp", SPSource(12, 1, 2, 2), 4},
+		{"bt", BTSource(12, 1, 2, 2), 4},
+		{"lu", LUSource(12, 1, 2, 2), 4},
+	}
+	ablations := [][]string{nil, {"availability"}, {"loopdist"}, {"wbelim"}}
+	for _, c := range cases {
+		for _, disable := range ablations {
+			for _, backend := range []string{passes.BackendShm, passes.BackendHybrid} {
+				name := c.name + "-" + backend
+				for _, d := range disable {
+					name += "-no-" + d
+				}
+				// Hybrid's sync protocol is identical to shm's (only the
+				// cost model differs); one unablated hybrid run per code
+				// bounds the suite's runtime.
+				if backend == passes.BackendHybrid && disable != nil {
+					continue
+				}
+				t.Run(name, func(t *testing.T) {
+					opt := spmd.DefaultOptions()
+					opt.Disable = append(opt.Disable, disable...)
+					mp, err := spmd.CompileSource(c.src, nil, opt)
+					if err != nil {
+						t.Fatalf("compile mp: %v", err)
+					}
+					opt.Backend = backend
+					sm, err := spmd.CompileSource(c.src, nil, opt)
+					if err != nil {
+						t.Fatalf("compile %s: %v", backend, err)
+					}
+					cfg := smallMachine(c.procs)
+					cfg.WallLimit = 2 * time.Second
+					rm, errm := mp.ExecuteEngine(cfg, spmd.EngineCompiled)
+					rs, errs := sm.ExecuteEngine(cfg, spmd.EngineCompiled)
+					if errors.Is(errm, mpsim.ErrWallLimit) || errors.Is(errs, mpsim.ErrWallLimit) {
+						// Some ablations genuinely deadlock (identically on
+						// both substrates); nothing deterministic to compare.
+						t.Skipf("wall limit hit (mp err=%v, %s err=%v)", errm, backend, errs)
+					}
+					if (errm == nil) != (errs == nil) {
+						t.Fatalf("backends disagree on success: mp err=%v, %s err=%v", errm, backend, errs)
+					}
+					if errm != nil {
+						return
+					}
+					if backend == passes.BackendShm {
+						if n := rs.Machine.TotalMessages(); n != 0 {
+							t.Fatalf("pure shm run reports %d messages", n)
+						}
+						if rs.Shm == nil || rs.Shm.TotalPulls() == 0 {
+							t.Fatalf("shm run reports no pulls (counters: %+v)", rs.Shm)
+						}
+					}
+					for _, d := range mp.IR.Main().Decls {
+						if d.Rank() == 0 {
+							continue
+						}
+						gm, _, _, err := rm.Global(d.Name)
+						if err != nil {
+							t.Fatal(err)
+						}
+						gs, _, _, err := rs.Global(d.Name)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for k := range gm {
+							if math.Float64bits(gm[k]) != math.Float64bits(gs[k]) {
+								t.Fatalf("%s[%d]: mp %v, %s %v", d.Name, k, gm[k], backend, gs[k])
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -12,7 +12,7 @@ import (
 // fingerprintVersion is bumped whenever the canonical encoding below (or
 // the meaning of any Options field) changes, so stale cache keys from an
 // older build can never alias a new configuration.
-const fingerprintVersion = "dhpf-options-v1"
+const fingerprintVersion = "dhpf-options-v2"
 
 // Fingerprint returns a stable content hash of the options: two Options
 // values that configure the same pipeline (e.g. Disable lists that are
@@ -57,6 +57,14 @@ func writeOptions(h hash.Hash, o Options) {
 		fingerprintVersion, o.CP.NewProp, o.CP.Localize, o.CP.LoopDist, o.CP.Interproc, o.CP.MaxCombos)
 	fmt.Fprintf(h, "availability=%t\x00wbelim=%t\x00grain=%d\x00instrument=%t\x00",
 		o.Comm.Availability, o.Comm.RedundantWriteback, o.PipelineGrain, o.Instrument)
+	// Backend is canonicalized so "" and "mp" (the same configuration)
+	// hash identically; an unknown name still hashes distinctly and is
+	// rejected later by BuildPipeline.
+	backend := o.Backend
+	if b, err := ParseBackend(backend); err == nil {
+		backend = b
+	}
+	fmt.Fprintf(h, "backend=%d:%s\x00", len(backend), backend)
 	disable := append([]string{}, o.Disable...)
 	sort.Strings(disable)
 	fmt.Fprintf(h, "disable:")

@@ -486,6 +486,7 @@ func (r *incrRun) verify() (bool, error) {
 	in := verify.Input{
 		IR: cc.IR, Ctx: cc.Ctx, Sel: cc.Sel, Comm: cc.Comm,
 		Reductions: reductions,
+		Backend:    canonicalBackend(cc.Opt.Backend),
 	}
 	frags := make([]*verify.Report, len(cc.IR.Procs))
 	var fresh []int

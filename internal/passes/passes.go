@@ -41,6 +41,44 @@ const (
 	PassVerify       = "verify"
 )
 
+// Execution backends an Options.Backend may name.  The pipeline's
+// analyses (partitioning, communication planning) are backend-neutral;
+// the backend decides how the plans execute — as message traffic on the
+// virtual message-passing machine, or as barrier phases and direct
+// memory pulls on a shared-memory goroutine team (see internal/shm).
+const (
+	// BackendMP is the message-passing machine (mpsim); the default.
+	BackendMP = "mp"
+	// BackendShm is the shared-memory SPMD team: one goroutine per rank
+	// of the grid, communication events become barrier/pull obligations.
+	BackendShm = "shm"
+	// BackendHybrid splits the grid hierarchically: ranks across the
+	// first grid dimension exchange messages, threads within a rank
+	// share memory.
+	BackendHybrid = "hybrid"
+)
+
+// ParseBackend canonicalizes a backend name ("" = BackendMP).
+func ParseBackend(s string) (string, error) {
+	switch s {
+	case "", BackendMP:
+		return BackendMP, nil
+	case BackendShm, BackendHybrid:
+		return s, nil
+	}
+	return "", fmt.Errorf("unknown backend %q (want %s, %s or %s)", s, BackendMP, BackendShm, BackendHybrid)
+}
+
+// canonicalBackend is ParseBackend for contexts past validation: an
+// unknown name (already rejected by BuildPipeline) passes through
+// verbatim rather than erroring twice.
+func canonicalBackend(s string) string {
+	if b, err := ParseBackend(s); err == nil {
+		return b
+	}
+	return s
+}
+
 // Options bundles the optimization switches of the whole pipeline.
 type Options struct {
 	CP   cp.Options
@@ -49,6 +87,14 @@ type Options struct {
 	// wavefront loops (iterations of the strip-mined inner loop per
 	// message).  The paper notes dHPF applies one global granularity.
 	PipelineGrain int
+
+	// Backend selects the execution substrate the compiled program
+	// targets: BackendMP (or "") for the message-passing machine,
+	// BackendShm for the shared-memory goroutine team, BackendHybrid
+	// for message ranks across the first grid dimension × shared-memory
+	// threads within a rank.  Part of the fingerprint: two compilations
+	// differing only in backend are distinct cache entries.
+	Backend string
 
 	// Disable lists optimization passes excluded from the pipeline by
 	// name (PassNewProp, PassLocalize, PassInterproc, PassLoopDist,
@@ -161,6 +207,9 @@ func ArtifactKinds() []string {
 // non-optional names in Disable are errors — a misspelled ablation must
 // not silently run the full pipeline.
 func BuildPipeline(opt Options) ([]Pass, error) {
+	if _, err := ParseBackend(opt.Backend); err != nil {
+		return nil, fmt.Errorf("passes: %w", err)
+	}
 	all := allPasses()
 	known := map[string]bool{}
 	optional := map[string]bool{}

@@ -22,6 +22,7 @@ func runVerify(cc *CompileContext) error {
 	rep, err := verify.Run(verify.Input{
 		IR: cc.IR, Ctx: cc.Ctx, Sel: cc.Sel, Comm: cc.Comm,
 		Reductions: reductions,
+		Backend:    canonicalBackend(cc.Opt.Backend),
 	})
 	if err != nil {
 		return err

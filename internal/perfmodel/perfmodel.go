@@ -21,6 +21,7 @@ import (
 
 	"dhpf/internal/mpsim"
 	"dhpf/internal/nas"
+	"dhpf/internal/shm"
 )
 
 // Input describes one projection.
@@ -64,6 +65,38 @@ func (in Input) comp() float64 {
 // real codes perform).
 func msg(cfg mpsim.Config, bytes float64) float64 {
 	return cfg.SendOverhead + cfg.RecvOverhead + cfg.Latency + 2*bytes*cfg.GapPerByte
+}
+
+// xferCosts prices one grid dimension's boundary exchanges on a given
+// substrate: full is the end-to-end time of one coalesced transfer,
+// strip the steady-state per-strip overhead of a pipelined sweep.
+type xferCosts struct {
+	full  func(bytes float64) float64
+	strip func(bytes float64) float64
+}
+
+// msgCosts is the message substrate: LogGP messages with pack/unpack
+// copies on both ends (exactly what PredictDHPF always charged).
+func msgCosts(cfg mpsim.Config) xferCosts {
+	return xferCosts{
+		full:  func(b float64) float64 { return msg(cfg, b) },
+		strip: func(b float64) float64 { return cfg.SendOverhead + cfg.RecvOverhead + b*cfg.GapPerByte },
+	}
+}
+
+// pullCosts is the shared-memory substrate: a transfer is a rendezvous
+// (one barrier-scale handshake) plus a single direct copy through the
+// memory system — no per-side overheads, no wire latency, no second
+// pack/unpack copy.  The constants are the same MemSpeedup/SyncSpeedup
+// the shm simulator derives its Config from, so predicted and simulated
+// shm times share one cost model.
+func pullCosts(cfg mpsim.Config) xferCosts {
+	memGap := cfg.GapPerByte / shm.MemSpeedup
+	sync := cfg.Latency / shm.SyncSpeedup
+	return xferCosts{
+		full:  func(b float64) float64 { return sync + b*memGap },
+		strip: func(b float64) float64 { return b * memGap },
+	}
 }
 
 // baseFlops returns the total flops of one time step (all ranks), split
@@ -128,6 +161,32 @@ func PredictMultipart(in Input) (float64, error) {
 // whose fill time grows with the processor count — the effect that drags
 // the paper's Figure 8.2 efficiency at 25 processors.
 func PredictDHPF(in Input) (float64, error) {
+	c := msgCosts(in.Cfg)
+	return predictBlocked(in, c, c)
+}
+
+// PredictShm models the same compiled plans on the shared-memory team:
+// every boundary exchange is a rendezvous pull through the memory
+// system.  Compute, pipeline fill structure, and replicated shells are
+// identical to PredictDHPF — the backends differ only in what a
+// transfer costs, which is exactly how the executors differ too.
+func PredictShm(in Input) (float64, error) {
+	c := pullCosts(in.Cfg)
+	return predictBlocked(in, c, c)
+}
+
+// PredictHybrid models the hierarchical layout: ranks across grid
+// dimension 0 exchange messages, threads within a rank share memory.
+// Dimension-0 boundary exchanges (the p1-wise sweeps and halos) pay
+// message costs; dimension-1 exchanges are intra-group pulls.
+func PredictHybrid(in Input) (float64, error) {
+	return predictBlocked(in, msgCosts(in.Cfg), pullCosts(in.Cfg))
+}
+
+// predictBlocked is the shared body of the three dhpf-compiled
+// projections; dim0/dim1 price the boundary exchanges that cross the
+// first and second grid dimensions respectively.
+func predictBlocked(in Input, dim0, dim1 xferCosts) (float64, error) {
 	p1, p2, err := in.gridShape()
 	if err != nil {
 		return 0, err
@@ -153,10 +212,10 @@ func PredictDHPF(in Input) (float64, error) {
 	planeJ := 2 * n * (n / float64(p2)) * 8
 	planeK := 2 * n * (n / float64(p1)) * 8
 	if p1 > 1 {
-		t += 2 * msg(cfg, planeJ)
+		t += 2 * dim0.full(planeJ)
 	}
 	if p2 > 1 {
-		t += 2 * msg(cfg, planeK)
+		t += 2 * dim1.full(planeK)
 	}
 
 	// x sweeps: local.  Every line system runs its own pair of sweeps.
@@ -172,7 +231,7 @@ func PredictDHPF(in Input) (float64, error) {
 	// 8.2; BT's single block system ⇒ two).  Wall time per pipeline =
 	// local compute + fill of (pDim−1) strip stages + per-strip message
 	// overheads.
-	sweepPair := func(pDim, pOther int) float64 {
+	sweepPair := func(pDim, pOther int, xc xferCosts) float64 {
 		var tt float64
 		for _, sys := range systems {
 			c := float64(sys.Comps())
@@ -186,18 +245,18 @@ func PredictDHPF(in Input) (float64, error) {
 			for _, wgt := range []float64{w.Fwd, w.Bwd} {
 				stripT := stripPivots * wgt * c * cfg.FlopTime
 				local := perPivotPts * c * wgt * cfg.FlopTime
-				fill := float64(pDim-1) * (stripT + msg(cfg, stripBytes))
-				overhead := strips * (cfg.SendOverhead + cfg.RecvOverhead + stripBytes*cfg.GapPerByte)
+				fill := float64(pDim-1) * (stripT + xc.full(stripBytes))
+				overhead := strips * xc.strip(stripBytes)
 				tt += local + fill + overhead
 				// Boundary-row prefetch before the sweep (the §7
 				// residual read that is hoisted out of the nest).
-				tt += msg(cfg, 2*(n-2)/float64(pOther)*(n-2)*c*8)
+				tt += xc.full(2 * (n - 2) / float64(pOther) * (n - 2) * c * 8)
 			}
 		}
 		return tt
 	}
-	t += sweepPair(p1, p2) // y
-	t += sweepPair(p2, p1) // z
+	t += sweepPair(p1, p2, dim0) // y
+	t += sweepPair(p2, p1, dim1) // z
 	_ = mult
 	return t * float64(in.Steps), nil
 }

@@ -35,6 +35,8 @@ const (
 	programMetaVersion  = "1"
 	passesFormat        = "program.passes"
 	passesVersion       = 1
+	tuneManifestKind    = "tune"
+	tuneMetaVersion     = "1"
 )
 
 // durable implements cache.Backing[*program] over a chunk store and an
@@ -54,6 +56,10 @@ type durable struct {
 	peerHits   atomic.Int64
 	peerMisses atomic.Int64
 	peerErrors atomic.Int64
+
+	tuneHits   atomic.Int64
+	tuneMisses atomic.Int64
+	tuneWrites atomic.Int64
 }
 
 // Load is the program cache's read-through path (runs inside the
@@ -131,6 +137,67 @@ func (d *durable) saveEntry(key string, ent *program) bool {
 		Refs: refs,
 	})
 	return err == nil
+}
+
+// loadTune recalls a completed tune leaderboard by its request
+// fingerprint.  Tune results are small (one JSON chunk per manifest)
+// but expensive to recompute — a search is many compiles plus
+// simulations — so they get the same durability as compiled programs.
+func (d *durable) loadTune(key string) (*dhpf.TuneResult, bool) {
+	if d.st == nil {
+		return nil, false
+	}
+	m, ok := d.st.GetManifest(key)
+	if !ok || m.Kind != tuneManifestKind || m.Meta["v"] != tuneMetaVersion {
+		d.tuneMisses.Add(1)
+		return nil, false
+	}
+	for _, ref := range m.Refs {
+		if ref.Name != "result" {
+			continue
+		}
+		data, ok := d.st.GetChunk(ref.Addr)
+		if !ok {
+			break
+		}
+		var res dhpf.TuneResult
+		if json.Unmarshal(data, &res) != nil {
+			break
+		}
+		if res.Winner == nil && len(res.Entries) > 0 && res.Entries[0].Status == "ok" {
+			// Re-establish the winner-points-into-entries invariant the
+			// encoder flattened.
+			res.Winner = &res.Entries[0]
+		}
+		d.tuneHits.Add(1)
+		return &res, true
+	}
+	d.tuneMisses.Add(1)
+	return nil, false
+}
+
+// saveTune persists one completed leaderboard (error outcomes are never
+// stored — a failed search should re-run, not be replayed).
+func (d *durable) saveTune(key string, res *dhpf.TuneResult) {
+	if d.st == nil {
+		return
+	}
+	js, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	addr, err := d.st.PutChunk(js)
+	if err != nil {
+		return
+	}
+	err = d.st.PutManifest(key, store.Manifest{
+		Kind: tuneManifestKind,
+		Meta: map[string]string{"v": tuneMetaVersion},
+		Refs: []store.ChunkRef{{Name: "result", Addr: addr}},
+	})
+	if err == nil {
+		d.tuneWrites.Add(1)
+	}
 }
 
 // loadLocal thaws one manifest from the local store into a cache entry
@@ -379,5 +446,8 @@ func (d *durable) storeStats() *dhpf.StoreStats {
 		ProgramHits:    d.localHits.Load(),
 		ProgramMisses:  d.localMiss.Load(),
 		ProgramWrites:  d.writes.Load(),
+		TuneHits:       d.tuneHits.Load(),
+		TuneMisses:     d.tuneMisses.Load(),
+		TuneWrites:     d.tuneWrites.Load(),
 	}
 }

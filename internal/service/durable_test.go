@@ -149,6 +149,77 @@ func TestRestartWarmVerifyAndRun(t *testing.T) {
 	}
 }
 
+// TestRestartWarmTune: a completed tune leaderboard is persisted by
+// request fingerprint, so a restarted server answers the identical
+// /v1/tune request from disk — same ranked entries, same winner (with
+// its backend), no search re-run — and the recall is visible in the
+// trail and the store counters.
+func TestRestartWarmTune(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dhpfd.store")
+	req := dhpf.TuneRequest{
+		Source: nas.SPSource(12, 1, 2, 2),
+		TuneOptions: dhpf.TuneOptions{
+			Bench: "sp", N: 12, Steps: 1, Procs: 4,
+			Grids:       [][2]int{{2, 2}},
+			Grains:      []int{8},
+			Backends:    []string{"mp", "shm"},
+			NoTranspose: true,
+			TopK:        2,
+		},
+	}
+	ctx := context.Background()
+
+	st := openStoreT(t, path)
+	srv, client := newTestServer(t, Config{Store: st})
+	first, err := client.Tune(ctx, req)
+	if err != nil {
+		t.Fatalf("priming tune: %v", err)
+	}
+	if first.Winner == nil || first.Winner.Backend != "shm" {
+		t.Fatalf("backend search should crown the shm candidate: %+v", first.Winner)
+	}
+	if ss := srv.Stats().Store; ss == nil || ss.TuneWrites != 1 {
+		t.Fatalf("completed leaderboard not persisted: %+v", ss)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStoreT(t, path)
+	srv2, client2 := newTestServer(t, Config{Store: st2})
+	warm, err := client2.Tune(ctx, req)
+	if err != nil {
+		t.Fatalf("restart-warm tune: %v", err)
+	}
+	if n := len(warm.Trail); n == 0 || warm.Trail[n-1] != "leaderboard recalled from durable store" {
+		t.Fatalf("warm tune trail does not mark the recall: %v", warm.Trail)
+	}
+	// Everything except the appended recall line must be byte-identical
+	// to the original run — including wall-time counters, which are the
+	// *original* search's effort, not a re-run's.
+	warm.Trail = warm.Trail[:len(warm.Trail)-1]
+	if got, want := mustJSON(t, warm), mustJSON(t, first); got != want {
+		t.Errorf("restart-warm tune differs:\n got %s\nwant %s", got, want)
+	}
+	ss := srv2.Stats().Store
+	if ss == nil || ss.TuneHits != 1 || ss.TuneWrites != 0 {
+		t.Errorf("warm tune should be one store recall and no write: %+v", ss)
+	}
+	if n := srv2.compiles.Load(); n != 0 {
+		t.Errorf("warm tune did %d compiles, want 0", n)
+	}
+
+	// A different spec is a different fingerprint: it must miss and run.
+	req2 := req
+	req2.TopK = 1
+	if _, err := client2.Tune(ctx, req2); err != nil {
+		t.Fatalf("modified tune: %v", err)
+	}
+	if ss := srv2.Stats().Store; ss.TuneMisses == 0 || ss.TuneWrites != 1 {
+		t.Errorf("modified spec should miss and persist: %+v", ss)
+	}
+}
+
 // fleetT starts n servers that know each other as peers, each with its
 // own store, and returns them with their clients and base URLs.
 func fleetT(t *testing.T, n int) ([]*Server, []*dhpf.Client, []string) {

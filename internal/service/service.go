@@ -43,6 +43,8 @@ package service
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -57,6 +59,7 @@ import (
 
 	"dhpf"
 	"dhpf/internal/cache"
+	"dhpf/internal/passes"
 	"dhpf/internal/store"
 )
 
@@ -640,6 +643,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		RankSeconds: res.RankSeconds(),
 		Cached:      cached,
 	}
+	if b, err := passes.ParseBackend(opt.Backend); err == nil && b != passes.BackendMP {
+		resp.Backend = b
+		resp.Pulls = res.Pulls()
+		resp.PulledBytes = res.PulledBytes()
+	}
 	if len(req.Arrays) > 0 {
 		resp.Arrays = make(map[string]dhpf.ArrayJSON, len(req.Arrays))
 		for _, name := range req.Arrays {
@@ -705,19 +713,32 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 // handleTune runs an auto-tuning search inside one worker slot: the
 // same pending-count backpressure (429) and per-request deadline as a
 // compile, with the tuner's internal parallelism capped at the pool
-// size.
+// size.  With a durable store, completed leaderboards are persisted by
+// tune-request fingerprint, so a restarted server answers a repeat
+// request from disk without re-running the search.
 func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	var req dhpf.TuneRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
+	// The Workers clamp happens before fingerprinting: Workers shapes
+	// the full tier's waves (and therefore pruning), so the key must
+	// name the options as they will actually run.
+	if req.Workers <= 0 || req.Workers > s.cfg.Workers {
+		req.Workers = s.cfg.Workers
+	}
+	key := tuneFingerprint(req.Source, req.TuneOptions)
+	if s.durable != nil {
+		if res, ok := s.durable.loadTune(key); ok {
+			res.Trail = append(res.Trail, "leaderboard recalled from durable store")
+			s.ok(w, res)
+			return
+		}
+	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	var res *dhpf.TuneResult
 	err := s.withWorker(ctx, func(wctx context.Context) error {
-		if req.Workers <= 0 || req.Workers > s.cfg.Workers {
-			req.Workers = s.cfg.Workers
-		}
 		var err error
 		res, err = s.tuner.Tune(wctx, req.Source, req.TuneOptions)
 		return err
@@ -726,7 +747,21 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		s.failCompile(w, err)
 		return
 	}
+	if s.durable != nil {
+		s.durable.saveTune(key, res)
+	}
 	s.ok(w, res)
+}
+
+// tuneFingerprint is the durable-store key of one tune request: a hash
+// of the source plus the effective options.  The search is
+// deterministic for a fixed spec (internal/tune's contract), so equal
+// fingerprints have equal leaderboards and a recalled result is exactly
+// what a re-run would produce.
+func tuneFingerprint(source string, opt dhpf.TuneOptions) string {
+	js, _ := json.Marshal(opt)
+	sum := sha256.Sum256([]byte(cache.Key("tune-v1", source, string(js))))
+	return "tune:" + hex.EncodeToString(sum[:])
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

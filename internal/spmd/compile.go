@@ -132,9 +132,11 @@ func (p *Program) Verify() (*verify.Report, error) {
 			reductions[r.Stmt.ID] = true
 		}
 	}
+	backend, _ := passes.ParseBackend(p.Opt.Backend)
 	return verify.Run(verify.Input{
 		IR: p.IR, Ctx: p.Ctx, Sel: p.Sel, Comm: p.Comm,
 		Reductions: reductions,
+		Backend:    backend,
 	})
 }
 

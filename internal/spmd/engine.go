@@ -1011,9 +1011,9 @@ func (rx *rankExec) execPlanLoop(proc *ir.Procedure, pl *pLoop) {
 		v := rx.env.floats[r.fslot]
 		switch r.op {
 		case '+':
-			rx.env.floats[r.fslot] = s0[i] + rx.rk.AllReduce('+', v-s0[i])
+			rx.env.floats[r.fslot] = s0[i] + rx.allReduce('+', v-s0[i])
 		default: // '<' min, '>' max: every rank's partial includes s0
-			rx.env.floats[r.fslot] = rx.rk.AllReduce(r.op, v)
+			rx.env.floats[r.fslot] = rx.allReduce(r.op, v)
 		}
 		rx.env.fset[r.fslot] = true
 	}

@@ -12,6 +12,8 @@ import (
 	"dhpf/internal/ir"
 	"dhpf/internal/iset"
 	"dhpf/internal/mpsim"
+	"dhpf/internal/passes"
+	"dhpf/internal/shm"
 )
 
 // debugPanics prints rank panics immediately (set by tests when
@@ -20,9 +22,17 @@ var debugPanics = false
 
 // ExecResult is the outcome of running a compiled program.
 type ExecResult struct {
+	// Machine carries the virtual clocks and (for the message backends)
+	// the traffic counters.  Under the shared-memory backend it is
+	// synthesized from the team's thread clocks — message counters hold
+	// the hybrid layout's outer traffic, zero for pure shm — so callers
+	// read makespan and per-rank times uniformly across backends.
 	Machine *mpsim.Result
-	prog    *Program
-	ranks   []*rankExec
+	// Shm carries the shared-memory team's own counters (pulls, pulled
+	// bytes, barriers); nil under the message-passing backend.
+	Shm   *shm.Result
+	prog  *Program
+	ranks []*rankExec
 }
 
 // Global assembles the authoritative global contents of an array: each
@@ -69,6 +79,11 @@ func (p *Program) Execute(cfg mpsim.Config) (*ExecResult, error) {
 func (p *Program) ExecuteEngine(cfg mpsim.Config, engine Engine) (*ExecResult, error) {
 	if cfg.Procs != p.Grid.Size() {
 		return nil, fmt.Errorf("spmd: machine has %d ranks, program wants %d", cfg.Procs, p.Grid.Size())
+	}
+	if b, err := passes.ParseBackend(p.Opt.Backend); err != nil {
+		return nil, fmt.Errorf("spmd: %w", err)
+	} else if b != passes.BackendMP {
+		return p.executeShm(cfg, engine, b)
 	}
 	var plan *enginePlan
 	if engine == EngineCompiled {
@@ -208,8 +223,14 @@ type stripCtl struct {
 }
 
 type rankExec struct {
-	p         *Program
+	p *Program
+	// Exactly one of rk and th is non-nil: the message-passing rank or
+	// the shared-memory thread this executor runs on.  All machine
+	// operations funnel through the helpers below (flushFlops,
+	// allReduce) or through the backend branches in doTransfers and the
+	// pipelined send/recv paths.
 	rk        *mpsim.Rank
+	th        *shm.Thread
 	me        int
 	bind      map[string]int // params + loop variables + integer formals
 	frames    []*frame
@@ -232,9 +253,23 @@ func (rx *rankExec) top() *frame { return rx.frames[len(rx.frames)-1] }
 
 func (rx *rankExec) flushFlops() {
 	if rx.flops > 0 {
-		rx.rk.Compute(rx.flops)
+		if rx.th != nil {
+			rx.th.Compute(rx.flops)
+		} else {
+			rx.rk.Compute(rx.flops)
+		}
 		rx.flops = 0
 	}
+}
+
+// allReduce combines one value collectively on whichever substrate the
+// executor runs on.  Both substrates fold contributions in rank order,
+// so the result is bit-identical across backends.
+func (rx *rankExec) allReduce(op byte, v float64) float64 {
+	if rx.th != nil {
+		return rx.th.AllReduce(op, v)
+	}
+	return rx.rk.AllReduce(op, v)
 }
 
 // runProc executes a procedure body in a fresh frame.  actualArrays maps
@@ -590,9 +625,9 @@ func (rx *rankExec) execLoop(proc *ir.Procedure, l *ir.Loop, depth int) {
 		v := rx.top().fenv[p.Var]
 		switch p.Op {
 		case '+':
-			rx.top().fenv[p.Var] = s0[i] + rx.rk.AllReduce('+', v-s0[i])
+			rx.top().fenv[p.Var] = s0[i] + rx.allReduce('+', v-s0[i])
 		default: // '<' min, '>' max: every rank's partial includes s0
-			rx.top().fenv[p.Var] = rx.rk.AllReduce(p.Op, v)
+			rx.top().fenv[p.Var] = rx.allReduce(p.Op, v)
 		}
 	}
 
@@ -774,6 +809,16 @@ func (rx *rankExec) transfersFor(proc *ir.Procedure, events []*comm.Event, depth
 // doTransfers performs a transfer plan: this rank sends every message it
 // sources, then receives every message targeting it.  Tags derive from a
 // per-rank sequence counter that advances identically on all ranks.
+//
+// Under the shared-memory backend the same plan runs with no message
+// traffic: the rank publishes a rendezvous token per outgoing transfer
+// (pointing at its own array storage), pulls every incoming transfer
+// directly from the producer's array, and drains its published tokens
+// before returning so no later write can race a lagging consumer.
+// Direct pulls are safe because within a one-kind plan the regions a
+// rank sources and the regions it receives are disjoint: read-comm
+// sources lie inside the owner's local box and targets outside the
+// reader's; write-backs are the mirror image.
 func (rx *rankExec) doTransfers(proc *ir.Procedure, transfers []comm.Transfer) {
 	if len(transfers) == 0 {
 		return
@@ -782,6 +827,24 @@ func (rx *rankExec) doTransfers(proc *ir.Procedure, transfers []comm.Transfer) {
 	base := rx.tagSeq * 8192
 	rx.tagSeq++
 	f := rx.top()
+	if rx.th != nil {
+		for i, tr := range transfers {
+			if tr.From != rx.me {
+				continue
+			}
+			rx.th.Publish(tr.To, base+i, 8*int(tr.Data.Card()), f.arrays[tr.Array])
+		}
+		for i, tr := range transfers {
+			if tr.To != rx.me {
+				continue
+			}
+			src := rx.th.Await(tr.From, base+i).(*array)
+			pullPayload(f.arrays[tr.Array], src, tr.Data)
+			rx.th.Ack(tr.From, 8*int(tr.Data.Card()))
+		}
+		rx.th.Drain()
+		return
+	}
 	for i, tr := range transfers {
 		if tr.From != rx.me {
 			continue
@@ -832,6 +895,7 @@ func (rx *rankExec) execPipelined(proc *ir.Procedure, l *ir.Loop, depth int, eve
 		base := rx.recvMineTagged(plan)
 		iterate()
 		rx.sendMineTagged(plan, base)
+		rx.drainPipeline()
 		return
 	}
 	strip := rx.chooseStrip(l, events)
@@ -842,6 +906,7 @@ func (rx *rankExec) execPipelined(proc *ir.Procedure, l *ir.Loop, depth int, eve
 		base := rx.recvMineTagged(plan)
 		iterate()
 		rx.sendMineTagged(plan, base)
+		rx.drainPipeline()
 		return
 	}
 	lo := strip.Lo.EvalOr(rx.bind, 0)
@@ -862,6 +927,19 @@ func (rx *rankExec) execPipelined(proc *ir.Procedure, l *ir.Loop, depth int, eve
 		rx.strip = nil
 		rx.sendMineTagged(plan, base)
 	}
+	rx.drainPipeline()
+}
+
+// drainPipeline is the shared-memory backend's end-of-wavefront
+// obligation: block until every strip this rank published has been
+// pulled by its consumer, so statements after the loop cannot overwrite
+// boundary rows a neighbour is still reading.  The drain sits outside
+// the strip loop — the pipeline itself stays fully overlapped — and is
+// a no-op on the message-passing backend (Send copied the data).
+func (rx *rankExec) drainPipeline() {
+	if rx.th != nil {
+		rx.th.Drain()
+	}
 }
 
 // chooseStrip picks the strip-mining loop: the innermost loop enclosing
@@ -880,7 +958,12 @@ func (rx *rankExec) chooseStrip(l *ir.Loop, events []*comm.Event) *ir.Loop {
 
 // recvMineTagged allocates the next tag block (identically on every
 // rank), receives this rank's incoming transfers, and returns the block
-// base for the matching sendMineTagged.
+// base for the matching sendMineTagged.  Under the shared-memory
+// backend the receive is a rendezvous-then-pull: await the producer's
+// token, copy straight from its array, acknowledge.  The producer
+// published after computing the strip, so the pulled region is final
+// for the duration of the loop (a strip is written once); its later
+// overwrites wait in Drain at the end of execPipelined.
 func (rx *rankExec) recvMineTagged(plan []comm.Transfer) int {
 	rx.flushFlops()
 	base := rx.tagSeq * 8192
@@ -888,6 +971,12 @@ func (rx *rankExec) recvMineTagged(plan []comm.Transfer) int {
 	f := rx.top()
 	for i, tr := range plan {
 		if tr.To != rx.me {
+			continue
+		}
+		if rx.th != nil {
+			src := rx.th.Await(tr.From, base+i).(*array)
+			pullPayload(f.arrays[tr.Array], src, tr.Data)
+			rx.th.Ack(tr.From, 8*int(tr.Data.Card()))
 			continue
 		}
 		data := rx.rk.Recv(tr.From, base+i)
@@ -902,6 +991,10 @@ func (rx *rankExec) sendMineTagged(plan []comm.Transfer, base int) {
 	f := rx.top()
 	for i, tr := range plan {
 		if tr.From != rx.me {
+			continue
+		}
+		if rx.th != nil {
+			rx.th.Publish(tr.To, base+i, 8*int(tr.Data.Card()), f.arrays[tr.Array])
 			continue
 		}
 		rx.payload = packPayload(rx.payload[:0], f.arrays[tr.Array], tr.Data)

@@ -23,6 +23,10 @@ const (
 // Candidate is one point of the tuner's configuration space.
 type Candidate struct {
 	Scheme string `json:"scheme"`
+	// Backend names the execution substrate ("mp", "shm", "hybrid");
+	// empty means the message-passing default.  Block scheme only — the
+	// hand-coded transpose runner is message-passing by construction.
+	Backend string `json:"backend,omitempty"`
 	// P1, P2 factor the processor count into the grid shape (block
 	// scheme only; P1·P2 must equal Spec.Procs).
 	P1 int `json:"p1,omitempty"`
@@ -41,6 +45,9 @@ type Candidate struct {
 func (c Candidate) Key() string {
 	var b strings.Builder
 	b.WriteString(c.Scheme)
+	if c.Backend != "" && c.Backend != passes.BackendMP {
+		b.WriteString(" " + c.Backend)
+	}
 	if c.Scheme == SchemeBlock {
 		fmt.Fprintf(&b, " %dx%d g%d", c.P1, c.P2, c.Grain)
 		if len(c.Disable) > 0 {
@@ -57,6 +64,9 @@ func (c Candidate) Key() string {
 // options builds the pass-pipeline option set the candidate encodes.
 func (c Candidate) options() passes.Options {
 	o := passes.DefaultOptions()
+	if c.Backend != "" {
+		o.Backend = c.Backend
+	}
 	if c.Grain > 0 {
 		o.PipelineGrain = c.Grain
 	}
@@ -82,29 +92,32 @@ func (c Candidate) params(s *Spec) map[string]int {
 }
 
 // enumerate produces the candidate list in a fixed, deterministic order:
-// grids × grains × ablations × sweep combinations, then the transpose
-// comparison point (bench mode).
+// backends × grids × grains × ablations × sweep combinations, then the
+// transpose comparison point (bench mode).
 func enumerate(s *Spec) []Candidate {
 	var out []Candidate
 	sweeps := sweepCombos(s.Sweep)
-	for _, grid := range s.Grids {
-		for _, g := range s.Grains {
-			for _, abl := range s.Ablations {
-				for _, ex := range sweeps {
-					out = append(out, Candidate{
-						Scheme:  SchemeBlock,
-						P1:      grid[0],
-						P2:      grid[1],
-						Grain:   g,
-						Disable: canonDisable(abl),
-						Extra:   ex,
-					})
+	for _, backend := range s.Backends {
+		for _, grid := range s.Grids {
+			for _, g := range s.Grains {
+				for _, abl := range s.Ablations {
+					for _, ex := range sweeps {
+						out = append(out, Candidate{
+							Scheme:  SchemeBlock,
+							Backend: backend,
+							P1:      grid[0],
+							P2:      grid[1],
+							Grain:   g,
+							Disable: canonDisable(abl),
+							Extra:   ex,
+						})
+					}
 				}
 			}
 		}
 	}
 	if s.Bench != "" && !s.NoTranspose {
-		out = append(out, Candidate{Scheme: SchemeTranspose})
+		out = append(out, Candidate{Scheme: SchemeTranspose, Backend: passes.BackendMP})
 	}
 	return out
 }
@@ -189,6 +202,12 @@ func (s *Spec) feasible(c Candidate) (bool, string) {
 		if c.P1 < 1 || c.P2 < 1 || c.P1*c.P2 != s.Procs {
 			return false, fmt.Sprintf("grid %dx%d does not tile %d procs", c.P1, c.P2, s.Procs)
 		}
+		if c.Backend == passes.BackendHybrid && c.P1 < 2 {
+			// A hybrid layout groups ranks by their dim-0 coordinate; with
+			// P1 = 1 there is one group and the candidate is the pure shm
+			// point already enumerated.
+			return false, fmt.Sprintf("hybrid layout needs P1 ≥ 2 (1x%d is pure shm)", c.P2)
+		}
 		if s.N > 0 {
 			for _, p := range []int{c.P1, c.P2} {
 				if p > 1 && hpf.DefaultBlockSize(s.N, p) < minFeasibleBlock {
@@ -237,7 +256,14 @@ func modelPredict(s *Spec, c Candidate, n, steps int) (float64, error) {
 	if c.Scheme == SchemeTranspose {
 		return perfmodel.PredictTranspose(in)
 	}
-	t, err := perfmodel.PredictDHPF(in)
+	predict := perfmodel.PredictDHPF
+	switch c.Backend {
+	case passes.BackendShm:
+		predict = perfmodel.PredictShm
+	case passes.BackendHybrid:
+		predict = perfmodel.PredictHybrid
+	}
+	t, err := predict(in)
 	if err != nil {
 		return 0, err
 	}

@@ -1,5 +1,6 @@
 // Package tune is the budgeted parallel auto-tuner of the reproduction:
 // given a mini-HPF source it searches the cross product of
+// execution backends (message-passing, shared-memory, hybrid),
 // processor-grid shapes, distribution schemes (the compiled 2-D BLOCK
 // code vs the PGI-style 1-D transpose code), coarse-grain pipelining
 // granularities, pass ablations, and swept source parameters for the
@@ -85,6 +86,14 @@ type Spec struct {
 	Grains    []int
 	Ablations [][]string
 	Sweep     map[string][]int
+	// Backends lists the execution substrates the block scheme tries
+	// ("mp", "shm", "hybrid"); nil means message-passing only, so the
+	// backend dimension is opt-in and default leaderboards are
+	// unchanged.  The search is joint: every backend is crossed with
+	// every grid × grain × ablation point, because the best grid shape
+	// differs per substrate (shm has no message cost to amortize, hybrid
+	// wants a tall dim-0 to keep groups wide).
+	Backends []string
 	// NoTranspose drops the transpose comparison candidate.
 	NoTranspose bool
 
@@ -154,6 +163,16 @@ func (s Spec) withDefaults() (Spec, error) {
 	}
 	if s.Ablations == nil {
 		s.Ablations = [][]string{nil}
+	}
+	if s.Backends == nil {
+		s.Backends = []string{passes.BackendMP}
+	}
+	for i, b := range s.Backends {
+		canon, err := passes.ParseBackend(b)
+		if err != nil {
+			return s, fmt.Errorf("tune: %w", err)
+		}
+		s.Backends[i] = canon
 	}
 	if s.TopK < 1 {
 		s.TopK = 3

@@ -6,7 +6,10 @@ import (
 	"testing"
 
 	"dhpf/internal/comm"
+	"dhpf/internal/cp"
+	"dhpf/internal/ir"
 	"dhpf/internal/nas"
+	"dhpf/internal/passes"
 	"dhpf/internal/spmd"
 )
 
@@ -269,11 +272,157 @@ func TestSpecValidation(t *testing.T) {
 		{Source: "x", Procs: 0},              // no procs
 		{Source: "x", Procs: 4, Bench: "lu"}, // unknown bench
 		{Source: "x", Procs: 4, Bench: "sp"}, // bench without size
+		{Source: "x", Procs: 4, Backends: []string{"cuda"}}, // unknown backend
 	}
 	for i, s := range cases {
 		if _, err := New().Run(context.Background(), s); err == nil {
 			t.Errorf("case %d: invalid spec accepted", i)
 		}
+	}
+}
+
+// The backend dimension: with Backends = {mp, shm, hybrid} the tuner
+// crosses substrates with grids and grains, evaluates each feasible
+// point through the full tier (so the race-freedom theorem gates the
+// shared-memory candidates), records the backend in every entry's key
+// and JSON, and — because the shared-memory substrate pays pull costs
+// instead of message costs for identical flops — crowns an shm-backed
+// winner.  The whole leaderboard must reproduce on a cold tuner.
+func TestTuneBackendSearch(t *testing.T) {
+	s := specSP(4, 12, 1)
+	s.Grids = [][2]int{{2, 2}, {1, 4}}
+	s.Grains = []int{8}
+	s.Backends = []string{passes.BackendMP, passes.BackendShm, passes.BackendHybrid}
+	s.NoTranspose = true
+	s.TopK = 5 // every feasible backend×grid point reaches the full tier
+
+	tu := New()
+	res, err := tu.Run(context.Background(), s)
+	if err != nil {
+		t.Fatalf("%v\ntrail: %v", err, res.Trail)
+	}
+
+	byKey := map[string]*Entry{}
+	for i := range res.Entries {
+		byKey[res.Entries[i].Key()] = &res.Entries[i]
+	}
+	for key, backend := range map[string]string{
+		"block 2x2 g8":        passes.BackendMP,
+		"block shm 2x2 g8":    passes.BackendShm,
+		"block hybrid 2x2 g8": passes.BackendHybrid,
+	} {
+		e := byKey[key]
+		if e == nil {
+			t.Fatalf("candidate %q missing from leaderboard: %v", key, leaderboard(t, res))
+		}
+		if e.Status != StatusOK || !e.Verified {
+			t.Errorf("%q not fully evaluated+verified: status %s, note %q", key, e.Status, e.Note)
+		}
+		if e.Backend != backend {
+			t.Errorf("%q records backend %q, want %q", key, e.Backend, backend)
+		}
+		if e.Options == nil || e.Options.Backend != backend {
+			t.Errorf("%q options do not reproduce the backend: %+v", key, e.Options)
+		}
+	}
+
+	// Hybrid with one group is the pure-shm point; the tuner must prune
+	// the duplicate up front rather than evaluate it twice.
+	if e := byKey["block hybrid 1x4 g8"]; e == nil || e.Status != StatusInfeasible {
+		t.Errorf("degenerate hybrid 1x4 should be infeasible: %+v", e)
+	}
+
+	// Substrate economics: the shm run of the same grid must move zero
+	// messages and finish in less virtual time than its mp twin; hybrid
+	// sits in between, with only the outer (cross-group) traffic.
+	mp, shm, hyb := byKey["block 2x2 g8"], byKey["block shm 2x2 g8"], byKey["block hybrid 2x2 g8"]
+	if shm.Msgs != 0 {
+		t.Errorf("shm candidate reports %d messages, want 0", shm.Msgs)
+	}
+	if mp.Msgs == 0 {
+		t.Errorf("mp candidate reports no messages")
+	}
+	if hyb.Msgs == 0 || hyb.Msgs >= mp.Msgs {
+		t.Errorf("hybrid outer traffic should be positive and below mp: hybrid %d vs mp %d", hyb.Msgs, mp.Msgs)
+	}
+	if shm.Sim >= mp.Sim {
+		t.Errorf("shm not faster than mp on the same grid: %.6g vs %.6g", shm.Sim, mp.Sim)
+	}
+	if shm.Screen >= mp.Screen {
+		t.Errorf("screen does not favor shm at the target size: %.6g vs %.6g", shm.Screen, mp.Screen)
+	}
+	if res.Winner == nil || res.Winner.Backend != passes.BackendShm {
+		t.Fatalf("winner should be shm-backed: %+v", res.Winner)
+	}
+
+	cold, err := New().Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := leaderboard(t, cold), leaderboard(t, res); !equalStrings(got, want) {
+		t.Errorf("backend leaderboard not reproducible:\n got %v\nwant %v", got, want)
+	}
+	if cold.Winner.Key() != res.Winner.Key() {
+		t.Errorf("winner differs across cold runs: %q vs %q", cold.Winner.Key(), res.Winner.Key())
+	}
+}
+
+// The safety gate applies per backend: the corrupted-partition overlap
+// that the race theorem catches under shm is a verification error for
+// the shm candidate while the untouched mp twin of the same grid still
+// wins the leaderboard.
+func TestTuneBackendSafetyGate(t *testing.T) {
+	// Re-home genericSrc's relaxation statement onto the owners of two
+	// fixed columns: the ranks owning columns 5 and 15 then execute every
+	// iteration and write the same elements of b in one barrier phase.
+	overlap := &cp.CP{}
+	for _, col := range []int{5, 15} {
+		overlap.AddTerm(cp.Term{Array: "a", Subs: []cp.HomeSub{
+			{Var: "i", Coef: 1, Off: ir.Num(0)},
+			{Off: ir.Num(col)},
+		}})
+	}
+	testCorrupt = func(p *spmd.Program) {
+		if b, _ := passes.ParseBackend(p.Opt.Backend); b != passes.BackendShm {
+			return
+		}
+		for _, proc := range p.IR.Procs {
+			ir.Walk(proc.Body, func(s ir.Stmt, loops []*ir.Loop) bool {
+				if a, ok := s.(*ir.Assign); ok && a.LHS.Name == "b" && len(loops) == 3 {
+					p.Sel.CPs[a.ID] = overlap
+				}
+				return true
+			})
+		}
+	}
+	defer func() { testCorrupt = nil }()
+
+	s := Spec{
+		Source:   genericSrc,
+		Procs:    4,
+		Grids:    [][2]int{{1, 4}},
+		Grains:   []int{8},
+		Backends: []string{passes.BackendMP, passes.BackendShm},
+		TopK:     2,
+	}
+	res, err := New().Run(context.Background(), s)
+	if err != nil {
+		t.Fatalf("%v\ntrail: %v", err, res.Trail)
+	}
+	if res.Winner == nil || res.Winner.Backend != passes.BackendMP {
+		t.Fatalf("mp twin should survive and win: %+v", res.Winner)
+	}
+	var rejected *Entry
+	for i := range res.Entries {
+		if res.Entries[i].Backend == passes.BackendShm {
+			rejected = &res.Entries[i]
+		}
+	}
+	if rejected == nil || rejected.Status != StatusError {
+		t.Fatalf("corrupted shm candidate not rejected: %+v", rejected)
+	}
+	if !strings.Contains(rejected.Note, "safety gate") {
+		t.Errorf("rejection note lacks the gate: %q", rejected.Note)
 	}
 }
 

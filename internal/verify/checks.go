@@ -49,12 +49,22 @@ func (c *checker) run() {
 		c.checkCoverage(a)
 		c.checkReads(a)
 		c.checkWriteback(a)
+		if c.shmBackend() {
+			c.checkRace(a)
+		}
 	}
 	for _, e := range c.an.Events {
 		c.checkPlacement(e)
 	}
 	c.checkPrivatizedProduction()
 	c.checkPrivatize()
+}
+
+// shmBackend reports whether the verified program targets a
+// shared-memory substrate (the canonical names the passes package
+// assigns; verify cannot import passes without a cycle).
+func (c *checker) shmBackend() bool {
+	return c.in.Backend == "shm" || c.in.Backend == "hybrid"
 }
 
 // privatizedBy returns the enclosing loop privatizing the assignment's
@@ -241,6 +251,58 @@ func (c *checker) redundantWrites(layout *hpf.Layout, written []iset.Set) bool {
 		}
 	}
 	return true
+}
+
+// --- theorem 5: race freedom (shared-memory backends) ------------------------
+
+// checkRace proves the shared-memory backend's write-disjointness
+// obligation: within one barrier phase (a statement's execution between
+// its surrounding synchronization points), no two ranks write the same
+// element of a distributed array.  The message machine tolerates write
+// overlap — duplicate write-back deliveries serialize in the receiver's
+// mailbox — but on a shared address space the same overlap is a data
+// race.  Overlap is sanctioned only when the redundancy proof shows
+// every replicated instance computes the identical value (same-value
+// stores cannot produce a torn result under the barrier protocol, and
+// the backend orders them with its rendezvous acks); that case is
+// recorded as an INFO proof.  Privatized (NEW/LOCALIZE) arrays are
+// exempt: the backend gives each thread a private copy, which is
+// exactly the privatization obligation the directive asserts.
+func (c *checker) checkRace(a ir.AssignInNest) {
+	lhs := a.Assign.LHS
+	layout := c.in.Ctx.Layout(c.proc, lhs.Name)
+	if layout == nil || len(lhs.Subs) == 0 {
+		return
+	}
+	if c.privatizedBy(a) != nil {
+		return // thread-private under shm; production coverage is checked separately
+	}
+	if c.in.Reductions[a.Assign.ID] {
+		return // per-rank partials are private until the collective combine
+	}
+	written := c.writtenSets(a, layout)
+	for r := 0; r < len(written); r++ {
+		for s := r + 1; s < len(written); s++ {
+			ov := written[r].Intersect(written[s])
+			if ov.IsEmpty() {
+				continue
+			}
+			if c.redundantWrites(layout, written) {
+				c.diag(Diagnostic{
+					Check: CheckRace, Severity: Info, Stmt: a.Assign.ID,
+					Ref: lhs.String(),
+					Why: fmt.Sprintf("write overlap between ranks %d and %d re-proven benign: every replicated instance computes the identical value", r, s),
+				})
+				return
+			}
+			c.diag(Diagnostic{
+				Check: CheckRace, Severity: Error, Stmt: a.Assign.ID,
+				Ref: lhs.String(), Set: ov.String(),
+				Why: fmt.Sprintf("ranks %d and %d write the same elements in one barrier phase: a data race under the shared-memory backend", r, s),
+			})
+			return
+		}
+	}
 }
 
 // --- theorem 2: communication completeness -----------------------------------

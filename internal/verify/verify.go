@@ -24,7 +24,17 @@
 //     carries a processor-crossing flow dependence are marked Pipelined
 //     with a consistent CarriedBy loop.
 //
-// A fifth, informational check surfaces the privatization linter's
+// Under the shared-memory backends (Input.Backend "shm" or "hybrid") a
+// fifth theorem class activates:
+//
+//  5. race freedom — communication completeness no longer protects
+//     writes (there are no messages to serialize duplicate deliveries),
+//     so within one barrier phase no two ranks may write the same
+//     element of a distributed array unless a redundancy proof shows
+//     every replicated instance computes the identical value, and
+//     privatized (NEW/LOCALIZE) arrays must actually be thread-private.
+//
+// A further, informational check surfaces the privatization linter's
 // conservative bail-outs (dep.NewBailouts): why a NEW/LOCALIZE directive
 // could not be validated.
 //
@@ -64,6 +74,7 @@ const (
 	CheckWriteback = "writeback"
 	CheckPipeline  = "pipeline"
 	CheckPrivatize = "privatize"
+	CheckRace      = "race"
 )
 
 // Diagnostic is one finding: which theorem, how bad, where, and the
@@ -183,6 +194,12 @@ type Input struct {
 	// combine finalizes, so their per-rank iteration sets must be
 	// pairwise disjoint (otherwise contributions double-count).
 	Reductions map[int]bool
+	// Backend is the canonical execution backend name (passes.Backend*).
+	// Under the shared-memory backends ("shm", "hybrid") a sixth theorem
+	// class activates: race freedom — per-rank write sets on distributed
+	// arrays must be pairwise disjoint within a barrier phase, replacing
+	// the message model's implicit serialization of duplicate deliveries.
+	Backend string
 }
 
 // Run verifies a compiled program and returns the report.  The error is

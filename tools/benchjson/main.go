@@ -1,6 +1,6 @@
 // Command benchjson runs the execution-engine, incremental-compile and
 // durable-store benchmark set and emits a machine-readable summary
-// (BENCH_7.json).  Two pairings are reported:
+// (BENCH_8.json).  Three pairings are reported:
 //
 //   - engine pairs: each benchmark family has a compiled variant and an
 //     Interp-suffixed interpreter variant over the same workload
@@ -14,7 +14,13 @@
 //     BenchmarkWarmEditRecompile (one-procedure edit against a primed
 //     artifact store) and BenchmarkRestartWarmCompile (a freshly
 //     restarted server serving a known fingerprint from its durable
-//     store, in internal/service).
+//     store, in internal/service);
+//   - backend pairs: each Shm-suffixed benchmark against its
+//     message-passing base name (BenchmarkExecuteSPStepShm vs
+//     BenchmarkExecuteSPStep).  Both backends run the same compiled
+//     closures over the same data, so their host times must stay within
+//     a small band of each other — a large divergence means one
+//     substrate grew an accidental hot path.
 //
 // Usage:
 //
@@ -23,11 +29,12 @@
 //	-bench RE     benchmark selection regexp (default the ExecuteSPStep,
 //	              LUWavefront, WarmEditRecompile and RestartWarm families)
 //	-benchtime T  passed through to go test (default 1x per bench: "2s")
-//	-o FILE       write JSON here (default BENCH_7.json; "-" = stdout)
+//	-o FILE       write JSON here (default BENCH_8.json; "-" = stdout)
 //	-check        gate mode: exit 1 unless the compiled engine beats the
 //	              interpreter on every engine pair AND every warm/cold
-//	              recompile pair is at least 10x faster warm at p50 (CI
-//	              smoke; uses a short -benchtime unless one is given)
+//	              recompile pair is at least 10x faster warm at p50 AND
+//	              every shm/mp backend pair stays within the host-time
+//	              band (CI smoke; uses a short -benchtime unless given)
 //
 // Stdlib-only by design, like tools/vetdet: the container has no
 // golang.org/x/perf, so the benchmark output is parsed directly.  The
@@ -82,24 +89,38 @@ type WarmPair struct {
 	Speedup   float64 `json:"speedup"`
 }
 
+// BackendPair is a Shm-suffixed benchmark matched with its
+// message-passing base, compared at host ns/op.
+type BackendPair struct {
+	Benchmark string  `json:"benchmark"`
+	MpNs      float64 `json:"mp_ns_per_op"`
+	ShmNs     float64 `json:"shm_ns_per_op"`
+	Ratio     float64 `json:"mp_over_shm"`
+}
+
 // warmGate is the -check floor for warm/cold speedup: a warm-edit
 // recompile, and a restart-warm store hit, must each beat their cold
 // twin by at least this much at p50.
 const warmGate = 10.0
 
-// Report is the BENCH_7.json document.
+// backendBand is the -check tolerance for the shm/mp host-time ratio:
+// the pair must land in [1/backendBand, backendBand].
+const backendBand = 3.0
+
+// Report is the BENCH_8.json document.
 type Report struct {
-	GoTestArgs []string   `json:"go_test_args"`
-	Benchmarks []Bench    `json:"benchmarks"`
-	Pairs      []Pair     `json:"pairs"`
-	WarmPairs  []WarmPair `json:"warm_pairs,omitempty"`
+	GoTestArgs   []string      `json:"go_test_args"`
+	Benchmarks   []Bench       `json:"benchmarks"`
+	Pairs        []Pair        `json:"pairs"`
+	WarmPairs    []WarmPair    `json:"warm_pairs,omitempty"`
+	BackendPairs []BackendPair `json:"backend_pairs,omitempty"`
 }
 
 func main() {
 	benchRE := flag.String("bench", "BenchmarkExecuteSPStep|BenchmarkLUWavefront|BenchmarkWarmEditRecompile|BenchmarkRestartWarm",
 		"benchmark selection regexp (go test -bench)")
 	benchtime := flag.String("benchtime", "", "go test -benchtime (default 2s, or 40x with -check)")
-	out := flag.String("o", "BENCH_7.json", `output file ("-" for stdout)`)
+	out := flag.String("o", "BENCH_8.json", `output file ("-" for stdout)`)
 	check := flag.Bool("check", false, "exit 1 unless compiled beats interp on every pair")
 	flag.Parse()
 
@@ -137,6 +158,7 @@ func main() {
 	}
 	rep.Pairs = pairUp(rep.Benchmarks)
 	rep.WarmPairs = pairWarm(rep.Benchmarks)
+	rep.BackendPairs = pairBackends(rep.Benchmarks)
 
 	js, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -179,6 +201,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -check found no restart-warm/cold pair")
 			fail = true
 		}
+		for _, bp := range rep.BackendPairs {
+			if bp.Ratio < 1/backendBand || bp.Ratio > backendBand {
+				fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: shm %.0f ns/op vs mp %.0f ns/op (ratio %.2f outside [%.2f, %.0f])\n",
+					bp.Benchmark, bp.ShmNs, bp.MpNs, bp.Ratio, 1/backendBand, backendBand)
+				fail = true
+			}
+		}
+		if strings.Contains(*benchRE, "ExecuteSPStep") && len(rep.BackendPairs) == 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: -check found no shm/mp backend pair")
+			fail = true
+		}
 		if fail {
 			os.Exit(1)
 		}
@@ -190,6 +223,10 @@ func main() {
 	for _, w := range rep.WarmPairs {
 		fmt.Fprintf(os.Stderr, "benchjson: %s warm-edit speedup %.2fx (p50 %.0f ns vs cold %.0f ns)\n",
 			w.Benchmark, w.Speedup, w.WarmP50Ns, w.ColdP50Ns)
+	}
+	for _, bp := range rep.BackendPairs {
+		fmt.Fprintf(os.Stderr, "benchjson: %s mp/shm host-time ratio %.2f (mp %.0f ns, shm %.0f ns)\n",
+			bp.Benchmark, bp.Ratio, bp.MpNs, bp.ShmNs)
 	}
 }
 
@@ -269,6 +306,32 @@ func hasWarmPair(pairs []WarmPair, name string) bool {
 		}
 	}
 	return false
+}
+
+// pairBackends matches each Shm-suffixed benchmark with its
+// message-passing base name.
+func pairBackends(bs []Bench) []BackendPair {
+	byName := make(map[string]Bench, len(bs))
+	for _, b := range bs {
+		byName[b.Name] = b
+	}
+	var pairs []BackendPair
+	for _, b := range bs {
+		if !strings.HasSuffix(b.Name, "Shm") {
+			continue
+		}
+		mp, ok := byName[strings.TrimSuffix(b.Name, "Shm")]
+		if !ok || mp.NsPerOp <= 0 {
+			continue
+		}
+		pairs = append(pairs, BackendPair{
+			Benchmark: strings.TrimSuffix(b.Name, "Shm"),
+			MpNs:      mp.NsPerOp,
+			ShmNs:     b.NsPerOp,
+			Ratio:     mp.NsPerOp / b.NsPerOp,
+		})
+	}
+	return pairs
 }
 
 // pairWarm matches each recompile benchmark with its Cold-suffixed

@@ -44,6 +44,7 @@ func (t *Tuner) Tune(ctx context.Context, source string, opt TuneOptions) (*Tune
 		Grains:       opt.Grains,
 		Ablations:    opt.Ablations,
 		Sweep:        opt.Sweep,
+		Backends:     opt.Backends,
 		NoTranspose:  opt.NoTranspose,
 		TopK:         opt.TopK,
 		MaxScreen:    opt.MaxScreen,
@@ -96,6 +97,7 @@ func convertTuneEntry(e *tune.Entry) TuneEntry {
 	te := TuneEntry{
 		Key:            e.Key(),
 		Scheme:         e.Scheme,
+		Backend:        e.Backend,
 		P1:             e.P1,
 		P2:             e.P2,
 		Grain:          e.Grain,
