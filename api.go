@@ -3,6 +3,7 @@ package dhpf
 import (
 	"fmt"
 
+	"dhpf/internal/analysis"
 	"dhpf/internal/cp"
 	"dhpf/internal/passes"
 	"dhpf/internal/verify"
@@ -335,6 +336,12 @@ type TuneOptions struct {
 	Seed        int64   `json:"seed,omitempty"`
 	Workers     int     `json:"workers,omitempty"`
 	PruneFactor float64 `json:"prune_factor,omitempty"`
+	// StaticScreen inserts the zero-simulation middle tier: analytic
+	// survivors are compiled and costed by the static analysis oracle
+	// (exact flop/message counters at the target size) and only the
+	// statically cheapest ⌈TopK/2⌉ block candidates reach the full
+	// simulator.
+	StaticScreen bool `json:"static_screen,omitempty"`
 	// SkipVerify disables the serial-reference numerics check;
 	// VerifyArrays restricts it to named arrays.
 	SkipVerify   bool     `json:"skip_verify,omitempty"`
@@ -367,8 +374,11 @@ type TuneEntry struct {
 	// analytic tier only), "pruned", "mismatch", "error", "infeasible".
 	Status string `json:"status"`
 	// ScreenSeconds is the analytic prediction at the target size;
-	// SimSeconds the measured virtual time at the source size.
+	// StaticSeconds the cost oracle's zero-simulation time (static
+	// screen tier only); SimSeconds the measured virtual time at the
+	// source size.
 	ScreenSeconds float64 `json:"screen_seconds"`
+	StaticSeconds float64 `json:"static_seconds,omitempty"`
 	SimSeconds    float64 `json:"sim_seconds,omitempty"`
 	SimMessages   int64   `json:"sim_messages,omitempty"`
 	SimBytes      int64   `json:"sim_bytes,omitempty"`
@@ -396,7 +406,9 @@ type TuneCounters struct {
 	Pruned       int   `json:"pruned"`
 	MemoHits     int   `json:"memo_hits"`
 	MemoMisses   int   `json:"memo_misses"`
+	StaticEvals  int   `json:"static_evals,omitempty"`
 	ScreenWallNS int64 `json:"screen_wall_ns"`
+	StaticWallNS int64 `json:"static_wall_ns,omitempty"`
 	FullWallNS   int64 `json:"full_wall_ns"`
 }
 
@@ -410,16 +422,38 @@ type TuneResult struct {
 	Trail    []string     `json:"trail"`
 }
 
-// VerifyDiagnostic is one translation-validation finding on the wire:
-// which theorem (check), how severe, where in the program, and why.
-type VerifyDiagnostic struct {
-	Check    string `json:"check"`
+// DiagnosticJSON is the shared wire form of one compiler finding.  Every
+// diagnostic surface — the translation validator (-lint, /v1/verify) and
+// the static analyzer (-analyze, /v1/analyze) — emits this one schema:
+// which check fired (code), how severe, where in the program (proc,
+// stmt), and the human explanation (message), plus the optional
+// reference and rendered integer-set witness.  Tooling that consumes
+// one surface's diagnostics consumes them all.
+type DiagnosticJSON struct {
+	Code     string `json:"code"`
 	Severity string `json:"severity"`
 	Proc     string `json:"proc"`
 	Stmt     int    `json:"stmt"` // statement ID; -1 when not statement-scoped
 	Ref      string `json:"ref,omitempty"`
 	Set      string `json:"set,omitempty"` // rendered integer-set witness
-	Why      string `json:"why"`
+	Message  string `json:"message"`
+}
+
+// VerifyDiagnostic is the shared diagnostic schema under its historical
+// name.
+type VerifyDiagnostic = DiagnosticJSON
+
+// DiagnosticsJSON converts internal diagnostics to the shared wire
+// schema.
+func DiagnosticsJSON(ds []verify.Diagnostic) []DiagnosticJSON {
+	var out []DiagnosticJSON
+	for _, d := range ds {
+		out = append(out, DiagnosticJSON{
+			Code: d.Check, Severity: string(d.Severity), Proc: d.Proc,
+			Stmt: d.Stmt, Ref: d.Ref, Set: d.Set, Message: d.Why,
+		})
+	}
+	return out
 }
 
 // VerifyReport is the wire form of one verification run's outcome,
@@ -448,12 +482,7 @@ func VerifyReportJSON(rep *verify.Report) VerifyReport {
 		Stmts: rep.Stmts, Events: rep.Events, Ranks: rep.Ranks,
 		Text: rep.String(),
 	}
-	for _, d := range rep.Diagnostics {
-		out.Diagnostics = append(out.Diagnostics, VerifyDiagnostic{
-			Check: d.Check, Severity: string(d.Severity), Proc: d.Proc,
-			Stmt: d.Stmt, Ref: d.Ref, Set: d.Set, Why: d.Why,
-		})
-	}
+	out.Diagnostics = DiagnosticsJSON(rep.Diagnostics)
 	return out
 }
 
@@ -470,6 +499,69 @@ type VerifyRequest struct {
 type VerifyResponse struct {
 	Fingerprint string `json:"fingerprint"`
 	VerifyReport
+	Cached bool `json:"cached"`
+}
+
+// AnalyzeCost is the static cost oracle's counter vector: per-rank
+// flops, messages and bytes (message backend) or pulls, pulled bytes
+// and barriers (shared-memory backends), integer-equal to what the
+// virtual machines would measure when Exact is true.
+type AnalyzeCost = analysis.Cost
+
+// AnalyzeReport is the wire form of one static-analysis run's outcome,
+// shared by Program.Analyze and /v1/analyze: the symbolic loop
+// summaries (rendered in Text), the dataflow diagnostics in the shared
+// schema, and the predicted execution cost.  Clean means no
+// error-severity diagnostic (reads of never-defined distributed data);
+// warnings flag dead stores, dead communication and redundant
+// write-backs.
+type AnalyzeReport struct {
+	Clean    bool   `json:"clean"`
+	Summary  string `json:"summary"`
+	Errors   int    `json:"errors"`
+	Warnings int    `json:"warnings"`
+	Procs    int    `json:"procs"`
+	Phases   int    `json:"phases"`
+	// Diagnostics use the same schema as VerifyReport's.
+	Diagnostics []DiagnosticJSON `json:"diagnostics,omitempty"`
+	// Cost is the static cost oracle's prediction for the program's
+	// backend.
+	Cost *AnalyzeCost `json:"cost,omitempty"`
+	// Text is the human rendering (what cmd/dhpfc -analyze prints).
+	Text string `json:"text"`
+}
+
+// AnalyzeReportJSON converts an analysis result (plus the cost oracle's
+// prediction, which may be nil) to its wire form.
+func AnalyzeReportJSON(res *analysis.Result, cost *analysis.Cost) AnalyzeReport {
+	phases := 0
+	for _, p := range res.Procs {
+		phases += len(p.Phases)
+	}
+	return AnalyzeReport{
+		Clean: res.Clean(), Summary: res.Summary(),
+		Errors: res.Errors(), Warnings: res.Warnings(),
+		Procs: len(res.Procs), Phases: phases,
+		Diagnostics: DiagnosticsJSON(res.Diagnostics),
+		Cost:        cost,
+		Text:        res.Text(),
+	}
+}
+
+// AnalyzeRequest asks the service to compile (through the program
+// cache) and statically analyze mini-HPF source: symbolic loop
+// summaries, distributed-array dataflow diagnostics, and the cost
+// oracle's predicted execution counters.
+type AnalyzeRequest struct {
+	Source  string          `json:"source"`
+	Params  map[string]int  `json:"params,omitempty"`
+	Options *RequestOptions `json:"options,omitempty"`
+}
+
+// AnalyzeResponse is /v1/analyze's result.
+type AnalyzeResponse struct {
+	Fingerprint string `json:"fingerprint"`
+	AnalyzeReport
 	Cached bool `json:"cached"`
 }
 
@@ -490,6 +582,9 @@ type ProgramEntryJSON struct {
 	// Verify is the memoized translation-validation report, when one was
 	// computed before the entry was persisted or shipped.
 	Verify *VerifyReport `json:"verify,omitempty"`
+	// Analyze is the memoized static-analysis report, when one was
+	// computed before the entry was persisted or shipped.
+	Analyze *AnalyzeReport `json:"analyze,omitempty"`
 }
 
 // PeerFetchRequest asks a fleet member for its stored copy of a

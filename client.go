@@ -128,6 +128,19 @@ func (c *Client) Verify(ctx context.Context, req VerifyRequest) (*VerifyResponse
 	return &resp, nil
 }
 
+// Analyze compiles (through the service's program cache) and returns
+// the static analyzer's report: symbolic loop summaries, dataflow
+// diagnostics in the shared schema, and the cost oracle's predicted
+// execution counters.  Repeated requests on one fingerprint are served
+// from the entry's memoized report.
+func (c *Client) Analyze(ctx context.Context, req AnalyzeRequest) (*AnalyzeResponse, error) {
+	var resp AnalyzeResponse
+	if err := c.post(ctx, "/v1/analyze", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Tune runs an auto-tuning search on the service (see Tuner.Tune); the
 // server bounds the search's parallelism by its own worker pool.
 func (c *Client) Tune(ctx context.Context, req TuneRequest) (*TuneResult, error) {

@@ -40,15 +40,25 @@
 //	-lint            run the translation validator and print its
 //	                 diagnostics instead of the compile report; exit 1
 //	                 when the program fails a safety obligation
-//	-json            with -lint: print the report as JSON
+//	-analyze         run the whole-program static analysis and print the
+//	                 symbolic loop summaries, dataflow diagnostics and
+//	                 predicted execution counters instead of the compile
+//	                 report; exit 1 on an error-severity finding (a read
+//	                 of never-defined distributed data)
+//	-json            with -lint or -analyze: print the report as JSON
 //
 // A default compile already hard-fails when the verifier finds an error;
 // -lint exists to *see* the diagnostics (including the INFO-level
 // availability/redundancy re-proofs and privatization bail-outs) rather
-// than just the first failure.
+// than just the first failure.  -analyze is the static-analysis
+// counterpart: its diagnostics never fail a compile (dead stores and
+// dead communication are program properties, not compiler bugs), so the
+// flag is how they surface.  Both emit diagnostics in one shared JSON
+// schema (code, severity, proc, stmt, message).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -56,6 +66,7 @@ import (
 	"strconv"
 	"strings"
 
+	"dhpf"
 	"dhpf/internal/cache"
 	"dhpf/internal/cp"
 	"dhpf/internal/mpsim"
@@ -84,6 +95,14 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+func sumInt64(xs []int64) int64 {
+	var t int64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
 // run is main with its environment made explicit, so tests can drive the
 // CLI end to end.  Returns the process exit code.
 func run(args []string, stdout, stderr io.Writer) int {
@@ -108,7 +127,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	incremental := fs.Bool("incremental", false, "compile via the artifact store (cold prime + warm recompile)")
 	stats := fs.Bool("stats", false, "with -incremental: print the recompile delta and pass table")
 	lint := fs.Bool("lint", false, "print verifier diagnostics; exit 1 on safety errors")
-	asJSON := fs.Bool("json", false, "with -lint: print the verification report as JSON")
+	analyze := fs.Bool("analyze", false, "print the static-analysis report; exit 1 on error findings")
+	asJSON := fs.Bool("json", false, "with -lint or -analyze: print the report as JSON")
 	fs.Var(params, "param", "override a program parameter NAME=VALUE")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -157,6 +177,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// into printed diagnostics instead of a compile error.
 		opt.Disable = append(opt.Disable, passes.PassVerify)
 	}
+	if *analyze {
+		// The in-pipeline analyze pass never fails a compile, so dropping
+		// it is just avoiding duplicate work: the explicit Analyze call
+		// below recomputes the same facts for printing.
+		opt.Disable = append(opt.Disable, passes.PassAnalyze)
+	}
 
 	if *stats && !*incremental {
 		fmt.Fprintln(stderr, "dhpfc: -stats requires -incremental")
@@ -193,6 +219,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprint(stdout, rep.String())
 		}
 		if !rep.Clean() {
+			return 1
+		}
+		return 0
+	}
+
+	if *analyze {
+		res, err := prog.Analyze()
+		if err != nil {
+			fmt.Fprintln(stderr, "dhpfc:", err)
+			return 1
+		}
+		cost, err := prog.PredictCost()
+		if err != nil {
+			fmt.Fprintln(stderr, "dhpfc:", err)
+			return 1
+		}
+		rep := dhpf.AnalyzeReportJSON(res, cost)
+		if *asJSON {
+			out, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fmt.Fprintln(stderr, "dhpfc:", err)
+				return 1
+			}
+			fmt.Fprintln(stdout, string(out))
+		} else {
+			fmt.Fprint(stdout, rep.Text)
+			fmt.Fprintln(stdout, rep.Summary)
+			fmt.Fprintf(stdout, "predict (%s, %d ranks): %.0f flops, %d messages, %d bytes",
+				cost.Backend, cost.Ranks, cost.TotalFlops(), cost.TotalMessages(), cost.TotalBytes())
+			if cost.Backend != "mp" {
+				fmt.Fprintf(stdout, ", %d pulls, %d pulled bytes, %d barriers",
+					sumInt64(cost.Pulls), cost.TotalPulled(), cost.Barriers)
+			}
+			fmt.Fprintln(stdout)
+		}
+		if !rep.Clean {
 			return 1
 		}
 		return 0

@@ -179,6 +179,54 @@ func TestLint(t *testing.T) {
 	}
 }
 
+// TestAnalyzeFlag: -analyze prints the static-analysis report — loop
+// summaries, the verdict line and the cost oracle's prediction — and
+// -json switches to the structured form with the shared diagnostic
+// schema (code/severity/proc/stmt/message) and an exact cost block.
+func TestAnalyzeFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-analyze", "../../testdata/ysolve.hpf"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"proc main", "phase", "flops", "analyze:", "predict (mp,"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, got)
+		}
+	}
+
+	var jout bytes.Buffer
+	if code := run([]string{"-analyze", "-json", "../../testdata/ysolve.hpf"}, &jout, &errb); code != 0 {
+		t.Fatalf("-json exit %d, stderr: %s", code, errb.String())
+	}
+	var rep struct {
+		Clean  bool `json:"clean"`
+		Procs  int  `json:"procs"`
+		Phases int  `json:"phases"`
+		Cost   *struct {
+			Ranks int  `json:"ranks"`
+			Exact bool `json:"exact"`
+		} `json:"cost"`
+		Diagnostics []map[string]any `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(jout.Bytes(), &rep); err != nil {
+		t.Fatalf("-json output not JSON: %v\n%s", err, jout.String())
+	}
+	if !rep.Clean || rep.Procs == 0 || rep.Phases == 0 {
+		t.Errorf("JSON report incomplete: %s", jout.String())
+	}
+	if rep.Cost == nil || !rep.Cost.Exact || rep.Cost.Ranks != 4 {
+		t.Errorf("JSON report missing exact cost: %s", jout.String())
+	}
+	for _, d := range rep.Diagnostics {
+		for _, key := range []string{"code", "severity", "proc", "stmt", "message"} {
+			if _, ok := d[key]; !ok {
+				t.Errorf("diagnostic missing shared-schema key %q: %v", key, d)
+			}
+		}
+	}
+}
+
 // TestIncrementalFlag: -incremental prints the warm recompile's output,
 // which must be byte-identical to a plain compile; -stats adds the
 // recompile delta and a pass table whose reused passes say "cached".

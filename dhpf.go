@@ -58,7 +58,8 @@ type PassStat = passes.Stat
 
 // Canonical pass names, in pipeline order.  The optional ones
 // (PassNewProp through PassLoopDist, PassAvailability, PassWritebackRed,
-// PassVerify) may be listed in Options.Disable to ablate that stage.
+// PassVerify, PassAnalyze) may be listed in Options.Disable to ablate
+// that stage.
 const (
 	PassParse        = passes.PassParse
 	PassBind         = passes.PassBind
@@ -74,6 +75,7 @@ const (
 	PassWritebackRed = passes.PassWritebackRed
 	PassLower        = passes.PassLower
 	PassVerify       = passes.PassVerify
+	PassAnalyze      = passes.PassAnalyze
 )
 
 // Execution backends Options.Backend accepts: message-passing ranks
@@ -221,6 +223,32 @@ func (p *Program) Verify() (VerifyReport, error) {
 		return VerifyReport{}, err
 	}
 	return VerifyReportJSON(rep), nil
+}
+
+// Analyze runs the whole-program static analysis over the compiled
+// facts — symbolic loop summaries, distributed-array dataflow
+// diagnostics, and the static cost oracle — and returns the wire-form
+// report.  The in-pipeline analyze pass already runs by default;
+// Analyze recomputes so callers that disabled it (Options.Disable
+// PassAnalyze) still get the full report — the -analyze workflow.
+func (p *Program) Analyze() (AnalyzeReport, error) {
+	res, err := p.inner.Analyze()
+	if err != nil {
+		return AnalyzeReport{}, err
+	}
+	cost, err := p.inner.PredictCost()
+	if err != nil {
+		return AnalyzeReport{}, err
+	}
+	return AnalyzeReportJSON(res, cost), nil
+}
+
+// PredictCost runs just the static cost oracle: the per-rank execution
+// counters (flops, messages, bytes; pulls and barriers for the
+// shared-memory backends) the virtual machine would measure, derived
+// without executing anything.
+func (p *Program) PredictCost() (*AnalyzeCost, error) {
+	return p.inner.PredictCost()
 }
 
 // Run executes the program on the simulated machine with the default

@@ -1,0 +1,167 @@
+package dhpf_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"dhpf"
+)
+
+// deadStoreSrc's first loop's store of a is entirely overwritten by the
+// second loop before any read — the static analyzer's deadstore check.
+const deadStoreSrc = `
+program deadstore
+param N = 16
+param P = 4
+!hpf$ processors procs(P)
+!hpf$ template t(N)
+!hpf$ align a with t(d0)
+!hpf$ align b with t(d0)
+!hpf$ distribute t(BLOCK) onto procs
+
+subroutine main()
+  real a(0:N-1)
+  real b(0:N-1)
+  !hpf$ independent
+  do i = 0, N-1
+    a(i) = 1.0
+  enddo
+  !hpf$ independent
+  do i = 0, N-1
+    a(i) = 2.0
+  enddo
+  !hpf$ independent
+  do i = 0, N-1
+    b(i) = a(i)
+  enddo
+end
+`
+
+// TestDiagnosticSchemaGolden pins the shared diagnostic wire schema:
+// every surface (-lint / Program.Verify and -analyze / Program.Analyze)
+// marshals its findings as exactly these keys — code, severity, proc,
+// stmt, message, plus the optional ref and set witnesses.  Tooling
+// parses one schema for both.
+func TestDiagnosticSchemaGolden(t *testing.T) {
+	d := dhpf.DiagnosticJSON{
+		Code:     "deadstore",
+		Severity: "warning",
+		Proc:     "main",
+		Stmt:     3,
+		Ref:      "a",
+		Set:      "{[0:15]}",
+		Message:  "store to a is overwritten by stmt 7 before any read",
+	}
+	got, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"code":"deadstore","severity":"warning","proc":"main","stmt":3,` +
+		`"ref":"a","set":"{[0:15]}","message":"store to a is overwritten by stmt 7 before any read"}`
+	if string(got) != golden {
+		t.Errorf("diagnostic schema drifted:\n got %s\nwant %s", got, golden)
+	}
+}
+
+// TestSharedDiagnosticSchemaAcrossSurfaces: the verify and analyze
+// surfaces emit diagnostics whose marshalled JSON uses the same key set
+// — no surface-specific field names.
+func TestSharedDiagnosticSchemaAcrossSurfaces(t *testing.T) {
+	// The verify side needs a program with communication to re-prove:
+	// ysolve's availability eliminations surface as INFO diagnostics.
+	ysrc, err := os.ReadFile("testdata/ysolve.hpf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	yprog, err := dhpf.Compile(string(ysrc), nil, dhpf.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vrep, err := yprog.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vrep.Diagnostics) == 0 {
+		t.Fatal("verify produced no diagnostics (expected at least the INFO re-proofs)")
+	}
+
+	prog, err := dhpf.Compile(deadStoreSrc, nil, dhpf.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	arep, err := prog.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arep.Warnings == 0 {
+		t.Fatalf("analyze missed the dead store:\n%s", arep.Text)
+	}
+	found := false
+	for _, d := range arep.Diagnostics {
+		if d.Code == "deadstore" && d.Severity == "warning" && d.Proc == "main" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no deadstore warning in analyze diagnostics: %+v", arep.Diagnostics)
+	}
+
+	allowed := map[string]bool{
+		"code": true, "severity": true, "proc": true,
+		"stmt": true, "ref": true, "set": true, "message": true,
+	}
+	required := []string{"code", "severity", "proc", "stmt", "message"}
+	checkKeys := func(surface string, ds []dhpf.DiagnosticJSON) {
+		for _, d := range ds {
+			raw, err := json.Marshal(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var m map[string]any
+			if err := json.Unmarshal(raw, &m); err != nil {
+				t.Fatal(err)
+			}
+			for k := range m {
+				if !allowed[k] {
+					t.Errorf("%s diagnostic has off-schema key %q: %s", surface, k, raw)
+				}
+			}
+			for _, k := range required {
+				if _, ok := m[k]; !ok {
+					t.Errorf("%s diagnostic missing required key %q: %s", surface, k, raw)
+				}
+			}
+		}
+	}
+	checkKeys("verify", vrep.Diagnostics)
+	checkKeys("analyze", arep.Diagnostics)
+}
+
+// TestProgramAnalyzeCostMatchesRun: the library surface's report carries
+// the cost oracle's prediction, and it is integer-equal to a measured
+// run of the same program — the exactness invariant through the public
+// API.
+func TestProgramAnalyzeCostMatchesRun(t *testing.T) {
+	prog, err := dhpf.Compile(deadStoreSrc, nil, dhpf.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := prog.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cost == nil || !rep.Cost.Exact {
+		t.Fatalf("analyze report missing exact cost: %+v", rep.Cost)
+	}
+	res, err := prog.Run(dhpf.SP2Machine(prog.Ranks()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rep.Cost.TotalMessages(), res.Messages(); got != want {
+		t.Errorf("predicted %d messages, measured %d", got, want)
+	}
+	if got, want := rep.Cost.TotalBytes(), res.Bytes(); got != want {
+		t.Errorf("predicted %d bytes, measured %d", got, want)
+	}
+}

@@ -1,0 +1,170 @@
+package analysis_test
+
+// The exactness invariant: analysis.Predict must agree integer for
+// integer (and bit for bit on flops) with what the virtual machines
+// measure, on every affine program, under every pass ablation, on all
+// three backends.  This is the static-analysis sibling of the
+// "incremental ≡ cold" and "shm ≡ mp" invariants: the oracle is not a
+// model of the executor, it *is* the executor minus the values.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dhpf/internal/mpsim"
+	"dhpf/internal/nas"
+	"dhpf/internal/passes"
+	"dhpf/internal/spmd"
+)
+
+func exactMachine(p int) mpsim.Config {
+	return mpsim.Config{
+		Procs:        p,
+		SendOverhead: 1e-6,
+		RecvOverhead: 1e-6,
+		Latency:      10e-6,
+		GapPerByte:   1e-8,
+		FlopTime:     1e-8,
+		WallLimit:    5 * time.Second,
+	}
+}
+
+// requireExact compiles src for the backend, predicts, executes, and
+// fails on any counter mismatch.
+func requireExact(t *testing.T, src string, opt spmd.Options, backend string) {
+	t.Helper()
+	opt.Backend = backend
+	prog, err := spmd.CompileSource(src, nil, opt)
+	if err != nil {
+		t.Fatalf("compile (backend %s): %v", backend, err)
+	}
+	cost, err := prog.PredictCost()
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	if !cost.Exact {
+		t.Fatalf("predict degraded to inexact on an affine program")
+	}
+	res, err := prog.Execute(exactMachine(prog.Grid.Size()))
+	if errors.Is(err, mpsim.ErrWallLimit) {
+		t.Skipf("wall limit hit measuring the reference: %v", err)
+	}
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	m := res.Machine
+	if cost.Ranks != m.Procs {
+		t.Fatalf("ranks: predicted %d, measured %d", cost.Ranks, m.Procs)
+	}
+	for r := 0; r < m.Procs; r++ {
+		if cost.Flops[r] != m.RankFlops[r] {
+			t.Errorf("rank %d flops: predicted %v, measured %v", r, cost.Flops[r], m.RankFlops[r])
+		}
+		if cost.SentMsgs[r] != m.SentMsgs[r] {
+			t.Errorf("rank %d sent msgs: predicted %d, measured %d", r, cost.SentMsgs[r], m.SentMsgs[r])
+		}
+		if cost.SentBytes[r] != m.SentBytes[r] {
+			t.Errorf("rank %d sent bytes: predicted %d, measured %d", r, cost.SentBytes[r], m.SentBytes[r])
+		}
+		if cost.RecvMsgs[r] != m.RecvMsgs[r] {
+			t.Errorf("rank %d recv msgs: predicted %d, measured %d", r, cost.RecvMsgs[r], m.RecvMsgs[r])
+		}
+	}
+	if backend != passes.BackendMP {
+		sm := res.Shm
+		if sm == nil {
+			t.Fatalf("backend %s run returned no shm counters", backend)
+		}
+		for th := 0; th < sm.Threads; th++ {
+			if cost.Pulls[th] != sm.Pulls[th] {
+				t.Errorf("thread %d pulls: predicted %d, measured %d", th, cost.Pulls[th], sm.Pulls[th])
+			}
+			if cost.PulledBytes[th] != sm.PulledBytes[th] {
+				t.Errorf("thread %d pulled bytes: predicted %d, measured %d", th, cost.PulledBytes[th], sm.PulledBytes[th])
+			}
+		}
+		// shm.Result.Barriers is the team total: threads × collectives.
+		if want := cost.Barriers; want != sm.Barriers {
+			t.Errorf("barriers: predicted %d, measured %d", want, sm.Barriers)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+}
+
+var exactBackends = []string{passes.BackendMP, passes.BackendShm, passes.BackendHybrid}
+
+// TestPredictExactTestdata runs the invariant over the shipped corpus:
+// every program × every single-pass ablation × every backend.
+func TestPredictExactTestdata(t *testing.T) {
+	files, err := filepath.Glob("../../testdata/*.hpf")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata files found: %v", err)
+	}
+	ablations := append([]string{""}, passes.OptionalPassNames()...)
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, disable := range ablations {
+			for _, backend := range exactBackends {
+				name := filepath.Base(f) + "/" + backend
+				if disable != "" {
+					name += "-no-" + disable
+				}
+				t.Run(name, func(t *testing.T) {
+					opt := spmd.DefaultOptions()
+					if disable != "" {
+						opt.Disable = append(opt.Disable, disable)
+					}
+					requireExact(t, string(src), opt, backend)
+				})
+			}
+		}
+	}
+}
+
+// TestPredictExactGrains runs the invariant across pipeline grains,
+// which exercise the strip-mined chunked transfer counting.
+func TestPredictExactGrains(t *testing.T) {
+	src, err := os.ReadFile("../../testdata/ysolve.hpf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []int{1, 3, 8} {
+		for _, backend := range exactBackends {
+			t.Run(fmt.Sprintf("%s/g%d", backend, g), func(t *testing.T) {
+				opt := spmd.DefaultOptions()
+				opt.PipelineGrain = g
+				requireExact(t, string(src), opt, backend)
+			})
+		}
+	}
+}
+
+// TestPredictExactNAS runs the invariant over the NAS kernels at small
+// sizes (BT's per-point leaf calls make the static walk iterate
+// concretely, so sizes stay tiny).
+func TestPredictExactNAS(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"sp", nas.SPSource(16, 1, 2, 2)},
+		{"bt", nas.BTSource(12, 1, 2, 2)},
+		{"lu", nas.LUSource(12, 1, 2, 2)},
+	}
+	for _, c := range cases {
+		for _, backend := range exactBackends {
+			t.Run(c.name+"/"+backend, func(t *testing.T) {
+				requireExact(t, c.src, spmd.DefaultOptions(), backend)
+			})
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package analysis
+
+import "dhpf/internal/ir"
+
+// FlopsOf is the canonical per-statement floating-point cost model: the
+// number of flops one executed instance of the assignment charges to
+// the virtual machine.  The spmd executors delegate to this function,
+// so Predict's flop counts and the measured RankFlops share one source
+// of truth by construction.
+//
+// Weights: division 4, other binary ops 1, sqrt 6, the transcendental
+// intrinsics (exp/sin/cos/log/pow) 8, remaining intrinsics 1.  A bare
+// copy with no arithmetic still costs 1 (its load/store).
+func FlopsOf(a *ir.Assign) float64 {
+	var n float64
+	ir.WalkExpr(a.RHS, func(e ir.Expr) {
+		switch x := e.(type) {
+		case *ir.Bin:
+			if x.Op == '/' {
+				n += 4
+			} else {
+				n++
+			}
+		case *ir.Intrinsic:
+			switch x.Name {
+			case "sqrt":
+				n += 6
+			case "exp", "sin", "cos", "log", "pow":
+				n += 8
+			default:
+				n++
+			}
+		}
+	})
+	if n == 0 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,283 @@
+package analysis_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dhpf/internal/analysis"
+	"dhpf/internal/comm"
+	"dhpf/internal/ir"
+	"dhpf/internal/passes"
+	"dhpf/internal/spmd"
+	"dhpf/internal/verify"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden summary files")
+
+// TestGoldenSummaries pins Result.Text() for every shipped mini-HPF
+// program against a checked-in golden under testdata/.  Any change to
+// the summary algebra (trip counts, footprints, per-rank volumes) or to
+// the rendering shows up as a diff here; regenerate deliberately with
+//
+//	go test ./internal/analysis/ -run TestGoldenSummaries -update
+func TestGoldenSummaries(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.hpf"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no corpus: %v", err)
+	}
+	for _, p := range paths {
+		base := strings.TrimSuffix(filepath.Base(p), ".hpf")
+		t.Run(base, func(t *testing.T) {
+			src, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := spmd.CompileSource(string(src), nil, spmd.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := prog.Analyze()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.Text()
+			golden := filepath.Join("testdata", base+".summary")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("summary drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+					golden, got, want)
+			}
+		})
+	}
+}
+
+// readBeforeDefSrc reads distributed array c, which nothing ever
+// defines: the dataflow layer's only ERROR-severity finding.
+const readBeforeDefSrc = `
+program rbd
+param N = 16
+param P = 4
+!hpf$ processors procs(P)
+!hpf$ template t(N)
+!hpf$ align b with t(d0)
+!hpf$ align c with t(d0)
+!hpf$ distribute t(BLOCK) onto procs
+
+subroutine main()
+  real b(0:N-1)
+  real c(0:N-1)
+  !hpf$ independent
+  do i = 0, N-1
+    b(i) = c(i)
+  enddo
+end
+`
+
+func TestReadBeforeDefError(t *testing.T) {
+	prog, err := spmd.CompileSource(readBeforeDefSrc, nil, spmd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clean() {
+		t.Fatalf("analysis of an undefined-read program came back clean:\n%s", res.Text())
+	}
+	found := false
+	for _, d := range res.Diagnostics {
+		if d.Check == analysis.CheckReadBeforeDef && d.Severity == verify.Error && d.Ref == "c" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no readbeforedef ERROR for c: %+v", res.Diagnostics)
+	}
+}
+
+// deadStoreSrc's first store of a is entirely overwritten before any
+// read.
+const deadStoreSrc = `
+program ds
+param N = 16
+param P = 4
+!hpf$ processors procs(P)
+!hpf$ template t(N)
+!hpf$ align a with t(d0)
+!hpf$ align b with t(d0)
+!hpf$ distribute t(BLOCK) onto procs
+
+subroutine main()
+  real a(0:N-1)
+  real b(0:N-1)
+  !hpf$ independent
+  do i = 0, N-1
+    a(i) = 1.0
+  enddo
+  !hpf$ independent
+  do i = 0, N-1
+    a(i) = 2.0
+  enddo
+  !hpf$ independent
+  do i = 0, N-1
+    b(i) = a(i)
+  enddo
+end
+`
+
+func TestDeadStoreWarning(t *testing.T) {
+	prog, err := spmd.CompileSource(deadStoreSrc, nil, spmd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean() {
+		t.Fatalf("dead store should be WARN, not ERROR:\n%s", res.Text())
+	}
+	found := false
+	for _, d := range res.Diagnostics {
+		if d.Check == analysis.CheckDeadStore && d.Severity == verify.Warning && d.Ref == "a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no deadstore warning for a: %+v", res.Diagnostics)
+	}
+}
+
+// TestCorruptedCommFlagsDeadComm is the adversarial half of the deadcomm
+// check: take a correctly compiled ysolve, shift one live read-comm
+// event's transferred section off the statement's true footprint, and
+// require that (a) the analyzer reports the plan now moves dead data and
+// (b) the translation validator independently finds the reads no longer
+// covered.  A corruption only one of the two catches would mean the
+// check and the validator disagree about what the plan transfers.
+func TestCorruptedCommFlagsDeadComm(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", "ysolve.hpf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := spmd.CompileSource(string(src), nil, spmd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diagnostics {
+		if d.Check == analysis.CheckDeadComm {
+			t.Fatalf("uncorrupted program already has deadcomm: %+v", d)
+		}
+	}
+	rep, err := prog.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("uncorrupted program failed verification:\n%s", rep)
+	}
+
+	// Shift the first live read-comm event's reference by one element.
+	// The event's Ref aliases the statement's own RHS node, so the
+	// corruption must go through a copy: mutating in place would shift
+	// the "needed" footprint identically and hide the damage.
+	corrupted := false
+	for _, e := range prog.Comm["main"].Events {
+		if e.Kind != comm.ReadComm || e.Eliminated {
+			continue
+		}
+		cp := *e.Ref
+		cp.Subs = append([]ir.Subscript(nil), e.Ref.Subs...)
+		cp.Subs[0].Off = cp.Subs[0].Off.AddConst(-1)
+		e.Ref = &cp
+		corrupted = true
+		break
+	}
+	if !corrupted {
+		t.Fatal("ysolve compiled without a live read-comm event to corrupt")
+	}
+
+	res, err = prog.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range res.Diagnostics {
+		if d.Check == analysis.CheckDeadComm && d.Severity == verify.Warning {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("corrupted comm plan produced no deadcomm warning:\n%s", res.Text())
+	}
+	rep, err = prog.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Error("validator still clean after the comm plan was corrupted")
+	}
+}
+
+// TestAblatedWritebackElimFlagsRedundantWB: compiling with the wbelim
+// pass disabled leaves write-backs in the plan that the analyzer's
+// shadow eliminator proves redundant — exactly the miswired-pipeline
+// scenario the check exists for.  The default pipeline must not trip it.
+func TestAblatedWritebackElimFlagsRedundantWB(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", "lhsy.hpf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := spmd.CompileSource(string(src), nil, spmd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := clean.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diagnostics {
+		if d.Check == analysis.CheckRedundantWB {
+			t.Fatalf("default pipeline flagged redundantwb: %+v", d)
+		}
+	}
+
+	ablated, err := spmd.CompileSource(string(src), nil,
+		spmd.DefaultOptions().WithDisabled(passes.PassWritebackRed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = ablated.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range res.Diagnostics {
+		if d.Check == analysis.CheckRedundantWB && d.Severity == verify.Warning {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("wbelim-ablated compile produced no redundantwb warning:\n%s", res.Text())
+	}
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"dhpf/internal/ir"
+	"dhpf/internal/iset"
+)
+
+// procScratch is the per-RunProc memo shared by the summary and
+// dataflow layers.  Both layers price the same statements under the
+// same partitionings, so the expensive integer-set computations —
+// per-phase footprints, per-(statement, rank) iteration sets and
+// per-(statement, reference, rank) non-local sections — are computed
+// once and reused.  The cached sets are treated as immutable: every
+// iset operation returns a fresh set, so sharing is safe.
+type procScratch struct {
+	phases []phaseIO
+	iters  map[iterKey]iset.Set
+	nl     map[nlKey]iset.Set
+}
+
+type iterKey struct {
+	stmt int
+	rank int
+}
+
+type nlKey struct {
+	stmt int
+	rank int
+	ref  *ir.ArrayRef
+}
+
+func newProcScratch() *procScratch {
+	return &procScratch{
+		iters: map[iterKey]iset.Set{},
+		nl:    map[nlKey]iset.Set{},
+	}
+}
+
+// iterSet returns the statement's iteration set on one rank.  A
+// statement's surrounding nest is a function of its ID, so the key
+// (stmt, rank) determines the result.
+func (sc *procScratch) iterSet(in *Input, proc *ir.Procedure, id int, nest []*ir.Loop, rank int) iset.Set {
+	k := iterKey{stmt: id, rank: rank}
+	if s, ok := sc.iters[k]; ok {
+		return s
+	}
+	c := in.Sel.CPOf(id)
+	s := c.IterSet(nest, in.Ctx.Bind.Params, in.Ctx.LocalOf(proc, rank))
+	sc.iters[k] = s
+	return s
+}
+
+// nonLocal returns the non-local section of one reference under the
+// statement's iteration set on one rank (cp.Context.NonLocalData,
+// memoized).  References are keyed by identity: the IR is stable for
+// the lifetime of a RunProc call.
+func (sc *procScratch) nonLocal(in *Input, proc *ir.Procedure, id int, ref *ir.ArrayRef, vars []string, iters iset.Set, rank int) iset.Set {
+	k := nlKey{stmt: id, rank: rank, ref: ref}
+	if s, ok := sc.nl[k]; ok {
+		return s
+	}
+	s := in.Ctx.NonLocalData(proc, ref, vars, iters, rank)
+	sc.nl[k] = s
+	return s
+}
+
+// prepare fetches the procedure's memoized phase footprints; the
+// summary layer renders them and the dataflow layer scans them.
+func (sc *procScratch) prepare(in *Input, proc *ir.Procedure) {
+	sc.phases = in.procPhases(proc)
+}

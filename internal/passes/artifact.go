@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"dhpf/internal/analysis"
 	"dhpf/internal/comm"
 	"dhpf/internal/cp"
 	"dhpf/internal/dep"
@@ -21,6 +22,10 @@ const (
 	artifactSel    = "sel"    // per-procedure CP selection, frozen post-§6 on the pre-distribution body
 	artifactComm   = "comm"   // communication plan, frozen post-distribution and post-elimination
 	artifactVerify = "verify" // per-procedure verification fragment
+	// artifactAnalyze is the static-analysis tier: one procedure's
+	// summary-plus-diagnostics fragment, frozen on the post-distribution
+	// body like verify's.
+	artifactAnalyze = "analyze"
 	// artifactRawUnit is the raw-text tier: it maps the hash of a
 	// procedure's raw source chunk to its canonical unit hash, so an
 	// unedited procedure skips the canonical re-rendering entirely.
@@ -458,6 +463,76 @@ func thawVerify(proc *ir.Procedure, fz *frozenVerify) (*verify.Report, error) {
 	}, nil
 }
 
+// --- static-analysis artifacts -----------------------------------------------
+
+type frozenAnalyze struct {
+	Proc        analysis.ProcSummary
+	Diagnostics []verify.Diagnostic
+	// Iface caches the procedure's interface footprints so a dirty
+	// caller's analysis can resolve calls to this (clean) procedure
+	// without recomputing its phase footprints.  The sets carry no
+	// statement IDs, so they need no thaw-time relocation.
+	Iface  analysis.ProcIface
+	OldIDs []int
+}
+
+// freezeAnalyze captures one procedure's static-analysis fragment (a
+// single-proc analysis.Result) against the post-distribution body.
+func freezeAnalyze(in *analysis.Input, proc *ir.Procedure, frag *analysis.Result) (*frozenAnalyze, error) {
+	if len(frag.Procs) != 1 {
+		return nil, fmt.Errorf("analysis fragment covers %d procedures, want 1", len(frag.Procs))
+	}
+	return &frozenAnalyze{
+		Proc:        frag.Procs[0],
+		Diagnostics: append([]verify.Diagnostic(nil), frag.Diagnostics...),
+		Iface:       in.Interface(proc),
+		OldIDs:      walkIDs(proc.Body),
+	}, nil
+}
+
+// thawAnalyze relocates a frozen fragment's statement IDs — phase and
+// loop anchors plus the diagnostics' Stmt fields and any "stmt N"
+// phrasing inside Why — onto a fresh body.
+func thawAnalyze(proc *ir.Procedure, fz *frozenAnalyze) (*analysis.Result, error) {
+	m, err := idMap(fz.OldIDs, walkIDs(proc.Body))
+	if err != nil {
+		return nil, err
+	}
+	ps := fz.Proc
+	ps.Phases = append([]analysis.PhaseSummary(nil), ps.Phases...)
+	for i := range ps.Phases {
+		ph := &ps.Phases[i]
+		nn, ok := m[ph.Stmt]
+		if !ok {
+			return nil, fmt.Errorf("phase names unknown stmt %d", ph.Stmt)
+		}
+		ph.Stmt = nn
+		ph.Loops = append([]analysis.LoopSummary(nil), ph.Loops...)
+		for k := range ph.Loops {
+			ln, ok := m[ph.Loops[k].Stmt]
+			if !ok {
+				return nil, fmt.Errorf("loop summary names unknown stmt %d", ph.Loops[k].Stmt)
+			}
+			ph.Loops[k].Stmt = ln
+		}
+	}
+	diags := make([]verify.Diagnostic, 0, len(fz.Diagnostics))
+	for _, d := range fz.Diagnostics {
+		if d.Stmt >= 0 {
+			nn, ok := m[d.Stmt]
+			if !ok {
+				return nil, fmt.Errorf("diagnostic names unknown stmt %d", d.Stmt)
+			}
+			d.Stmt = nn
+		}
+		if d.Why, err = relocateText(d.Why, m); err != nil {
+			return nil, err
+		}
+		diags = append(diags, d)
+	}
+	return &analysis.Result{Procs: []analysis.ProcSummary{ps}, Diagnostics: diags}, nil
+}
+
 // --- size accounting ---------------------------------------------------------
 
 // approxSize estimates an artifact's memory footprint for the store's
@@ -485,6 +560,21 @@ func approxSize(v any) int64 {
 		return n
 	case *frozenVerify:
 		n := int64(64 + len(a.OldIDs)*8)
+		for _, d := range a.Diagnostics {
+			n += int64(len(d.Check)+len(d.Proc)+len(d.Ref)+len(d.Set)+len(d.Why)) + 96
+		}
+		return n
+	case *frozenAnalyze:
+		n := int64(64 + len(a.OldIDs)*8 + len(a.Proc.Proc))
+		for _, ph := range a.Proc.Phases {
+			n += 96 + int64(len(ph.Loops))*96 + int64(len(ph.PerRankComm))*8
+			for _, f := range ph.Reads {
+				n += int64(len(f.Array)+len(f.Set)) + 32
+			}
+			for _, f := range ph.Writes {
+				n += int64(len(f.Array)+len(f.Set)) + 32
+			}
+		}
 		for _, d := range a.Diagnostics {
 			n += int64(len(d.Check)+len(d.Proc)+len(d.Ref)+len(d.Set)+len(d.Why)) + 96
 		}

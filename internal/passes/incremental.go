@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"dhpf/internal/analysis"
 	"dhpf/internal/cache"
 	"dhpf/internal/comm"
 	"dhpf/internal/cp"
@@ -108,6 +109,7 @@ func RunIncrementalCtx(ctx context.Context, cc *CompileContext, store *cache.Art
 		PassWritebackRed: r.writebackRed,
 		PassLower:        r.lower,
 		PassVerify:       r.verify,
+		PassAnalyze:      r.analyze,
 	}
 	var prev probe
 	prevValid := false
@@ -127,7 +129,7 @@ func RunIncrementalCtx(ctx context.Context, cc *CompileContext, store *cache.Art
 		if cc.Sel != nil {
 			noteBase = cc.Sel.NoteCount()
 		}
-		start := time.Now()
+		start := time.Now() //vetdet:ok recompile wall times are -stats telemetry, never fingerprinted
 		cached := false
 		if ov, ok := overrides[p.Name]; ok {
 			cached, err = ov()
@@ -137,7 +139,7 @@ func RunIncrementalCtx(ctx context.Context, cc *CompileContext, store *cache.Art
 		if err != nil {
 			return nil, fmt.Errorf("pass %s: %w", p.Name, err)
 		}
-		st := Stat{Name: p.Name, Wall: time.Since(start), Cached: cached}
+		st := Stat{Name: p.Name, Wall: time.Since(start), Cached: cached} //vetdet:ok telemetry
 		if cc.Sel != nil {
 			st.Notes = cc.Sel.NotesSince(noteBase)
 		}
@@ -527,5 +529,62 @@ func (r *incrRun) verify() (bool, error) {
 		verify.Merge(rep, frag)
 	}
 	cc.Verify = rep
+	return len(fresh) == 0, nil
+}
+
+// analyze replaces runAnalyze the same way verify replaces runVerify:
+// clean procedures thaw their summary-plus-diagnostics fragments with
+// statement IDs relocated onto the fresh bodies, dirty ones are
+// analyzed in parallel, and the merge in procedure order is identical
+// to a cold analysis.Run.
+func (r *incrRun) analyze() (bool, error) {
+	cc := r.cc
+	in := buildAnalysisInput(cc)
+	frags := make([]*analysis.Result, len(cc.IR.Procs))
+	var fresh []int
+	for i, proc := range cc.IR.Procs {
+		if !r.dirty[proc] && !r.commFresh[proc] {
+			key := artifactKey(artifactAnalyze, r.fps.Env[proc])
+			if v, ok := r.store.Get(key); ok {
+				fz := v.(*frozenAnalyze)
+				if frag, err := thawAnalyze(proc, fz); err == nil {
+					frags[i] = frag
+					// Seed the clean procedure's interface so dirty
+					// callers resolve their calls from the cache.
+					in.SeedInterface(proc.Name, fz.Iface)
+					r.delta.ArtifactHits++
+					continue
+				}
+			}
+		}
+		fresh = append(fresh, i)
+	}
+	err := forEach(len(fresh), 0, func(k int) error {
+		proc := cc.IR.Procs[fresh[k]]
+		frag, err := analysis.RunProc(in, proc)
+		if err != nil {
+			return err
+		}
+		frags[fresh[k]] = frag
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	for _, i := range fresh {
+		proc := cc.IR.Procs[i]
+		r.delta.ArtifactMisses++
+		r.store.MarkDirty(1)
+		fz, err := freezeAnalyze(in, proc, frags[i])
+		if err != nil {
+			return false, err
+		}
+		r.store.Put(artifactKey(artifactAnalyze, r.fps.Env[proc]), fz, approxSize(fz))
+	}
+	res := &analysis.Result{}
+	for _, frag := range frags {
+		analysis.Merge(res, frag)
+	}
+	cc.Analysis = res
 	return len(fresh) == 0, nil
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"dhpf/internal/analysis"
 	"dhpf/internal/comm"
 	"dhpf/internal/cp"
 	"dhpf/internal/hpf"
@@ -39,6 +40,7 @@ const (
 	PassWritebackRed = "wbelim"
 	PassLower        = "lower"
 	PassVerify       = "verify"
+	PassAnalyze      = "analyze"
 )
 
 // Execution backends an Options.Backend may name.  The pipeline's
@@ -98,7 +100,7 @@ type Options struct {
 
 	// Disable lists optimization passes excluded from the pipeline by
 	// name (PassNewProp, PassLocalize, PassInterproc, PassLoopDist,
-	// PassAvailability, PassWritebackRed, PassVerify).  Core passes
+	// PassAvailability, PassWritebackRed, PassVerify, PassAnalyze).  Core passes
 	// cannot be disabled; unknown names are reported by BuildPipeline.
 	Disable []string
 
@@ -156,6 +158,10 @@ type CompileContext struct {
 	// Verify holds the translation-validation report of the verify pass
 	// (nil when the pass is disabled).
 	Verify *verify.Report
+	// Analysis holds the static-analysis result of the analyze pass —
+	// symbolic loop summaries plus dataflow diagnostics (nil when the
+	// pass is disabled).
+	Analysis *analysis.Result
 
 	Stats []Stat
 }
@@ -194,12 +200,13 @@ const (
 	ArtReductions = "reductions" // recognized reduction plans
 	ArtComm       = "comm"       // per-procedure communication plans
 	ArtVerify     = "verify"     // per-procedure verification fragments
+	ArtAnalysis   = "analysis"   // per-procedure static-analysis fragments
 )
 
 // ArtifactKinds lists the per-procedure artifacts the incremental
 // scheduler memoizes in the store, in pipeline order.
 func ArtifactKinds() []string {
-	return []string{ArtDeps, ArtSel, ArtComm, ArtVerify}
+	return []string{ArtDeps, ArtSel, ArtComm, ArtVerify, ArtAnalysis}
 }
 
 // BuildPipeline returns the ordered pass list for the options: the full
@@ -284,11 +291,11 @@ func RunCtx(ctx context.Context, cc *CompileContext) error {
 		if cc.Sel != nil {
 			noteBase = cc.Sel.NoteCount()
 		}
-		start := time.Now()
+		start := time.Now() //vetdet:ok pass wall times are -explain telemetry, never fingerprinted
 		if err := p.Run(cc); err != nil {
 			return fmt.Errorf("pass %s: %w", p.Name, err)
 		}
-		st := Stat{Name: p.Name, Wall: time.Since(start)}
+		st := Stat{Name: p.Name, Wall: time.Since(start)} //vetdet:ok telemetry
 		if cc.Sel != nil {
 			st.Notes = cc.Sel.NotesSince(noteBase)
 		}
@@ -351,6 +358,8 @@ func allPasses() []Pass {
 			Reads: []string{ArtSel, ArtComm, ArtReductions}},
 		{Name: PassVerify, Run: runVerify, Check: checkVerify, Optional: true,
 			Reads: []string{ArtIR, ArtBind, ArtSel, ArtComm, ArtReductions}, Produces: []string{ArtVerify}, PerProc: true},
+		{Name: PassAnalyze, Run: runAnalyze, Check: checkAnalyze, Optional: true,
+			Reads: []string{ArtIR, ArtBind, ArtSel, ArtComm, ArtReductions}, Produces: []string{ArtAnalysis}, PerProc: true},
 	}
 }
 
@@ -674,6 +683,10 @@ func summarize(name string, cc *CompileContext) string {
 	case PassVerify:
 		if cc.Verify != nil {
 			return cc.Verify.Summary()
+		}
+	case PassAnalyze:
+		if cc.Analysis != nil {
+			return cc.Analysis.Summary()
 		}
 	}
 	return ""

@@ -10,8 +10,8 @@
 // Because artifact keys are content fingerprints, what's on disk can
 // never be stale — at worst it is absent.
 //
-// Serializable tiers: deps, sel, comm, verify (pure-data frozen
-// structs) and the rawunit/calls front-end tiers (strings).  The ast
+// Serializable tiers: deps, sel, comm, verify, analyze (pure-data
+// frozen structs) and the rawunit/calls front-end tiers (strings).  The ast
 // tier holds live *ir.Procedure graphs and is deliberately memory-only:
 // a restart re-parses, which keeps output byte-identical at a small,
 // bounded cost.  Encoding an unsupported kind is a silent no-op and
@@ -21,14 +21,17 @@
 package passes
 
 import (
+	"math"
 	"sort"
 	"strings"
 
+	"dhpf/internal/analysis"
 	"dhpf/internal/cache"
 	"dhpf/internal/comm"
 	"dhpf/internal/cp"
 	"dhpf/internal/dep"
 	"dhpf/internal/ir"
+	"dhpf/internal/iset"
 	"dhpf/internal/store"
 	"dhpf/internal/store/codec"
 	"dhpf/internal/verify"
@@ -124,6 +127,14 @@ func encodeArtifact(kind string, val any) ([]byte, bool) {
 		w := codec.NewWriter("artifact/"+kind, artifactCodecVersion)
 		encVerify(w, v)
 		return w.Bytes(), true
+	case artifactAnalyze:
+		v, ok := val.(*frozenAnalyze)
+		if !ok {
+			return nil, false
+		}
+		w := codec.NewWriter("artifact/"+kind, artifactCodecVersion)
+		encAnalyze(w, v)
+		return w.Bytes(), true
 	case artifactRawUnit:
 		v, ok := val.(string)
 		if !ok {
@@ -164,6 +175,9 @@ func decodeArtifact(kind string, data []byte) (any, bool) {
 		return v, r.Done()
 	case artifactVerify:
 		v := decVerify(r)
+		return v, r.Done()
+	case artifactAnalyze:
+		v := decAnalyze(r)
 		return v, r.Done()
 	case artifactRawUnit:
 		v := r.String()
@@ -429,6 +443,176 @@ func encVerify(w *codec.Writer, v *frozenVerify) {
 	w.Int(v.Events)
 	w.Int(v.Ranks)
 	encInts(w, v.OldIDs)
+}
+
+func encDiagnostics(w *codec.Writer, ds []verify.Diagnostic) {
+	w.Uvarint(uint64(len(ds)))
+	for _, d := range ds {
+		w.String(d.Check)
+		w.String(string(d.Severity))
+		w.String(d.Proc)
+		w.Int(d.Stmt)
+		w.String(d.Ref)
+		w.String(d.Set)
+		w.String(d.Why)
+	}
+}
+
+func decDiagnostics(r *codec.Reader) []verify.Diagnostic {
+	var out []verify.Diagnostic
+	n := r.Uvarint()
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		out = append(out, verify.Diagnostic{
+			Check:    r.String(),
+			Severity: verify.Severity(r.String()),
+			Proc:     r.String(),
+			Stmt:     r.Int(),
+			Ref:      r.String(),
+			Set:      r.String(),
+			Why:      r.String(),
+		})
+	}
+	return out
+}
+
+func encFloat(w *codec.Writer, f float64) { w.Uvarint(math.Float64bits(f)) }
+func decFloat(r *codec.Reader) float64    { return math.Float64frombits(r.Uvarint()) }
+
+func encAnalyze(w *codec.Writer, v *frozenAnalyze) {
+	w.String(v.Proc.Proc)
+	w.Uvarint(uint64(len(v.Proc.Phases)))
+	for _, ph := range v.Proc.Phases {
+		w.Int(ph.Index)
+		w.Int(ph.Stmt)
+		w.String(ph.Kind)
+		w.Uvarint(uint64(len(ph.Loops)))
+		for _, l := range ph.Loops {
+			w.Int(l.Stmt)
+			w.String(l.Var)
+			w.String(l.Bounds)
+			w.String(l.Trip)
+			w.Int(int(l.Points))
+		}
+		encFloat(w, ph.Flops)
+		encFootprints(w, ph.Reads)
+		encFootprints(w, ph.Writes)
+		w.Int(ph.CommEvents)
+		w.Int(int(ph.CommElems))
+		encInt64s(w, ph.PerRankComm)
+	}
+	encDiagnostics(w, v.Diagnostics)
+	encIfaceSets(w, v.Iface.Reads)
+	encIfaceSets(w, v.Iface.Writes)
+	encInts(w, v.OldIDs)
+}
+
+func decAnalyze(r *codec.Reader) *frozenAnalyze {
+	out := &frozenAnalyze{}
+	out.Proc.Proc = r.String()
+	n := r.Uvarint()
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		ph := analysis.PhaseSummary{
+			Index: r.Int(),
+			Stmt:  r.Int(),
+			Kind:  r.String(),
+		}
+		nl := r.Uvarint()
+		for k := uint64(0); k < nl && r.Err() == nil; k++ {
+			ph.Loops = append(ph.Loops, analysis.LoopSummary{
+				Stmt:   r.Int(),
+				Var:    r.String(),
+				Bounds: r.String(),
+				Trip:   r.String(),
+				Points: int64(r.Int()),
+			})
+		}
+		ph.Flops = decFloat(r)
+		ph.Reads = decFootprints(r)
+		ph.Writes = decFootprints(r)
+		ph.CommEvents = r.Int()
+		ph.CommElems = int64(r.Int())
+		ph.PerRankComm = decInt64s(r)
+		out.Proc.Phases = append(out.Proc.Phases, ph)
+	}
+	out.Diagnostics = decDiagnostics(r)
+	out.Iface.Reads = decIfaceSets(r)
+	out.Iface.Writes = decIfaceSets(r)
+	out.OldIDs = decInts(r)
+	return out
+}
+
+// encIfaceSets encodes a name → integer-set map (a procedure interface
+// side) as sorted names with each set's rank and box list.
+func encIfaceSets(w *codec.Writer, m map[string]iset.Set) {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w.Uvarint(uint64(len(names)))
+	for _, n := range names {
+		w.String(n)
+		s := m[n]
+		w.Uvarint(uint64(s.Rank()))
+		boxes := s.Boxes()
+		w.Uvarint(uint64(len(boxes)))
+		for _, b := range boxes {
+			encInts(w, b.Lo)
+			encInts(w, b.Hi)
+		}
+	}
+}
+
+func decIfaceSets(r *codec.Reader) map[string]iset.Set {
+	out := map[string]iset.Set{}
+	n := r.Uvarint()
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		name := r.String()
+		rank := int(r.Uvarint())
+		s := iset.EmptySet(rank)
+		nb := r.Uvarint()
+		for k := uint64(0); k < nb && r.Err() == nil; k++ {
+			lo := decInts(r)
+			hi := decInts(r)
+			s = s.UnionBox(iset.NewBox(lo, hi))
+		}
+		out[name] = s
+	}
+	return out
+}
+
+func encFootprints(w *codec.Writer, fs []analysis.Footprint) {
+	w.Uvarint(uint64(len(fs)))
+	for _, f := range fs {
+		w.String(f.Array)
+		w.String(f.Set)
+		w.Int(int(f.Elems))
+	}
+}
+
+func decFootprints(r *codec.Reader) []analysis.Footprint {
+	var out []analysis.Footprint
+	n := r.Uvarint()
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		out = append(out, analysis.Footprint{Array: r.String(), Set: r.String(), Elems: int64(r.Int())})
+	}
+	return out
+}
+
+func encInt64s(w *codec.Writer, vs []int64) {
+	w.Uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		w.Int(int(v))
+	}
+}
+
+func decInt64s(r *codec.Reader) []int64 {
+	var out []int64
+	n := r.Uvarint()
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		out = append(out, int64(r.Int()))
+	}
+	return out
 }
 
 func decVerify(r *codec.Reader) *frozenVerify {

@@ -98,8 +98,8 @@ func (d *durable) Store(key string, ent *program, _ int64) {
 }
 
 // saveEntry persists one cache entry as chunks + a manifest.  Called
-// again after a verify report is first computed (the manifest gains a
-// verify chunk; unchanged chunks dedup to no-ops).
+// again after a verify or analyze report is first computed (the
+// manifest gains the report's chunk; unchanged chunks dedup to no-ops).
 func (d *durable) saveEntry(key string, ent *program) bool {
 	ranks := ent.ranks
 	refs := make([]store.ChunkRef, 0, ranks+3)
@@ -124,10 +124,17 @@ func (d *durable) saveEntry(key string, ent *program) bool {
 	}
 	ent.mu.Lock()
 	rep := ent.verifyRep
+	arep := ent.analyzeRep
 	ent.mu.Unlock()
 	if rep != nil {
 		js, err := json.Marshal(rep)
 		if err != nil || !put("verify", js) {
+			return false
+		}
+	}
+	if arep != nil {
+		js, err := json.Marshal(arep)
+		if err != nil || !put("analyze", js) {
 			return false
 		}
 	}
@@ -246,6 +253,12 @@ func (d *durable) loadLocal(key string) (*program, int64, bool) {
 		var rep dhpf.VerifyReport
 		if json.Unmarshal(vb, &rep) == nil {
 			ent.verifyRep = &rep
+		}
+	}
+	if ab, ok := chunk("analyze"); ok {
+		var rep dhpf.AnalyzeReport
+		if json.Unmarshal(ab, &rep) == nil {
+			ent.analyzeRep = &rep
 		}
 	}
 	return ent, size, true
@@ -381,6 +394,10 @@ func entryToWire(ent *program) *dhpf.ProgramEntryJSON {
 		rep := *ent.verifyRep
 		out.Verify = &rep
 	}
+	if ent.analyzeRep != nil {
+		rep := *ent.analyzeRep
+		out.Analyze = &rep
+	}
 	ent.mu.Unlock()
 	return out
 }
@@ -417,7 +434,8 @@ func entryFromWire(e *dhpf.ProgramEntryJSON) (*program, int64, bool) {
 			stats[i].DeltaBytes = *st.DeltaBytes
 		}
 	}
-	ent := &program{ranks: e.Ranks, report: e.Report, nodes: nodes, stats: stats, verifyRep: e.Verify}
+	ent := &program{ranks: e.Ranks, report: e.Report, nodes: nodes, stats: stats,
+		verifyRep: e.Verify, analyzeRep: e.Analyze}
 	return ent, size, true
 }
 

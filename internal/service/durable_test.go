@@ -149,6 +149,46 @@ func TestRestartWarmVerifyAndRun(t *testing.T) {
 	}
 }
 
+// TestRestartWarmAnalyze: the memoized static-analysis report is
+// persisted next to the program entry and survives a restart — the
+// repeat /v1/analyze is answered from disk with zero compiles and a
+// byte-identical report (including the cost prediction).
+func TestRestartWarmAnalyze(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dhpfd.store")
+	src := nas.SPSource(12, 1, 2, 2)
+	ctx := context.Background()
+
+	st := openStoreT(t, path)
+	_, client := newTestServer(t, Config{Store: st})
+	first, err := client.Analyze(ctx, dhpf.AnalyzeRequest{Source: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cost == nil || !first.Cost.Exact {
+		t.Fatalf("SP analyze missing exact cost: %+v", first.Cost)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStoreT(t, path)
+	srv2, client2 := newTestServer(t, Config{Store: st2})
+	second, err := client2.Analyze(ctx, dhpf.AnalyzeRequest{Source: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Error("restart-warm analyze not served as cached")
+	}
+	if n := srv2.compiles.Load(); n != 0 {
+		t.Errorf("restart-warm analyze did %d compiles, want 0", n)
+	}
+	first.Cached = second.Cached // only the cache flag may differ
+	if got, want := mustJSON(t, second), mustJSON(t, first); got != want {
+		t.Errorf("restart-warm analyze differs:\n got %s\nwant %s", got, want)
+	}
+}
+
 // TestRestartWarmTune: a completed tune leaderboard is persisted by
 // request fingerprint, so a restarted server answers the identical
 // /v1/tune request from disk — same ranked entries, same winner (with

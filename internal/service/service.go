@@ -146,11 +146,12 @@ type program struct {
 	report string
 	ranks  int
 
-	mu        sync.Mutex
-	prog      *dhpf.Program
-	nodes     map[int]string
-	stats     []dhpf.PassStat // cache-hit form; only for thawed entries
-	verifyRep *dhpf.VerifyReport
+	mu         sync.Mutex
+	prog       *dhpf.Program
+	nodes      map[int]string
+	stats      []dhpf.PassStat // cache-hit form; only for thawed entries
+	verifyRep  *dhpf.VerifyReport
+	analyzeRep *dhpf.AnalyzeReport
 }
 
 func newProgram(p *dhpf.Program) *program {
@@ -200,6 +201,28 @@ func (e *program) verify() (*dhpf.VerifyReport, error) {
 	}
 	e.verifyRep = &rep
 	return e.verifyRep, nil
+}
+
+// analyze memoizes the static-analysis report: summaries, dataflow
+// diagnostics and the cost oracle's prediction are pure over the
+// compiled facts, so repeated /v1/analyze requests on one fingerprint
+// pay the set algebra once.  Callers must revive a thawed entry first
+// when no report is memoized (Server.liveProgram).
+func (e *program) analyze() (*dhpf.AnalyzeReport, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.analyzeRep != nil {
+		return e.analyzeRep, nil
+	}
+	if e.prog == nil {
+		return nil, errors.New("service: analyze on a thawed entry without a live program")
+	}
+	rep, err := e.prog.Analyze()
+	if err != nil {
+		return nil, err
+	}
+	e.analyzeRep = &rep
+	return e.analyzeRep, nil
 }
 
 // Server is one compile service instance.
@@ -278,6 +301,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/tune", s.handleTune)
 	mux.HandleFunc("POST /v1/peer/fetch", s.handlePeerFetch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -708,6 +732,55 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		s.durable.Store(key, ent, 0)
 	}
 	s.ok(w, dhpf.VerifyResponse{Fingerprint: key, VerifyReport: *rep, Cached: cached})
+}
+
+// handleAnalyze compiles (through the cache) and returns the static
+// analyzer's report: symbolic loop summaries, dataflow diagnostics and
+// the cost oracle's predicted counters.  Unlike verify, the in-pipeline
+// analyze pass stays enabled — it never fails a compile — so the request
+// shares its fingerprint (and therefore its cache entry) with a plain
+// /v1/compile of the same triple.  The report is memoized on the entry
+// and persisted alongside it.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req dhpf.AnalyzeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	opt, err := req.Options.Resolve()
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	key, ent, cached, err := s.compile(ctx, req.Source, req.Params, opt)
+	if err != nil {
+		s.failCompile(w, err)
+		return
+	}
+	ent.mu.Lock()
+	hasRep := ent.analyzeRep != nil
+	ent.mu.Unlock()
+	if !hasRep {
+		// No memoized report: the analysis runs over the live facts, so a
+		// thawed entry (persisted before anyone analyzed it) revives first.
+		if _, err := s.liveProgram(ctx, ent, req.Source, req.Params, opt); err != nil {
+			s.failCompile(w, err)
+			return
+		}
+	}
+	rep, err := ent.analyze()
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if !hasRep && s.durable != nil {
+		// Persist the fresh report next to the program entry: unchanged
+		// chunks dedup, the manifest gains an analyze ref, and the report
+		// survives restarts with the rest of the entry.
+		s.durable.Store(key, ent, 0)
+	}
+	s.ok(w, dhpf.AnalyzeResponse{Fingerprint: key, AnalyzeReport: *rep, Cached: cached})
 }
 
 // handleTune runs an auto-tuning search inside one worker slot: the

@@ -548,6 +548,57 @@ func TestVerifyEndpoint(t *testing.T) {
 	}
 }
 
+// TestAnalyzeEndpoint: /v1/analyze returns the static-analysis report
+// with the cost oracle's prediction, memoizes it on the cache entry,
+// and — unlike verify, whose compile must disable the in-pipeline pass —
+// shares its fingerprint with a plain compile of the same triple.
+func TestAnalyzeEndpoint(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	req := dhpf.AnalyzeRequest{Source: tinySrc}
+
+	cold, err := client.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cold.Clean || cold.Errors != 0 {
+		t.Fatalf("tiny program not clean:\n%s", cold.Text)
+	}
+	if cold.Procs != 1 || cold.Phases == 0 {
+		t.Errorf("report missing summaries: procs=%d phases=%d", cold.Procs, cold.Phases)
+	}
+	if cold.Cost == nil || !cold.Cost.Exact || cold.Cost.TotalFlops() == 0 {
+		t.Errorf("report missing exact cost prediction: %+v", cold.Cost)
+	}
+	if !strings.Contains(cold.Summary, "analyze:") {
+		t.Errorf("summary = %q", cold.Summary)
+	}
+	if cold.Cached {
+		t.Error("first analyze reported cached")
+	}
+
+	warm, err := client.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Error("second analyze not served from cache")
+	}
+	if warm.Text != cold.Text || warm.Fingerprint != cold.Fingerprint {
+		t.Error("warm analyze differs from cold")
+	}
+
+	comp, err := client.Compile(context.Background(), dhpf.CompileRequest{Source: tinySrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Fingerprint != cold.Fingerprint {
+		t.Error("analyze compile does not share the default compile's cache key")
+	}
+	if !comp.Cached {
+		t.Error("compile after analyze missed the shared cache entry")
+	}
+}
+
 // editSPMod makes the canonical warm edit to an SPModSource program: a
 // one-constant change inside the add procedure.
 func editSPMod(t *testing.T, src string) string {

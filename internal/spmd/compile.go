@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 
+	"dhpf/internal/analysis"
 	"dhpf/internal/cache"
 	"dhpf/internal/comm"
 	"dhpf/internal/cp"
@@ -140,6 +141,38 @@ func (p *Program) Verify() (*verify.Report, error) {
 	})
 }
 
+// AnalysisInput builds the static-analysis input for this program: the
+// same post-pipeline facts the in-pipeline analyze pass reads, so
+// analysis.Run and analysis.Predict on it agree with the pipeline's own
+// analysis (and, by the exactness invariant, with execution).
+func (p *Program) AnalysisInput() *analysis.Input {
+	reds := map[string][]analysis.Reduction{}
+	for name, plans := range p.Reductions {
+		for _, r := range plans {
+			reds[name] = append(reds[name], analysis.Reduction{Loop: r.Loop, Stmt: r.Stmt, Var: r.Var, Op: r.Op})
+		}
+	}
+	backend, _ := passes.ParseBackend(p.Opt.Backend)
+	return &analysis.Input{
+		IR: p.IR, Ctx: p.Ctx, Sel: p.Sel, Comm: p.Comm,
+		Reductions:    reds,
+		Grid:          p.Grid,
+		Backend:       backend,
+		PipelineGrain: p.Opt.PipelineGrain,
+	}
+}
+
+// Analyze runs the whole-program static analysis over the compiled
+// facts: symbolic summaries plus dataflow diagnostics.
+func (p *Program) Analyze() (*analysis.Result, error) {
+	return analysis.Run(p.AnalysisInput())
+}
+
+// PredictCost runs the static cost oracle for this program's backend.
+func (p *Program) PredictCost() (*analysis.Cost, error) {
+	return analysis.Predict(p.AnalysisInput())
+}
+
 // Report renders the compilation decisions (CPs, communication events,
 // notes) as text — what cmd/dhpfc prints.
 func (p *Program) Report() string {
@@ -193,36 +226,12 @@ func (p *Program) eventVolume(proc *ir.Procedure, e *comm.Event) string {
 	return fmt.Sprintf("  [%d msgs, %d B vectorized]", len(plan), bytes)
 }
 
-// StaticFlops exposes the interpreter's per-statement flop cost so that
-// hand-coded implementations of the same formulas (the NAS baselines)
-// can charge identical virtual-time work.
+// StaticFlops exposes the per-statement flop cost so that hand-coded
+// implementations of the same formulas (the NAS baselines) can charge
+// identical virtual-time work.
 func StaticFlops(a *ir.Assign) float64 { return flopsOf(a) }
 
-// flopsOf statically counts the floating-point work of one execution of
-// an assignment's right-hand side (plus the store).
-func flopsOf(a *ir.Assign) float64 {
-	var n float64
-	ir.WalkExpr(a.RHS, func(e ir.Expr) {
-		switch x := e.(type) {
-		case *ir.Bin:
-			if x.Op == '/' {
-				n += 4
-			} else {
-				n++
-			}
-		case *ir.Intrinsic:
-			switch x.Name {
-			case "sqrt":
-				n += 6
-			case "exp", "sin", "cos", "log", "pow":
-				n += 8
-			default:
-				n++
-			}
-		}
-	})
-	if n == 0 {
-		n = 1 // a bare copy still costs a load/store
-	}
-	return n
-}
+// flopsOf is the executor's per-statement flop charge.  It delegates to
+// the analysis package's canonical model so the static cost oracle
+// (analysis.Predict) and the measured counters agree by construction.
+func flopsOf(a *ir.Assign) float64 { return analysis.FlopsOf(a) }

@@ -38,6 +38,7 @@ import (
 	"sync"
 	"time"
 
+	"dhpf/internal/analysis"
 	"dhpf/internal/cache"
 	"dhpf/internal/mpsim"
 	"dhpf/internal/nas"
@@ -100,6 +101,19 @@ type Spec struct {
 	// TopK bounds the full tier: how many screen survivors are compiled
 	// and simulated (default 3).
 	TopK int
+	// StaticScreen inserts a zero-simulation middle tier between the
+	// analytic screen and the full tier: every block-scheme survivor is
+	// compiled (never simulated) and the static cost oracle
+	// (internal/analysis) derives its exact execution counters, which
+	// the machine's cost parameters convert to a static time.  Only the
+	// ⌈TopK/2⌉ statically-cheapest block survivors go on to full
+	// simulation, so the full tier strictly shrinks whenever more than
+	// that survive the analytic screen; transpose candidates have no
+	// compiled program and bypass the tier.  Unlike the analytic screen
+	// the oracle's counters are exact (the same flop and message totals
+	// the simulator would observe), so the demotions are grounded in
+	// measurements, not a model.
+	StaticScreen bool
 	// MaxScreen caps the screened candidate count; when the space is
 	// larger, a Seed-deterministic subsample is screened (0 = screen
 	// everything).
@@ -237,6 +251,10 @@ type Entry struct {
 	// Screen is the analytic prediction at the target size (seconds
 	// per run); zero for generic sources.
 	Screen float64 `json:"screen_seconds"`
+	// Static is the cost oracle's zero-simulation time at the source
+	// size (StaticScreen tier only; zero when the tier is off or the
+	// candidate bypassed it).
+	Static float64 `json:"static_seconds,omitempty"`
 	// Sim is the measured virtual time at the source size, with its
 	// message totals (full tier only).
 	Sim   float64 `json:"sim_seconds,omitempty"`
@@ -269,10 +287,15 @@ type Counters struct {
 	Pruned     int `json:"pruned"`
 	MemoHits   int `json:"memo_hits"`
 	MemoMisses int `json:"memo_misses"`
+	// StaticEvals counts candidates costed by the static oracle tier
+	// (zero unless Spec.StaticScreen).
+	StaticEvals int `json:"static_evals,omitempty"`
 	// ScreenWall and FullWall are the real time spent in each tier —
 	// the two-level protocol's economics (the screen covers the whole
-	// space for a fraction of one simulation).
+	// space for a fraction of one simulation).  StaticWall is the
+	// oracle tier's share when enabled.
 	ScreenWall time.Duration `json:"screen_wall_ns"`
+	StaticWall time.Duration `json:"static_wall_ns,omitempty"`
 	FullWall   time.Duration `json:"full_wall_ns"`
 }
 
@@ -295,11 +318,23 @@ type fullEval struct {
 	Compared  int
 }
 
+// staticEval is one memoized static-tier costing: the oracle's exact
+// counters for a compiled (never simulated) candidate, reduced to a
+// ranking time under the machine's cost parameters.
+type staticEval struct {
+	Seconds float64
+	Flops   float64
+	Msgs    int64
+	Bytes   int64
+	Exact   bool
+}
+
 // Tuner runs tuning requests over shared memo caches: repeated Tune
 // calls (or overlapping specs) reuse full evaluations and serial
 // reference runs keyed by content fingerprints.
 type Tuner struct {
 	evals   *cache.Cache[fullEval]
+	statics *cache.Cache[staticEval]
 	serials *cache.Cache[map[string][]float64]
 }
 
@@ -308,6 +343,7 @@ type Tuner struct {
 func New() *Tuner {
 	return &Tuner{
 		evals:   cache.New[fullEval](1 << 16),
+		statics: cache.New[staticEval](1 << 16),
 		serials: cache.New[map[string][]float64](128 << 20),
 	}
 }
@@ -402,6 +438,74 @@ func (t *Tuner) Run(ctx context.Context, spec Spec) (*Result, error) {
 			keys[i] = e.Key()
 		}
 		trail("full tier: top %d by predicted cost: %v", len(survivors), keys)
+	}
+
+	// Tier 1.5 (opt-in): the static cost oracle re-ranks the analytic
+	// survivors with zero simulation and forwards only the statically
+	// cheapest block candidates to the full tier.
+	if s.StaticScreen && len(survivors) > 0 {
+		staticStart := time.Now()
+		type ranked struct {
+			e   *Entry
+			sec float64
+		}
+		var blocks []ranked
+		var rest []*Entry
+		for _, e := range survivors {
+			if e.Scheme != SchemeBlock {
+				// The transpose comparison point has no compiled program
+				// for the oracle to walk; it always reaches the full tier.
+				rest = append(rest, e)
+				continue
+			}
+			ev, err := t.evalStatic(ctx, &s, e.Candidate)
+			if err != nil {
+				// A candidate the oracle cannot compile would fail the
+				// full tier's identical compile too; rank it last rather
+				// than spend a simulation discovering that.
+				trail("static screen: %s: %v (ranked last)", e.Key(), err)
+				blocks = append(blocks, ranked{e, math.Inf(1)})
+				continue
+			}
+			e.Static = ev.Seconds
+			res.Counters.StaticEvals++
+			trail("static screen: %s: %.6fs static (%.0f flops, %d msgs, %d bytes, exact=%v)",
+				e.Key(), ev.Seconds, ev.Flops, ev.Msgs, ev.Bytes, ev.Exact)
+			blocks = append(blocks, ranked{e, ev.Seconds})
+		}
+		if ctx.Err() != nil {
+			return res, ctx.Err()
+		}
+		sort.Slice(blocks, func(i, j int) bool {
+			if blocks[i].sec != blocks[j].sec {
+				return blocks[i].sec < blocks[j].sec
+			}
+			return blocks[i].e.Key() < blocks[j].e.Key()
+		})
+		keep := (s.TopK + 1) / 2
+		if keep < 1 {
+			keep = 1
+		}
+		if len(blocks) > keep {
+			for i, r := range blocks[keep:] {
+				r.e.Note = fmt.Sprintf("static screen: ranked %d of %d block survivors, top %d simulated",
+					keep+i+1, len(blocks), keep)
+			}
+			blocks = blocks[:keep]
+		}
+		kept := make([]*Entry, 0, len(blocks)+len(rest))
+		for _, r := range blocks {
+			kept = append(kept, r.e)
+		}
+		kept = append(kept, rest...)
+		survivors = kept
+		res.Counters.StaticWall = time.Since(staticStart)
+		keys := make([]string, len(survivors))
+		for i, e := range survivors {
+			keys[i] = e.Key()
+		}
+		trail("static screen kept %d for full simulation in %v: %v",
+			len(survivors), res.Counters.StaticWall.Round(time.Microsecond), keys)
 	}
 
 	// Tier 2: compile + simulate survivors in deterministic waves.
@@ -656,6 +760,87 @@ func (t *Tuner) evalOnce(ctx context.Context, s *Spec, c Candidate, limit float6
 		ev.Verified = false
 	}
 	return ev, nil
+}
+
+// staticParams binds the candidate's parameters at the static tier's
+// costing size.  Bench-mode sources expose their problem size as the
+// N/STEPS parameters, so the oracle costs the candidate at the
+// *target* size — the size the analytic screen ranks for and the
+// simulator cannot reach; the tiers then agree on what "cheapest"
+// means.  Generic sources are costed at the source size.
+func staticParams(s *Spec, c Candidate) map[string]int {
+	p := c.params(s)
+	if s.Bench != "" {
+		p["N"], p["STEPS"] = s.TargetN, s.TargetSteps
+	}
+	return p
+}
+
+// evalStatic memoizes the zero-simulation costing of one block
+// candidate: compile it at the static costing size, run the static
+// cost oracle over the compiled program, and reduce the exact per-rank
+// counters to a ranking time.  The memo key is the candidate's compile
+// fingerprint plus the machine's cost parameters — the same identity
+// the full tier uses, minus the verify configuration (the oracle never
+// touches numerics).
+func (t *Tuner) evalStatic(ctx context.Context, s *Spec, c Candidate) (staticEval, error) {
+	key := cache.Key("static",
+		passes.FingerprintKey(s.Source, staticParams(s, c), c.options()),
+		machineKey(s.Machine, s.Procs))
+	ev, _, err := t.statics.GetOrCompute(ctx, key, func(ctx context.Context) (staticEval, int64, error) {
+		var ev staticEval
+		prog, err := spmd.CompileSourceCtx(ctx, s.Source, staticParams(s, c), c.options())
+		if err != nil {
+			return ev, 0, fmt.Errorf("compile: %w", err)
+		}
+		cost, err := prog.PredictCost()
+		if err != nil {
+			return ev, 0, fmt.Errorf("predict: %w", err)
+		}
+		ev.Seconds = staticSeconds(cost, s.Machine)
+		ev.Flops = cost.TotalFlops()
+		ev.Msgs = cost.TotalMessages()
+		ev.Bytes = cost.TotalBytes()
+		ev.Exact = cost.Exact
+		return ev, 1, nil
+	})
+	return ev, err
+}
+
+// staticSeconds converts the oracle's per-rank counters into a ranking
+// time under the machine's cost parameters: the aggregate work — every
+// rank's flops, send and receive overheads, wire latency, per-byte gap,
+// and shared-memory pulls — divided by the machine width.  Under the
+// coarse-grain pipelined schedule the machine runs throughput-bound,
+// so the steady-state volume bound is the stable discriminator between
+// grid shapes (a squarer grid moves less halo surface); wavefront fill
+// and load imbalance are second-order there.  This is a ranking
+// heuristic, not the simulator — which is exactly why the survivors it
+// forwards are still measured by the full tier.
+func staticSeconds(cost *analysis.Cost, cfg mpsim.Config) float64 {
+	var total float64
+	for _, f := range cost.Flops {
+		total += f * cfg.FlopTime
+	}
+	for _, m := range cost.SentMsgs {
+		total += float64(m) * (cfg.SendOverhead + cfg.Latency)
+	}
+	for _, b := range cost.SentBytes {
+		total += float64(b) * cfg.GapPerByte
+	}
+	for _, m := range cost.RecvMsgs {
+		total += float64(m) * cfg.RecvOverhead
+	}
+	for _, p := range cost.Pulls {
+		total += float64(p) * cfg.Latency
+	}
+	for _, b := range cost.PulledBytes {
+		total += float64(b) * cfg.GapPerByte
+	}
+	if cost.Ranks > 0 {
+		total /= float64(cost.Ranks)
+	}
+	return total
 }
 
 func sortedArrayKeys(m map[string][]float64) []string {

@@ -145,6 +145,80 @@ func TestTuneSPRediscoversTable81At16Ranks(t *testing.T) {
 	}
 }
 
+// The static-screen gate: with Spec.StaticScreen the tuner must find
+// the *same* Table 8.1 winner at 16 ranks with strictly fewer full
+// simulations — the cost oracle's zero-simulation tier demotes the
+// statically slower block grids before the simulator ever sees them.
+func TestTuneStaticScreenSameWinnerFewerEvals(t *testing.T) {
+	base := specSP(16, 18, 1)
+	base.TargetN = 64
+	base.Grains = []int{8}
+	base.TopK = 4
+
+	plain, err := New().Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Winner == nil || plain.Winner.Scheme != SchemeBlock {
+		t.Fatalf("baseline winner should be a block configuration: %+v", plain.Winner)
+	}
+	if plain.Counters.StaticEvals != 0 {
+		t.Errorf("baseline run must not invoke the oracle, got %d static evals", plain.Counters.StaticEvals)
+	}
+
+	withStatic := base
+	withStatic.StaticScreen = true
+	static, err := New().Run(context.Background(), withStatic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.Winner == nil {
+		t.Fatal("static-screen run found no winner")
+	}
+	if got, want := static.Winner.Key(), plain.Winner.Key(); got != want {
+		t.Errorf("static screen changed the winner: %q, baseline %q\ntrail: %v", got, want, static.Trail)
+	}
+	if !static.Winner.Verified {
+		t.Errorf("static-screen winner not verified: %+v", static.Winner)
+	}
+	if static.Winner.Static <= 0 {
+		t.Errorf("winner should carry its static time: %+v", static.Winner)
+	}
+	if got, base := static.Counters.FullEvals, plain.Counters.FullEvals; got >= base {
+		t.Errorf("static screen must cut full evaluations: %d with, %d without", got, base)
+	}
+	if static.Counters.StaticEvals == 0 {
+		t.Error("static-screen run reports zero oracle costings")
+	}
+	// The demoted block survivors stay on the leaderboard as screened
+	// entries with the demotion note — nothing silently disappears.
+	demoted := 0
+	for _, e := range static.Entries {
+		if e.Scheme == SchemeBlock && e.Status == StatusScreened && strings.Contains(e.Note, "static screen") {
+			demoted++
+		}
+	}
+	if want := plain.Counters.FullEvals - static.Counters.FullEvals; demoted != want {
+		t.Errorf("%d demoted block entries on the leaderboard, want %d\n%v",
+			demoted, want, leaderboard(t, static))
+	}
+
+	// Determinism across a shared-tuner rerun: memo hits must not
+	// change the static leaderboard.
+	tu := New()
+	first, err := tu.Run(context.Background(), withStatic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := tu.Run(context.Background(), withStatic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := leaderboard(t, again), leaderboard(t, first); !equalStrings(got, want) {
+		t.Errorf("static-screen leaderboard not reproducible:\n got %v\nwant %v", got, want)
+	}
+}
+
 // With a sub-1 prune factor and single-worker waves, every survivor
 // after the first must beat the incumbent by a wide margin or be
 // abandoned — and the abandonment must reproduce identically on a rerun

@@ -78,15 +78,18 @@ const (
 )
 
 // Diagnostic is one finding: which theorem, how bad, where, and the
-// offending (or witnessing) set.
+// offending (or witnessing) set.  The JSON tags are the shared
+// diagnostic schema every surface emits — the verifier (-lint) and the
+// static analyzer (-analyze) render findings identically: code,
+// severity, proc, stmt, message (plus the optional ref/set witness).
 type Diagnostic struct {
-	Check    string   `json:"check"`
+	Check    string   `json:"code"`
 	Severity Severity `json:"severity"`
 	Proc     string   `json:"proc"`
 	Stmt     int      `json:"stmt"`          // statement ID; -1 when not statement-scoped
 	Ref      string   `json:"ref,omitempty"` // rendered array reference
 	Set      string   `json:"set,omitempty"` // rendered iset witness
-	Why      string   `json:"why"`
+	Why      string   `json:"message"`
 }
 
 func (d Diagnostic) String() string {

@@ -1,20 +1,37 @@
-// Command vetdet is the repo's determinism linter: it flags `for …
-// range m` loops over maps whose bodies feed order-sensitive output.
-// Go randomizes map iteration order per run, so a map-range that
-// appends to an outer slice, writes through an io.Writer /
-// strings.Builder / bytes.Buffer, or concatenates onto an outer string
-// produces nondeterministically ordered output — exactly the class of
-// bug that breaks this repo's byte-identical-report and
-// golden-output guarantees.  The fix is always the same idiom: collect
-// the keys, sort, then range over the sorted slice.
+// Command vetdet is the repo's determinism linter.  It enforces three
+// rules that protect the byte-identical-report, golden-output, and
+// content-addressed-fingerprint guarantees:
+//
+//  1. Map-range order: a `for … range m` loop over a map whose body
+//     feeds order-sensitive output — appending to an outer slice,
+//     writing through an io.Writer / strings.Builder / bytes.Buffer,
+//     or concatenating onto an outer string — produces
+//     nondeterministically ordered output.  The fix is always the same
+//     idiom: collect the keys, sort, then range over the sorted slice.
+//
+//  2. Wall-clock and global randomness in the deterministic core: the
+//     compiler, analysis, and verification packages must be pure
+//     functions of their inputs (their results are fingerprinted and
+//     memoized), so calls to time.Now/time.Since or to math/rand's
+//     global-source functions (rand.Int, rand.Perm, … — a seeded
+//     rand.New(rand.NewSource(k)) is deterministic and allowed) are
+//     flagged there.  Timing telemetry that never reaches a
+//     fingerprint carries a //vetdet:ok exemption.
+//
+//  3. Unsorted key escapes: an exported function that gathers map keys
+//     into a slice and returns it without sorting leaks map iteration
+//     order across a package boundary, where it eventually reaches a
+//     report or a fingerprint.
 //
 // Two exemptions keep the signal clean:
 //
 //   - a loop whose body is a single `ks = append(ks, k)` statement
 //     appending only the range variables is the first half of the
-//     sort-then-range idiom and is allowed;
-//   - a `//vetdet:ok` comment on the range statement suppresses the
-//     finding (for sinks that are genuinely order-insensitive).
+//     sort-then-range idiom and is allowed (until rule 3 sees it
+//     returned unsorted);
+//   - a `//vetdet:ok` comment on the flagged line suppresses the
+//     finding (for sinks that are genuinely order-insensitive and
+//     clocks that are genuinely telemetry).
 //
 // Built on go/parser + go/types with the stdlib "source" importer
 // (golang.org/x/tools is unavailable in this environment, so this is a
@@ -69,14 +86,15 @@ func main() {
 
 // listedPackage is the slice of `go list -json` output vetdet needs.
 type listedPackage struct {
-	Dir     string
-	GoFiles []string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
 }
 
 // listPackages resolves package patterns through the go command (the
 // only module-aware resolver available without x/tools).
 func listPackages(patterns []string) ([]listedPackage, error) {
-	args := append([]string{"list", "-json=Dir,GoFiles"}, patterns...)
+	args := append([]string{"list", "-json=Dir,ImportPath,GoFiles"}, patterns...)
 	out, err := exec.Command("go", args...).Output()
 	if err != nil {
 		if ee, ok := err.(*exec.ExitError); ok {
@@ -123,8 +141,28 @@ func lintPackage(p listedPackage) ([]string, error) {
 	var findings []string
 	for _, f := range files {
 		findings = append(findings, lintFile(fset, f, info)...)
+		findings = append(findings, lintUnsortedKeyReturns(fset, f, info)...)
+		if deterministicCore(p.ImportPath) {
+			findings = append(findings, lintNondetCalls(fset, f, info)...)
+		}
 	}
 	return findings, nil
+}
+
+// deterministicCore reports whether the package is part of the
+// compiler/analysis core whose outputs are fingerprinted or memoized —
+// the scope of the wall-clock/global-rand rule.  The service, CLI, and
+// tuner layers may read the clock (request logging, tier wall
+// counters); the core may not.
+func deterministicCore(importPath string) bool {
+	switch importPath {
+	case "dhpf/internal/parser", "dhpf/internal/hpf", "dhpf/internal/ir",
+		"dhpf/internal/iset", "dhpf/internal/cp", "dhpf/internal/comm",
+		"dhpf/internal/spmd", "dhpf/internal/passes", "dhpf/internal/analysis",
+		"dhpf/internal/verify", "dhpf/internal/perfmodel", "dhpf/internal/nas":
+		return true
+	}
+	return false
 }
 
 // lintFile walks one file for map-range loops feeding ordered sinks.
@@ -287,4 +325,170 @@ func isWriterish(t types.Type) bool {
 		}
 	}
 	return false
+}
+
+// globalRandFuncs are the math/rand package-level functions that draw
+// from the unseeded global source.  rand.New and rand.NewSource are
+// absent: a *rand.Rand built from an explicit seed is deterministic.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+// lintNondetCalls flags wall-clock reads and global-source randomness
+// inside a deterministic-core package: time.Now / time.Since and the
+// math/rand global-source functions.  //vetdet:ok on the call's line
+// exempts telemetry that never reaches a fingerprint.
+func lintNondetCalls(fset *token.FileSet, f *ast.File, info *types.Info) []string {
+	suppressed := suppressedLines(fset, f)
+	var findings []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgIdent, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := info.Uses[pkgIdent].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		pos := fset.Position(call.Pos())
+		if suppressed[pos.Line] {
+			return true
+		}
+		switch pn.Imported().Path() {
+		case "time":
+			if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" {
+				findings = append(findings, fmt.Sprintf(
+					"%s: wall clock (time.%s) in a deterministic-core package: results here are fingerprinted (or mark //vetdet:ok for telemetry)",
+					pos, sel.Sel.Name))
+			}
+		case "math/rand", "math/rand/v2":
+			if globalRandFuncs[sel.Sel.Name] {
+				findings = append(findings, fmt.Sprintf(
+					"%s: global-source rand.%s in a deterministic-core package: seed an explicit rand.New(rand.NewSource(k)) instead",
+					pos, sel.Sel.Name))
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// lintUnsortedKeyReturns flags exported functions that gather map keys
+// into a slice and return that slice with no sort call on it anywhere
+// in the function: map iteration order escapes the package boundary.
+func lintUnsortedKeyReturns(fset *token.FileSet, f *ast.File, info *types.Info) []string {
+	suppressed := suppressedLines(fset, f)
+	var findings []string
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil || !fn.Name.IsExported() {
+			continue
+		}
+		// The slices that hold gathered map keys, by object.
+		gathered := map[types.Object]token.Position{}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if !isKeyCollection(rng, info) {
+				return true
+			}
+			as := rng.Body.List[0].(*ast.AssignStmt)
+			if id, ok := as.Lhs[0].(*ast.Ident); ok {
+				if obj := objectOf(id, info); obj != nil {
+					gathered[obj] = fset.Position(rng.Pos())
+				}
+			}
+			return true
+		})
+		if len(gathered) == 0 {
+			continue
+		}
+		// Any ident that appears inside a sort.* / slices.* call counts
+		// as sorted (covers sort.Strings(ks), sort.Slice(ks, …), and
+		// sort.Sort(byName(ks))).
+		sorted := map[types.Object]bool{}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgIdent, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := info.Uses[pkgIdent].(*types.PkgName)
+			if !ok || (pn.Imported().Path() != "sort" && pn.Imported().Path() != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(a ast.Node) bool {
+					if id, ok := a.(*ast.Ident); ok {
+						if obj := info.Uses[id]; obj != nil {
+							sorted[obj] = true
+						}
+					}
+					return true
+				})
+			}
+			return true
+		})
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, r := range ret.Results {
+				id, ok := r.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Uses[id]
+				pos, isGathered := gathered[obj]
+				if !isGathered || sorted[obj] {
+					continue
+				}
+				retPos := fset.Position(ret.Pos())
+				if suppressed[retPos.Line] || suppressed[pos.Line] {
+					continue
+				}
+				findings = append(findings, fmt.Sprintf(
+					"%s: %s returns map keys %q (gathered at line %d) unsorted across the package boundary: sort before returning (or mark //vetdet:ok)",
+					retPos, fn.Name.Name, id.Name, pos.Line))
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+// objectOf resolves an ident whether it defines or uses its object.
+func objectOf(id *ast.Ident, info *types.Info) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
 }

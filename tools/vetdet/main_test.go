@@ -102,6 +102,145 @@ func TestLintFixture(t *testing.T) {
 	}
 }
 
+const nondetFixture = `package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badClock() time.Time {
+	return time.Now()
+}
+
+func badElapsed(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}
+
+func badRand() int {
+	return rand.Intn(10)
+}
+
+func goodSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func exemptTelemetry() time.Time {
+	return time.Now() //vetdet:ok pass wall times are telemetry, not results
+}
+`
+
+// TestNondetCallsInCore: time.Now/time.Since and global-source
+// math/rand calls are findings inside a deterministic-core package,
+// while seeded rand.New(rand.NewSource(k)) and //vetdet:ok lines pass.
+// The same file in a non-core package lints clean.
+func TestNondetCallsInCore(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fixture.go")
+	if err := os.WriteFile(path, []byte(nondetFixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	core := listedPackage{Dir: dir, ImportPath: "dhpf/internal/analysis", GoFiles: []string{"fixture.go"}}
+	findings, err := lintPackage(core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"time.Now", "time.Since", "rand.Intn"}
+	if len(findings) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(findings), len(want), strings.Join(findings, "\n"))
+	}
+	for i, w := range want {
+		if !strings.Contains(findings[i], w) {
+			t.Errorf("finding %d = %q, want mention of %q", i, findings[i], w)
+		}
+	}
+	for _, f := range findings {
+		if strings.Contains(f, "goodSeeded") || strings.Contains(f, "exempt") {
+			t.Errorf("false positive: %s", f)
+		}
+	}
+
+	outside := listedPackage{Dir: dir, ImportPath: "dhpf/internal/service", GoFiles: []string{"fixture.go"}}
+	findings, err = lintPackage(outside)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("non-core package should not be clock-checked:\n%s", strings.Join(findings, "\n"))
+	}
+}
+
+const keyReturnFixture = `package fixture
+
+import "sort"
+
+func BadKeys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func GoodKeys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func GoodSortSlice(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// unexported callers stay inside the package; the caller is
+// responsible for ordering before anything escapes.
+func internalKeys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func ExemptKeys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks //vetdet:ok order-insensitive membership set
+}
+`
+
+// TestUnsortedKeyReturns: an exported function returning a gathered
+// key slice without a sort is a finding; sorted, unexported, and
+// exempted variants pass.
+func TestUnsortedKeyReturns(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fixture.go")
+	if err := os.WriteFile(path, []byte(keyReturnFixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lintPackage(listedPackage{Dir: dir, GoFiles: []string{"fixture.go"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1:\n%s", len(findings), strings.Join(findings, "\n"))
+	}
+	if !strings.Contains(findings[0], "BadKeys") || !strings.Contains(findings[0], "unsorted") {
+		t.Errorf("finding = %q, want BadKeys unsorted-return", findings[0])
+	}
+}
+
 // TestRepoClean: the tree this linter ships in must itself lint clean —
 // the same invocation CI runs.
 func TestRepoClean(t *testing.T) {

@@ -51,6 +51,7 @@ func (t *Tuner) Tune(ctx context.Context, source string, opt TuneOptions) (*Tune
 		Seed:         opt.Seed,
 		Workers:      opt.Workers,
 		PruneFactor:  opt.PruneFactor,
+		StaticScreen: opt.StaticScreen,
 		SkipVerify:   opt.SkipVerify,
 		VerifyArrays: opt.VerifyArrays,
 	})
@@ -79,7 +80,9 @@ func convertTuneResult(res *tune.Result) *TuneResult {
 			Pruned:       res.Counters.Pruned,
 			MemoHits:     res.Counters.MemoHits,
 			MemoMisses:   res.Counters.MemoMisses,
+			StaticEvals:  res.Counters.StaticEvals,
 			ScreenWallNS: res.Counters.ScreenWall.Nanoseconds(),
+			StaticWallNS: res.Counters.StaticWall.Nanoseconds(),
 			FullWallNS:   res.Counters.FullWall.Nanoseconds(),
 		},
 		Trail: res.Trail,
@@ -106,6 +109,7 @@ func convertTuneEntry(e *tune.Entry) TuneEntry {
 		Rank:           e.Rank,
 		Status:         e.Status,
 		ScreenSeconds:  e.Screen,
+		StaticSeconds:  e.Static,
 		SimSeconds:     e.Sim,
 		SimMessages:    e.Msgs,
 		SimBytes:       e.Bytes,
