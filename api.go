@@ -251,8 +251,12 @@ type RunRequest struct {
 	// Arrays lists array names whose authoritative global contents the
 	// response should include.
 	Arrays []string `json:"arrays,omitempty"`
-	// Engine selects the execution engine: "compiled" (the default) or
-	// "interp", the reference tree-walking interpreter.  Both produce
+	// Engine selects the execution engine: "compiled" (the default),
+	// "interp" (the reference tree-walking interpreter), or "codegen"
+	// (native Go kernels where the binary's registry has one for the
+	// program's units — the pre-generated corpus covers the NAS
+	// benchmarks — and the closure engine elsewhere; the service never
+	// builds plugins on behalf of a request).  All engines produce
 	// byte-identical results; the field exists for differential checks
 	// and perf comparison.  Engine choice does not affect the compile
 	// fingerprint — it is an execution-time concern.

@@ -22,6 +22,9 @@ import (
 	"testing"
 	"time"
 
+	// The checked-in kernel corpus: BenchmarkExecuteSPStepCodegen uses
+	// the pre-generated SP kernels, no plugin build involved.
+	_ "dhpf/internal/codegen/gen"
 	"dhpf/internal/cp"
 	"dhpf/internal/iset"
 	"dhpf/internal/mpsim"
@@ -382,6 +385,37 @@ func BenchmarkExecuteSPStepShm(b *testing.B) {
 	opt := spmd.DefaultOptions()
 	opt.Backend = BackendShm
 	benchExecuteSPStepOpt(b, spmd.EngineCompiled, opt)
+}
+
+// BenchmarkExecuteSPStepCodegen is the same step under the native
+// codegen tier: the checked-in gen corpus pre-registers SP's kernels
+// (no plugin build in the loop), and results stay Float64bits-identical
+// to both other engines.  tools/benchjson -check gates the ratio
+// against BenchmarkExecuteSPStep.
+func BenchmarkExecuteSPStepCodegen(b *testing.B) { benchExecuteSPStep(b, spmd.EngineCodegen) }
+
+// BenchmarkExecuteSPStepWallClock and its Pinned twin run the identical
+// simulation under the two goroutine-placement regimes — the Go
+// scheduler's default multiplexing vs Config.PinOSThreads locking each
+// rank onto its own OS thread — so the claim that pinning maps ranks
+// onto hardware threads is measured wall-clock, not asserted.  Virtual
+// results are bit-identical either way.
+func BenchmarkExecuteSPStepWallClock(b *testing.B)       { benchExecuteSPStepPin(b, false) }
+func BenchmarkExecuteSPStepWallClockPinned(b *testing.B) { benchExecuteSPStepPin(b, true) }
+
+func benchExecuteSPStepPin(b *testing.B, pin bool) {
+	prog, err := spmd.CompileSource(nas.SPSource(16, 1, 2, 2), nil, spmd.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := mpsim.SP2Config(4)
+	cfg.PinOSThreads = pin
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.ExecuteEngine(cfg, spmd.EngineCompiled); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func benchExecuteSPStep(b *testing.B, engine spmd.Engine) {

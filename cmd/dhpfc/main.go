@@ -10,9 +10,14 @@
 //	dhpfc [flags] file.hpf
 //
 //	-run             execute on the simulated machine after compiling
-//	-engine E        with -run: compiled (default) | interp — the
-//	                 closure-compiled execution engine or the reference
-//	                 tree-walking interpreter (byte-identical results)
+//	-engine E        with -run: compiled (default) | interp | codegen —
+//	                 the closure-compiled execution engine, the reference
+//	                 tree-walking interpreter, or native Go kernels
+//	                 (emitted, compiled and hot-loaded per program; units
+//	                 without a kernel run on the closure engine).  All
+//	                 engines produce byte-identical results; when plugin
+//	                 builds are unavailable, codegen prints an INFO
+//	                 diagnostic and falls back without failing
 //	-trace           with -run: print an ASCII space–time diagram
 //	-bins N          diagram width in time bins (default 100)
 //	-param NAME=V    override a program parameter (repeatable)
@@ -68,6 +73,10 @@ import (
 
 	"dhpf"
 	"dhpf/internal/cache"
+	"dhpf/internal/codegen"
+	// The checked-in kernel corpus: programs whose kernels are
+	// pre-generated (the NAS benchmarks) need no plugin build.
+	_ "dhpf/internal/codegen/gen"
 	"dhpf/internal/cp"
 	"dhpf/internal/mpsim"
 	"dhpf/internal/passes"
@@ -110,7 +119,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	params := paramFlags{}
 	doRun := fs.Bool("run", false, "execute on the simulated machine")
-	engineName := fs.String("engine", "", "execution engine: compiled|interp (with -run)")
+	engineName := fs.String("engine", "", "execution engine: compiled|interp|codegen (with -run)")
 	doTrace := fs.Bool("trace", false, "print a space-time diagram (with -run)")
 	bins := fs.Int("bins", 100, "space-time diagram bins")
 	noLocalize := fs.Bool("no-localize", false, "disable LOCALIZE (§4.2)")
@@ -286,6 +295,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "dhpfc:", err)
 		return 1
+	}
+	if engine == spmd.EngineCodegen {
+		// Bring native kernels online: pre-generated corpus entries are
+		// free, the rest build a plugin.  Degradation is informational,
+		// never fatal — unkerneled units run on the closure engine with
+		// identical results.
+		rep, err := codegen.EnableNative(prog, codegen.Options{})
+		if err != nil {
+			fmt.Fprintln(stderr, "dhpfc:", err)
+			return 1
+		}
+		if rep.Fallback != "" {
+			fmt.Fprintln(stderr, "dhpfc: INFO:", rep.String())
+		}
 	}
 	cfg := mpsim.SP2Config(prog.Grid.Size())
 	cfg.Trace = *doTrace

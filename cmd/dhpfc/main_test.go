@@ -63,6 +63,29 @@ func TestEngineFlagGolden(t *testing.T) {
 	}
 }
 
+// TestEngineCodegenFallback: -engine codegen on a program outside the
+// generated corpus, with plugin builds disabled, degrades gracefully —
+// an INFO diagnostic on stderr, exit 0, and the report byte-identical
+// to the golden (the closure engine runs the unkerneled units).
+func TestEngineCodegenFallback(t *testing.T) {
+	t.Setenv("DHPF_NO_PLUGIN", "1")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "-engine", "codegen", "../../testdata/lhsy.hpf"}, &out, &errb); code != 0 {
+		t.Fatalf("-engine codegen exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "INFO") || !strings.Contains(errb.String(), "fallback") {
+		t.Errorf("stderr = %q, want an INFO fallback diagnostic", errb.String())
+	}
+	want, err := os.ReadFile("testdata/lhsy.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("-engine codegen output differs from golden:\n--- got ---\n%s\n--- want ---\n%s",
+			out.String(), want)
+	}
+}
+
 // TestBackendFlag: -backend shm runs the program on the shared-memory
 // substrate — the execution line reports pulls instead of messages —
 // and -backend hybrid reports both levels.  An unknown backend is a

@@ -55,6 +55,9 @@ import (
 	"time"
 
 	"dhpf"
+	// The checked-in kernel corpus: RunRequest.Engine="codegen" serves
+	// the pre-generated NAS kernels without any plugin machinery.
+	_ "dhpf/internal/codegen/gen"
 	"dhpf/internal/nas"
 	"dhpf/internal/service"
 	"dhpf/internal/store"

@@ -259,9 +259,12 @@ func (p *Program) Run(cfg MachineConfig) (*Result, error) {
 
 // RunEngine executes the program with an explicit execution engine:
 // "compiled" (or "", the default) for the closure-compiled engine,
-// "interp" for the reference tree-walking interpreter.  Both produce
+// "interp" for the reference tree-walking interpreter, "codegen" for
+// native kernels (units with a registered kernel — import
+// dhpf/internal/codegen/gen or run codegen.EnableNative — execute
+// natively, the rest on the closure engine).  All engines produce
 // byte-identical results; the interpreter exists as the oracle the
-// compiled engine is differentially tested against.
+// others are differentially tested against.
 func (p *Program) RunEngine(cfg MachineConfig, engine string) (*Result, error) {
 	eng, err := spmd.ParseEngine(engine)
 	if err != nil {

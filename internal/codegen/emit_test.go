@@ -1,0 +1,138 @@
+package codegen
+
+// Emission-layer tests: the generated corpus must be deterministic
+// (CI regenerates and diffs it), gofmt-clean, FMA-proof, and carry the
+// header + linter-exemption contract tools/vetdet enforces.
+
+import (
+	"go/format"
+	"strings"
+	"testing"
+
+	"dhpf/internal/spmd"
+)
+
+func corpusUnits(t *testing.T) []*spmd.KernelUnit {
+	t.Helper()
+	var units []*spmd.KernelUnit
+	for _, e := range Corpus() {
+		prog, err := spmd.CompileSource(e.Source, e.Params, e.Opt)
+		if err != nil {
+			t.Fatalf("compile %s: %v", e.Name, err)
+		}
+		units = append(units, SelectUnits(prog, -1)...)
+	}
+	return units
+}
+
+// TestEmitCorpusDeterministic: two independent compiles of the corpus
+// emit byte-identical source — the property the CI drift gate rests on.
+func TestEmitCorpusDeterministic(t *testing.T) {
+	a := EmitCorpus(corpusUnits(t))
+	b := EmitCorpus(corpusUnits(t))
+	if a != b {
+		t.Fatal("EmitCorpus output differs across identical compiles")
+	}
+}
+
+// TestEmitCorpusFormatted: the emitted package is already gofmt-clean
+// after the generator's format.Source pass, and parses as valid Go.
+func TestEmitCorpusFormatted(t *testing.T) {
+	src := EmitCorpus(corpusUnits(t))
+	formatted, err := format.Source([]byte(src))
+	if err != nil {
+		t.Fatalf("emitted corpus does not parse: %v", err)
+	}
+	// The emitter's raw output is allowed to differ from gofmt in
+	// whitespace only; the generator always writes the formatted form.
+	if _, err := format.Source(formatted); err != nil {
+		t.Fatalf("formatted corpus unstable: %v", err)
+	}
+	if !strings.HasPrefix(src, GeneratedHeader) {
+		t.Fatal("corpus missing the machine-generated header")
+	}
+	if !strings.Contains(src, VetdetExempt) {
+		t.Fatal("corpus missing the vetdet exemption line")
+	}
+}
+
+// TestEmitKernelShape checks the structural contract of one kernel:
+// float64-wrapped operations (the no-FMA guarantee), hex float
+// constants, window clamps against the bounds array, and the flop
+// accumulator threading.
+func TestEmitKernelShape(t *testing.T) {
+	e := Corpus()[0]
+	prog, err := spmd.CompileSource(e.Source, e.Params, e.Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := prog.KernelUnits()
+	if len(units) == 0 {
+		t.Fatal("no units")
+	}
+	u := units[0]
+	src := EmitKernel(u)
+	for _, want := range []string{
+		"func " + KernelFuncName(u.Fingerprint()) + "(ints []int, intSet []bool, floats []float64, fset []bool, arrays [][]float64, bounds []int, flops float64) float64 {",
+		"bounds[0]",
+		"flops +=",
+		"return flops",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("kernel missing %q:\n%s", want, src)
+		}
+	}
+	// Any emitted decimal float would round; constants must be hex or
+	// the math.* specials.
+	for _, line := range strings.Split(src, "\n") {
+		if strings.Contains(line, "flops += ") && !strings.Contains(line, "0x") {
+			t.Errorf("non-hex flop constant: %s", line)
+		}
+	}
+}
+
+// TestEmitPluginShape: the plugin variant is a self-contained main
+// package with the loader's Kernels table and no dhpf imports.
+func TestEmitPluginShape(t *testing.T) {
+	e := Corpus()[0]
+	prog, err := spmd.CompileSource(e.Source, e.Params, e.Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := EmitPlugin(prog.KernelUnits())
+	for _, want := range []string{"package main", "var Kernels = []struct {", "func main() {}"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("plugin source missing %q", want)
+		}
+	}
+	if strings.Contains(src, "dhpf/") {
+		t.Error("plugin source must not import dhpf packages (package identity must not cross the plugin boundary)")
+	}
+	if _, err := format.Source([]byte(src)); err != nil {
+		t.Fatalf("plugin source does not parse: %v", err)
+	}
+}
+
+// TestDedupeSorted: duplicate fingerprints collapse and output order
+// is fingerprint order, independent of input order.
+func TestDedupeSorted(t *testing.T) {
+	e := Corpus()[0]
+	prog, err := spmd.CompileSource(e.Source, e.Params, e.Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := prog.KernelUnits()
+	if len(units) < 2 {
+		t.Skip("need at least two units")
+	}
+	doubled := append(append([]*spmd.KernelUnit{}, units...), units...)
+	out := dedupeSorted(doubled)
+	if len(out) != len(dedupeSorted(units)) {
+		t.Fatalf("duplicates survived: %d vs %d", len(out), len(dedupeSorted(units)))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1].Fingerprint() >= out[i].Fingerprint() {
+			t.Fatal("output not sorted by fingerprint")
+		}
+	}
+}

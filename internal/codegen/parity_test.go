@@ -1,0 +1,271 @@
+package codegen
+
+// The three-tier differential harness: every corpus program — the NAS
+// benchmarks, their ablation/backend/grain variants, and the feature
+// programs — is executed under the interpreter, the closure engine,
+// and the native codegen tier, and all observables must be
+// Float64bits-identical: global array contents, the virtual clocks
+// (total, per-rank busy/idle/flops), and per-rank traffic counters.
+// The checked-in gen corpus provides the kernels, so this runs with no
+// plugin machinery (and therefore also under -race).
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	_ "dhpf/internal/codegen/gen"
+	"dhpf/internal/mpsim"
+	"dhpf/internal/spmd"
+)
+
+// runEngine executes prog and fails the test on error.  Wall-limit
+// aborts skip the test: some corpus configurations genuinely deadlock
+// (e.g. wavefront phases with availability analysis disabled),
+// identically in every engine, and leave nothing deterministic to
+// compare.
+func runEngine(t *testing.T, prog *spmd.Program, procs int, engine spmd.Engine) *spmd.ExecResult {
+	t.Helper()
+	cfg := mpsim.SP2Config(procs)
+	cfg.WallLimit = 30 * time.Second
+	res, err := prog.ExecuteEngine(cfg, engine)
+	if errors.Is(err, mpsim.ErrWallLimit) {
+		t.Skipf("%v engine hit the wall limit (configuration deadlocks in every engine)", engine)
+	}
+	if err != nil {
+		t.Fatalf("%v engine: %v", engine, err)
+	}
+	return res
+}
+
+// requireIdentical compares every observable of two runs bit-for-bit.
+func requireIdentical(t *testing.T, prog *spmd.Program, la, lb string, ra, rb *spmd.ExecResult) {
+	t.Helper()
+	ma, mb := ra.Machine, rb.Machine
+	if math.Float64bits(ma.Time) != math.Float64bits(mb.Time) {
+		t.Fatalf("virtual time differs: %s %v, %s %v", la, ma.Time, lb, mb.Time)
+	}
+	if ma.TotalMessages() != mb.TotalMessages() || ma.TotalBytes() != mb.TotalBytes() {
+		t.Fatalf("traffic differs: %s %d msgs/%d B, %s %d msgs/%d B",
+			la, ma.TotalMessages(), ma.TotalBytes(), lb, mb.TotalMessages(), mb.TotalBytes())
+	}
+	for r := range ma.RankTime {
+		if math.Float64bits(ma.RankTime[r]) != math.Float64bits(mb.RankTime[r]) ||
+			math.Float64bits(ma.RankIdle[r]) != math.Float64bits(mb.RankIdle[r]) ||
+			math.Float64bits(ma.RankFlops[r]) != math.Float64bits(mb.RankFlops[r]) {
+			t.Fatalf("rank %d clocks differ between %s and %s", r, la, lb)
+		}
+		if ma.SentMsgs[r] != mb.SentMsgs[r] || ma.SentBytes[r] != mb.SentBytes[r] {
+			t.Fatalf("rank %d counters differ between %s and %s", r, la, lb)
+		}
+	}
+	for _, d := range prog.IR.Main().Decls {
+		if d.Rank() == 0 {
+			continue
+		}
+		ga, _, _, errA := ra.Global(d.Name)
+		gb, _, _, errB := rb.Global(d.Name)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("%s: Global errors differ: %s %v, %s %v", d.Name, la, errA, lb, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if len(ga) != len(gb) {
+			t.Fatalf("%s: lengths differ: %s %d, %s %d", d.Name, la, len(ga), lb, len(gb))
+		}
+		for k := range ga {
+			if math.Float64bits(ga[k]) != math.Float64bits(gb[k]) {
+				t.Fatalf("%s[%d]: %s %v (%#x), %s %v (%#x)", d.Name, k,
+					la, ga[k], math.Float64bits(ga[k]), lb, gb[k], math.Float64bits(gb[k]))
+			}
+		}
+	}
+}
+
+// TestCodegenParityCorpus runs every corpus entry under all three
+// execution tiers and requires bit-identical observables, and — since
+// the gen package pre-registers every corpus kernel — requires that
+// the native tier actually invoked kernels rather than silently
+// falling back everywhere.
+func TestCodegenParityCorpus(t *testing.T) {
+	for _, e := range Corpus() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := spmd.CompileSource(e.Source, e.Params, e.Opt)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			units := prog.KernelUnits()
+			if len(units) == 0 {
+				t.Fatalf("corpus entry extracts no kernel units")
+			}
+			for _, u := range units {
+				if spmd.KernelFor(u.Fingerprint()) == nil {
+					t.Fatalf("unit %s (proc %s, stmt %d) missing from the generated corpus — rerun go generate ./internal/codegen",
+						u.Fingerprint(), u.Proc, u.RootID)
+				}
+			}
+			before := spmd.KernelInvocations()
+			rc := runEngine(t, prog, e.Procs, spmd.EngineCodegen)
+			if spmd.KernelInvocations() == before {
+				t.Fatalf("codegen run invoked no native kernels (all prechecks bailed)")
+			}
+			re := runEngine(t, prog, e.Procs, spmd.EngineCompiled)
+			ri := runEngine(t, prog, e.Procs, spmd.EngineInterp)
+			requireIdentical(t, prog, "codegen", "compiled", rc, re)
+			requireIdentical(t, prog, "codegen", "interp", rc, ri)
+		})
+	}
+}
+
+// TestCodegenEmptyRegistryEqualsCompiled: a program whose kernels are
+// not registered (novel source, not in the generated corpus) runs
+// under EngineCodegen exactly as EngineCompiled — the fallback ladder.
+func TestCodegenEmptyRegistryEqualsCompiled(t *testing.T) {
+	const src = `
+program novel
+param N = 20
+!hpf$ processors procs(4)
+!hpf$ distribute a(BLOCK) onto procs
+subroutine main()
+  real a(0:N-1)
+  do i = 0, N-1
+    a(i) = 3.25 * i + 0.125
+  enddo
+end
+`
+	prog, err := spmd.CompileSource(src, nil, spmd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range prog.KernelUnits() {
+		if spmd.KernelFor(u.Fingerprint()) != nil {
+			t.Skipf("unit %s unexpectedly registered; cannot test the empty-registry path", u.Fingerprint())
+		}
+	}
+	before := spmd.KernelInvocations()
+	rc := runEngine(t, prog, 4, spmd.EngineCodegen)
+	if spmd.KernelInvocations() != before {
+		t.Fatalf("unregistered program still invoked kernels")
+	}
+	re := runEngine(t, prog, 4, spmd.EngineCompiled)
+	requireIdentical(t, prog, "codegen", "compiled", rc, re)
+}
+
+// TestSelectUnits: the threshold keeps hot phases and drops cold ones;
+// negative selects everything; an absurd threshold selects nothing.
+func TestSelectUnits(t *testing.T) {
+	prog, err := spmd.CompileSource(Corpus()[0].Source, nil, spmd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := SelectUnits(prog, -1)
+	if len(all) != len(prog.KernelUnits()) {
+		t.Fatalf("negative threshold selected %d of %d units", len(all), len(prog.KernelUnits()))
+	}
+	def := SelectUnits(prog, 0)
+	if len(def) == 0 {
+		t.Fatalf("default threshold selected no SP units")
+	}
+	if len(def) > len(all) {
+		t.Fatalf("threshold selected more units (%d) than exist (%d)", len(def), len(all))
+	}
+	if got := SelectUnits(prog, 1e18); len(got) != 0 {
+		t.Fatalf("absurd threshold still selected %d units", len(got))
+	}
+}
+
+// TestEnableNativePreRegistered: for a corpus program, the generated
+// package already covers every selected unit, so EnableNative is a
+// no-op with no fallback and no build.
+func TestEnableNativePreRegistered(t *testing.T) {
+	e := Corpus()[0]
+	prog, err := spmd.CompileSource(e.Source, e.Params, e.Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := EnableNative(prog, Options{NoPlugin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fallback != "" {
+		t.Fatalf("corpus program fell back: %s", rep.String())
+	}
+	if rep.Registered != rep.Selected || rep.Built != 0 {
+		t.Fatalf("want all selected units pre-registered with no build, got %s", rep.String())
+	}
+}
+
+// TestEnableNativeNoPluginFallback: a program outside the corpus with
+// plugin builds disabled reports an INFO fallback, never an error.
+func TestEnableNativeNoPluginFallback(t *testing.T) {
+	const src = `
+program nofb
+param N = 64
+!hpf$ processors procs(4)
+!hpf$ distribute a(BLOCK) onto procs
+subroutine main()
+  real a(0:N-1)
+  do i = 0, N-1
+    a(i) = 1.5 * i + 2.5
+  enddo
+end
+`
+	prog, err := spmd.CompileSource(src, nil, spmd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := EnableNative(prog, Options{MinPhaseFlops: -1, NoPlugin: true})
+	if err != nil {
+		t.Fatalf("fallback must not be an error: %v", err)
+	}
+	if rep.Fallback == "" {
+		t.Fatalf("want a fallback reason, got %s", rep.String())
+	}
+
+	t.Setenv("DHPF_NO_PLUGIN", "1")
+	rep, err = EnableNative(prog, Options{MinPhaseFlops: -1})
+	if err != nil {
+		t.Fatalf("env-disabled fallback must not be an error: %v", err)
+	}
+	if rep.Fallback == "" {
+		t.Fatalf("DHPF_NO_PLUGIN did not force a fallback: %s", rep.String())
+	}
+}
+
+// FuzzCodegenVsEngine fuzzes the execution configuration — corpus
+// entry, machine cost parameters, pipeline grain — and requires the
+// native tier to stay bit-identical to the closure engine.  Cost
+// parameters change virtual-time interleavings and strip windows
+// without changing which kernels are registered, so prechecks and
+// window packing get exercised under many schedules.
+func FuzzCodegenVsEngine(f *testing.F) {
+	f.Add(uint8(0), uint16(29), uint16(12), uint8(8))
+	f.Add(uint8(2), uint16(1), uint16(1), uint8(3))
+	f.Add(uint8(7), uint16(500), uint16(80), uint8(1))
+	f.Fuzz(func(t *testing.T, idx uint8, latency, flop uint16, grain uint8) {
+		corpus := Corpus()
+		e := corpus[int(idx)%len(corpus)]
+		opt := e.Opt
+		opt.PipelineGrain = 1 + int(grain)%16
+		prog, err := spmd.CompileSource(e.Source, e.Params, opt)
+		if err != nil {
+			t.Skip()
+		}
+		cfg := mpsim.SP2Config(e.Procs)
+		cfg.Latency = float64(latency) * 1e-6
+		cfg.FlopTime = float64(flop) * 1e-9
+		rc, errC := prog.ExecuteEngine(cfg, spmd.EngineCodegen)
+		re, errE := prog.ExecuteEngine(cfg, spmd.EngineCompiled)
+		if (errC == nil) != (errE == nil) {
+			t.Fatalf("engines disagree on success: codegen %v, compiled %v", errC, errE)
+		}
+		if errC != nil {
+			return
+		}
+		requireIdentical(t, prog, "codegen", "compiled", rc, re)
+	})
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package codegen
+
+// raceEnabled mirrors the build's -race flag; see race_on.go.
+const raceEnabled = false

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -51,6 +52,14 @@ type Config struct {
 	// virtual clocks stop advancing (e.g. a deadlocked exchange), which
 	// TimeLimit alone can never catch.
 	WallLimit time.Duration
+	// PinOSThreads locks every rank goroutine to its own OS thread for
+	// the duration of the run (runtime.LockOSThread), so a run with
+	// Procs ≤ GOMAXPROCS maps each rank onto a hardware thread and
+	// wall-clock time scales with real cores instead of the scheduler's
+	// whim.  Results are unaffected — pinning changes where goroutines
+	// run, never what they compute — so it is safe to flip for
+	// wall-clock benchmarking while keeping virtual clocks identical.
+	PinOSThreads bool
 }
 
 // ErrAborted is the base error of every mpsim-initiated abort; aborted
@@ -190,17 +199,36 @@ type Machine struct {
 	// it is enqueued — so numeric results and virtual clocks are
 	// byte-identical with or without recycling.
 	bufPool sync.Pool
+	// bufHigh is the high-water payload capacity (element count) seen by
+	// getBuf, maintained with atomics because Send runs on every rank
+	// goroutine concurrently.
+	bufHigh int64
 }
 
 // getBuf returns a payload buffer of exactly n elements, reusing a
-// recycled buffer when one of sufficient capacity is available.
+// recycled buffer when one of sufficient capacity is available.  Fresh
+// allocations carry the high-water capacity, not just n: on mixed-size
+// transfer patterns (a small exchange recycled between two large ones)
+// the pooled buffer drawn for a large payload is often the small one,
+// and allocating at exactly n would re-grow from scratch every time the
+// sizes alternate.  Allocating at the high-water mark instead makes the
+// pool converge to buffers that fit every payload in the run.
 func (m *Machine) getBuf(n int) []float64 {
+	for {
+		h := atomic.LoadInt64(&m.bufHigh)
+		if int64(n) <= h {
+			break
+		}
+		if atomic.CompareAndSwapInt64(&m.bufHigh, h, int64(n)) {
+			break
+		}
+	}
 	if v := m.bufPool.Get(); v != nil {
 		if b := v.(*[]float64); cap(*b) >= n {
 			return (*b)[:n]
 		}
 	}
-	return make([]float64, n)
+	return make([]float64, n, atomic.LoadInt64(&m.bufHigh))
 }
 
 // Rank is one simulated processor, owned by its goroutine.
@@ -275,6 +303,10 @@ func Run(cfg Config, body func(r *Rank)) *Result {
 		wg.Add(1)
 		go func(r *Rank) {
 			defer wg.Done()
+			if cfg.PinOSThreads {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
 			body(r)
 		}(ranks[i])
 	}

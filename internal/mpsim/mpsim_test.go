@@ -20,6 +20,50 @@ func testCfg(p int) Config {
 	}
 }
 
+// TestPinOSThreadsInvisible runs the same exchange with and without
+// PinOSThreads and requires bit-identical virtual clocks, counters, and
+// payloads: pinning maps goroutines onto OS threads but must never
+// change what the machine computes.
+func TestPinOSThreadsInvisible(t *testing.T) {
+	run := func(pin bool) (*Result, float64) {
+		cfg := testCfg(4)
+		cfg.PinOSThreads = pin
+		var got float64
+		var mu sync.Mutex
+		res := Run(cfg, func(r *Rank) {
+			next, prev := (r.ID+1)%4, (r.ID+3)%4
+			acc := float64(r.ID)
+			for step := 0; step < 8; step++ {
+				r.Send(next, step, []float64{acc})
+				in := r.Recv(prev, step)
+				acc += in[0] * 0.5
+				r.Compute(100)
+				r.Recycle(in)
+			}
+			r.Barrier()
+			if r.ID == 2 {
+				mu.Lock()
+				got = acc
+				mu.Unlock()
+			}
+		})
+		return res, got
+	}
+	plain, accPlain := run(false)
+	pinned, accPinned := run(true)
+	if math.Float64bits(accPlain) != math.Float64bits(accPinned) {
+		t.Fatalf("accumulated value differs under pinning: %v vs %v", accPlain, accPinned)
+	}
+	for rk := 0; rk < 4; rk++ {
+		if math.Float64bits(plain.RankTime[rk]) != math.Float64bits(pinned.RankTime[rk]) {
+			t.Fatalf("rank %d clock differs: %v vs %v", rk, plain.RankTime[rk], pinned.RankTime[rk])
+		}
+		if plain.SentMsgs[rk] != pinned.SentMsgs[rk] || plain.SentBytes[rk] != pinned.SentBytes[rk] {
+			t.Fatalf("rank %d counters differ under pinning", rk)
+		}
+	}
+}
+
 func TestComputeAdvancesClock(t *testing.T) {
 	res := Run(testCfg(1), func(r *Rank) {
 		r.Compute(1e6)

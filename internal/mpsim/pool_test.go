@@ -87,6 +87,56 @@ func TestRecycleKeepsResultsAndClocksIdentical(t *testing.T) {
 	}
 }
 
+// TestGetBufRetainsHighWater is the regression test for the mixed-size
+// staging regrowth bug: after a large payload has been seen, drawing a
+// too-small recycled buffer for a mid-size request must not fall back to
+// an exactly-sized allocation (which the next large payload would have
+// to re-grow from zero again).  Every allocation carries the high-water
+// capacity, so the pool converges instead of thrashing.
+func TestGetBufRetainsHighWater(t *testing.T) {
+	m := &Machine{}
+	big := m.getBuf(4096) // establishes the high-water mark
+	if cap(big) < 4096 {
+		t.Fatalf("cap(big) = %d, want ≥ 4096", cap(big))
+	}
+	small := m.getBuf(8)[:8:8] // capacity-clamped: cannot satisfy 500
+	m.bufPool.Put(&small)
+	mid := m.getBuf(500) // draws the 8-cap buffer, must discard it
+	if len(mid) != 500 {
+		t.Fatalf("len(mid) = %d, want 500", len(mid))
+	}
+	if cap(mid) < 4096 {
+		t.Fatalf("cap(mid) = %d, want high-water ≥ 4096 (mixed-size regrowth regression)", cap(mid))
+	}
+}
+
+// TestMixedSizeTransfersStayCorrect runs alternating small/large
+// exchanges with recycling: the high-water allocation policy must stay
+// semantically invisible (payloads intact, exact lengths) while the
+// pool serves both sizes.
+func TestMixedSizeTransfersStayCorrect(t *testing.T) {
+	cfg := Config{Procs: 2, Latency: 1e-6}
+	Run(cfg, func(r *Rank) {
+		peer := 1 - r.ID
+		sizes := []int{8, 2048}
+		for step := 0; step < 40; step++ {
+			out := make([]float64, sizes[step%2])
+			for i := range out {
+				out[i] = float64(step + i)
+			}
+			r.Send(peer, step, out)
+			in := r.Recv(peer, step)
+			if len(in) != sizes[step%2] {
+				t.Errorf("step %d: len = %d, want %d", step, len(in), sizes[step%2])
+			}
+			if in[0] != float64(step) || in[len(in)-1] != float64(step+len(in)-1) {
+				t.Errorf("step %d: payload corrupted: %v...%v", step, in[0], in[len(in)-1])
+			}
+			r.Recycle(in)
+		}
+	})
+}
+
 // TestRecycledBufferIsReusedBySend exercises the pool end to end: a
 // recycled receive buffer of sufficient capacity must satisfy a later
 // Send's internal copy without changing what the receiver observes.

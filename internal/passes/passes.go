@@ -98,6 +98,16 @@ type Options struct {
 	// differing only in backend are distinct cache entries.
 	Backend string
 
+	// Engine names the execution engine programs compiled with these
+	// options run under by default ("" or "compiled" for the closure
+	// engine, "interp" for the reference interpreter, "codegen" for
+	// native kernels with closure fallback).  Engine choice is an
+	// execution-time concern: it never changes compilation decisions or
+	// results (all engines are byte-identical by construction), so it is
+	// deliberately EXCLUDED from Fingerprint — the compile cache would
+	// otherwise duplicate entries for identical programs.
+	Engine string
+
 	// Disable lists optimization passes excluded from the pipeline by
 	// name (PassNewProp, PassLocalize, PassInterproc, PassLoopDist,
 	// PassAvailability, PassWritebackRed, PassVerify, PassAnalyze).  Core passes

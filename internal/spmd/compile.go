@@ -56,6 +56,21 @@ type Program struct {
 	engOnce sync.Once
 	eng     *enginePlan
 	engErr  error
+
+	// Lazily extracted native-kernel units (kernel_extract.go):
+	// kunits[i]'s plan root is krootList[i]; registry resolution happens
+	// per execution so late-registered kernels still bind.
+	kuOnce    sync.Once
+	kunits    []*KernelUnit
+	krootList []*pLoop
+
+	// tplans memoizes transfersFor results (exec.go): a transfer plan
+	// depends only on the compile-time communication sets plus the
+	// scalar binding, call depth and strip window — all captured in the
+	// cache key — and every rank of every execution with the same key
+	// computes the identical, subsequently read-only list, so the first
+	// computation serves all of them.
+	tplans sync.Map // string → []comm.Transfer
 }
 
 // Compile parses nothing: it takes an already-parsed program and runs

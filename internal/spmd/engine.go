@@ -31,6 +31,7 @@ package spmd
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"dhpf/internal/comm"
 	"dhpf/internal/ir"
@@ -45,6 +46,11 @@ const (
 	// EngineInterp is the original tree-walking interpreter, retained as
 	// the reference oracle for differential testing.
 	EngineInterp
+	// EngineCodegen runs the closure engine with registered native
+	// kernels (internal/codegen) replacing eligible loop nests; any nest
+	// without a registered, precheck-passing kernel falls through to the
+	// closures, so with an empty registry EngineCodegen ≡ EngineCompiled.
+	EngineCodegen
 )
 
 func (e Engine) String() string {
@@ -53,6 +59,8 @@ func (e Engine) String() string {
 		return "compiled"
 	case EngineInterp:
 		return "interp"
+	case EngineCodegen:
+		return "codegen"
 	}
 	return fmt.Sprintf("Engine(%d)", int(e))
 }
@@ -65,8 +73,10 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineCompiled, nil
 	case "interp":
 		return EngineInterp, nil
+	case "codegen":
+		return EngineCodegen, nil
 	}
-	return 0, fmt.Errorf("spmd: unknown engine %q (want compiled or interp)", s)
+	return 0, fmt.Errorf("spmd: unknown engine %q (want compiled, interp or codegen)", s)
 }
 
 // --- slot-indexed environment --------------------------------------------------
@@ -220,9 +230,16 @@ func buildEnginePlan(p *Program) (*enginePlan, error) {
 	}
 	ep := &enginePlan{intSlot: map[string]int{}, procs: map[string]*procPlan{}}
 	// Parameters claim their global slots first so Execute can install
-	// them without consulting per-procedure tables.
+	// them without consulting per-procedure tables.  Sorted: slot
+	// numbers feed kernel-unit fingerprints and the emitted native
+	// code, so allocation order must not depend on map iteration.
 	if p.Ctx != nil && p.Ctx.Bind != nil {
+		names := make([]string, 0, len(p.Ctx.Bind.Params))
 		for name := range p.Ctx.Bind.Params {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
 			ep.islot(name)
 		}
 	}
@@ -1027,6 +1044,14 @@ func (rx *rankExec) execPlanLoop(proc *ir.Procedure, pl *pLoop) {
 // loop variable is maintained in its slot — plus the bind map only when
 // something inside the loop can read it.
 func (rx *rankExec) iteratePlanLoop(proc *ir.Procedure, pl *pLoop) {
+	if rx.kernels != nil {
+		// EngineCodegen: a registered native kernel replaces the whole
+		// closure walk when its precheck holds (kernel_invoke.go).  This
+		// covers both direct and pipelined (per-strip) invocations.
+		if bk := rx.kernels[pl]; bk != nil && rx.runKernel(bk) {
+			return
+		}
+	}
 	e := &rx.env
 	lo := pl.lo(e)
 	hi := pl.hi(e)

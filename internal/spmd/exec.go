@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 
 	"dhpf/internal/comm"
@@ -65,9 +66,13 @@ func (er *ExecResult) Global(name string) ([]float64, []int, []int, error) {
 }
 
 // Execute runs the compiled program on the virtual machine with the
-// default (compiled) execution engine.
+// engine named by Options.Engine ("" = the compiled closure engine).
 func (p *Program) Execute(cfg mpsim.Config) (*ExecResult, error) {
-	return p.ExecuteEngine(cfg, EngineCompiled)
+	engine, err := ParseEngine(p.Opt.Engine)
+	if err != nil {
+		return nil, err
+	}
+	return p.ExecuteEngine(cfg, engine)
 }
 
 // ExecuteEngine runs the compiled program with an explicit engine
@@ -86,18 +91,22 @@ func (p *Program) ExecuteEngine(cfg mpsim.Config, engine Engine) (*ExecResult, e
 		return p.executeShm(cfg, engine, b)
 	}
 	var plan *enginePlan
-	if engine == EngineCompiled {
+	if engine == EngineCompiled || engine == EngineCodegen {
 		// Plan build happens once per Program, before any rank spawns;
 		// the plan is immutable and shared read-only by all ranks.  A
 		// build error (pathological program shape) falls back to the
 		// interpreter for the whole run.
 		plan, _ = p.enginePlanFor()
 	}
+	var kernels map[*pLoop]*boundKernel
+	if engine == EngineCodegen && plan != nil {
+		kernels = p.kernelBindings()
+	}
 	ranks := make([]*rankExec, cfg.Procs)
 	var mu sync.Mutex
 	var execErr error
 	res := mpsim.Run(cfg, func(r *mpsim.Rank) {
-		rx := &rankExec{p: p, rk: r, me: r.ID, bind: map[string]int{}, plan: plan}
+		rx := &rankExec{p: p, rk: r, me: r.ID, bind: map[string]int{}, plan: plan, kernels: kernels}
 		if plan != nil {
 			rx.env.ints = make([]int, plan.nInts)
 			rx.env.intSet = make([]bool, plan.nInts)
@@ -247,6 +256,20 @@ type rankExec struct {
 	plan    *enginePlan
 	env     engineEnv
 	payload []float64
+
+	// Native-kernel state (nil/empty except under EngineCodegen):
+	// kernels maps plan loop roots to registered kernels for this
+	// execution; kb/ka/khull/knarrow are reused invocation scratch
+	// (kernel_invoke.go), never shared across ranks.
+	kernels map[*pLoop]*boundKernel
+	kb      []int
+	ka      [][]float64
+	khull   []kiv
+	knarrow []kiv
+
+	// Reused scratch for transferKey (never shared across ranks).
+	keyBuf   []byte
+	keyNames []string
 }
 
 func (rx *rankExec) top() *frame { return rx.frames[len(rx.frames)-1] }
@@ -726,12 +749,66 @@ func (rx *rankExec) fireEvents(proc *ir.Procedure, events []*comm.Event, depth i
 	rx.doTransfers(proc, transfers)
 }
 
+// transferKey renders every input of a transfer plan into a memo key:
+// the procedure, the call depth, each event's identity (statement, kind,
+// full reference text, nest length — together these determine the
+// event's sets), the strip window, and the entire scalar binding (a
+// superset of the values the set algebra can read, so equal keys imply
+// equal plans even if some bound scalar never occurs in a subscript).
+func (rx *rankExec) transferKey(proc *ir.Procedure, events []*comm.Event, depth int, strip *stripCtl) string {
+	b := rx.keyBuf[:0]
+	b = append(b, proc.Name...)
+	b = strconv.AppendInt(b, int64(depth), 10)
+	for _, e := range events {
+		b = append(b, '|')
+		b = strconv.AppendInt(b, int64(e.Stmt.ID), 10)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(e.Kind), 10)
+		b = append(b, e.Ref.String()...)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(len(e.Nest)), 10)
+	}
+	if strip != nil {
+		b = append(b, '#')
+		b = append(b, strip.variable...)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(strip.lo), 10)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(strip.hi), 10)
+	}
+	names := rx.keyNames[:0]
+	for name := range rx.bind {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rx.keyNames = names
+	for _, name := range names {
+		b = append(b, ';')
+		b = append(b, name...)
+		b = append(b, '=')
+		b = strconv.AppendInt(b, int64(rx.bind[name]), 10)
+	}
+	rx.keyBuf = b
+	return string(b)
+}
+
 // transfersFor computes the coalesced point-to-point transfers satisfying
 // the events, restricted to the current values of the outermost `depth`
 // loop variables and to an optional strip window.  Every rank computes
 // the identical list (the plan depends only on sets), which keeps message
-// tags consistent.
+// tags consistent — so the plan is memoized on the Program and computed
+// once per distinct key across all ranks and executions.
 func (rx *rankExec) transfersFor(proc *ir.Procedure, events []*comm.Event, depth int, strip *stripCtl) []comm.Transfer {
+	memoKey := rx.transferKey(proc, events, depth, strip)
+	if cached, ok := rx.p.tplans.Load(memoKey); ok {
+		return cached.([]comm.Transfer)
+	}
+	out := rx.computeTransfers(proc, events, depth, strip)
+	rx.p.tplans.Store(memoKey, out)
+	return out
+}
+
+func (rx *rankExec) computeTransfers(proc *ir.Procedure, events []*comm.Event, depth int, strip *stripCtl) []comm.Transfer {
 	type key struct {
 		array    string
 		from, to int

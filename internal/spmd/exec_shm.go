@@ -39,14 +39,18 @@ func (p *Program) executeShm(cfg mpsim.Config, engine Engine, backend string) (*
 		}
 	}
 	var plan *enginePlan
-	if engine == EngineCompiled {
+	if engine == EngineCompiled || engine == EngineCodegen {
 		plan, _ = p.enginePlanFor()
+	}
+	var kernels map[*pLoop]*boundKernel
+	if engine == EngineCodegen && plan != nil {
+		kernels = p.kernelBindings()
 	}
 	ranks := make([]*rankExec, cfg.Procs)
 	var mu sync.Mutex
 	var execErr error
 	sres := shm.Run(shm.FromMachine(cfg, groups), func(t *shm.Thread) {
-		rx := &rankExec{p: p, th: t, me: t.ID, bind: map[string]int{}, plan: plan}
+		rx := &rankExec{p: p, th: t, me: t.ID, bind: map[string]int{}, plan: plan, kernels: kernels}
 		if plan != nil {
 			rx.env.ints = make([]int, plan.nInts)
 			rx.env.intSet = make([]bool, plan.nInts)

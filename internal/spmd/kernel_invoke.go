@@ -1,0 +1,352 @@
+package spmd
+
+// kernel_invoke.go is the runtime half of the native-kernel contract:
+// before a registered kernel may replace iteratePlanLoop for one
+// invocation, the precheck interprets the unit spec against the live
+// frame — array geometry must equal the spec constants, every guard
+// must be a box (or empty), and saturating interval analysis over the
+// loop value hulls must prove every array access in bounds, because the
+// emitted code carries no bounds checks.  Any doubt bails to the
+// closure engine, which is bit-identical by construction, so a bail is
+// a performance event, never a correctness one.
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// boundKernel pairs a unit spec with its registered implementation.
+type boundKernel struct {
+	u  *KernelUnit
+	fn KernelFunc
+}
+
+// kernelBindings maps plan loop roots to registered kernels.  Resolved
+// per execution (not memoized) so kernels registered between runs —
+// e.g. a plugin loaded after compile — take effect; the result is
+// shared read-only by all ranks of one execution.
+func (p *Program) kernelBindings() map[*pLoop]*boundKernel {
+	units := p.KernelUnits()
+	var out map[*pLoop]*boundKernel
+	for i, u := range units {
+		if fn := KernelFor(u.Fingerprint()); fn != nil {
+			if out == nil {
+				out = make(map[*pLoop]*boundKernel, len(units))
+			}
+			out[p.krootList[i]] = &boundKernel{u: u, fn: fn}
+		}
+	}
+	return out
+}
+
+// kiv is a conservative value interval; sat marks that saturation
+// occurred somewhere in its derivation, disqualifying it from proving
+// anything.
+type kiv struct {
+	lo, hi int64
+	sat    bool
+}
+
+func satAdd(a, b int64) (int64, bool) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		if b > 0 {
+			return math.MaxInt64, true
+		}
+		return math.MinInt64, true
+	}
+	return s, false
+}
+
+func satMul(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, false
+	}
+	p := a * b
+	if p/b != a {
+		if (a > 0) == (b > 0) {
+			return math.MaxInt64, true
+		}
+		return math.MinInt64, true
+	}
+	return p, false
+}
+
+// affIv evaluates an affine form to an interval: slot terms are exact
+// (slots are invariant during a kernel invocation), local terms range
+// over the enclosing loop's value hull.
+func affIv(a KAff, ints []int, hull []kiv) kiv {
+	out := kiv{lo: int64(a.Const), hi: int64(a.Const)}
+	for _, t := range a.Terms {
+		var lo, hi int64
+		var s1, s2 bool
+		if !t.Local {
+			v, s := satMul(int64(t.Coef), int64(ints[t.Slot]))
+			lo, hi, s1, s2 = v, v, s, s
+		} else {
+			h := hull[t.Level]
+			out.sat = out.sat || h.sat
+			lo, s1 = satMul(int64(t.Coef), h.lo)
+			hi, s2 = satMul(int64(t.Coef), h.hi)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+		}
+		var s3, s4 bool
+		out.lo, s3 = satAdd(out.lo, lo)
+		out.hi, s4 = satAdd(out.hi, hi)
+		out.sat = out.sat || s1 || s2 || s3 || s4
+	}
+	return out
+}
+
+func subIv(s KSub, ints []int, hull []kiv) kiv {
+	out := affIv(s.Off, ints, hull)
+	if !s.HasVar {
+		return out
+	}
+	var lo, hi int64
+	var s1, s2 bool
+	if s.VarLocal {
+		h := hull[s.Level]
+		out.sat = out.sat || h.sat
+		lo, s1 = satMul(int64(s.Coef), h.lo)
+		hi, s2 = satMul(int64(s.Coef), h.hi)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+	} else {
+		v, sm := satMul(int64(s.Coef), int64(ints[s.VarSlot]))
+		lo, hi, s1, s2 = v, v, sm, sm
+	}
+	var s3, s4 bool
+	out.lo, s3 = satAdd(out.lo, lo)
+	out.hi, s4 = satAdd(out.hi, hi)
+	out.sat = out.sat || s1 || s2 || s3 || s4
+	return out
+}
+
+// runKernel prechecks and, on success, runs a kernel in place of
+// iteratePlanLoop's closure walk.  Returns false to fall back.
+func (rx *rankExec) runKernel(bk *boundKernel) bool {
+	u := bk.u
+	f := rx.top()
+	if cap(rx.ka) < len(u.Arrays) {
+		rx.ka = make([][]float64, len(u.Arrays))
+	}
+	rx.ka = rx.ka[:len(u.Arrays)]
+	for i := range u.Arrays {
+		ka := &u.Arrays[i]
+		if ka.ASlot >= len(f.aslots) {
+			return false
+		}
+		arr := f.aslots[ka.ASlot]
+		if arr == nil || !kernelGeomOK(arr, ka) {
+			return false
+		}
+		rx.ka[i] = arr.data
+	}
+	if cap(rx.kb) < u.NumBounds {
+		rx.kb = make([]int, u.NumBounds)
+	}
+	kb := rx.kb[:u.NumBounds]
+	if cap(rx.khull) < u.NumLevels {
+		rx.khull = make([]kiv, u.NumLevels)
+		rx.knarrow = make([]kiv, u.NumLevels)
+	}
+	hull := rx.khull[:u.NumLevels]
+	if !rx.prepKLoop(u, u.Root, f, kb, hull) {
+		return false
+	}
+	kernelCalls.Add(1)
+	rx.flops = bk.fn(rx.env.ints, rx.env.intSet, rx.env.floats, rx.env.fset, rx.ka, kb, rx.flops)
+	return true
+}
+
+// kernelCalls counts successful kernel invocations process-wide.  The
+// count never influences execution — it exists so differential tests
+// can assert the native tier actually ran rather than silently falling
+// back to the closures on every loop.
+var kernelCalls atomic.Int64
+
+// KernelInvocations returns the process-wide number of native kernel
+// invocations so far.
+func KernelInvocations() int64 { return kernelCalls.Load() }
+
+// kernelGeomOK verifies the live array matches the spec geometry the
+// emitted code inlined, including enough backing data for the full box.
+func kernelGeomOK(arr *array, ka *KArray) bool {
+	if len(arr.lo) != len(ka.Lo) || len(arr.hi) != len(ka.Hi) || len(arr.stride) != len(ka.Stride) {
+		return false
+	}
+	for k := range ka.Lo {
+		if arr.lo[k] != ka.Lo[k] || arr.hi[k] != ka.Hi[k] || arr.stride[k] != ka.Stride[k] {
+			return false
+		}
+	}
+	size := 0
+	if len(ka.Lo) > 0 {
+		w := ka.Hi[0] - ka.Lo[0] + 1
+		if w < 0 {
+			w = 0
+		}
+		size = w * ka.Stride[0]
+	}
+	return len(arr.data) >= size
+}
+
+// prepKLoop packs one loop level's window into bounds[] and extends the
+// value-hull analysis downward, mirroring iteratePlanLoop's strip and
+// clamp narrowing exactly.
+func (rx *rankExec) prepKLoop(u *KernelUnit, kl *KLoop, f *frame, kb []int, hull []kiv) bool {
+	wLo, wHi := math.MinInt, math.MaxInt
+	if rx.strip != nil && rx.strip.variable == kl.Var {
+		wLo, wHi = max(wLo, rx.strip.lo), min(wHi, rx.strip.hi)
+	}
+	if kl.ClampIdx >= 0 {
+		if kl.ClampIdx >= len(f.clamps) {
+			return false
+		}
+		c := &f.clamps[kl.ClampIdx]
+		wLo, wHi = max(wLo, c.lo), min(wHi, c.hi)
+	}
+	kb[kl.WinIdx], kb[kl.WinIdx+1] = wLo, wHi
+	loI := affIv(kl.Lo, rx.env.ints, hull)
+	hiI := affIv(kl.Hi, rx.env.ints, hull)
+	var h kiv
+	h.sat = loI.sat || hiI.sat
+	if kl.Step > 0 {
+		h.lo = maxI64(loI.lo, int64(wLo))
+		h.hi = minI64(hiI.hi, int64(wHi))
+	} else {
+		h.lo = maxI64(hiI.lo, int64(wLo))
+		h.hi = minI64(loI.hi, int64(wHi))
+	}
+	hull[kl.Level] = h
+	if !h.sat && h.lo > h.hi {
+		// Provably empty for every enclosing iteration: the emitted loop
+		// header cannot fire, so the subtree's bounds are merely set to
+		// defensively-disabled values.
+		fillKernelDisabled(kl.Body, kb)
+		return true
+	}
+	return rx.prepKStmts(u, kl.Body, f, kb, hull)
+}
+
+func (rx *rankExec) prepKStmts(u *KernelUnit, body []KStmt, f *frame, kb []int, hull []kiv) bool {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *KLoop:
+			if !rx.prepKLoop(u, st, f, kb, hull) {
+				return false
+			}
+		case *KAssign:
+			if !rx.prepKAssign(u, st, f, kb, hull) {
+				return false
+			}
+		case *KIf:
+			if !rx.prepKStmts(u, st.Then, f, kb, hull) {
+				return false
+			}
+			if !rx.prepKStmts(u, st.Els, f, kb, hull) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// prepKAssign packs one statement's kernel-dimension guard box and
+// proves its array accesses in bounds over the guard-narrowed hulls.
+func (rx *rankExec) prepKAssign(u *KernelUnit, st *KAssign, f *frame, kb []int, hull []kiv) bool {
+	if st.GuardIdx >= len(f.guards) {
+		return false
+	}
+	g := &f.guards[st.GuardIdx]
+	switch g.kind {
+	case guardSet:
+		// General iteration sets need per-point Contains; not emitted.
+		return false
+	case guardNever:
+		disableKAssign(st, kb)
+		return true
+	}
+	if len(g.lo) != len(st.NestSlots) || len(g.hi) != len(st.NestSlots) {
+		return false
+	}
+	// Outer-nest dimensions are fixed for the whole invocation: check
+	// them once here instead of per point in the kernel.
+	for k := 0; k < u.RootDepth; k++ {
+		if v := rx.env.ints[st.NestSlots[k]]; v < g.lo[k] || v > g.hi[k] {
+			disableKAssign(st, kb)
+			return true
+		}
+	}
+	narrow := rx.knarrow[:u.NumLevels]
+	copy(narrow, hull)
+	empty := false
+	for d := 0; d < st.KDims; d++ {
+		lo, hi := g.lo[u.RootDepth+d], g.hi[u.RootDepth+d]
+		kb[st.BoundsIdx+2*d] = lo
+		kb[st.BoundsIdx+2*d+1] = hi
+		lv := st.Levels[d]
+		narrow[lv].lo = maxI64(narrow[lv].lo, int64(lo))
+		narrow[lv].hi = minI64(narrow[lv].hi, int64(hi))
+		if !narrow[lv].sat && narrow[lv].lo > narrow[lv].hi {
+			empty = true
+		}
+	}
+	if empty {
+		return true // no point passes the guard: the accesses never happen
+	}
+	for i := range st.Refs {
+		rc := &st.Refs[i]
+		ka := &u.Arrays[rc.Arr]
+		for k := range rc.Subs {
+			iv := subIv(rc.Subs[k], rx.env.ints, narrow)
+			if iv.sat || iv.lo < int64(ka.Lo[k]) || iv.hi > int64(ka.Hi[k]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func disableKAssign(st *KAssign, kb []int) {
+	for d := 0; d < st.KDims; d++ {
+		kb[st.BoundsIdx+2*d], kb[st.BoundsIdx+2*d+1] = 1, 0
+	}
+}
+
+// fillKernelDisabled writes defensively-disabled windows and guard
+// boxes for a subtree the hull analysis proved unreachable.
+func fillKernelDisabled(body []KStmt, kb []int) {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *KLoop:
+			kb[st.WinIdx], kb[st.WinIdx+1] = 0, -1
+			fillKernelDisabled(st.Body, kb)
+		case *KAssign:
+			disableKAssign(st, kb)
+		case *KIf:
+			fillKernelDisabled(st.Then, kb)
+			fillKernelDisabled(st.Els, kb)
+		}
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -129,6 +129,14 @@ type Spec struct {
 	// ranking tolerance).
 	PruneFactor float64
 
+	// Engine names the execution engine full-tier evaluations run
+	// under ("" = compiled; "interp"; "codegen" uses native kernels
+	// where the process registry has them, cutting the wall-clock cost
+	// of each simulated candidate).  Virtual-time results are
+	// byte-identical across engines, so the leaderboard is unchanged —
+	// only the search gets faster.
+	Engine string
+
 	// Machine is the simulated cost model; zero means the paper's SP2.
 	Machine mpsim.Config
 	// EvalWallLimit bounds each full evaluation in real time (default
@@ -719,7 +727,11 @@ func (t *Tuner) evalOnce(ctx context.Context, s *Spec, c Candidate, limit float6
 			return ev, fmt.Errorf("safety gate: candidate fails %d obligations: %s", len(errs), errs[0])
 		}
 		cfg.Procs = prog.Grid.Size()
-		er, err := prog.Execute(cfg)
+		engine, err := spmd.ParseEngine(s.Engine)
+		if err != nil {
+			return ev, err
+		}
+		er, err := prog.ExecuteEngine(cfg, engine)
 		if err != nil {
 			return ev, err
 		}

@@ -1,6 +1,6 @@
 // Command benchjson runs the execution-engine, incremental-compile and
 // durable-store benchmark set and emits a machine-readable summary
-// (BENCH_8.json).  Three pairings are reported:
+// (BENCH_10.json).  Five pairings are reported:
 //
 //   - engine pairs: each benchmark family has a compiled variant and an
 //     Interp-suffixed interpreter variant over the same workload
@@ -20,7 +20,17 @@
 //     BenchmarkExecuteSPStep).  Both backends run the same compiled
 //     closures over the same data, so their host times must stay within
 //     a small band of each other — a large divergence means one
-//     substrate grew an accidental hot path.
+//     substrate grew an accidental hot path;
+//   - codegen pairs: each Codegen-suffixed benchmark against its
+//     closure-engine base name.  The native tier replaces the closure
+//     walk with emitted flat-loop kernels at bit-identical results (the
+//     parity suite enforces identity), and -check gates the speedup at
+//     3x — the headline claim of the native backend;
+//   - pin pairs: each WallClockPinned benchmark against its unpinned
+//     WallClock twin — the same simulation under the Go scheduler's
+//     default goroutine placement vs rank goroutines locked to OS
+//     threads.  Recorded, not gated: the ratio is hardware- and
+//     load-dependent, the point is that it is measured.
 //
 // Usage:
 //
@@ -29,12 +39,14 @@
 //	-bench RE     benchmark selection regexp (default the ExecuteSPStep,
 //	              LUWavefront, WarmEditRecompile and RestartWarm families)
 //	-benchtime T  passed through to go test (default 1x per bench: "2s")
-//	-o FILE       write JSON here (default BENCH_8.json; "-" = stdout)
+//	-o FILE       write JSON here (default BENCH_10.json; "-" = stdout)
 //	-check        gate mode: exit 1 unless the compiled engine beats the
 //	              interpreter on every engine pair AND every warm/cold
 //	              recompile pair is at least 10x faster warm at p50 AND
 //	              every shm/mp backend pair stays within the host-time
-//	              band (CI smoke; uses a short -benchtime unless given)
+//	              band AND every codegen pair is at least 3x faster than
+//	              the closure engine (CI smoke; uses a short -benchtime
+//	              unless given)
 //
 // Stdlib-only by design, like tools/vetdet: the container has no
 // golang.org/x/perf, so the benchmark output is parsed directly.  The
@@ -98,6 +110,24 @@ type BackendPair struct {
 	Ratio     float64 `json:"mp_over_shm"`
 }
 
+// CodegenPair is a Codegen-suffixed benchmark matched with its
+// closure-engine base, compared at host ns/op.
+type CodegenPair struct {
+	Benchmark  string  `json:"benchmark"`
+	CompiledNs float64 `json:"compiled_ns_per_op"`
+	CodegenNs  float64 `json:"codegen_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// PinPair is a WallClockPinned benchmark matched with its unpinned
+// WallClock twin; recorded but never gated.
+type PinPair struct {
+	Benchmark  string  `json:"benchmark"`
+	UnpinnedNs float64 `json:"unpinned_ns_per_op"`
+	PinnedNs   float64 `json:"pinned_ns_per_op"`
+	Ratio      float64 `json:"unpinned_over_pinned"`
+}
+
 // warmGate is the -check floor for warm/cold speedup: a warm-edit
 // recompile, and a restart-warm store hit, must each beat their cold
 // twin by at least this much at p50.
@@ -107,20 +137,26 @@ const warmGate = 10.0
 // the pair must land in [1/backendBand, backendBand].
 const backendBand = 3.0
 
-// Report is the BENCH_8.json document.
+// codegenGate is the -check floor for the native tier: emitted kernels
+// must beat the closure engine by at least this much on every pair.
+const codegenGate = 3.0
+
+// Report is the BENCH_10.json document.
 type Report struct {
 	GoTestArgs   []string      `json:"go_test_args"`
 	Benchmarks   []Bench       `json:"benchmarks"`
 	Pairs        []Pair        `json:"pairs"`
 	WarmPairs    []WarmPair    `json:"warm_pairs,omitempty"`
 	BackendPairs []BackendPair `json:"backend_pairs,omitempty"`
+	CodegenPairs []CodegenPair `json:"codegen_pairs,omitempty"`
+	PinPairs     []PinPair     `json:"pin_pairs,omitempty"`
 }
 
 func main() {
 	benchRE := flag.String("bench", "BenchmarkExecuteSPStep|BenchmarkLUWavefront|BenchmarkWarmEditRecompile|BenchmarkRestartWarm",
 		"benchmark selection regexp (go test -bench)")
 	benchtime := flag.String("benchtime", "", "go test -benchtime (default 2s, or 40x with -check)")
-	out := flag.String("o", "BENCH_8.json", `output file ("-" for stdout)`)
+	out := flag.String("o", "BENCH_10.json", `output file ("-" for stdout)`)
 	check := flag.Bool("check", false, "exit 1 unless compiled beats interp on every pair")
 	flag.Parse()
 
@@ -159,6 +195,8 @@ func main() {
 	rep.Pairs = pairUp(rep.Benchmarks)
 	rep.WarmPairs = pairWarm(rep.Benchmarks)
 	rep.BackendPairs = pairBackends(rep.Benchmarks)
+	rep.CodegenPairs = pairCodegen(rep.Benchmarks)
+	rep.PinPairs = pairPinned(rep.Benchmarks)
 
 	js, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -212,6 +250,23 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -check found no shm/mp backend pair")
 			fail = true
 		}
+		for _, cg := range rep.CodegenPairs {
+			if cg.Speedup < codegenGate {
+				fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: codegen %.0f ns/op only %.2fx faster than compiled %.0f ns/op (gate %.0fx)\n",
+					cg.Benchmark, cg.CodegenNs, cg.Speedup, cg.CompiledNs, codegenGate)
+				fail = true
+			}
+		}
+		if strings.Contains(*benchRE, "ExecuteSPStep") {
+			if len(rep.CodegenPairs) == 0 {
+				fmt.Fprintln(os.Stderr, "benchjson: -check found no codegen/compiled pair")
+				fail = true
+			}
+			if len(rep.PinPairs) == 0 {
+				fmt.Fprintln(os.Stderr, "benchjson: -check found no pinned/unpinned wall-clock pair")
+				fail = true
+			}
+		}
 		if fail {
 			os.Exit(1)
 		}
@@ -227,6 +282,14 @@ func main() {
 	for _, bp := range rep.BackendPairs {
 		fmt.Fprintf(os.Stderr, "benchjson: %s mp/shm host-time ratio %.2f (mp %.0f ns, shm %.0f ns)\n",
 			bp.Benchmark, bp.Ratio, bp.MpNs, bp.ShmNs)
+	}
+	for _, cg := range rep.CodegenPairs {
+		fmt.Fprintf(os.Stderr, "benchjson: %s codegen speedup %.2fx (%.0f ns vs compiled %.0f ns)\n",
+			cg.Benchmark, cg.Speedup, cg.CodegenNs, cg.CompiledNs)
+	}
+	for _, pp := range rep.PinPairs {
+		fmt.Fprintf(os.Stderr, "benchjson: %s unpinned/pinned wall-clock ratio %.2f (unpinned %.0f ns, pinned %.0f ns)\n",
+			pp.Benchmark, pp.Ratio, pp.UnpinnedNs, pp.PinnedNs)
 	}
 }
 
@@ -329,6 +392,58 @@ func pairBackends(bs []Bench) []BackendPair {
 			MpNs:      mp.NsPerOp,
 			ShmNs:     b.NsPerOp,
 			Ratio:     mp.NsPerOp / b.NsPerOp,
+		})
+	}
+	return pairs
+}
+
+// pairCodegen matches each Codegen-suffixed benchmark with its
+// closure-engine base name.
+func pairCodegen(bs []Bench) []CodegenPair {
+	byName := make(map[string]Bench, len(bs))
+	for _, b := range bs {
+		byName[b.Name] = b
+	}
+	var pairs []CodegenPair
+	for _, b := range bs {
+		if !strings.HasSuffix(b.Name, "Codegen") {
+			continue
+		}
+		base, ok := byName[strings.TrimSuffix(b.Name, "Codegen")]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		pairs = append(pairs, CodegenPair{
+			Benchmark:  strings.TrimSuffix(b.Name, "Codegen"),
+			CompiledNs: base.NsPerOp,
+			CodegenNs:  b.NsPerOp,
+			Speedup:    base.NsPerOp / b.NsPerOp,
+		})
+	}
+	return pairs
+}
+
+// pairPinned matches each WallClockPinned benchmark with its unpinned
+// WallClock twin.
+func pairPinned(bs []Bench) []PinPair {
+	byName := make(map[string]Bench, len(bs))
+	for _, b := range bs {
+		byName[b.Name] = b
+	}
+	var pairs []PinPair
+	for _, b := range bs {
+		if !strings.HasSuffix(b.Name, "WallClockPinned") {
+			continue
+		}
+		base, ok := byName[strings.TrimSuffix(b.Name, "Pinned")]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		pairs = append(pairs, PinPair{
+			Benchmark:  strings.TrimSuffix(b.Name, "Pinned"),
+			UnpinnedNs: base.NsPerOp,
+			PinnedNs:   b.NsPerOp,
+			Ratio:      base.NsPerOp / b.NsPerOp,
 		})
 	}
 	return pairs

@@ -140,6 +140,18 @@ func lintPackage(p listedPackage) ([]string, error) {
 	}
 	var findings []string
 	for _, f := range files {
+		if exempt, generated := fileExemption(f); exempt {
+			if !generated {
+				findings = append(findings, fmt.Sprintf(
+					"%s: //vetdet:exempt-file in a hand-written file: only machine-generated files (carrying a \"// Code generated … DO NOT EDIT.\" header) may be exempted",
+					fset.Position(f.Pos())))
+			} else {
+				// A generated file is exempt wholesale: its emitter is
+				// itself in the deterministic core and linted, so the
+				// output's determinism is established at the source.
+				continue
+			}
+		}
 		findings = append(findings, lintFile(fset, f, info)...)
 		findings = append(findings, lintUnsortedKeyReturns(fset, f, info)...)
 		if deterministicCore(p.ImportPath) {
@@ -147,6 +159,24 @@ func lintPackage(p listedPackage) ([]string, error) {
 		}
 	}
 	return findings, nil
+}
+
+// fileExemption scans a file's comments for the //vetdet:exempt-file
+// marker and the standard machine-generated header.  The exemption is
+// honored only when both are present; a hand-written file claiming it
+// is reported instead of silenced.
+func fileExemption(f *ast.File) (exempt, generated bool) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//vetdet:exempt-file") {
+				exempt = true
+			}
+			if strings.HasPrefix(c.Text, "// Code generated ") && strings.HasSuffix(c.Text, "DO NOT EDIT.") {
+				generated = true
+			}
+		}
+	}
+	return exempt, generated
 }
 
 // deterministicCore reports whether the package is part of the
@@ -159,7 +189,12 @@ func deterministicCore(importPath string) bool {
 	case "dhpf/internal/parser", "dhpf/internal/hpf", "dhpf/internal/ir",
 		"dhpf/internal/iset", "dhpf/internal/cp", "dhpf/internal/comm",
 		"dhpf/internal/spmd", "dhpf/internal/passes", "dhpf/internal/analysis",
-		"dhpf/internal/verify", "dhpf/internal/perfmodel", "dhpf/internal/nas":
+		"dhpf/internal/verify", "dhpf/internal/perfmodel", "dhpf/internal/nas",
+		// The native tier: emission is fingerprinted (kernel sources are
+		// content-addressed), so the emitter must be deterministic; the
+		// generated corpus rides along and is exempted per-file by its
+		// machine-generated header.
+		"dhpf/internal/codegen", "dhpf/internal/codegen/gen":
 		return true
 	}
 	return false

@@ -241,6 +241,68 @@ func TestUnsortedKeyReturns(t *testing.T) {
 	}
 }
 
+const exemptGeneratedFixture = `// Code generated by dhpf internal/codegen. DO NOT EDIT.
+//vetdet:exempt-file machine-generated kernels (emission is deterministic by construction)
+
+package fixture
+
+import "time"
+
+func Clock() time.Time {
+	return time.Now()
+}
+`
+
+const exemptHandwrittenFixture = `//vetdet:exempt-file trust me
+
+package fixture
+
+import "time"
+
+func Clock() time.Time {
+	return time.Now()
+}
+`
+
+// TestExemptFile: the //vetdet:exempt-file marker silences every rule,
+// but only in files carrying the machine-generated header; a
+// hand-written file claiming it is itself a finding (and still linted).
+func TestExemptFile(t *testing.T) {
+	dir := t.TempDir()
+	gen := filepath.Join(dir, "gen")
+	hand := filepath.Join(dir, "hand")
+	for d, src := range map[string]string{gen: exemptGeneratedFixture, hand: exemptHandwrittenFixture} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(d, "fixture.go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	findings, err := lintPackage(listedPackage{Dir: gen, ImportPath: "dhpf/internal/codegen/gen", GoFiles: []string{"fixture.go"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("generated exempt file should lint clean:\n%s", strings.Join(findings, "\n"))
+	}
+
+	findings, err = lintPackage(listedPackage{Dir: hand, ImportPath: "dhpf/internal/analysis", GoFiles: []string{"fixture.go"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2 (misused exemption + clock):\n%s", len(findings), strings.Join(findings, "\n"))
+	}
+	if !strings.Contains(findings[0], "hand-written") {
+		t.Errorf("finding 0 = %q, want misused-exemption report", findings[0])
+	}
+	if !strings.Contains(findings[1], "time.Now") {
+		t.Errorf("finding 1 = %q, want the clock finding to survive", findings[1])
+	}
+}
+
 // TestRepoClean: the tree this linter ships in must itself lint clean —
 // the same invocation CI runs.
 func TestRepoClean(t *testing.T) {
